@@ -1,0 +1,37 @@
+// bskyanalyze regenerates every table and figure of the paper from a
+// calibrated synthetic dataset.
+//
+// Usage:
+//
+//	bskyanalyze [-scale N] [-seed S] [-only T1,F12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"blueskies/internal/analysis"
+	"blueskies/internal/synth"
+)
+
+func main() {
+	scale := flag.Int("scale", 1000, "downscaling factor vs. the paper's dataset")
+	seed := flag.Int64("seed", 2024, "generation seed")
+	only := flag.String("only", "", "comma-separated report IDs (e.g. T1,F12); empty = all")
+	flag.Parse()
+
+	ds := synth.Generate(synth.Config{Scale: *scale, Seed: *seed})
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	for _, r := range analysis.AllReports(ds) {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Println(r.String())
+	}
+}

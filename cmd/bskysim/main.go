@@ -1,0 +1,61 @@
+// bskysim boots a complete Bluesky deployment on loopback — PLC
+// directory, DNS, WHOIS, PDSes, Relay with Firehose, AppView — seeds
+// it with a small population, and prints the endpoints so other tools
+// (bskycrawl, firehose) can be pointed at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"blueskies/internal/identity"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/netsim"
+)
+
+func main() {
+	pdsCount := flag.Int("pds", 2, "number of PDSes")
+	users := flag.Int("users", 10, "seed accounts")
+	posts := flag.Int("posts", 5, "posts per account")
+	flag.Parse()
+
+	net, err := netsim.Start(netsim.Config{PDSCount: *pdsCount})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	for i := 0; i < *users; i++ {
+		handle := identity.Handle(fmt.Sprintf("user%03d.bsky.social", i))
+		acct, err := net.CreateUser(i, handle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := 0; j < *posts; j++ {
+			if _, err := net.PDSes[i%*pdsCount].CreateRecord(acct.DID, lexicon.Post, "",
+				lexicon.NewPost(fmt.Sprintf("post %d from %s", j, handle), []string{"en"}, time.Now())); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("bskysim running:")
+	fmt.Println("  PLC directory :", net.PLC.URL())
+	fmt.Println("  DNS           :", net.DNS.Addr())
+	fmt.Println("  WHOIS         :", net.Whois.Addr())
+	for i, p := range net.PDSes {
+		fmt.Printf("  PDS %d         : %s\n", i, p.URL())
+	}
+	fmt.Println("  Relay         :", net.Relay.URL())
+	fmt.Println("  Firehose      :", net.Relay.FirehoseURL())
+	fmt.Println("  AppView       :", net.AppView.URL())
+	fmt.Println("Ctrl-C to stop.")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

@@ -1,0 +1,46 @@
+// firehose tails a Relay's event stream, printing one line per event —
+// the paper's Firehose dataset collector in miniature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"blueskies/internal/events"
+)
+
+func main() {
+	relayURL := flag.String("relay", "", "relay base URL (required)")
+	cursor := flag.Int64("cursor", 0, "resume cursor (0 = full backfill)")
+	count := flag.Int("n", 0, "stop after N events (0 = forever)")
+	flag.Parse()
+	if *relayURL == "" {
+		log.Fatal("-relay is required")
+	}
+	sub, err := events.Subscribe(*relayURL, "com.atproto.sync.subscribeRepos", *cursor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; *count == 0 || i < *count; i++ {
+		ev, err := sub.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch e := ev.(type) {
+		case *events.Commit:
+			for _, op := range e.Ops {
+				fmt.Printf("%d #commit %s %s %s\n", e.Seq, e.Repo, op.Action, op.Path)
+			}
+		case *events.Identity:
+			fmt.Printf("%d #identity %s\n", e.Seq, e.DID)
+		case *events.Handle:
+			fmt.Printf("%d #handle %s -> %s\n", e.Seq, e.DID, e.Handle)
+		case *events.Tombstone:
+			fmt.Printf("%d #tombstone %s\n", e.Seq, e.DID)
+		case *events.Info:
+			fmt.Printf("#info %s: %s\n", e.Name, e.Message)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Package blueskies reproduces "Looking AT the Blue Skies of Bluesky"
+// (IMC 2024): a full AT Protocol network substrate, the paper's
+// measurement pipeline, a calibrated synthetic world, and the analysis
+// code regenerating every table and figure. See README.md, DESIGN.md,
+// and EXPERIMENTS.md.
+package blueskies

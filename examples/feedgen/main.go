@@ -1,0 +1,77 @@
+// Feed generator example: build a Skyfeed-style regex feed (the
+// feature only Skyfeed offers, per Table 5), publish its declaration
+// record, and query it through the AppView's getFeed endpoint.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/url"
+	"time"
+
+	"blueskies/internal/feedgen"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/netsim"
+	"blueskies/internal/xrpc"
+)
+
+func main() {
+	net, err := netsim.Start(netsim.Config{PDSCount: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	creator, err := net.CreateUser(0, "ramenfan.bsky.social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, serviceDID, err := net.AddFeedHost("Skyfeed", feedgen.PlatformByName("Skyfeed"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	feedURI, err := net.PublishFeed(creator, engine, serviceDID, "ramen",
+		feedgen.Config{WholeNetwork: true, TextRegex: `(?i)ramen|ラーメン`},
+		"Ramen Feed", "all posts about the popular noodle dish ramen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("published feed:", feedURI)
+
+	// Post a mix of matching and non-matching posts.
+	texts := []string{
+		"best RAMEN place in Tokyo",
+		"just setting up my bsky",
+		"今日のラーメンは最高でした",
+		"compilers are fun",
+	}
+	for _, text := range texts {
+		uri, err := net.PDSes[0].CreateRecord(creator.DID, lexicon.Post, "",
+			lexicon.NewPost(text, nil, time.Now()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine.Ingest(feedgen.PostView{URI: uri.String(), DID: string(creator.DID),
+			Text: text, CreatedAt: time.Now()})
+	}
+	if err := net.WaitForAppView(4, 3*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query through the AppView like a client (hydrated getFeed).
+	client := xrpc.NewClient(net.AppView.URL())
+	var out struct {
+		Feed []struct {
+			Post map[string]any `json:"post"`
+		} `json:"feed"`
+	}
+	if err := client.Query(context.Background(), "app.bsky.feed.getFeed",
+		url.Values{"feed": {feedURI}}, &out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feed returned %d of %d posts:\n", len(out.Feed), len(texts))
+	for _, item := range out.Feed {
+		fmt.Printf("  %v\n", item.Post["text"])
+	}
+}

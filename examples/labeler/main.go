@@ -1,0 +1,104 @@
+// Labeler example: run a community labeler, stream its labels, and
+// apply client-side moderation preferences (ignore / warn / hide) the
+// way a Bluesky client does (§2 User Preferences, §6 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/feedgen"
+	"blueskies/internal/labeler"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/netsim"
+)
+
+func main() {
+	net, err := netsim.Start(netsim.Config{PDSCount: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	author, err := net.CreateUser(0, "author.bsky.social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Official + community labeler, as in the paper's §6 ecosystem.
+	official, _, err := net.AddLabeler("mod.bsky.social", []string{"porn", "spam", "!takedown"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	community, _, err := net.AddLabeler("spoilers.bsky.social", []string{"spoiler", "ff14-dawntrail"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	uri, err := net.PDSes[0].CreateRecord(author.DID, lexicon.Post, "",
+		lexicon.NewPost("the ending of Dawntrail is…", []string{"en"}, time.Now()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := community.Apply(uri.String(), "ff14-dawntrail"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := official.Apply(uri.String(), "spam"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Consume the community label stream like the paper's crawler.
+	sub, err := events.Subscribe(community.URL(), "com.atproto.label.subscribeLabels", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	fmt.Println("labels on the community stream:")
+	ev, err := sub.NextTimeout(time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var collected []events.Label
+	if ls, ok := ev.(*events.Labels); ok {
+		collected = ls.Labels
+		for _, l := range ls.Labels {
+			fmt.Printf("  %s applied %q to %s\n", l.Src[:20]+"…", l.Val, l.URI)
+		}
+	}
+
+	// Three users, three policies.
+	officialDID := official.DID()
+	all := append(collected, events.Label{Src: string(official.DID()), URI: uri.String(), Val: "spam"})
+
+	policies := map[string]labeler.Preferences{
+		"default (ignores community labelers)": labeler.DefaultPreferences(officialDID),
+		"spoiler-averse subscriber": {
+			Subscriptions: map[string]bool{string(community.DID()): true},
+			Reactions:     map[string]labeler.Visibility{"ff14-dawntrail": labeler.Hide},
+			Adult:         true,
+		},
+		"warn-on-spam subscriber": {
+			Subscriptions: map[string]bool{string(community.DID()): true},
+			Reactions:     map[string]labeler.Visibility{"spam": labeler.Warn},
+			Adult:         true,
+		},
+	}
+	fmt.Println("\nper-user moderation decisions for the post:")
+	for name, prefs := range policies {
+		fmt.Printf("  %-40s → %s\n", name, prefs.Decide(all, officialDID))
+	}
+
+	// Labels also feed downstream recommendation (§6 takeaway): a
+	// feed filtering on the community label.
+	engine := feedgen.NewEngine(feedgen.EngineConfig{Name: "self"})
+	feedURI := "at://" + string(author.DID) + "/app.bsky.feed.generator/spoiler-free"
+	if err := engine.AddFeed(feedgen.Config{URI: feedURI, WholeNetwork: true,
+		ExcludeLabels: []string{"ff14-dawntrail"}}); err != nil {
+		log.Fatal(err)
+	}
+	engine.Ingest(feedgen.PostView{URI: uri.String(), Text: "the ending of Dawntrail is…",
+		Labels: []string{"ff14-dawntrail"}, CreatedAt: time.Now()})
+	uris, _ := engine.Skeleton(feedURI, "", 10)
+	fmt.Printf("\nspoiler-free feed contains %d posts (spoiler filtered out)\n", len(uris))
+}

@@ -1,0 +1,87 @@
+// Migration example: move an account between two PDSes while keeping
+// its DID, records, and social graph — the account-portability
+// property the paper's §5 identity analysis is about. The PLC
+// directory is updated so resolvers find the new endpoint.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blueskies/internal/lexicon"
+	"blueskies/internal/netsim"
+	"blueskies/internal/plc"
+)
+
+func main() {
+	net, err := netsim.Start(netsim.Config{PDSCount: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	src, dst := net.PDSes[0], net.PDSes[1]
+
+	mover, err := net.CreateUser(0, "mover.bsky.social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := src.CreateRecord(mover.DID, lexicon.Post, "",
+		lexicon.NewPost("posting before I migrate", nil, time.Now())); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := src.CreateRecord(mover.DID, lexicon.Follow, "",
+		lexicon.NewFollow("did:plc:abcdefghijklmnopqrstuvwx", time.Now())); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("account on source PDS:", src.URL())
+	fmt.Println("DID:", mover.DID)
+
+	// 1. Export the full repository as a CAR archive.
+	carBytes, err := src.ExportCAR(mover.DID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported repo: %d bytes\n", len(carBytes))
+
+	// 2. Import on the destination PDS (same DID, same key).
+	moved, err := dst.ImportAccount(mover.DID, mover.Handle, mover.Key, carBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	posts, _ := moved.Repo.List(lexicon.Post)
+	follows, _ := moved.Repo.List(lexicon.Follow)
+	fmt.Printf("imported on %s: %d posts, %d follows — social graph intact\n",
+		dst.URL(), len(posts), len(follows))
+
+	// 3. Update the DID document so the network resolves the new PDS.
+	resolver := plc.NewClient(net.PLC.URL())
+	doc, err := resolver.Resolve(mover.DID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PLC directory PDS endpoint before update:", doc.PDSEndpoint())
+
+	log2, err := net.PLCDir.Log(mover.DID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	head := log2[len(log2)-1]
+	op := plc.Operation{
+		Type:            plc.OpTypeOperation,
+		VerificationKey: mover.Key.PublicMultibase(),
+		Handle:          string(mover.Handle),
+		PDSEndpoint:     dst.URL(),
+		Prev:            head.CID(),
+	}
+	op.Sign(mover.Key)
+	if err := resolver.Submit(mover.DID, op); err != nil {
+		log.Fatal(err)
+	}
+	doc, err = resolver.Resolve(mover.DID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PLC directory PDS endpoint after update: ", doc.PDSEndpoint())
+	fmt.Println("migration complete: same DID, new home")
+}

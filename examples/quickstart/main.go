@@ -1,0 +1,75 @@
+// Quickstart: boot a complete in-process Bluesky network, create
+// accounts, post, follow, and watch the events arrive on the Firehose.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/netsim"
+)
+
+func main() {
+	net, err := netsim.Start(netsim.Config{PDSCount: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	fmt.Println("network up:")
+	fmt.Println("  PLC directory:", net.PLC.URL())
+	fmt.Println("  Relay:        ", net.Relay.URL())
+	fmt.Println("  AppView:      ", net.AppView.URL())
+
+	alice, err := net.CreateUser(0, "alice.bsky.social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := net.CreateUser(1, "bob.bsky.social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice:", alice.DID)
+	fmt.Println("bob:  ", bob.DID)
+
+	// Subscribe to the Firehose before writing.
+	sub, err := events.Subscribe(net.Relay.URL(), "com.atproto.sync.subscribeRepos", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
+	uri, err := net.PDSes[0].CreateRecord(alice.DID, lexicon.Post, "",
+		lexicon.NewPost("hello from the quickstart!", []string{"en"}, time.Now()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.PDSes[1].CreateRecord(bob.DID, lexicon.Follow, "",
+		lexicon.NewFollow(string(alice.DID), time.Now())); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.PDSes[1].CreateRecord(bob.DID, lexicon.Like, "",
+		lexicon.NewLike(uri.String(), time.Now())); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfirehose events:")
+	for i := 0; i < 10; i++ {
+		ev, err := sub.NextTimeout(time.Second)
+		if err != nil {
+			break
+		}
+		switch e := ev.(type) {
+		case *events.Commit:
+			for _, op := range e.Ops {
+				fmt.Printf("  seq=%d #commit %s %s %s\n", e.Seq, e.Repo[:20]+"…", op.Action, op.Path)
+			}
+		case *events.Identity:
+			fmt.Printf("  seq=%d #identity %s\n", e.Seq, e.DID[:20]+"…")
+		case *events.Handle:
+			fmt.Printf("  seq=%d #handle %s → %s\n", e.Seq, e.DID[:20]+"…", e.Handle)
+		}
+	}
+}

@@ -1,0 +1,540 @@
+// Package analysis computes every statistic in the paper's evaluation
+// (§4–§7) from a core.Dataset and renders the tables and figure series
+// the paper reports. Each Table*/Figure* function returns a Report —
+// a titled grid — plus, where useful for programmatic use, typed rows.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"blueskies/internal/core"
+)
+
+// Report is one rendered table or figure series.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	return sb.String()
+}
+
+// ---- statistics helpers ----
+
+// Median returns the median of xs (NaN when empty).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile of xs using nearest-rank.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// IQD returns the inter-quartile distance (Q3 − Q1).
+func IQD(xs []float64) float64 {
+	return Quantile(xs, 0.75) - Quantile(xs, 0.25)
+}
+
+// Pearson computes the correlation coefficient of two equal-length
+// samples.
+func Pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 || len(xs) != len(ys) {
+		return math.NaN()
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// FormatDuration renders a reaction time the way the paper's figures
+// label axes (0.1s … 1d).
+func FormatDuration(seconds float64) string {
+	switch {
+	case math.IsNaN(seconds):
+		return "n/a"
+	case seconds < 60:
+		return fmt.Sprintf("%.2fs", seconds)
+	case seconds < 3600:
+		return fmt.Sprintf("%.1fm", seconds/60)
+	case seconds < 86400:
+		return fmt.Sprintf("%.1fh", seconds/3600)
+	default:
+		return fmt.Sprintf("%.1fd", seconds/86400)
+	}
+}
+
+func pct(part, whole int64) string {
+	if whole == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(part)/float64(whole))
+}
+
+// ---- Section 4: headline dataset counts ----
+
+// Section4 summarizes the dataset totals of §3/§4.
+func Section4(ds *core.Dataset) *Report {
+	posts, likes, reposts, follows, blocks := ds.TotalOps()
+	r := &Report{
+		ID:     "S4",
+		Title:  "Dataset totals (scaled 1:" + fmt.Sprint(ds.Scale) + ")",
+		Header: []string{"metric", "value"},
+	}
+	add := func(k string, v any) { r.Rows = append(r.Rows, []string{k, fmt.Sprint(v)}) }
+	add("users", len(ds.Users))
+	add("likes (accumulated ops)", likes)
+	add("posts (accumulated ops)", posts)
+	add("follows (accumulated ops)", follows)
+	add("reposts (accumulated ops)", reposts)
+	add("blocks (accumulated ops)", blocks)
+	add("firehose events", ds.Firehose.Total())
+	add("non-Bluesky lexicon events", ds.NonBskyEvents)
+	add("feed generators", len(ds.FeedGens))
+	add("labelers announced", len(ds.Labelers))
+	add("label interactions", len(ds.Labels))
+	return r
+}
+
+// ---- Table 1: firehose event types ----
+
+// Table1 reproduces the firehose event-type breakdown.
+func Table1(ds *core.Dataset) *Report {
+	e := ds.Firehose
+	total := e.Total()
+	return &Report{
+		ID:     "T1",
+		Title:  "Overview of Firehose event types",
+		Header: []string{"Event Type", "# Total", "Share (%)"},
+		Rows: [][]string{
+			{"Repo Commit", fmt.Sprint(e.Commits), pct(e.Commits, total)},
+			{"Identity Update", fmt.Sprint(e.Identity), pct(e.Identity, total)},
+			{"User Handle Update", fmt.Sprint(e.Handle), pct(e.Handle, total)},
+			{"Repo Tombstone", fmt.Sprint(e.Tombstone), pct(e.Tombstone, total)},
+		},
+	}
+}
+
+// ---- Table 2: registrar concentration ----
+
+// RegistrarRow is one registrar's share of IANA-identified domains.
+type RegistrarRow struct {
+	IANAID int
+	Name   string
+	Count  int
+	Share  float64
+}
+
+// RegistrarConcentration computes Table 2's rows.
+func RegistrarConcentration(ds *core.Dataset) []RegistrarRow {
+	counts := map[int]*RegistrarRow{}
+	total := 0
+	for _, d := range ds.Domains {
+		if d.IANAID == 0 {
+			continue
+		}
+		total++
+		row, ok := counts[d.IANAID]
+		if !ok {
+			row = &RegistrarRow{IANAID: d.IANAID, Name: d.RegistrarName}
+			counts[d.IANAID] = row
+		}
+		row.Count++
+	}
+	rows := make([]RegistrarRow, 0, len(counts))
+	for _, row := range counts {
+		row.Share = float64(row.Count) / float64(total)
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	return rows
+}
+
+// Table2 renders the registrar concentration table (top 7, as in the
+// paper).
+func Table2(ds *core.Dataset) *Report {
+	rows := RegistrarConcentration(ds)
+	r := &Report{
+		ID:     "T2",
+		Title:  "Domain name handles per registrar",
+		Header: []string{"IANA ID", "Registrar Name", "# Total", "Share (%)"},
+	}
+	top4 := 0
+	for i, row := range rows {
+		if i < 4 {
+			top4 += row.Count
+		}
+		if i >= 7 {
+			break
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(row.IANAID), row.Name, fmt.Sprint(row.Count),
+			fmt.Sprintf("%.2f%%", 100*row.Share),
+		})
+	}
+	var withID int
+	for _, d := range ds.Domains {
+		if d.IANAID != 0 {
+			withID++
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("registrars observed: %d; domains with IANA ID: %d", len(rows), withID),
+		fmt.Sprintf("top-4 registrar share: %s", pct(int64(top4), int64(withID))))
+	return r
+}
+
+// ---- Table 3: top community labelers ----
+
+// LabelerVolume pairs a labeler with its applied-label count.
+type LabelerVolume struct {
+	Labeler core.Labeler
+	Applied int
+}
+
+// CommunityTop returns community labelers ranked by labels applied.
+func CommunityTop(ds *core.Dataset) []LabelerVolume {
+	byDID := map[string]int{}
+	for _, l := range ds.Labels {
+		if !l.Neg {
+			byDID[l.Src]++
+		}
+	}
+	var out []LabelerVolume
+	for _, lb := range ds.Labelers {
+		if lb.Official {
+			continue
+		}
+		if n := byDID[lb.DID]; n > 0 {
+			out = append(out, LabelerVolume{Labeler: lb, Applied: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Applied > out[j].Applied })
+	return out
+}
+
+// Table3 renders the top-5 community labelers.
+func Table3(ds *core.Dataset) *Report {
+	ranked := CommunityTop(ds)
+	r := &Report{
+		ID:     "T3",
+		Title:  "Top 5 community labelers by number of labels applied",
+		Header: []string{"Rank", "# Applied", "Name", "Likes", "Operator", "Description"},
+	}
+	for i, lv := range ranked {
+		if i >= 5 {
+			break
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(i + 1), fmt.Sprint(lv.Applied), lv.Labeler.Name,
+			fmt.Sprint(lv.Labeler.Likes), lv.Labeler.Operator, lv.Labeler.About,
+		})
+	}
+	return r
+}
+
+// ---- Table 4: label targets ----
+
+// Table4 renders label targets with their most-applied values.
+func Table4(ds *core.Dataset) *Report {
+	type agg struct {
+		objects map[string]bool
+		values  map[string]int
+	}
+	kinds := map[core.SubjectKind]*agg{}
+	for _, kind := range []core.SubjectKind{core.SubjectPost, core.SubjectAccount, core.SubjectMedia, core.SubjectOther} {
+		kinds[kind] = &agg{objects: map[string]bool{}, values: map[string]int{}}
+	}
+	var total int64
+	for _, l := range ds.Labels {
+		if l.Neg {
+			continue
+		}
+		a := kinds[l.Kind]
+		if a == nil {
+			continue
+		}
+		a.objects[l.URI] = true
+		a.values[l.Val]++
+		total++
+	}
+	r := &Report{
+		ID:     "T4",
+		Title:  "Label targets with most-applied labels",
+		Header: []string{"Object Type", "# Objects", "Share (%)", "Top Labels"},
+	}
+	var totalObjects int64
+	for _, a := range kinds {
+		totalObjects += int64(len(a.objects))
+	}
+	for _, kind := range []core.SubjectKind{core.SubjectPost, core.SubjectAccount, core.SubjectMedia, core.SubjectOther} {
+		a := kinds[kind]
+		top := topK(a.values, 5)
+		var tl []string
+		for _, kv := range top {
+			tl = append(tl, fmt.Sprintf("%s (%d)", kv.Key, kv.Count))
+		}
+		r.Rows = append(r.Rows, []string{
+			string(kind), fmt.Sprint(len(a.objects)),
+			pct(int64(len(a.objects)), totalObjects), strings.Join(tl, ", "),
+		})
+	}
+	return r
+}
+
+// KV is a counted key.
+type KV struct {
+	Key   string
+	Count int
+}
+
+func topK(m map[string]int, k int) []KV {
+	out := make([]KV, 0, len(m))
+	for key, c := range m {
+		out = append(out, KV{key, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ---- Table 6: labeler reaction times ----
+
+// ReactionRow is one labeler's Table 6 row.
+type ReactionRow struct {
+	DID       string
+	Name      string
+	Official  bool
+	TopValues []string
+	Unique    int
+	Total     int
+	Share     float64
+	MedianSec float64
+	IQDSec    float64
+}
+
+// ReactionTimes computes per-labeler reaction-time statistics over
+// fresh posts (as the paper does: only posts first seen on the
+// firehose during the window).
+func ReactionTimes(ds *core.Dataset) []ReactionRow {
+	byDID := map[string]*ReactionRow{}
+	rts := map[string][]float64{}
+	values := map[string]map[string]int{}
+	names := map[string]core.Labeler{}
+	for _, lb := range ds.Labelers {
+		names[lb.DID] = lb
+	}
+	var total int
+	for _, l := range ds.Labels {
+		if l.Neg || !l.FreshSubject || l.Kind != core.SubjectPost {
+			continue
+		}
+		row, ok := byDID[l.Src]
+		if !ok {
+			lb := names[l.Src]
+			row = &ReactionRow{DID: l.Src, Name: lb.Name, Official: lb.Official}
+			byDID[l.Src] = row
+			values[l.Src] = map[string]int{}
+		}
+		row.Total++
+		total++
+		values[l.Src][l.Val]++
+		rts[l.Src] = append(rts[l.Src], l.ReactionTime().Seconds())
+	}
+	rows := make([]ReactionRow, 0, len(byDID))
+	for did, row := range byDID {
+		row.MedianSec = Median(rts[did])
+		row.IQDSec = IQD(rts[did])
+		row.Share = float64(row.Total) / float64(total)
+		row.Unique = len(values[did])
+		for _, kv := range topK(values[did], 3) {
+			row.TopValues = append(row.TopValues, kv.Key)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Total > rows[j].Total })
+	return rows
+}
+
+// Table6 renders the reaction-time table.
+func Table6(ds *core.Dataset) *Report {
+	rows := ReactionTimes(ds)
+	r := &Report{
+		ID:     "T6",
+		Title:  "Reaction time of labelers to posts published via the Firehose",
+		Header: []string{"Rank", "Labeler", "Top Values", "# Unique", "# Total", "Share (%)", "Median", "IQD"},
+	}
+	for i, row := range rows {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(i + 1), row.Name, strings.Join(row.TopValues, ", "),
+			fmt.Sprint(row.Unique), fmt.Sprint(row.Total),
+			fmt.Sprintf("%.2f%%", 100*row.Share),
+			FormatDuration(row.MedianSec), FormatDuration(row.IQDSec),
+		})
+	}
+	return r
+}
+
+// ---- Section 5: identity statistics ----
+
+// IdentityStats aggregates §5's headline identity numbers.
+type IdentityStats struct {
+	Users           int
+	BskySocialShare float64
+	DIDWeb          int
+	AltHandles      int
+	RegisteredDoms  int
+	TXTShare        float64
+	WellKnownShare  float64
+	TrancoShare     float64
+	HandleUpdates   int
+	UpdatingDIDs    int
+	FinalBskyShare  float64
+}
+
+// Identity computes the §5 statistics.
+func Identity(ds *core.Dataset) IdentityStats {
+	var st IdentityStats
+	st.Users = len(ds.Users)
+	var bsky, txt, wk int
+	for _, u := range ds.Users {
+		if strings.HasSuffix(u.Handle, ".bsky.social") {
+			bsky++
+		} else {
+			st.AltHandles++
+		}
+		if u.DIDMethod == "web" {
+			st.DIDWeb++
+		}
+		switch u.Proof {
+		case core.ProofDNSTXT:
+			txt++
+		case core.ProofWellKnown:
+			wk++
+		}
+	}
+	st.BskySocialShare = float64(bsky) / float64(st.Users)
+	if txt+wk > 0 {
+		st.TXTShare = float64(txt) / float64(txt+wk)
+		st.WellKnownShare = float64(wk) / float64(txt+wk)
+	}
+	st.RegisteredDoms = len(ds.Domains)
+	tranco := 0
+	for _, d := range ds.Domains {
+		if d.TrancoRank > 0 {
+			tranco++
+		}
+	}
+	if len(ds.Domains) > 0 {
+		st.TrancoShare = float64(tranco) / float64(len(ds.Domains))
+	}
+	st.HandleUpdates = len(ds.HandleUpdates)
+	dids := map[string]bool{}
+	toBsky := 0
+	final := map[string]string{}
+	for _, hu := range ds.HandleUpdates {
+		dids[hu.DID] = true
+		final[hu.DID] = hu.NewHandle
+	}
+	for _, h := range final {
+		if strings.HasSuffix(h, ".bsky.social") {
+			toBsky++
+		}
+	}
+	st.UpdatingDIDs = len(dids)
+	if len(final) > 0 {
+		st.FinalBskyShare = float64(toBsky) / float64(len(final))
+	}
+	return st
+}
+
+// Section5 renders the identity statistics.
+func Section5(ds *core.Dataset) *Report {
+	st := Identity(ds)
+	r := &Report{
+		ID:     "S5",
+		Title:  "(De)centralized identity",
+		Header: []string{"metric", "value"},
+	}
+	add := func(k, v string) { r.Rows = append(r.Rows, []string{k, v}) }
+	add("users", fmt.Sprint(st.Users))
+	add("bsky.social handle share", fmt.Sprintf("%.2f%%", 100*st.BskySocialShare))
+	add("alternative FQDN handles", fmt.Sprint(st.AltHandles))
+	add("did:web identities", fmt.Sprint(st.DIDWeb))
+	add("registered domains (eTLD+1)", fmt.Sprint(st.RegisteredDoms))
+	add("DNS TXT ownership proofs", fmt.Sprintf("%.2f%%", 100*st.TXTShare))
+	add("well-known ownership proofs", fmt.Sprintf("%.2f%%", 100*st.WellKnownShare))
+	add("domains in Tranco top-1M", fmt.Sprintf("%.2f%%", 100*st.TrancoShare))
+	add("handle updates", fmt.Sprint(st.HandleUpdates))
+	add("unique updating DIDs", fmt.Sprint(st.UpdatingDIDs))
+	add("final handles under bsky.social", fmt.Sprintf("%.2f%%", 100*st.FinalBskyShare))
+	return r
+}
+
+func monthOf(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+}

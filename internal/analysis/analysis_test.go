@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blueskies/internal/core"
+	"blueskies/internal/synth"
+)
+
+var ds = synth.Generate(synth.Config{Scale: 1000, Seed: 42})
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %v", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("quantile extremes wrong")
+	}
+	if IQD(xs) != 2 { // Q3=4, Q1=2
+		t.Fatalf("IQD = %v", IQD(xs))
+	}
+	if math.IsNaN(Median(xs)) {
+		t.Fatal("median of non-empty is NaN")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("median of empty must be NaN")
+	}
+	// Perfect correlation.
+	if r := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("pearson = %v", r)
+	}
+	if r := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("pearson = %v", r)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[float64]string{
+		0.58:    "0.58s",
+		90:      "1.5m",
+		7200:    "2.0h",
+		172800:  "2.0d",
+		1585404: "18.3d",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable1Shares(t *testing.T) {
+	r := Table1(ds)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][0] != "Repo Commit" || !strings.HasPrefix(r.Rows[0][2], "99.7") {
+		t.Fatalf("commit row = %v", r.Rows[0])
+	}
+}
+
+func TestTable2NamecheapLeads(t *testing.T) {
+	// Registrar shares need a larger domain population for stability.
+	big := synth.Generate(synth.Config{Scale: 200, Seed: 42})
+	rows := RegistrarConcentration(big)
+	if len(rows) == 0 {
+		t.Fatal("no registrar rows")
+	}
+	if rows[0].IANAID != 1068 {
+		t.Fatalf("top registrar = %+v, want NameCheap (1068)", rows[0])
+	}
+	if rows[0].Share < 0.15 || rows[0].Share > 0.30 {
+		t.Fatalf("NameCheap share = %.3f", rows[0].Share)
+	}
+	// Top-4 concentration ≈ half of all domains (paper: 50 %).
+	var top4 float64
+	for i := 0; i < 4 && i < len(rows); i++ {
+		top4 += rows[i].Share
+	}
+	if top4 < 0.40 || top4 > 0.65 {
+		t.Fatalf("top-4 share = %.3f, want ≈0.5", top4)
+	}
+}
+
+func TestTable3TopIsAltText(t *testing.T) {
+	ranked := CommunityTop(ds)
+	if len(ranked) < 5 {
+		t.Fatalf("only %d community labelers ranked", len(ranked))
+	}
+	if !strings.Contains(ranked[0].Labeler.Name, "Alt Text") {
+		t.Fatalf("top community labeler = %q", ranked[0].Labeler.Name)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Applied > ranked[i-1].Applied {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestTable4PostsDominate(t *testing.T) {
+	r := Table4(ds)
+	if r.Rows[0][0] != string(core.SubjectPost) {
+		t.Fatalf("first row = %v", r.Rows[0])
+	}
+	if !strings.HasPrefix(r.Rows[0][2], "99") {
+		t.Fatalf("post share = %v", r.Rows[0][2])
+	}
+	// no-alt-text must appear among the post top labels.
+	if !strings.Contains(r.Rows[0][3], "no-alt-text") {
+		t.Fatalf("post top labels = %v", r.Rows[0][3])
+	}
+}
+
+func TestTable5MatrixShape(t *testing.T) {
+	r := Table5(ds)
+	if len(r.Header) != 6 { // Feature + 5 platforms
+		t.Fatalf("header = %v", r.Header)
+	}
+	// Regex rows: only Skyfeed (column 1) has "yes".
+	for _, row := range r.Rows {
+		if strings.HasPrefix(row[0], "Filter: regex") {
+			if row[1] != "yes" {
+				t.Fatalf("Skyfeed missing %s", row[0])
+			}
+			for i := 2; i < len(row); i++ {
+				if row[i] == "yes" {
+					t.Fatalf("%s supported by %s", row[0], r.Header[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTable6AutomationGradient(t *testing.T) {
+	rows := ReactionTimes(ds)
+	if len(rows) < 6 {
+		t.Fatalf("only %d labelers with fresh-post labels", len(rows))
+	}
+	// The highest-volume labelers must be fast (automated); the
+	// smallest ones slow (manual) — the paper's core observation.
+	fast := rows[0]
+	if fast.MedianSec > 30 {
+		t.Fatalf("top labeler median RT = %.1fs, want seconds", fast.MedianSec)
+	}
+	var slowFound bool
+	for _, row := range rows {
+		if row.Total < 50 && row.MedianSec > 600 {
+			slowFound = true
+			break
+		}
+	}
+	if !slowFound {
+		t.Fatal("no slow manual labeler found in the tail")
+	}
+}
+
+func TestIdentityStats(t *testing.T) {
+	st := Identity(ds)
+	if st.BskySocialShare < 0.95 {
+		t.Fatalf("bsky share = %.3f", st.BskySocialShare)
+	}
+	if st.DIDWeb != 6 {
+		t.Fatalf("did:web = %d", st.DIDWeb)
+	}
+	if st.TXTShare < 0.9 {
+		t.Fatalf("TXT share = %.3f", st.TXTShare)
+	}
+	if st.FinalBskyShare < 0.6 || st.FinalBskyShare > 0.9 {
+		t.Fatalf("final bsky share = %.3f, want ≈0.757", st.FinalBskyShare)
+	}
+	if st.UpdatingDIDs > st.HandleUpdates {
+		t.Fatal("more updating DIDs than updates")
+	}
+}
+
+func TestFigure1GrowthShape(t *testing.T) {
+	r := Figure1(ds)
+	if len(r.Rows) < 50 {
+		t.Fatalf("weeks = %d", len(r.Rows))
+	}
+	first := r.Rows[0]
+	last := r.Rows[len(r.Rows)-1]
+	if first[1] >= last[1] && len(first[1]) >= len(last[1]) {
+		t.Fatalf("no growth: %v → %v", first, last)
+	}
+}
+
+func TestFigure3NamedProvidersOnTop(t *testing.T) {
+	r := Figure3(ds)
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	found := false
+	for _, row := range r.Rows {
+		if row[0] == "swifties.social" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("swifties.social not among top domains")
+	}
+}
+
+func TestFigure4CommunityOvertakes(t *testing.T) {
+	months := LabelsBySource(ds)
+	if len(months) < 6 {
+		t.Fatalf("months = %d", len(months))
+	}
+	// Before March 2024: no community labels.
+	for _, m := range months {
+		if m.Month.Before(synth.LabelersOpen.AddDate(0, -1, 0)) && m.Community > 0 {
+			t.Fatalf("community labels before opening: %+v", m)
+		}
+	}
+	// April 2024: community majority (paper: 88.7 %).
+	var apr *MonthlyLabels
+	for i := range months {
+		if months[i].Month.Format("2006-01") == "2024-04" {
+			apr = &months[i]
+		}
+	}
+	if apr == nil {
+		t.Fatal("no April 2024 bucket")
+	}
+	share := float64(apr.Community) / float64(apr.Community+apr.Bluesky)
+	if share < 0.70 {
+		t.Fatalf("April community share = %.3f, want ≈0.887", share)
+	}
+	if apr.Labelers < 20 {
+		t.Fatalf("community labelers by April = %d", apr.Labelers)
+	}
+}
+
+func TestFigure6ValueGradient(t *testing.T) {
+	rows := ValueReactions(ds)
+	byVal := map[string]ValueReaction{}
+	for _, r := range rows {
+		byVal[r.Val] = r
+	}
+	noAlt, ok := byVal["no-alt-text"]
+	if !ok {
+		t.Fatal("no-alt-text missing")
+	}
+	if noAlt.Median > 10 {
+		t.Fatalf("no-alt-text median = %.1fs", noAlt.Median)
+	}
+	// Manual community values take much longer.
+	if tr, ok := byVal["trolling"]; ok && tr.Median < noAlt.Median {
+		t.Fatalf("trolling (%.1fs) faster than no-alt-text (%.1fs)", tr.Median, noAlt.Median)
+	}
+}
+
+func TestFigure7Monotone(t *testing.T) {
+	r := Figure7(ds)
+	prev := -1
+	for _, row := range r.Rows {
+		var n int
+		if _, err := sscan(row[1], &n); err != nil {
+			t.Fatalf("bad count %q", row[1])
+		}
+		if n < prev {
+			t.Fatalf("cumulative FG count decreased: %d → %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestFigure8ArtDominates(t *testing.T) {
+	r := Figure8(ds)
+	if len(r.Rows) == 0 {
+		t.Fatal("no words")
+	}
+	joined := ""
+	for _, row := range r.Rows[:5] {
+		joined += row[0] + " "
+	}
+	if !strings.Contains(joined, "art") && !strings.Contains(joined, "アート") && !strings.Contains(joined, "feed") {
+		t.Fatalf("unexpected top words: %v", joined)
+	}
+}
+
+func TestFigure9ExplicitContent(t *testing.T) {
+	r := Figure9(ds)
+	if len(r.Rows) == 0 {
+		t.Fatal("no labeled-feed rows")
+	}
+	top := r.Rows[0][0]
+	if top != "porn" && top != "sexual" && top != "spam" {
+		t.Fatalf("top label of heavily-labeled feeds = %q", top)
+	}
+}
+
+func TestFigure11CreatorsAtHighInDegree(t *testing.T) {
+	bins := DegreeDistributions(ds)
+	if len(bins) < 4 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Creator density must rise with in-degree: compare low vs high
+	// halves.
+	var loC, loN, hiC, hiN int
+	for i, b := range bins {
+		if i < len(bins)/2 {
+			loC += b.InFGCreators
+			loN += b.InCount
+		} else {
+			hiC += b.InFGCreators
+			hiN += b.InCount
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Fatalf("empty halves: %d %d", loN, hiN)
+	}
+	loD := float64(loC) / float64(loN)
+	hiD := float64(hiC) / float64(hiN)
+	if hiD <= loD {
+		t.Fatalf("creator density must rise with in-degree: lo=%.4f hi=%.4f", loD, hiD)
+	}
+}
+
+func TestFigure12SkyfeedParadox(t *testing.T) {
+	shares := ProviderShares(ds)
+	byName := map[string]ProviderShare{}
+	for _, s := range shares {
+		byName[s.Name] = s
+	}
+	sky := byName["Skyfeed"]
+	good := byName["goodfeeds"]
+	// Skyfeed dominates feeds but NOT posts; goodfeeds the reverse —
+	// the paper's §7.2 observation.
+	if sky.FeedShare < 0.5 {
+		t.Fatalf("Skyfeed feed share = %.3f", sky.FeedShare)
+	}
+	if good.FeedShare > sky.FeedShare {
+		t.Fatal("goodfeeds must host far fewer feeds")
+	}
+	if good.PostsTotal == 0 || float64(good.PostsTotal)/float64(good.Feeds) < float64(sky.PostsTotal)/float64(sky.Feeds) {
+		t.Fatalf("goodfeeds must out-post per feed: good=%d/%d sky=%d/%d",
+			good.PostsTotal, good.Feeds, sky.PostsTotal, sky.Feeds)
+	}
+	// Skyfeed leads likes.
+	if sky.LikeShare < good.LikeShare {
+		t.Fatal("Skyfeed must lead like share")
+	}
+}
+
+func TestAllReportsRender(t *testing.T) {
+	for _, r := range AllReports(ds) {
+		s := r.String()
+		if !strings.Contains(s, r.ID) || len(s) < 20 {
+			t.Fatalf("report %s renders empty", r.ID)
+		}
+	}
+}
+
+func sscan(s string, n *int) (int, error) {
+	return fmtSscan(s, n)
+}
+
+func TestSection6LabelBookkeeping(t *testing.T) {
+	st := LabelValues(ds)
+	if st.DistinctRaw < 30 || st.DistinctCleaned > st.DistinctRaw {
+		t.Fatalf("distinct values: raw=%d cleaned=%d", st.DistinctRaw, st.DistinctCleaned)
+	}
+	if st.LabeledObjects == 0 {
+		t.Fatal("no labeled objects")
+	}
+	// Mostly disjoint services (paper: 3.2 % multi-labeled).
+	if st.MultiServiceShare > 0.25 {
+		t.Fatalf("multi-service share = %.3f, want small", st.MultiServiceShare)
+	}
+}
+
+func TestSection6HostingMix(t *testing.T) {
+	hm := LabelerHosting(ds)
+	total := hm.Cloud + hm.Residential + hm.Unknown
+	if total != 62 {
+		t.Fatalf("labelers = %d", total)
+	}
+	if hm.Cloud <= hm.Residential || hm.Unknown == 0 {
+		t.Fatalf("hosting mix = %+v, want cloud-dominant with unknowns", hm)
+	}
+}
+
+func TestSection6Report(t *testing.T) {
+	r := Section6(ds)
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}

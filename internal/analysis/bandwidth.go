@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+
+	"blueskies/internal/core"
+)
+
+// Average firehose frame sizes (bytes) by event type. Commit frames
+// carry a CAR slice with the new record, the commit object, and the
+// changed MST node blocks; the production average is ≈6 kB (this
+// implementation's minimal frames run ≈1.2 kB because mirrors rebuild
+// MST nodes locally instead of shipping them).
+const (
+	bytesPerCommit   = 6000
+	bytesPerIdentity = 120
+	bytesPerHandle   = 150
+	bytesPerTomb     = 110
+)
+
+// FirehoseBandwidth estimates the firehose volume per subscribed
+// client — the paper's §9 estimate is ≈30 GB/day at the production
+// event rate.
+type FirehoseBandwidth struct {
+	EventsPerDay  float64
+	BytesPerDay   float64
+	GBPerDayPaper float64 // unscaled projection
+}
+
+// EstimateFirehoseBandwidth computes the §9 scalability estimate from
+// the dataset's firehose counts and collection window.
+func EstimateFirehoseBandwidth(ds *core.Dataset) FirehoseBandwidth {
+	days := ds.WindowEnd.Sub(ds.WindowStart).Hours() / 24
+	if days <= 0 {
+		days = 1
+	}
+	e := ds.Firehose
+	totalBytes := float64(e.Commits)*bytesPerCommit +
+		float64(e.Identity)*bytesPerIdentity +
+		float64(e.Handle)*bytesPerHandle +
+		float64(e.Tombstone)*bytesPerTomb
+	bw := FirehoseBandwidth{
+		EventsPerDay: float64(e.Total()) / days,
+		BytesPerDay:  totalBytes / days,
+	}
+	bw.GBPerDayPaper = bw.BytesPerDay * float64(ds.Scale) / 1e9
+	return bw
+}
+
+// Discussion renders the §9 scalability estimates.
+func Discussion(ds *core.Dataset) *Report {
+	bw := EstimateFirehoseBandwidth(ds)
+	r := &Report{
+		ID:     "S9",
+		Title:  "Discussion: firehose scalability estimate",
+		Header: []string{"metric", "value"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"firehose events/day (scaled)", fmt.Sprintf("%.0f", bw.EventsPerDay)},
+		[]string{"firehose MB/day per client (scaled)", fmt.Sprintf("%.1f", bw.BytesPerDay/1e6)},
+		[]string{"projected GB/day per client (unscaled)", fmt.Sprintf("%.1f", bw.GBPerDayPaper)},
+	)
+	r.Notes = append(r.Notes, "paper §9 estimates ≈30 GB/day per subscribed client")
+	return r
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFirehoseBandwidthProjection(t *testing.T) {
+	bw := EstimateFirehoseBandwidth(ds)
+	if bw.EventsPerDay <= 0 || bw.BytesPerDay <= 0 {
+		t.Fatalf("bandwidth = %+v", bw)
+	}
+	// The unscaled projection must land near the paper's ≈30 GB/day
+	// estimate (§9).
+	if bw.GBPerDayPaper < 15 || bw.GBPerDayPaper > 60 {
+		t.Fatalf("projected %.1f GB/day, paper estimates ≈30", bw.GBPerDayPaper)
+	}
+}
+
+func TestDiscussionReport(t *testing.T) {
+	r := Discussion(ds)
+	s := r.String()
+	if !strings.Contains(s, "GB/day") {
+		t.Fatalf("report = %s", s)
+	}
+}

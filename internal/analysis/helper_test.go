@@ -1,0 +1,5 @@
+package analysis
+
+import "fmt"
+
+func fmtSscan(s string, n *int) (int, error) { return fmt.Sscan(s, n) }

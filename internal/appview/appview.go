@@ -1,0 +1,602 @@
+// Package appview implements the AppView (§2): the component that
+// consumes the Firehose and the label streams, indexes the network
+// into a queryable database, and serves the client-facing API —
+// including the getFeedGenerator and getFeed endpoints the paper's
+// Feed Generator crawl uses.
+//
+// The paper observes that the AppView must subscribe to all known
+// Labelers and store all labels, making it ever more resource-hungry
+// as the labeler ecosystem grows (§6.1); this implementation makes
+// that explicit: every labeler subscription lands in one shared index.
+package appview
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"blueskies/internal/car"
+	"blueskies/internal/cbor"
+	"blueskies/internal/cid"
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/xrpc"
+)
+
+// PostIndex is the AppView's view of one post.
+type PostIndex struct {
+	URI       string
+	DID       string
+	Text      string
+	Langs     []string
+	CreatedAt time.Time
+	LikeCount int
+	Reposts   int
+}
+
+// ProfileIndex is the AppView's view of one account.
+type ProfileIndex struct {
+	DID         string
+	Handle      string
+	DisplayName string
+	Description string
+	Followers   int
+	Following   int
+	Posts       int
+	Blocked     int // times this account was blocked by others
+}
+
+// FeedGenIndex is the AppView's view of one feed generator.
+type FeedGenIndex struct {
+	URI         string
+	Creator     string
+	ServiceDID  string
+	DisplayName string
+	Description string
+	CreatedAt   time.Time
+	LikeCount   int
+}
+
+// LabelerIndex is the AppView's view of one labeler service.
+type LabelerIndex struct {
+	DID    string
+	Values []string
+}
+
+// SkeletonFunc resolves a feed skeleton; the registry maps feed
+// service DIDs to their resolvers (in-process engine or HTTP).
+type SkeletonFunc func(feedURI, requester string, limit int) ([]string, error)
+
+// View is the AppView index and API server.
+type View struct {
+	mu        sync.RWMutex
+	posts     map[string]*PostIndex
+	profiles  map[string]*ProfileIndex
+	feedgens  map[string]*FeedGenIndex
+	labelers  map[string]*LabelerIndex
+	labels    []events.Label
+	labelsOn  map[string][]int // uri → indexes into labels
+	handles   map[string]string
+	tombstone map[string]bool
+	// nonBskyEvents counts firehose records outside the Bluesky
+	// lexicons (§4, Non-Bluesky content).
+	nonBskyEvents int
+	// official is the labeler DID whose reserved labels trigger
+	// infrastructure takedowns (§6.2).
+	official string
+
+	services map[string]SkeletonFunc
+
+	mux  *xrpc.Mux
+	http *http.Server
+	base string
+}
+
+// New creates an empty AppView.
+func New() *View {
+	v := &View{
+		posts:     make(map[string]*PostIndex),
+		profiles:  make(map[string]*ProfileIndex),
+		feedgens:  make(map[string]*FeedGenIndex),
+		labelers:  make(map[string]*LabelerIndex),
+		labelsOn:  make(map[string][]int),
+		handles:   make(map[string]string),
+		tombstone: make(map[string]bool),
+		services:  make(map[string]SkeletonFunc),
+	}
+	v.mux = xrpc.NewMux()
+	v.register()
+	return v
+}
+
+// Start begins serving the API on a loopback port.
+func (v *View) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	v.base = "http://" + ln.Addr().String()
+	v.http = &http.Server{Handler: v.mux}
+	go func() { _ = v.http.Serve(ln) }()
+	return nil
+}
+
+// URL returns the API base URL ("" before Start).
+func (v *View) URL() string { return v.base }
+
+// Close stops the server.
+func (v *View) Close() error {
+	if v.http != nil {
+		return v.http.Close()
+	}
+	return nil
+}
+
+// RegisterFeedService wires a feed service DID to its skeleton
+// resolver.
+func (v *View) RegisterFeedService(serviceDID string, fn SkeletonFunc) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.services[serviceDID] = fn
+}
+
+// RegisterFeedServiceURL wires a feed service DID to a remote
+// getFeedSkeleton endpoint.
+func (v *View) RegisterFeedServiceURL(serviceDID, baseURL string) {
+	client := xrpc.NewClient(baseURL)
+	v.RegisterFeedService(serviceDID, func(feedURI, requester string, limit int) ([]string, error) {
+		var out struct {
+			Feed []struct {
+				Post string `json:"post"`
+			} `json:"feed"`
+		}
+		params := url.Values{"feed": {feedURI}, "limit": {strconv.Itoa(limit)}}
+		if requester != "" {
+			params.Set("requester", requester)
+		}
+		if err := client.Query(context.Background(), "app.bsky.feed.getFeedSkeleton", params, &out); err != nil {
+			return nil, err
+		}
+		uris := make([]string, len(out.Feed))
+		for i, f := range out.Feed {
+			uris[i] = f.Post
+		}
+		return uris, nil
+	})
+}
+
+// ConsumeFirehose subscribes to a relay firehose and indexes events
+// until the connection drops.
+func (v *View) ConsumeFirehose(relayURL string, cursor int64) error {
+	sub, err := events.Subscribe(relayURL, "com.atproto.sync.subscribeRepos", cursor)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer sub.Close()
+		for {
+			ev, err := sub.Next()
+			if err != nil {
+				return
+			}
+			v.Ingest(ev)
+		}
+	}()
+	return nil
+}
+
+// ConsumeLabeler subscribes to one labeler stream and indexes labels.
+func (v *View) ConsumeLabeler(serviceURL string) error {
+	sub, err := events.Subscribe(serviceURL, "com.atproto.label.subscribeLabels", 0)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer sub.Close()
+		for {
+			ev, err := sub.Next()
+			if err != nil {
+				return
+			}
+			v.Ingest(ev)
+		}
+	}()
+	return nil
+}
+
+// Ingest applies one event to the index (also usable synchronously).
+func (v *View) Ingest(ev any) {
+	switch e := ev.(type) {
+	case *events.Commit:
+		v.ingestCommit(e)
+	case *events.Handle:
+		v.mu.Lock()
+		v.handles[e.DID] = e.Handle
+		v.mu.Unlock()
+	case *events.Tombstone:
+		v.mu.Lock()
+		v.tombstone[e.DID] = true
+		v.mu.Unlock()
+	case *events.Labels:
+		v.mu.Lock()
+		for _, l := range e.Labels {
+			v.labels = append(v.labels, l)
+			v.labelsOn[l.URI] = append(v.labelsOn[l.URI], len(v.labels)-1)
+			// Infrastructure takedown (§6.2): a !takedown from the
+			// official labeler purges the content from system
+			// components. OfficialLabeler must be configured.
+			if !l.Neg && l.Val == "!takedown" && v.official != "" && l.Src == v.official {
+				v.takedownLocked(l.URI)
+			}
+		}
+		v.mu.Unlock()
+	}
+}
+
+// SetOfficialLabeler nominates the labeler whose reserved ("!…")
+// labels have hardcoded, mandatory behaviour.
+func (v *View) SetOfficialLabeler(did string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.official = did
+}
+
+// takedownLocked purges a post or an entire account from the index;
+// callers hold v.mu.
+func (v *View) takedownLocked(uri string) {
+	if strings.HasPrefix(uri, "at://") {
+		if p, ok := v.posts[uri]; ok {
+			delete(v.posts, uri)
+			if prof, ok := v.profiles[p.DID]; ok && prof.Posts > 0 {
+				prof.Posts--
+			}
+		}
+		return
+	}
+	// Account-level takedown: remove the account and all its posts.
+	v.tombstone[uri] = true
+	delete(v.profiles, uri)
+	for postURI, p := range v.posts {
+		if p.DID == uri {
+			delete(v.posts, postURI)
+		}
+	}
+}
+
+func (v *View) ingestCommit(e *events.Commit) {
+	blocks := map[cid.CID][]byte{}
+	if len(e.Blocks) > 0 {
+		if cr, err := car.NewReader(bytes.NewReader(e.Blocks)); err == nil {
+			if all, err := cr.ReadAll(); err == nil {
+				for _, b := range all {
+					blocks[b.CID] = b.Data
+				}
+			}
+		}
+	}
+	for _, op := range e.Ops {
+		coll, rkey, ok := strings.Cut(op.Path, "/")
+		if !ok {
+			continue
+		}
+		uri := "at://" + e.Repo + "/" + op.Path
+		switch op.Action {
+		case "create", "update":
+			if op.CID == nil {
+				continue
+			}
+			data, ok := blocks[*op.CID]
+			if !ok {
+				continue
+			}
+			var rec map[string]any
+			if err := cbor.Unmarshal(data, &rec); err != nil {
+				continue
+			}
+			v.indexRecord(e.Repo, coll, rkey, uri, rec)
+		case "delete":
+			v.deindexRecord(e.Repo, coll, uri)
+		}
+	}
+}
+
+func (v *View) profile(did string) *ProfileIndex {
+	p, ok := v.profiles[did]
+	if !ok {
+		p = &ProfileIndex{DID: did}
+		v.profiles[did] = p
+	}
+	return p
+}
+
+func (v *View) indexRecord(did, coll, rkey, uri string, rec map[string]any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !lexicon.IsBlueskyLexicon(coll) {
+		v.nonBskyEvents++
+		return
+	}
+	switch coll {
+	case lexicon.Post:
+		created, _ := lexicon.CreatedAt(rec)
+		v.posts[uri] = &PostIndex{
+			URI: uri, DID: did,
+			Text:      lexicon.PostText(rec),
+			Langs:     lexicon.PostLangs(rec),
+			CreatedAt: created,
+		}
+		v.profile(did).Posts++
+	case lexicon.Like:
+		subject := lexicon.SubjectURI(rec)
+		if p, ok := v.posts[subject]; ok {
+			p.LikeCount++
+		}
+		if fg, ok := v.feedgens[subject]; ok {
+			fg.LikeCount++
+		}
+	case lexicon.Repost:
+		if p, ok := v.posts[lexicon.SubjectURI(rec)]; ok {
+			p.Reposts++
+		}
+	case lexicon.Follow:
+		v.profile(did).Following++
+		v.profile(lexicon.SubjectDID(rec)).Followers++
+	case lexicon.Block:
+		v.profile(lexicon.SubjectDID(rec)).Blocked++
+	case lexicon.Profile:
+		p := v.profile(did)
+		if name, ok := rec["displayName"].(string); ok {
+			p.DisplayName = name
+		}
+		p.Description = lexicon.Description(rec)
+	case lexicon.FeedGenerator:
+		created, _ := lexicon.CreatedAt(rec)
+		v.feedgens[uri] = &FeedGenIndex{
+			URI: uri, Creator: did,
+			ServiceDID:  lexicon.FeedGeneratorServiceDID(rec),
+			DisplayName: func() string { s, _ := rec["displayName"].(string); return s }(),
+			Description: lexicon.Description(rec),
+			CreatedAt:   created,
+		}
+	case lexicon.LabelerService:
+		v.labelers[did] = &LabelerIndex{DID: did, Values: lexicon.LabelerValues(rec)}
+	}
+}
+
+func (v *View) deindexRecord(did, coll, uri string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch coll {
+	case lexicon.Post:
+		if _, ok := v.posts[uri]; ok {
+			delete(v.posts, uri)
+			if p, ok := v.profiles[did]; ok && p.Posts > 0 {
+				p.Posts--
+			}
+		}
+	case lexicon.FeedGenerator:
+		delete(v.feedgens, uri)
+	case lexicon.LabelerService:
+		delete(v.labelers, did)
+	}
+}
+
+// Post returns the indexed post at uri.
+func (v *View) Post(uri string) (PostIndex, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	p, ok := v.posts[uri]
+	if !ok {
+		return PostIndex{}, false
+	}
+	return *p, true
+}
+
+// PostCount reports the number of indexed posts.
+func (v *View) PostCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.posts)
+}
+
+// Profile returns the indexed profile for did.
+func (v *View) Profile(did string) (ProfileIndex, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	p, ok := v.profiles[did]
+	if !ok {
+		return ProfileIndex{}, false
+	}
+	return *p, true
+}
+
+// FeedGenerators returns all indexed generators, sorted by URI.
+func (v *View) FeedGenerators() []FeedGenIndex {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]FeedGenIndex, 0, len(v.feedgens))
+	for _, fg := range v.feedgens {
+		out = append(out, *fg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Labelers returns all indexed labeler declarations, sorted by DID.
+func (v *View) Labelers() []LabelerIndex {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]LabelerIndex, 0, len(v.labelers))
+	for _, l := range v.labelers {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DID < out[j].DID })
+	return out
+}
+
+// LabelsOn returns all labels recorded for uri (including negations).
+func (v *View) LabelsOn(uri string) []events.Label {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	idxs := v.labelsOn[uri]
+	out := make([]events.Label, len(idxs))
+	for i, idx := range idxs {
+		out[i] = v.labels[idx]
+	}
+	return out
+}
+
+// LabelCount reports the total number of labels ingested.
+func (v *View) LabelCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.labels)
+}
+
+// NonBskyEvents reports indexed records outside the Bluesky lexicons.
+func (v *View) NonBskyEvents() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.nonBskyEvents
+}
+
+func (v *View) register() {
+	v.mux.Query("app.bsky.feed.getFeedGenerator", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		feedURI := params.Get("feed")
+		v.mu.RLock()
+		fg, ok := v.feedgens[feedURI]
+		var online bool
+		if ok {
+			_, online = v.services[fg.ServiceDID]
+		}
+		v.mu.RUnlock()
+		if !ok {
+			return nil, xrpc.ErrNotFound("unknown feed generator %s", feedURI)
+		}
+		return map[string]any{
+			"view": map[string]any{
+				"uri":         fg.URI,
+				"did":         fg.ServiceDID,
+				"creator":     map[string]any{"did": fg.Creator},
+				"displayName": fg.DisplayName,
+				"description": fg.Description,
+				"likeCount":   fg.LikeCount,
+				"indexedAt":   fg.CreatedAt.Format(time.RFC3339),
+			},
+			"isOnline": online,
+			"isValid":  true,
+		}, nil
+	})
+
+	v.mux.Query("app.bsky.feed.getFeed", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		feedURI := params.Get("feed")
+		limit := 50
+		if l := params.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				return nil, xrpc.ErrInvalidRequest("bad limit %q", l)
+			}
+			limit = n
+		}
+		v.mu.RLock()
+		fg, ok := v.feedgens[feedURI]
+		var resolver SkeletonFunc
+		if ok {
+			resolver = v.services[fg.ServiceDID]
+		}
+		v.mu.RUnlock()
+		if !ok {
+			return nil, xrpc.ErrNotFound("unknown feed generator %s", feedURI)
+		}
+		if resolver == nil {
+			return nil, xrpc.ErrNotFound("feed service %s unreachable", fg.ServiceDID)
+		}
+		uris, err := resolver(feedURI, params.Get("requester"), limit)
+		if err != nil {
+			return nil, err
+		}
+		type feedItem struct {
+			Post map[string]any `json:"post"`
+		}
+		items := make([]feedItem, 0, len(uris))
+		v.mu.RLock()
+		for _, uri := range uris {
+			item := map[string]any{"uri": uri}
+			if p, ok := v.posts[uri]; ok {
+				item["author"] = p.DID
+				item["text"] = p.Text
+				item["likeCount"] = p.LikeCount
+				item["indexedAt"] = p.CreatedAt.Format(time.RFC3339)
+			}
+			items = append(items, feedItem{Post: item})
+		}
+		v.mu.RUnlock()
+		return map[string]any{"feed": items}, nil
+	})
+
+	v.mux.Query("app.bsky.actor.getProfile", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		did := params.Get("actor")
+		p, ok := v.Profile(did)
+		if !ok {
+			return nil, xrpc.ErrNotFound("unknown actor %s", did)
+		}
+		return p, nil
+	})
+
+	v.mux.Query("com.atproto.label.queryLabels", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		patterns := params["uriPatterns"]
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		var out []events.Label
+		for _, l := range v.labels {
+			if len(patterns) == 0 || matchAny(l.URI, patterns) {
+				out = append(out, l)
+			}
+		}
+		return map[string]any{"labels": out}, nil
+	})
+}
+
+func matchAny(uri string, patterns []string) bool {
+	for _, p := range patterns {
+		if base, ok := strings.CutSuffix(p, "*"); ok {
+			if strings.HasPrefix(uri, base) {
+				return true
+			}
+		} else if uri == p {
+			return true
+		}
+	}
+	return false
+}
+
+// MarshalSnapshot serializes the index for offline analysis.
+func (v *View) MarshalSnapshot() ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	snap := map[string]any{
+		"posts":    len(v.posts),
+		"profiles": len(v.profiles),
+		"feedgens": len(v.feedgens),
+		"labelers": len(v.labelers),
+		"labels":   len(v.labels),
+	}
+	return json.Marshal(snap)
+}
+
+// ResolveHandle returns the latest known handle of did (from handle
+// events), or "".
+func (v *View) ResolveHandle(did identity.DID) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.handles[string(did)]
+}

@@ -1,0 +1,256 @@
+package appview
+
+import (
+	"bytes"
+	"context"
+	"net/url"
+	"testing"
+	"time"
+
+	"blueskies/internal/car"
+	"blueskies/internal/cbor"
+	"blueskies/internal/cid"
+	"blueskies/internal/events"
+	"blueskies/internal/feedgen"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/xrpc"
+)
+
+var ts = time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// commitEvent builds a #commit event carrying one record create.
+func commitEvent(t *testing.T, seq int64, did, coll, rkey string, rec map[string]any) *events.Commit {
+	t.Helper()
+	data, err := cbor.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recCID := cid.SumCBOR(data)
+	commitCID := cid.SumCBOR([]byte(did + rkey))
+	var buf bytes.Buffer
+	cw, err := car.NewWriter(&buf, commitCID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteBlock(car.Block{CID: recCID, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &events.Commit{
+		Seq: seq, Repo: did, Rev: "3kaaaaaaaaaa2", Commit: commitCID,
+		Ops:    []events.RepoOp{{Action: "create", Path: coll + "/" + rkey, CID: &recCID}},
+		Blocks: buf.Bytes(),
+		Time:   events.FormatTime(ts),
+	}
+}
+
+const (
+	alice = "did:plc:alice234alice234alice234"
+	bob   = "did:plc:bob234bob234bob234bob234"
+)
+
+func TestIndexPostAndLikes(t *testing.T) {
+	v := New()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2",
+		lexicon.NewPost("hello", []string{"en"}, ts)))
+	postURI := "at://" + alice + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	p, ok := v.Post(postURI)
+	if !ok || p.Text != "hello" || len(p.Langs) != 1 {
+		t.Fatalf("post = %+v ok=%v", p, ok)
+	}
+	v.Ingest(commitEvent(t, 2, bob, lexicon.Like, "3kbbbbbbbbbb2", lexicon.NewLike(postURI, ts)))
+	v.Ingest(commitEvent(t, 3, bob, lexicon.Repost, "3kcccccccccc2", lexicon.NewRepost(postURI, ts)))
+	p, _ = v.Post(postURI)
+	if p.LikeCount != 1 || p.Reposts != 1 {
+		t.Fatalf("counts = %+v", p)
+	}
+	prof, ok := v.Profile(alice)
+	if !ok || prof.Posts != 1 {
+		t.Fatalf("profile = %+v", prof)
+	}
+}
+
+func TestIndexFollowGraphAndBlocks(t *testing.T) {
+	v := New()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Follow, "3kaaaaaaaaaa2", lexicon.NewFollow(bob, ts)))
+	v.Ingest(commitEvent(t, 2, alice, lexicon.Block, "3kaaaaaaaaaa3", lexicon.NewBlock(bob, ts)))
+	ap, _ := v.Profile(alice)
+	bp, _ := v.Profile(bob)
+	if ap.Following != 1 || bp.Followers != 1 || bp.Blocked != 1 {
+		t.Fatalf("profiles: %+v %+v", ap, bp)
+	}
+}
+
+func TestIndexFeedGeneratorAndLabeler(t *testing.T) {
+	v := New()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.FeedGenerator, "catpics",
+		lexicon.NewFeedGenerator("did:web:feeds.example.com", "Cat Pics", "cats only", ts)))
+	v.Ingest(commitEvent(t, 2, bob, lexicon.LabelerService, "self",
+		lexicon.NewLabelerService([]lexicon.LabelValueDefinition{{Value: "spam", Severity: "alert", Blurs: "content"}}, ts)))
+	fgs := v.FeedGenerators()
+	if len(fgs) != 1 || fgs[0].ServiceDID != "did:web:feeds.example.com" {
+		t.Fatalf("feedgens = %+v", fgs)
+	}
+	labelers := v.Labelers()
+	if len(labelers) != 1 || labelers[0].Values[0] != "spam" {
+		t.Fatalf("labelers = %+v", labelers)
+	}
+}
+
+func TestNonBskyContentCounted(t *testing.T) {
+	v := New()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.WhiteWindEntry, "entry1",
+		lexicon.NewWhiteWindEntry("Title", "body", ts)))
+	if v.NonBskyEvents() != 1 {
+		t.Fatalf("nonBsky = %d", v.NonBskyEvents())
+	}
+	if v.PostCount() != 0 {
+		t.Fatal("whtwnd entry must not index as post")
+	}
+}
+
+func TestDeleteDeindexes(t *testing.T) {
+	v := New()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("x", nil, ts)))
+	postURI := "at://" + alice + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	del := &events.Commit{
+		Seq: 2, Repo: alice, Rev: "3kaaaaaaaaaa3", Commit: cid.SumRaw([]byte("d")),
+		Ops:  []events.RepoOp{{Action: "delete", Path: "app.bsky.feed.post/3kaaaaaaaaaa2"}},
+		Time: events.FormatTime(ts),
+	}
+	v.Ingest(del)
+	if _, ok := v.Post(postURI); ok {
+		t.Fatal("post must be deindexed")
+	}
+	prof, _ := v.Profile(alice)
+	if prof.Posts != 0 {
+		t.Fatalf("posts = %d", prof.Posts)
+	}
+}
+
+func TestLabelsIngestAndQuery(t *testing.T) {
+	v := New()
+	postURI := "at://" + alice + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	v.Ingest(&events.Labels{Seq: 1, Labels: []events.Label{
+		{Src: "did:plc:labeler", URI: postURI, Val: "porn", CTS: events.FormatTime(ts)},
+		{Src: "did:plc:labeler", URI: alice, Val: "spam", CTS: events.FormatTime(ts)},
+	}})
+	on := v.LabelsOn(postURI)
+	if len(on) != 1 || on[0].Val != "porn" {
+		t.Fatalf("labels = %+v", on)
+	}
+	if v.LabelCount() != 2 {
+		t.Fatalf("count = %d", v.LabelCount())
+	}
+}
+
+func TestHandleAndTombstoneEvents(t *testing.T) {
+	v := New()
+	v.Ingest(&events.Handle{Seq: 1, DID: alice, Handle: "alice.example.com"})
+	if got := v.ResolveHandle(alice); got != "alice.example.com" {
+		t.Fatalf("handle = %q", got)
+	}
+	v.Ingest(&events.Tombstone{Seq: 2, DID: alice})
+	// tombstone recorded without panic; index retained for audit.
+}
+
+func TestGetFeedGeneratorAPI(t *testing.T) {
+	v := New()
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.FeedGenerator, "catpics",
+		lexicon.NewFeedGenerator("did:web:feeds.example.com", "Cat Pics", "cats", ts)))
+	v.RegisterFeedService("did:web:feeds.example.com", func(_, _ string, _ int) ([]string, error) {
+		return nil, nil
+	})
+	client := xrpc.NewClient(v.URL())
+	feedURI := "at://" + alice + "/app.bsky.feed.generator/catpics"
+	var out struct {
+		View struct {
+			URI         string `json:"uri"`
+			DisplayName string `json:"displayName"`
+		} `json:"view"`
+		IsOnline bool `json:"isOnline"`
+		IsValid  bool `json:"isValid"`
+	}
+	if err := client.Query(context.Background(), "app.bsky.feed.getFeedGenerator",
+		url.Values{"feed": {feedURI}}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.View.DisplayName != "Cat Pics" || !out.IsOnline || !out.IsValid {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestGetFeedHydratesThroughEngine(t *testing.T) {
+	v := New()
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	// A feedgen engine hosting one whole-network feed.
+	engine := feedgen.NewEngine(feedgen.EngineConfig{Name: "Skyfeed", Platform: feedgen.PlatformByName("Skyfeed")})
+	feedURI := "at://" + alice + "/app.bsky.feed.generator/all"
+	if err := engine.AddFeed(feedgen.Config{URI: feedURI, WholeNetwork: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Index the generator declaration and a post; feed the engine too.
+	v.Ingest(commitEvent(t, 1, alice, lexicon.FeedGenerator, "all",
+		lexicon.NewFeedGenerator("did:web:sky.feed", "All", "everything", ts)))
+	v.Ingest(commitEvent(t, 2, bob, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("hydrate me", nil, ts)))
+	postURI := "at://" + bob + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	engine.Ingest(feedgen.PostView{URI: postURI, DID: bob, Text: "hydrate me", CreatedAt: ts})
+
+	v.RegisterFeedService("did:web:sky.feed", engine.Skeleton)
+
+	client := xrpc.NewClient(v.URL())
+	var out struct {
+		Feed []struct {
+			Post map[string]any `json:"post"`
+		} `json:"feed"`
+	}
+	if err := client.Query(context.Background(), "app.bsky.feed.getFeed",
+		url.Values{"feed": {feedURI}}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Feed) != 1 {
+		t.Fatalf("feed = %+v", out.Feed)
+	}
+	if out.Feed[0].Post["text"] != "hydrate me" {
+		t.Fatalf("post not hydrated: %+v", out.Feed[0].Post)
+	}
+}
+
+func TestGetFeedUnreachableService(t *testing.T) {
+	v := New()
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.FeedGenerator, "dead",
+		lexicon.NewFeedGenerator("did:web:gone.example", "Dead", "offline", ts)))
+	client := xrpc.NewClient(v.URL())
+	feedURI := "at://" + alice + "/app.bsky.feed.generator/dead"
+	err := client.Query(context.Background(), "app.bsky.feed.getFeed", url.Values{"feed": {feedURI}}, nil)
+	if xe, ok := xrpc.AsError(err); !ok || xe.Name != "NotFound" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	v := New()
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("x", nil, ts)))
+	snap, err := v.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snap, []byte(`"posts":1`)) {
+		t.Fatalf("snapshot = %s", snap)
+	}
+}

@@ -1,0 +1,68 @@
+package appview
+
+import (
+	"testing"
+
+	"blueskies/internal/events"
+	"blueskies/internal/lexicon"
+)
+
+const officialDID = "did:plc:mod234mod234mod234mod234"
+
+func TestInfrastructureTakedownPost(t *testing.T) {
+	v := New()
+	v.SetOfficialLabeler(officialDID)
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("bad", nil, ts)))
+	postURI := "at://" + alice + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	v.Ingest(&events.Labels{Seq: 2, Labels: []events.Label{
+		{Src: officialDID, URI: postURI, Val: "!takedown"},
+	}})
+	if _, ok := v.Post(postURI); ok {
+		t.Fatal("!takedown from the official labeler must purge the post")
+	}
+	// The label itself remains recorded (audit trail / stream).
+	if v.LabelCount() != 1 {
+		t.Fatalf("labels = %d", v.LabelCount())
+	}
+}
+
+func TestInfrastructureTakedownAccount(t *testing.T) {
+	v := New()
+	v.SetOfficialLabeler(officialDID)
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("p1", nil, ts)))
+	v.Ingest(commitEvent(t, 2, alice, lexicon.Post, "3kaaaaaaaaaa3", lexicon.NewPost("p2", nil, ts)))
+	v.Ingest(&events.Labels{Seq: 3, Labels: []events.Label{
+		{Src: officialDID, URI: alice, Val: "!takedown"},
+	}})
+	if v.PostCount() != 0 {
+		t.Fatalf("account takedown left %d posts", v.PostCount())
+	}
+	if _, ok := v.Profile(alice); ok {
+		t.Fatal("account takedown must remove the profile")
+	}
+}
+
+func TestTakedownFromCommunityLabelerIgnored(t *testing.T) {
+	v := New()
+	v.SetOfficialLabeler(officialDID)
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("stays", nil, ts)))
+	postURI := "at://" + alice + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	v.Ingest(&events.Labels{Seq: 2, Labels: []events.Label{
+		{Src: "did:plc:rogue234rogue234rogue234", URI: postURI, Val: "!takedown"},
+	}})
+	if _, ok := v.Post(postURI); !ok {
+		t.Fatal("reserved labels from non-official labelers must be inert")
+	}
+}
+
+func TestTakedownWithoutOfficialConfigured(t *testing.T) {
+	v := New() // no SetOfficialLabeler
+	v.Ingest(commitEvent(t, 1, alice, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("stays", nil, ts)))
+	postURI := "at://" + alice + "/app.bsky.feed.post/3kaaaaaaaaaa2"
+	v.Ingest(&events.Labels{Seq: 2, Labels: []events.Label{
+		{Src: officialDID, URI: postURI, Val: "!takedown"},
+	}})
+	if _, ok := v.Post(postURI); !ok {
+		t.Fatal("takedown must be inert until an official labeler is nominated")
+	}
+}

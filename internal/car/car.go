@@ -1,0 +1,248 @@
+// Package car implements the CARv1 (Content Addressable aRchive)
+// format used by com.atproto.sync.getRepo to ship full repositories:
+// a DAG-CBOR header naming the root CIDs, followed by a sequence of
+// varint-length-prefixed (CID ‖ block bytes) sections.
+package car
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"blueskies/internal/cbor"
+	"blueskies/internal/cid"
+)
+
+// Header is the CARv1 header block.
+type Header struct {
+	Version int       `cbor:"version"`
+	Roots   []cid.CID `cbor:"roots"`
+}
+
+// Block is one section of the archive.
+type Block struct {
+	CID  cid.CID
+	Data []byte
+}
+
+// Writer streams a CARv1 archive.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes a CARv1 header with the given roots and returns a
+// Writer for appending blocks.
+func NewWriter(w io.Writer, roots ...cid.CID) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	hdr, err := cbor.Marshal(Header{Version: 1, Roots: roots})
+	if err != nil {
+		return nil, fmt.Errorf("car: encode header: %w", err)
+	}
+	cw := &Writer{w: bw}
+	cw.writeUvarint(uint64(len(hdr)))
+	cw.write(hdr)
+	return cw, cw.err
+}
+
+// WriteBlock appends one block section.
+func (w *Writer) WriteBlock(b Block) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !b.CID.Defined() {
+		return errors.New("car: block with undefined CID")
+	}
+	raw := b.CID.Bytes()
+	w.writeUvarint(uint64(len(raw) + len(b.Data)))
+	w.write(raw)
+	w.write(b.Data)
+	return w.err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(p)
+	}
+}
+
+func (w *Writer) writeUvarint(v uint64) {
+	var buf [10]byte
+	n := 0
+	for v >= 0x80 {
+		buf[n] = byte(v) | 0x80
+		v >>= 7
+		n++
+	}
+	buf[n] = byte(v)
+	w.write(buf[:n+1])
+}
+
+// Reader parses a CARv1 archive.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+}
+
+// maxSectionSize bounds a single section to protect against hostile
+// length prefixes.
+const maxSectionSize = 64 << 20
+
+// NewReader parses the header and prepares to iterate blocks.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("car: read header length: %w", err)
+	}
+	if n == 0 || n > maxSectionSize {
+		return nil, fmt.Errorf("car: implausible header length %d", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("car: read header: %w", err)
+	}
+	var hdr Header
+	if err := cbor.Unmarshal(raw, &hdr); err != nil {
+		return nil, fmt.Errorf("car: decode header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("car: unsupported version %d", hdr.Version)
+	}
+	return &Reader{r: br, header: hdr}, nil
+}
+
+// Header returns the parsed archive header.
+func (r *Reader) Header() Header { return r.header }
+
+// Roots returns the archive's root CIDs.
+func (r *Reader) Roots() []cid.CID { return r.header.Roots }
+
+// Next returns the next block, or io.EOF at the end of the archive.
+func (r *Reader) Next() (Block, error) {
+	n, err := readUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Block{}, io.EOF
+		}
+		return Block{}, fmt.Errorf("car: read section length: %w", err)
+	}
+	if n == 0 || n > maxSectionSize {
+		return Block{}, fmt.Errorf("car: implausible section length %d", n)
+	}
+	section := make([]byte, n)
+	if _, err := io.ReadFull(r.r, section); err != nil {
+		return Block{}, fmt.Errorf("car: read section: %w", err)
+	}
+	// The CID is self-delimiting: version varint, codec varint, then a
+	// sha2-256 multihash (2 varints + 32 bytes).
+	cidLen, err := cidLength(section)
+	if err != nil {
+		return Block{}, err
+	}
+	c, err := cid.Decode(section[:cidLen])
+	if err != nil {
+		return Block{}, fmt.Errorf("car: section CID: %w", err)
+	}
+	data := section[cidLen:]
+	if !cid.Sum(c.Codec(), data).Equal(c) {
+		return Block{}, fmt.Errorf("car: block digest mismatch for %s", c)
+	}
+	return Block{CID: c, Data: data}, nil
+}
+
+// ReadAll collects every block in the archive.
+func (r *Reader) ReadAll() ([]Block, error) {
+	var out []Block
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+}
+
+func cidLength(section []byte) (int, error) {
+	pos := 0
+	for i := 0; i < 4; i++ { // version, codec, hash fn, hash len
+		_, n, err := uvarintAt(section, pos)
+		if err != nil {
+			return 0, err
+		}
+		pos += n
+	}
+	// The final varint read was the digest length; re-read it.
+	var digestLen uint64
+	{
+		p := 0
+		for i := 0; i < 3; i++ {
+			_, n, err := uvarintAt(section, p)
+			if err != nil {
+				return 0, err
+			}
+			p += n
+		}
+		v, _, err := uvarintAt(section, p)
+		if err != nil {
+			return 0, err
+		}
+		digestLen = v
+	}
+	end := pos + int(digestLen)
+	if digestLen > 64 || end > len(section) {
+		return 0, fmt.Errorf("car: implausible CID digest length %d", digestLen)
+	}
+	return end, nil
+}
+
+func uvarintAt(b []byte, pos int) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := pos; i < len(b); i++ {
+		c := b[i]
+		if shift >= 63 && c > 1 {
+			return 0, 0, errors.New("car: varint overflow")
+		}
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, i - pos + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, errors.New("car: truncated varint")
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			if i == 0 {
+				return 0, err
+			}
+			return 0, io.ErrUnexpectedEOF
+		}
+		if shift >= 63 && b > 1 {
+			return 0, errors.New("car: varint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+	}
+}

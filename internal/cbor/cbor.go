@@ -1,0 +1,83 @@
+// Package cbor implements the deterministic DAG-CBOR encoding used by
+// the AT Protocol for records, repository nodes, and stream frames.
+//
+// The profile implemented here follows the IPLD DAG-CBOR specification:
+//
+//   - map keys must be strings and are serialized in canonical order
+//     (shortest first, then bytewise lexicographic);
+//   - integers use the shortest possible encoding;
+//   - floats are always encoded as 64-bit;
+//   - indefinite-length items are forbidden;
+//   - CID links are encoded as tag 42 wrapping the identity-multibase
+//     binary CID (a 0x00 prefix byte followed by the CID bytes);
+//   - no other tags are permitted.
+//
+// Marshal accepts Go maps, slices, strings, byte slices, booleans,
+// integers, floats, cid.CID values, and structs. Struct fields use the
+// `cbor:"name"` tag (with an optional ",omitempty" flag) and fall back
+// to the JSON-style lowercase of the field name when untagged.
+package cbor
+
+import (
+	"fmt"
+)
+
+// Marshal encodes v as deterministic DAG-CBOR.
+func Marshal(v any) ([]byte, error) {
+	e := &encoder{}
+	if err := e.encode(v); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// MustMarshal is Marshal but panics on error; intended for values whose
+// encodability is a program invariant (e.g. fixed record structs).
+func MustMarshal(v any) []byte {
+	b, err := Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("cbor: MustMarshal: %v", err))
+	}
+	return b
+}
+
+// Unmarshal decodes DAG-CBOR data into the value pointed to by v.
+// v may be a *any (producing map[string]any / []any / primitive trees)
+// or a pointer to a concrete Go type mirroring the document shape.
+func Unmarshal(data []byte, v any) error {
+	d := &decoder{data: data}
+	if err := d.decodeInto(v); err != nil {
+		return err
+	}
+	if d.pos != len(d.data) {
+		return fmt.Errorf("cbor: %d trailing bytes", len(d.data)-d.pos)
+	}
+	return nil
+}
+
+// Decode decodes DAG-CBOR data into a generic value tree:
+// map[string]any, []any, string, []byte, int64, float64, bool,
+// cid.CID, or nil.
+func Decode(data []byte) (any, error) {
+	d := &decoder{data: data}
+	v, err := d.decodeValue()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("cbor: %d trailing bytes", len(d.data)-d.pos)
+	}
+	return v, nil
+}
+
+// DecodePrefix decodes one DAG-CBOR item from the front of data and
+// returns it along with the number of bytes consumed. Used by stream
+// framing where two items are concatenated (header then body).
+func DecodePrefix(data []byte) (any, int, error) {
+	d := &decoder{data: data}
+	v, err := d.decodeValue()
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, d.pos, nil
+}

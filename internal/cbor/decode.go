@@ -1,0 +1,331 @@
+package cbor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"unicode/utf8"
+
+	"blueskies/internal/cid"
+)
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+var errTruncated = errors.New("cbor: truncated input")
+
+func (d *decoder) readByte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, errTruncated
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) readN(n uint64) ([]byte, error) {
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, errTruncated
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// readHead returns the major type, the additional-info nibble, and the
+// decoded argument of the next item head. For major type 7 with
+// info 27 the argument holds the raw float64 bits.
+func (d *decoder) readHead() (major, info byte, arg uint64, err error) {
+	ib, err := d.readByte()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	major = ib >> 5
+	info = ib & 0x1f
+	switch {
+	case info < 24:
+		return major, info, uint64(info), nil
+	case info == 24:
+		b, err := d.readByte()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if major != majorSimple && b < 24 {
+			return 0, 0, 0, errors.New("cbor: non-minimal integer encoding")
+		}
+		return major, info, uint64(b), nil
+	case info == 25:
+		b, err := d.readN(2)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		v := uint64(b[0])<<8 | uint64(b[1])
+		if major != majorSimple && v <= math.MaxUint8 {
+			return 0, 0, 0, errors.New("cbor: non-minimal integer encoding")
+		}
+		return major, info, v, nil
+	case info == 26:
+		b, err := d.readN(4)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		v := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+		if major != majorSimple && v <= math.MaxUint16 {
+			return 0, 0, 0, errors.New("cbor: non-minimal integer encoding")
+		}
+		return major, info, v, nil
+	case info == 27:
+		b, err := d.readN(8)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+		if major != majorSimple && v <= math.MaxUint32 {
+			return 0, 0, 0, errors.New("cbor: non-minimal integer encoding")
+		}
+		return major, info, v, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("cbor: indefinite or reserved additional info %d", info)
+	}
+}
+
+func (d *decoder) decodeValue() (any, error) {
+	major, info, arg, err := d.readHead()
+	if err != nil {
+		return nil, err
+	}
+	switch major {
+	case majorUint:
+		if arg > math.MaxInt64 {
+			return nil, fmt.Errorf("cbor: uint %d overflows int64", arg)
+		}
+		return int64(arg), nil
+	case majorNegInt:
+		if arg > math.MaxInt64 {
+			return nil, fmt.Errorf("cbor: negative int overflows int64")
+		}
+		return -1 - int64(arg), nil
+	case majorBytes:
+		b, err := d.readN(arg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	case majorText:
+		b, err := d.readN(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !utf8.Valid(b) {
+			return nil, errors.New("cbor: invalid UTF-8 in text string")
+		}
+		return string(b), nil
+	case majorArray:
+		if arg > uint64(len(d.data)) {
+			return nil, errTruncated
+		}
+		arr := make([]any, 0, arg)
+		for i := uint64(0); i < arg; i++ {
+			v, err := d.decodeValue()
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, v)
+		}
+		return arr, nil
+	case majorMap:
+		if arg > uint64(len(d.data)) {
+			return nil, errTruncated
+		}
+		m := make(map[string]any, arg)
+		prevKey := ""
+		for i := uint64(0); i < arg; i++ {
+			kmaj, _, karg, err := d.readHead()
+			if err != nil {
+				return nil, err
+			}
+			if kmaj != majorText {
+				return nil, errors.New("cbor: map key must be a text string")
+			}
+			kb, err := d.readN(karg)
+			if err != nil {
+				return nil, err
+			}
+			key := string(kb)
+			if i > 0 && !canonicalLess(prevKey, key) {
+				return nil, fmt.Errorf("cbor: map keys not in canonical order (%q after %q)", key, prevKey)
+			}
+			prevKey = key
+			v, err := d.decodeValue()
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+		return m, nil
+	case majorTag:
+		if arg != cidLinkTag {
+			return nil, fmt.Errorf("cbor: unsupported tag %d", arg)
+		}
+		inner, err := d.decodeValue()
+		if err != nil {
+			return nil, err
+		}
+		raw, ok := inner.([]byte)
+		if !ok || len(raw) == 0 || raw[0] != 0x00 {
+			return nil, errors.New("cbor: tag 42 must wrap identity-multibase CID bytes")
+		}
+		c, err := cid.Decode(raw[1:])
+		if err != nil {
+			return nil, fmt.Errorf("cbor: bad CID link: %w", err)
+		}
+		return c, nil
+	case majorSimple:
+		if info == simpleFloat64 {
+			// readHead consumed the 8 payload bytes; arg holds the bits.
+			return math.Float64frombits(arg), nil
+		}
+		switch arg {
+		case simpleFalse:
+			return false, nil
+		case simpleTrue:
+			return true, nil
+		case simpleNull:
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("cbor: unsupported simple value %d (info %d)", arg, info)
+		}
+	}
+	return nil, fmt.Errorf("cbor: unhandled major type %d", major)
+}
+
+func canonicalLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func (d *decoder) decodeInto(v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return errors.New("cbor: Unmarshal target must be a non-nil pointer")
+	}
+	val, err := d.decodeValue()
+	if err != nil {
+		return err
+	}
+	return assign(rv.Elem(), val)
+}
+
+// assign stores the generic decoded value val into the typed
+// destination dst, converting shapes recursively.
+func assign(dst reflect.Value, val any) error {
+	if val == nil {
+		dst.SetZero()
+		return nil
+	}
+	if dst.Kind() == reflect.Pointer {
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return assign(dst.Elem(), val)
+	}
+	if dst.Kind() == reflect.Interface && dst.NumMethod() == 0 {
+		dst.Set(reflect.ValueOf(val))
+		return nil
+	}
+	if c, ok := val.(cid.CID); ok {
+		if dst.Type() == reflect.TypeOf(cid.CID{}) {
+			dst.Set(reflect.ValueOf(c))
+			return nil
+		}
+		return fmt.Errorf("cbor: cannot assign CID link to %s", dst.Type())
+	}
+	switch x := val.(type) {
+	case int64:
+		switch dst.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if dst.OverflowInt(x) {
+				return fmt.Errorf("cbor: %d overflows %s", x, dst.Type())
+			}
+			dst.SetInt(x)
+			return nil
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			if x < 0 || dst.OverflowUint(uint64(x)) {
+				return fmt.Errorf("cbor: %d overflows %s", x, dst.Type())
+			}
+			dst.SetUint(uint64(x))
+			return nil
+		case reflect.Float32, reflect.Float64:
+			dst.SetFloat(float64(x))
+			return nil
+		}
+	case float64:
+		if dst.Kind() == reflect.Float32 || dst.Kind() == reflect.Float64 {
+			dst.SetFloat(x)
+			return nil
+		}
+	case bool:
+		if dst.Kind() == reflect.Bool {
+			dst.SetBool(x)
+			return nil
+		}
+	case string:
+		if dst.Kind() == reflect.String {
+			dst.SetString(x)
+			return nil
+		}
+	case []byte:
+		if dst.Kind() == reflect.Slice && dst.Type().Elem().Kind() == reflect.Uint8 {
+			dst.SetBytes(x)
+			return nil
+		}
+	case []any:
+		if dst.Kind() == reflect.Slice {
+			out := reflect.MakeSlice(dst.Type(), len(x), len(x))
+			for i, item := range x {
+				if err := assign(out.Index(i), item); err != nil {
+					return err
+				}
+			}
+			dst.Set(out)
+			return nil
+		}
+	case map[string]any:
+		switch dst.Kind() {
+		case reflect.Map:
+			if dst.Type().Key().Kind() != reflect.String {
+				return fmt.Errorf("cbor: cannot assign map to %s", dst.Type())
+			}
+			out := reflect.MakeMapWithSize(dst.Type(), len(x))
+			for k, item := range x {
+				ev := reflect.New(dst.Type().Elem()).Elem()
+				if err := assign(ev, item); err != nil {
+					return err
+				}
+				out.SetMapIndex(reflect.ValueOf(k).Convert(dst.Type().Key()), ev)
+			}
+			dst.Set(out)
+			return nil
+		case reflect.Struct:
+			for _, f := range structFields(dst.Type()) {
+				item, ok := x[f.name]
+				if !ok {
+					continue
+				}
+				if err := assign(dst.Field(f.index), item); err != nil {
+					return fmt.Errorf("cbor: field %q: %w", f.name, err)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("cbor: cannot assign %T to %s", val, dst.Type())
+}

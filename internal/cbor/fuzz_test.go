@@ -1,0 +1,42 @@
+package cbor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeArbitraryBytesNeverPanics feeds random byte strings to the
+// decoder: hostile network input must produce errors, never panics or
+// runaway allocations.
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode(%x) panicked: %v", data, r)
+			}
+		}()
+		_, _ = Decode(data)
+		_, _, _ = DecodePrefix(data)
+		var target map[string]any
+		_ = Unmarshal(data, &target)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeHostileLengths verifies that absurd declared lengths fail
+// fast instead of allocating.
+func TestDecodeHostileLengths(t *testing.T) {
+	hostile := [][]byte{
+		{0x5b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // bytes(2^64-1)
+		{0x9b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // array(2^64-1)
+		{0xbb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // map(2^64-1)
+	}
+	for _, data := range hostile {
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("hostile input %x accepted", data)
+		}
+	}
+}

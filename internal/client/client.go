@@ -1,0 +1,187 @@
+// Package client implements the final §2 component: the client
+// application. A client talks to the user's PDS (for writes and
+// private preferences) and to an AppView (for hydrated feeds), builds
+// the timeline the user sees, and applies the user's moderation
+// preferences — deciding per post whether to show it, show it behind a
+// warning, or hide it entirely.
+//
+// Bluesky does not mandate a single client implementation (§2); this
+// one is deliberately minimal but exercises the full read path the
+// paper describes: feed selection → skeleton → hydration → label join
+// → preference evaluation.
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/labeler"
+	"blueskies/internal/xrpc"
+)
+
+// Client is one user's client session.
+type Client struct {
+	// DID identifies the logged-in user.
+	DID identity.DID
+	// PDS is the user's personal data server client.
+	PDS *xrpc.Client
+	// AppView serves feeds and labels.
+	AppView *xrpc.Client
+	// Preferences is the user's private moderation policy.
+	Preferences labeler.Preferences
+	// OfficialLabeler is the mandatory platform labeler.
+	OfficialLabeler identity.DID
+}
+
+// New creates a client session.
+func New(did identity.DID, pdsURL, appviewURL string, prefs labeler.Preferences, official identity.DID) *Client {
+	return &Client{
+		DID:             did,
+		PDS:             xrpc.NewClient(pdsURL),
+		AppView:         xrpc.NewClient(appviewURL),
+		Preferences:     prefs,
+		OfficialLabeler: official,
+	}
+}
+
+// TimelineItem is one rendered post with its moderation decision.
+type TimelineItem struct {
+	URI        string
+	Author     string
+	Text       string
+	LikeCount  int
+	Labels     []events.Label
+	Visibility labeler.Visibility
+}
+
+// Timeline fetches a feed through the AppView, joins labels, and
+// applies the user's preferences. Hidden posts are returned with
+// Visibility set (the UI decides whether to drop or collapse them).
+func (c *Client) Timeline(ctx context.Context, feedURI string, limit int) ([]TimelineItem, error) {
+	if limit <= 0 {
+		limit = 50
+	}
+	var feed struct {
+		Feed []struct {
+			Post map[string]any `json:"post"`
+		} `json:"feed"`
+	}
+	params := url.Values{
+		"feed":      {feedURI},
+		"limit":     {strconv.Itoa(limit)},
+		"requester": {string(c.DID)},
+	}
+	if err := c.AppView.Query(ctx, "app.bsky.feed.getFeed", params, &feed); err != nil {
+		return nil, fmt.Errorf("client: fetch feed: %w", err)
+	}
+	items := make([]TimelineItem, 0, len(feed.Feed))
+	for _, f := range feed.Feed {
+		item := TimelineItem{}
+		if s, ok := f.Post["uri"].(string); ok {
+			item.URI = s
+		}
+		if s, ok := f.Post["author"].(string); ok {
+			item.Author = s
+		}
+		if s, ok := f.Post["text"].(string); ok {
+			item.Text = s
+		}
+		if n, ok := f.Post["likeCount"].(float64); ok {
+			item.LikeCount = int(n)
+		}
+		labels, err := c.labelsOn(ctx, item.URI, item.Author)
+		if err != nil {
+			return nil, err
+		}
+		item.Labels = labels
+		item.Visibility = c.Preferences.Decide(activeOnly(labels), c.OfficialLabeler)
+		items = append(items, item)
+	}
+	return items, nil
+}
+
+// labelsOn fetches the labels applied to a post and to its author.
+func (c *Client) labelsOn(ctx context.Context, postURI, authorDID string) ([]events.Label, error) {
+	patterns := url.Values{}
+	if postURI != "" {
+		patterns.Add("uriPatterns", postURI)
+	}
+	if authorDID != "" {
+		patterns.Add("uriPatterns", authorDID)
+	}
+	if len(patterns) == 0 {
+		return nil, nil
+	}
+	var out struct {
+		Labels []events.Label `json:"labels"`
+	}
+	if err := c.AppView.Query(ctx, "com.atproto.label.queryLabels", patterns, &out); err != nil {
+		return nil, fmt.Errorf("client: query labels: %w", err)
+	}
+	return out.Labels, nil
+}
+
+// activeOnly resolves negations: a (src,uri,val) application followed
+// by its negation cancels out; labels re-applied after a negation are
+// active again.
+func activeOnly(labels []events.Label) []events.Label {
+	type key struct{ src, uri, val string }
+	last := map[key]events.Label{}
+	order := []key{}
+	for _, l := range labels {
+		k := key{l.Src, l.URI, l.Val}
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = l
+	}
+	var out []events.Label
+	for _, k := range order {
+		if l := last[k]; !l.Neg {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Post publishes a post record through the user's PDS.
+func (c *Client) Post(ctx context.Context, record map[string]any) (string, error) {
+	var out struct {
+		URI string `json:"uri"`
+	}
+	err := c.PDS.Procedure(ctx, "com.atproto.repo.createRecord", nil, map[string]any{
+		"repo":       string(c.DID),
+		"collection": "app.bsky.feed.post",
+		"record":     record,
+	}, &out)
+	if err != nil {
+		return "", fmt.Errorf("client: post: %w", err)
+	}
+	return out.URI, nil
+}
+
+// SavePreferences persists the moderation policy privately on the PDS.
+func (c *Client) SavePreferences(ctx context.Context) error {
+	reactions := map[string]any{}
+	for val, vis := range c.Preferences.Reactions {
+		reactions[val] = string(vis)
+	}
+	subs := []any{}
+	for did, on := range c.Preferences.Subscriptions {
+		if on {
+			subs = append(subs, did)
+		}
+	}
+	return c.PDS.Procedure(ctx, "app.bsky.actor.putPreferences", nil, map[string]any{
+		"auth": "tok:" + string(c.DID),
+		"preferences": map[string]any{
+			"labelers":  subs,
+			"reactions": reactions,
+			"adult":     c.Preferences.Adult,
+		},
+	}, nil)
+}

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/feedgen"
+	"blueskies/internal/labeler"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/netsim"
+)
+
+func TestTimelineWithModeration(t *testing.T) {
+	net, err := netsim.Start(netsim.Config{PDSCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	author, err := net.CreateUser(0, "author.bsky.social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := net.CreateUser(0, "reader.bsky.social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	official, _, err := net.AddLabeler("mod.bsky.social", []string{"porn", "spam"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AppView.SetOfficialLabeler(string(official.DID()))
+
+	engine, serviceDID, err := net.AddFeedHost("self", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedURI, err := net.PublishFeed(author, engine, serviceDID, "all",
+		feedgen.Config{WholeNetwork: true}, "All", "everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader's client, subscribed to the official labeler with
+	// hide-on-porn (default).
+	c := New(reader.DID, net.PDSes[0].URL(), net.AppView.URL(),
+		labeler.DefaultPreferences(official.DID()), official.DID())
+	c.Preferences.Adult = true
+
+	// Author posts twice via a client of their own.
+	ac := New(author.DID, net.PDSes[0].URL(), net.AppView.URL(),
+		labeler.DefaultPreferences(official.DID()), official.DID())
+	ctx := context.Background()
+	cleanURI, err := ac.Post(ctx, lexicon.NewPost("a perfectly fine post", []string{"en"}, time.Now()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsfwURI, err := ac.Post(ctx, lexicon.NewPost("something explicit", []string{"en"}, time.Now()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, uri := range []string{cleanURI, nsfwURI} {
+		var text string
+		if uri == cleanURI {
+			text = "a perfectly fine post"
+		} else {
+			text = "something explicit"
+		}
+		engine.Ingest(feedgen.PostView{URI: uri, DID: string(author.DID), Text: text, CreatedAt: time.Now()})
+	}
+	if _, err := official.Apply(nsfwURI, "porn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.WaitForAppView(2, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the label to reach the AppView.
+	deadline := time.Now().Add(2 * time.Second)
+	for net.AppView.LabelCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	items, err := c.Timeline(ctx, feedURI, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("timeline has %d items", len(items))
+	}
+	byURI := map[string]TimelineItem{}
+	for _, it := range items {
+		byURI[it.URI] = it
+	}
+	if got := byURI[cleanURI].Visibility; got != labeler.Ignore {
+		t.Fatalf("clean post visibility = %q", got)
+	}
+	if got := byURI[nsfwURI].Visibility; got != labeler.Hide {
+		t.Fatalf("labeled post visibility = %q (labels: %+v)", got, byURI[nsfwURI].Labels)
+	}
+
+	// Preferences persist privately on the PDS.
+	if err := c.SavePreferences(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveOnlyNegationResolution(t *testing.T) {
+	uri := "at://did:plc:a/app.bsky.feed.post/1"
+	labels := []events.Label{
+		{Src: "did:plc:l", URI: uri, Val: "spam"},
+		{Src: "did:plc:l", URI: uri, Val: "spam", Neg: true},
+		{Src: "did:plc:l", URI: uri, Val: "porn"},
+	}
+	active := activeOnly(labels)
+	if len(active) != 1 || active[0].Val != "porn" {
+		t.Fatalf("active = %+v", active)
+	}
+	// Re-application after negation is active again.
+	labels = append(labels, events.Label{Src: "did:plc:l", URI: uri, Val: "spam"})
+	active = activeOnly(labels)
+	if len(active) != 2 {
+		t.Fatalf("active after re-apply = %+v", active)
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"blueskies/internal/dnssim"
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/plc"
+	"blueskies/internal/repo"
+	"blueskies/internal/whois"
+	"blueskies/internal/xrpc"
+)
+
+// Collector runs the paper's data-collection methodology against a
+// live deployment (§3): identifier enumeration via sync.listRepos,
+// DID document downloads, repository snapshots via sync.getRepo,
+// Firehose subscription, labeler stream consumption, feed generator
+// crawls, active handle verification (DNS TXT + well-known), and
+// WHOIS scans.
+type Collector struct {
+	// RelayURL is the relay base URL (listRepos/getRepo/firehose).
+	RelayURL string
+	// PLCURL is the PLC directory base URL.
+	PLCURL string
+	// AppViewURL serves getFeedGenerator/getFeed.
+	AppViewURL string
+	// DNSAddr is the resolver target for _atproto TXT proofs.
+	DNSAddr string
+	// WhoisAddr is the WHOIS server address.
+	WhoisAddr string
+	// LabelerURLs lists labeler service endpoints to subscribe to.
+	LabelerURLs []string
+}
+
+// RepoListing is one sync.listRepos entry.
+type RepoListing struct {
+	DID  string `json:"did"`
+	Head string `json:"head"`
+	Rev  string `json:"rev"`
+}
+
+// ListIdentifiers enumerates every repository known to the relay.
+func (c *Collector) ListIdentifiers(ctx context.Context) ([]RepoListing, error) {
+	client := xrpc.NewClient(c.RelayURL)
+	var out []RepoListing
+	cursor := ""
+	for {
+		params := url.Values{"limit": {"100"}}
+		if cursor != "" {
+			params.Set("cursor", cursor)
+		}
+		var page struct {
+			Cursor string        `json:"cursor"`
+			Repos  []RepoListing `json:"repos"`
+		}
+		if err := client.Query(ctx, "com.atproto.sync.listRepos", params, &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page.Repos...)
+		if page.Cursor == "" {
+			return out, nil
+		}
+		cursor = page.Cursor
+	}
+}
+
+// FetchDIDDocument downloads one DID document from the directory.
+func (c *Collector) FetchDIDDocument(did identity.DID) (identity.Document, error) {
+	return plc.NewClient(c.PLCURL).Resolve(did)
+}
+
+// FetchRepo downloads and parses a repository snapshot via the relay.
+func (c *Collector) FetchRepo(ctx context.Context, did identity.DID) (*repo.Repo, error) {
+	client := xrpc.NewClient(c.RelayURL)
+	carBytes, err := client.QueryBytes(ctx, "com.atproto.sync.getRepo", url.Values{"did": {string(did)}})
+	if err != nil {
+		return nil, err
+	}
+	return repo.LoadCAR(bytes.NewReader(carBytes), nil)
+}
+
+// CollectFirehose subscribes to the firehose and counts event types
+// until n events arrive or the timeout elapses.
+func (c *Collector) CollectFirehose(n int, timeout time.Duration) (EventCounts, error) {
+	sub, err := events.Subscribe(c.RelayURL, "com.atproto.sync.subscribeRepos", 0)
+	if err != nil {
+		return EventCounts{}, err
+	}
+	defer sub.Close()
+	var counts EventCounts
+	deadline := time.Now().Add(timeout)
+	for i := 0; i < n && time.Now().Before(deadline); i++ {
+		ev, err := sub.NextTimeout(time.Until(deadline))
+		if err != nil {
+			break
+		}
+		switch ev.(type) {
+		case *events.Commit:
+			counts.Commits++
+		case *events.Identity:
+			counts.Identity++
+		case *events.Handle:
+			counts.Handle++
+		case *events.Tombstone:
+			counts.Tombstone++
+		}
+	}
+	return counts, nil
+}
+
+// CollectLabels consumes each labeler stream from sequence zero (full
+// backfill) until expected labels arrive or the timeout elapses.
+func (c *Collector) CollectLabels(expected int, timeout time.Duration) ([]events.Label, error) {
+	var out []events.Label
+	deadline := time.Now().Add(timeout)
+	for _, endpoint := range c.LabelerURLs {
+		sub, err := events.Subscribe(endpoint, "com.atproto.label.subscribeLabels", 0)
+		if err != nil {
+			// The paper found only 46 of 62 endpoints functional; an
+			// unreachable labeler is data, not an error.
+			continue
+		}
+		for len(out) < expected && time.Now().Before(deadline) {
+			ev, err := sub.NextTimeout(200 * time.Millisecond)
+			if err != nil {
+				break
+			}
+			if ls, ok := ev.(*events.Labels); ok {
+				out = append(out, ls.Labels...)
+			}
+		}
+		sub.Close()
+	}
+	return out, nil
+}
+
+// FeedGeneratorView is the AppView's getFeedGenerator response.
+type FeedGeneratorView struct {
+	URI         string
+	DisplayName string
+	Description string
+	LikeCount   int
+	IsOnline    bool
+	IsValid     bool
+	PostURIs    []string
+}
+
+// CrawlFeedGenerator fetches generator metadata and its feed contents.
+func (c *Collector) CrawlFeedGenerator(ctx context.Context, feedURI string) (FeedGeneratorView, error) {
+	client := xrpc.NewClient(c.AppViewURL)
+	var meta struct {
+		View struct {
+			URI         string `json:"uri"`
+			DisplayName string `json:"displayName"`
+			Description string `json:"description"`
+			LikeCount   int    `json:"likeCount"`
+		} `json:"view"`
+		IsOnline bool `json:"isOnline"`
+		IsValid  bool `json:"isValid"`
+	}
+	if err := client.Query(ctx, "app.bsky.feed.getFeedGenerator", url.Values{"feed": {feedURI}}, &meta); err != nil {
+		return FeedGeneratorView{}, err
+	}
+	view := FeedGeneratorView{
+		URI: meta.View.URI, DisplayName: meta.View.DisplayName,
+		Description: meta.View.Description, LikeCount: meta.View.LikeCount,
+		IsOnline: meta.IsOnline, IsValid: meta.IsValid,
+	}
+	var feed struct {
+		Feed []struct {
+			Post map[string]any `json:"post"`
+		} `json:"feed"`
+	}
+	if err := client.Query(ctx, "app.bsky.feed.getFeed", url.Values{"feed": {feedURI}, "limit": {"100"}}, &feed); err != nil {
+		return view, nil // metadata ok, posts unavailable (§3's 93 %)
+	}
+	for _, item := range feed.Feed {
+		if uri, ok := item.Post["uri"].(string); ok {
+			view.PostURIs = append(view.PostURIs, uri)
+		}
+	}
+	return view, nil
+}
+
+// VerifyHandle actively verifies handle ownership: DNS TXT first, then
+// the well-known HTTPS file, returning the proof method that worked.
+func (c *Collector) VerifyHandle(handle identity.Handle, did identity.DID, wellKnownBase string) (ProofMethod, error) {
+	res := dnssim.NewResolver(c.DNSAddr)
+	vals, err := res.LookupTXT(handle.TXTRecordName())
+	if err == nil {
+		for _, v := range vals {
+			if strings.TrimPrefix(v, "did=") == string(did) {
+				return ProofDNSTXT, nil
+			}
+		}
+	}
+	if wellKnownBase != "" {
+		resp, err := http.Get(wellKnownBase + identity.WellKnownPath)
+		if err == nil {
+			defer resp.Body.Close()
+			buf := make([]byte, 256)
+			n, _ := resp.Body.Read(buf)
+			if strings.TrimSpace(string(buf[:n])) == string(did) {
+				return ProofWellKnown, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("core: no ownership proof for %s", handle)
+}
+
+// ScanWHOIS looks up each registered domain.
+func (c *Collector) ScanWHOIS(domains []string) ([]whois.Record, error) {
+	var client whois.Client
+	out := make([]whois.Record, 0, len(domains))
+	for _, d := range domains {
+		rec, err := client.Scan(c.WhoisAddr, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Snapshot runs the full pipeline against a live network and builds a
+// Dataset: the live-protocol reproduction mode.
+func (c *Collector) Snapshot(ctx context.Context, window time.Duration) (*Dataset, error) {
+	ds := &Dataset{Scale: 1, WindowStart: time.Now().Add(-window), WindowEnd: time.Now()}
+	listings, err := c.ListIdentifiers(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, listing := range listings {
+		did := identity.DID(listing.DID)
+		u := User{DID: listing.DID, DIDMethod: string(did.Method())}
+		if doc, err := c.FetchDIDDocument(did); err == nil {
+			u.Handle = string(doc.Handle())
+			u.PDS = doc.PDSEndpoint()
+		}
+		if r, err := c.FetchRepo(ctx, did); err == nil {
+			if recs, err := r.List(lexicon.Post); err == nil {
+				u.Posts = len(recs)
+				for _, rec := range recs {
+					created, _ := lexicon.CreatedAt(rec.Value)
+					ds.Posts = append(ds.Posts, Post{
+						URI:       rec.URI.String(),
+						AuthorIdx: len(ds.Users),
+						Lang:      firstLang(rec.Value),
+						CreatedAt: created,
+					})
+				}
+			}
+			if recs, err := r.List(lexicon.Like); err == nil {
+				u.Likes = len(recs)
+			}
+			if recs, err := r.List(lexicon.Follow); err == nil {
+				u.Following = len(recs)
+			}
+		}
+		ds.Users = append(ds.Users, u)
+	}
+	labels, err := c.CollectLabels(1<<20, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range labels {
+		kind := SubjectAccount
+		if strings.HasPrefix(l.URI, "at://") {
+			kind = SubjectPost
+		}
+		applied, _ := events.ParseTime(l.CTS)
+		ds.Labels = append(ds.Labels, Label{
+			Src: l.Src, URI: l.URI, Val: l.Val, Neg: l.Neg, Kind: kind, Applied: applied,
+		})
+	}
+	return ds, nil
+}
+
+func firstLang(rec map[string]any) string {
+	langs := lexicon.PostLangs(rec)
+	if len(langs) > 0 {
+		return langs[0]
+	}
+	return ""
+}

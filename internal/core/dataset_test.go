@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventCountsTotal(t *testing.T) {
+	e := EventCounts{Commits: 100, Identity: 10, Handle: 5, Tombstone: 1}
+	if e.Total() != 116 {
+		t.Fatalf("total = %d", e.Total())
+	}
+}
+
+func TestLabelReactionTime(t *testing.T) {
+	created := time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+	l := Label{SubjectCreated: created, Applied: created.Add(42 * time.Second)}
+	if l.ReactionTime() != 42*time.Second {
+		t.Fatalf("rt = %v", l.ReactionTime())
+	}
+}
+
+func TestUserByDID(t *testing.T) {
+	ds := &Dataset{Users: []User{{DID: "did:plc:a"}, {DID: "did:plc:b"}}}
+	if i, ok := ds.UserByDID("did:plc:b"); !ok || i != 1 {
+		t.Fatalf("lookup = %d %v", i, ok)
+	}
+	if _, ok := ds.UserByDID("did:plc:missing"); ok {
+		t.Fatal("missing DID found")
+	}
+}
+
+func TestTotalOps(t *testing.T) {
+	ds := &Dataset{Daily: []DayActivity{
+		{Posts: 10, Likes: 20, Reposts: 3, Follows: 4, Blocks: 1},
+		{Posts: 5, Likes: 10, Reposts: 2, Follows: 2, Blocks: 0},
+	}}
+	posts, likes, reposts, follows, blocks := ds.TotalOps()
+	if posts != 15 || likes != 30 || reposts != 5 || follows != 6 || blocks != 1 {
+		t.Fatalf("totals = %d %d %d %d %d", posts, likes, reposts, follows, blocks)
+	}
+}

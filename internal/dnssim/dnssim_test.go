@@ -1,0 +1,181 @@
+package dnssim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessagePackUnpackRoundTrip(t *testing.T) {
+	m := &Message{
+		ID:       1234,
+		Response: true,
+		RCode:    RCodeSuccess,
+		Questions: []Question{
+			{Name: "_atproto.alice.example.com", Type: TypeTXT, Class: ClassIN},
+		},
+		Answers: []RR{
+			{Name: "_atproto.alice.example.com", Type: TypeTXT, Class: ClassIN, TTL: 300,
+				Data: "did=did:plc:ewvi7nxzyoun6zhxrhs64oiz"},
+			{Name: "alice.example.com", Type: TypeA, Class: ClassIN, TTL: 60, Data: "127.0.0.1"},
+		},
+	}
+	packed, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || !got.Response || got.RCode != m.RCode {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != m.Questions[0].Name {
+		t.Fatalf("questions = %+v", got.Questions)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+	if got.Answers[0].Data != m.Answers[0].Data {
+		t.Fatalf("TXT data = %q", got.Answers[0].Data)
+	}
+	if got.Answers[1].Data != "127.0.0.1" {
+		t.Fatalf("A data = %q", got.Answers[1].Data)
+	}
+}
+
+func TestLongTXTRecordSplitting(t *testing.T) {
+	long := strings.Repeat("x", 600)
+	m := &Message{ID: 1, Response: true, Answers: []RR{
+		{Name: "t.example.com", Type: TypeTXT, Class: ClassIN, Data: long},
+	}}
+	packed, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Data != long {
+		t.Fatalf("long TXT round trip failed: %d bytes", len(got.Answers[0].Data))
+	}
+}
+
+func TestPackRejectsBadNames(t *testing.T) {
+	bad := []string{
+		strings.Repeat("a", 64) + ".com", // label too long
+		"a..b",                           // empty label
+	}
+	for _, name := range bad {
+		m := &Message{Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}}}
+		if _, err := m.Pack(); err == nil {
+			t.Errorf("Pack(%q): expected error", name)
+		}
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	m := &Message{ID: 7, Questions: []Question{{Name: "x.com", Type: TypeA, Class: ClassIN}}}
+	packed, _ := m.Pack()
+	for i := 1; i < len(packed); i++ {
+		if _, err := Unpack(packed[:i]); err == nil {
+			t.Fatalf("Unpack of %d/%d byte prefix succeeded", i, len(packed))
+		}
+	}
+}
+
+func TestServerResolverEndToEnd(t *testing.T) {
+	zone := NewZone()
+	zone.SetTXT("_atproto.alice.example.com", "did=did:plc:abcdefghijklmnopqrstuvwx")
+	zone.SetA("pds.example.com", "127.0.0.1")
+	srv, err := NewServer(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res := NewResolver(srv.Addr())
+
+	vals, err := res.LookupTXT("_atproto.alice.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != "did=did:plc:abcdefghijklmnopqrstuvwx" {
+		t.Fatalf("TXT = %v", vals)
+	}
+
+	// Case-insensitive lookup.
+	if _, err := res.LookupTXT("_ATPROTO.Alice.Example.COM"); err != nil {
+		t.Fatalf("case-insensitive lookup: %v", err)
+	}
+
+	answers, err := res.Query("pds.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Data != "127.0.0.1" {
+		t.Fatalf("A = %v", answers)
+	}
+}
+
+func TestResolverNXDomain(t *testing.T) {
+	zone := NewZone()
+	srv, err := NewServer(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res := NewResolver(srv.Addr())
+	if _, err := res.LookupTXT("_atproto.ghost.example.com"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestZoneDelete(t *testing.T) {
+	zone := NewZone()
+	zone.SetTXT("a.example.com", "v")
+	if zone.Len() != 1 {
+		t.Fatal("zone should have 1 record set")
+	}
+	zone.Delete("a.example.com", TypeTXT)
+	if got := zone.Lookup("a.example.com", TypeTXT); got != nil {
+		t.Fatalf("lookup after delete = %v", got)
+	}
+}
+
+func TestZoneReplaceSemantics(t *testing.T) {
+	zone := NewZone()
+	zone.SetTXT("h.example.com", "old")
+	zone.SetTXT("h.example.com", "new")
+	got := zone.Lookup("h.example.com", TypeTXT)
+	if len(got) != 1 || got[0].Data != "new" {
+		t.Fatalf("replace failed: %v", got)
+	}
+}
+
+func TestQuickTXTRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		// TXT payloads are arbitrary bytes; model as string.
+		val := string(raw)
+		if len(val) > 2000 {
+			val = val[:2000]
+		}
+		m := &Message{ID: 9, Response: true, Answers: []RR{
+			{Name: "q.example.com", Type: TypeTXT, Class: ClassIN, Data: val},
+		}}
+		packed, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(packed)
+		if err != nil {
+			return false
+		}
+		return got.Answers[0].Data == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

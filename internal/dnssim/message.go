@@ -1,0 +1,338 @@
+// Package dnssim implements the subset of DNS (RFC 1035) needed to
+// reproduce the paper's active handle-ownership measurements (§5):
+// a wire-format message codec, an authoritative UDP server serving
+// TXT and A records, and a resolver client.
+//
+// Bluesky proves handle ownership with a TXT record at
+// _atproto.<handle> containing "did=<did>"; the crawler resolves these
+// records for every non-bsky.social handle.
+package dnssim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS record/query type.
+type Type uint16
+
+// Record types supported by the simulator.
+const (
+	TypeA   Type = 1
+	TypeTXT Type = 16
+)
+
+// RCode is a DNS response code.
+type RCode uint16
+
+// Response codes used by the simulator.
+const (
+	RCodeSuccess  RCode = 0
+	RCodeFormat   RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImpl  RCode = 4
+)
+
+// ClassIN is the Internet class; the only class supported.
+const ClassIN uint16 = 1
+
+// Question is one DNS question.
+type Question struct {
+	Name  string
+	Type  Type
+	Class uint16
+}
+
+// RR is one resource record.
+type RR struct {
+	Name  string
+	Type  Type
+	Class uint16
+	TTL   uint32
+	// Data holds the record payload: dotted-quad text for A records,
+	// the text value for TXT records.
+	Data string
+}
+
+// Message is a DNS message (header plus sections; authority and
+// additional sections are not modeled).
+type Message struct {
+	ID        uint16
+	Response  bool
+	RCode     RCode
+	Questions []Question
+	Answers   []RR
+}
+
+const maxNameLen = 255
+
+// appendName encodes a domain name in uncompressed label format.
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("dnssim: name too long: %q", name)
+	}
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("dnssim: bad label in %q", name)
+			}
+			buf = append(buf, byte(len(label)))
+			buf = append(buf, label...)
+		}
+	}
+	return append(buf, 0), nil
+}
+
+func appendU16(buf []byte, v uint16) []byte { return append(buf, byte(v>>8), byte(v)) }
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Pack serializes the message to wire format.
+func (m *Message) Pack() ([]byte, error) {
+	buf := make([]byte, 0, 512)
+	buf = appendU16(buf, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+		flags |= 1 << 10 // authoritative answer
+	}
+	flags |= 1 << 8 // recursion desired
+	flags |= uint16(m.RCode) & 0xf
+	buf = appendU16(buf, flags)
+	buf = appendU16(buf, uint16(len(m.Questions)))
+	buf = appendU16(buf, uint16(len(m.Answers)))
+	buf = appendU16(buf, 0) // authority
+	buf = appendU16(buf, 0) // additional
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name); err != nil {
+			return nil, err
+		}
+		buf = appendU16(buf, uint16(q.Type))
+		buf = appendU16(buf, q.Class)
+	}
+	for _, rr := range m.Answers {
+		if buf, err = appendName(buf, rr.Name); err != nil {
+			return nil, err
+		}
+		buf = appendU16(buf, uint16(rr.Type))
+		buf = appendU16(buf, rr.Class)
+		buf = appendU32(buf, rr.TTL)
+		rdata, err := packRData(rr)
+		if err != nil {
+			return nil, err
+		}
+		buf = appendU16(buf, uint16(len(rdata)))
+		buf = append(buf, rdata...)
+	}
+	return buf, nil
+}
+
+func packRData(rr RR) ([]byte, error) {
+	switch rr.Type {
+	case TypeA:
+		var a, b, c, d int
+		if _, err := fmt.Sscanf(rr.Data, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+			return nil, fmt.Errorf("dnssim: bad A record %q", rr.Data)
+		}
+		for _, v := range []int{a, b, c, d} {
+			if v < 0 || v > 255 {
+				return nil, fmt.Errorf("dnssim: bad A record %q", rr.Data)
+			}
+		}
+		return []byte{byte(a), byte(b), byte(c), byte(d)}, nil
+	case TypeTXT:
+		// TXT rdata is a sequence of <len><chars> strings.
+		var out []byte
+		data := rr.Data
+		for len(data) > 255 {
+			out = append(out, 255)
+			out = append(out, data[:255]...)
+			data = data[255:]
+		}
+		out = append(out, byte(len(data)))
+		out = append(out, data...)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("dnssim: cannot pack type %d", rr.Type)
+	}
+}
+
+type unpacker struct {
+	data []byte
+	pos  int
+}
+
+var errShort = errors.New("dnssim: truncated message")
+
+func (u *unpacker) u16() (uint16, error) {
+	if u.pos+2 > len(u.data) {
+		return 0, errShort
+	}
+	v := uint16(u.data[u.pos])<<8 | uint16(u.data[u.pos+1])
+	u.pos += 2
+	return v, nil
+}
+
+func (u *unpacker) u32() (uint32, error) {
+	hi, err := u.u16()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := u.u16()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(hi)<<16 | uint32(lo), nil
+}
+
+// name decodes a (possibly compressed) domain name.
+func (u *unpacker) name() (string, error) {
+	var labels []string
+	pos := u.pos
+	jumped := false
+	steps := 0
+	for {
+		if steps++; steps > 128 {
+			return "", errors.New("dnssim: name compression loop")
+		}
+		if pos >= len(u.data) {
+			return "", errShort
+		}
+		l := int(u.data[pos])
+		switch {
+		case l == 0:
+			if !jumped {
+				u.pos = pos + 1
+			}
+			return strings.Join(labels, "."), nil
+		case l&0xc0 == 0xc0:
+			if pos+1 >= len(u.data) {
+				return "", errShort
+			}
+			target := (l&0x3f)<<8 | int(u.data[pos+1])
+			if !jumped {
+				u.pos = pos + 2
+			}
+			if target >= pos {
+				return "", errors.New("dnssim: forward compression pointer")
+			}
+			pos = target
+			jumped = true
+		default:
+			if pos+1+l > len(u.data) {
+				return "", errShort
+			}
+			labels = append(labels, string(u.data[pos+1:pos+1+l]))
+			pos += 1 + l
+		}
+	}
+}
+
+// Unpack parses a wire-format DNS message.
+func Unpack(data []byte) (*Message, error) {
+	u := &unpacker{data: data}
+	var m Message
+	id, err := u.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = id
+	flags, err := u.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Response = flags&(1<<15) != 0
+	m.RCode = RCode(flags & 0xf)
+	qd, err := u.u16()
+	if err != nil {
+		return nil, err
+	}
+	an, err := u.u16()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := u.u16(); err != nil { // authority count
+		return nil, err
+	}
+	if _, err := u.u16(); err != nil { // additional count
+		return nil, err
+	}
+	for i := 0; i < int(qd); i++ {
+		name, err := u.name()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := u.u16()
+		if err != nil {
+			return nil, err
+		}
+		class, err := u.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(typ), Class: class})
+	}
+	for i := 0; i < int(an); i++ {
+		rr, err := u.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	return &m, nil
+}
+
+func (u *unpacker) rr() (RR, error) {
+	name, err := u.name()
+	if err != nil {
+		return RR{}, err
+	}
+	typ, err := u.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	class, err := u.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := u.u32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := u.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	if u.pos+int(rdlen) > len(u.data) {
+		return RR{}, errShort
+	}
+	rdata := u.data[u.pos : u.pos+int(rdlen)]
+	u.pos += int(rdlen)
+	rr := RR{Name: name, Type: Type(typ), Class: class, TTL: ttl}
+	switch rr.Type {
+	case TypeA:
+		if len(rdata) != 4 {
+			return RR{}, fmt.Errorf("dnssim: A rdata length %d", len(rdata))
+		}
+		rr.Data = fmt.Sprintf("%d.%d.%d.%d", rdata[0], rdata[1], rdata[2], rdata[3])
+	case TypeTXT:
+		var sb strings.Builder
+		for len(rdata) > 0 {
+			l := int(rdata[0])
+			if 1+l > len(rdata) {
+				return RR{}, errors.New("dnssim: bad TXT rdata")
+			}
+			sb.Write(rdata[1 : 1+l])
+			rdata = rdata[1+l:]
+		}
+		rr.Data = sb.String()
+	default:
+		rr.Data = string(rdata)
+	}
+	return rr, nil
+}

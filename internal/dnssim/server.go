@@ -1,0 +1,217 @@
+package dnssim
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Zone is a thread-safe in-memory record store keyed by
+// (lowercased FQDN, type).
+type Zone struct {
+	mu      sync.RWMutex
+	records map[string][]RR
+}
+
+// NewZone creates an empty zone.
+func NewZone() *Zone {
+	return &Zone{records: make(map[string][]RR)}
+}
+
+func zoneKey(name string, typ Type) string {
+	return strings.ToLower(strings.TrimSuffix(name, ".")) + "|" + fmt.Sprint(typ)
+}
+
+// SetTXT installs a TXT record, replacing previous values.
+func (z *Zone) SetTXT(name, value string) {
+	z.set(RR{Name: strings.ToLower(name), Type: TypeTXT, Class: ClassIN, TTL: 300, Data: value})
+}
+
+// SetA installs an A record, replacing previous values.
+func (z *Zone) SetA(name, addr string) {
+	z.set(RR{Name: strings.ToLower(name), Type: TypeA, Class: ClassIN, TTL: 300, Data: addr})
+}
+
+func (z *Zone) set(rr RR) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records[zoneKey(rr.Name, rr.Type)] = []RR{rr}
+}
+
+// Delete removes all records of the given name and type.
+func (z *Zone) Delete(name string, typ Type) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	delete(z.records, zoneKey(name, typ))
+}
+
+// Lookup returns the records for a name and type.
+func (z *Zone) Lookup(name string, typ Type) []RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.records[zoneKey(name, typ)]
+}
+
+// Len reports the number of record sets in the zone.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.records)
+}
+
+// Server is an authoritative UDP DNS server over a Zone.
+type Server struct {
+	zone *Zone
+	conn *net.UDPConn
+	done chan struct{}
+}
+
+// NewServer starts a server on a free loopback UDP port.
+func NewServer(zone *Zone) (*Server, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{zone: zone, conn: conn, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	close(s.done)
+	return s.conn.Close()
+}
+
+func (s *Server) serve() {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		resp := s.handle(buf[:n])
+		if resp != nil {
+			_, _ = s.conn.WriteToUDP(resp, addr)
+		}
+	}
+}
+
+func (s *Server) handle(query []byte) []byte {
+	req, err := Unpack(query)
+	if err != nil || req.Response || len(req.Questions) == 0 {
+		return nil
+	}
+	resp := &Message{ID: req.ID, Response: true, Questions: req.Questions}
+	for _, q := range req.Questions {
+		if q.Class != ClassIN {
+			resp.RCode = RCodeNotImpl
+			continue
+		}
+		answers := s.zone.Lookup(q.Name, q.Type)
+		if len(answers) == 0 {
+			resp.RCode = RCodeNXDomain
+			continue
+		}
+		resp.RCode = RCodeSuccess
+		resp.Answers = append(resp.Answers, answers...)
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Resolver queries a DNS server over UDP.
+type Resolver struct {
+	// ServerAddr is the "host:port" of the DNS server.
+	ServerAddr string
+	// Timeout bounds each query; defaults to 2 s.
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	nextID uint16
+}
+
+// NewResolver creates a resolver pointed at addr.
+func NewResolver(addr string) *Resolver {
+	return &Resolver{ServerAddr: addr, Timeout: 2 * time.Second}
+}
+
+// Query resolves name/type and returns the answer records.
+// NXDOMAIN and empty answers return ErrNotFound.
+func (r *Resolver) Query(name string, typ Type) ([]RR, error) {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+
+	req := &Message{ID: id, Questions: []Question{{Name: name, Type: typ, Class: ClassIN}}}
+	packed, err := req.Pack()
+	if err != nil {
+		return nil, err
+	}
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", r.ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(packed); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Unpack(buf[:n])
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != id {
+		return nil, fmt.Errorf("dnssim: response ID mismatch (%d vs %d)", resp.ID, id)
+	}
+	if resp.RCode == RCodeNXDomain || len(resp.Answers) == 0 {
+		return nil, ErrNotFound
+	}
+	if resp.RCode != RCodeSuccess {
+		return nil, fmt.Errorf("dnssim: rcode %d", resp.RCode)
+	}
+	return resp.Answers, nil
+}
+
+// LookupTXT resolves the TXT values at name.
+func (r *Resolver) LookupTXT(name string) ([]string, error) {
+	answers, err := r.Query(name, TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(answers))
+	for _, a := range answers {
+		if a.Type == TypeTXT {
+			out = append(out, a.Data)
+		}
+	}
+	return out, nil
+}
+
+// ErrNotFound reports a missing name (NXDOMAIN or empty answer).
+var ErrNotFound = fmt.Errorf("dnssim: name not found")

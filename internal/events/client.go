@@ -1,0 +1,49 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blueskies/internal/ws"
+)
+
+// Subscription is a client-side event stream connection (Firehose or
+// labeler stream).
+type Subscription struct {
+	conn *ws.Conn
+}
+
+// Subscribe dials the stream NSID on a service base URL with an
+// optional cursor (0 = from the start of retention; negative = live
+// only, i.e. current sequence head).
+func Subscribe(baseURL, nsid string, cursor int64) (*Subscription, error) {
+	wsURL := "ws" + strings.TrimPrefix(baseURL, "http")
+	u := fmt.Sprintf("%s/xrpc/%s?cursor=%d", strings.TrimSuffix(wsURL, "/"), nsid, cursor)
+	conn, err := ws.Dial(u, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{conn: conn}, nil
+}
+
+// Next blocks for the next decoded event.
+func (s *Subscription) Next() (any, error) {
+	_, frame, err := s.conn.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	return Decode(frame)
+}
+
+// NextTimeout is Next with a read deadline.
+func (s *Subscription) NextTimeout(d time.Duration) (any, error) {
+	if err := s.conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.conn.SetReadDeadline(time.Time{}) }()
+	return s.Next()
+}
+
+// Close terminates the subscription.
+func (s *Subscription) Close() error { return s.conn.Close() }

@@ -1,0 +1,153 @@
+package events
+
+import (
+	"sync"
+	"time"
+)
+
+// stored is one retained frame.
+type stored struct {
+	seq   int64
+	time  time.Time
+	frame []byte
+}
+
+// Sequencer assigns sequence numbers to events, retains a bounded
+// backlog for cursor-based backfill, and fans frames out to live
+// subscribers. It is the core of both the PDS event stream and the
+// Relay Firehose (which the paper notes retains three days of events).
+type Sequencer struct {
+	mu        sync.Mutex
+	nextSeq   int64
+	backlog   []stored
+	retention time.Duration // 0 = keep everything
+	maxEvents int           // 0 = unbounded
+	subs      map[int64]chan []byte
+	nextSub   int64
+	now       func() time.Time
+}
+
+// NewSequencer creates a sequencer with the given retention window and
+// event cap (either may be zero for "unlimited").
+func NewSequencer(retention time.Duration, maxEvents int) *Sequencer {
+	return &Sequencer{
+		nextSeq:   1,
+		retention: retention,
+		maxEvents: maxEvents,
+		subs:      make(map[int64]chan []byte),
+		now:       time.Now,
+	}
+}
+
+// SetClock overrides the wall clock (virtual time in simulations).
+func (s *Sequencer) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Next returns the sequence number the next event will receive.
+func (s *Sequencer) Next() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// Emit assigns the next sequence number, invokes build with it to
+// produce the event, encodes it, retains the frame, and fans it out.
+func (s *Sequencer) Emit(build func(seq int64) any) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.nextSeq
+	ev := build(seq)
+	frame, err := Encode(ev)
+	if err != nil {
+		return 0, err
+	}
+	s.nextSeq++
+	now := s.now()
+	s.backlog = append(s.backlog, stored{seq: seq, time: now, frame: frame})
+	s.trimLocked(now)
+	for _, ch := range s.subs {
+		select {
+		case ch <- frame:
+		default:
+			// Slow subscriber: drop rather than block the stream.
+		}
+	}
+	return seq, nil
+}
+
+func (s *Sequencer) trimLocked(now time.Time) {
+	if s.maxEvents > 0 && len(s.backlog) > s.maxEvents {
+		s.backlog = s.backlog[len(s.backlog)-s.maxEvents:]
+	}
+	if s.retention > 0 {
+		cutoff := now.Add(-s.retention)
+		i := 0
+		for i < len(s.backlog) && s.backlog[i].time.Before(cutoff) {
+			i++
+		}
+		s.backlog = s.backlog[i:]
+	}
+}
+
+// OldestSeq returns the lowest retained sequence number, or the next
+// seq when the backlog is empty.
+func (s *Sequencer) OldestSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.backlog) == 0 {
+		return s.nextSeq
+	}
+	return s.backlog[0].seq
+}
+
+// Backfill returns retained frames with seq > cursor, and whether the
+// cursor predates retention (meaning events were missed).
+func (s *Sequencer) Backfill(cursor int64) (frames [][]byte, outdated bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.backlog) > 0 && cursor < s.backlog[0].seq-1 {
+		outdated = true
+	}
+	for _, st := range s.backlog {
+		if st.seq > cursor {
+			frames = append(frames, st.frame)
+		}
+	}
+	return frames, outdated
+}
+
+// Subscribe registers a live subscriber. Frames emitted after the call
+// are delivered on the channel; cancel must be called to release it.
+func (s *Sequencer) Subscribe(buffer int) (ch <-chan []byte, cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSub
+	s.nextSub++
+	c := make(chan []byte, buffer)
+	s.subs[id] = c
+	return c, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+}
+
+// SubscriberCount reports the number of live subscribers.
+func (s *Sequencer) SubscriberCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// BacklogLen reports the number of retained frames.
+func (s *Sequencer) BacklogLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backlog)
+}

@@ -1,0 +1,145 @@
+package events
+
+import (
+	"testing"
+	"time"
+)
+
+func emitIdentity(t *testing.T, s *Sequencer, did string) int64 {
+	t.Helper()
+	seq, err := s.Emit(func(seq int64) any {
+		return &Identity{Seq: seq, DID: did, Time: "2024-03-06T00:00:00.000Z"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestSequencerAssignsMonotonicSeqs(t *testing.T) {
+	s := NewSequencer(0, 0)
+	var prev int64
+	for i := 0; i < 10; i++ {
+		seq := emitIdentity(t, s, "did:plc:x")
+		if seq <= prev {
+			t.Fatalf("seq %d after %d", seq, prev)
+		}
+		prev = seq
+	}
+}
+
+func TestBackfillFromCursor(t *testing.T) {
+	s := NewSequencer(0, 0)
+	for i := 0; i < 5; i++ {
+		emitIdentity(t, s, "did:plc:x")
+	}
+	frames, outdated := s.Backfill(2)
+	if outdated {
+		t.Fatal("cursor 2 is within retention")
+	}
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	ev, err := Decode(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Seq(ev) != 3 {
+		t.Fatalf("first backfilled seq = %d", Seq(ev))
+	}
+}
+
+func TestBackfillZeroCursorReturnsAll(t *testing.T) {
+	s := NewSequencer(0, 0)
+	for i := 0; i < 3; i++ {
+		emitIdentity(t, s, "did:plc:x")
+	}
+	frames, _ := s.Backfill(0)
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+}
+
+func TestRetentionByCount(t *testing.T) {
+	s := NewSequencer(0, 3)
+	for i := 0; i < 10; i++ {
+		emitIdentity(t, s, "did:plc:x")
+	}
+	if s.BacklogLen() != 3 {
+		t.Fatalf("backlog = %d", s.BacklogLen())
+	}
+	if s.OldestSeq() != 8 {
+		t.Fatalf("oldest = %d", s.OldestSeq())
+	}
+	_, outdated := s.Backfill(1)
+	if !outdated {
+		t.Fatal("cursor 1 must be reported outdated")
+	}
+}
+
+func TestRetentionByTime(t *testing.T) {
+	s := NewSequencer(72*time.Hour, 0) // the Firehose's 3-day window
+	now := time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+	s.SetClock(func() time.Time { return now })
+	emitIdentity(t, s, "did:plc:old")
+	now = now.Add(96 * time.Hour) // 4 days later
+	emitIdentity(t, s, "did:plc:new")
+	if s.BacklogLen() != 1 {
+		t.Fatalf("backlog = %d, want 1 (old event expired)", s.BacklogLen())
+	}
+	frames, outdated := s.Backfill(0)
+	if !outdated {
+		t.Fatal("cursor 0 predates retention")
+	}
+	ev, _ := Decode(frames[0])
+	if ev.(*Identity).DID != "did:plc:new" {
+		t.Fatal("wrong event retained")
+	}
+}
+
+func TestSubscribeDelivery(t *testing.T) {
+	s := NewSequencer(0, 0)
+	ch, cancel := s.Subscribe(10)
+	defer cancel()
+	emitIdentity(t, s, "did:plc:x")
+	select {
+	case frame := <-ch:
+		ev, err := Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.(*Identity).DID != "did:plc:x" {
+			t.Fatal("wrong event delivered")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestSubscribeCancelIdempotent(t *testing.T) {
+	s := NewSequencer(0, 0)
+	_, cancel := s.Subscribe(1)
+	cancel()
+	cancel() // must not panic
+	if s.SubscriberCount() != 0 {
+		t.Fatal("subscriber not removed")
+	}
+}
+
+func TestSlowSubscriberDoesNotBlock(t *testing.T) {
+	s := NewSequencer(0, 0)
+	_, cancel := s.Subscribe(1) // never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			emitIdentity(t, s, "did:plc:x")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("emit blocked on slow subscriber")
+	}
+}

@@ -1,0 +1,555 @@
+// Package feedgen implements Feed Generators (§2, §7): services that
+// consume the Firehose and curate bespoke feeds of post URIs, served
+// via app.bsky.feed.getFeedSkeleton.
+//
+// The package models both self-hosted generators and the
+// Feed-Generator-as-a-Service platforms the paper compares in Table 5
+// (Skyfeed, Bluefeed, Blueskyfeeds, Goodfeeds, Blueskyfeedcreator),
+// each with its exact feature set: which inputs a feed may consume and
+// which filters it may apply (labels, language, regular expressions,
+// …). Retention policies differ per feed (1–7 days or a post cap),
+// which is why the paper could not collect complete historical feed
+// contents.
+package feedgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"blueskies/internal/identity"
+	"blueskies/internal/xrpc"
+)
+
+// PostView is the denormalized post representation feeds filter on.
+type PostView struct {
+	URI       string
+	DID       string // author
+	Text      string
+	Langs     []string
+	Tags      []string
+	CreatedAt time.Time
+	Labels    []string // labels currently applied (joined upstream)
+	ImageAlts []string // alt text per attached image ("" = missing)
+	Links     []string
+	HasEmbed  bool
+	RepostOf  string // URI when this is a repost
+}
+
+// Feature is one capability of a FGaaS platform (rows of Table 5).
+type Feature string
+
+// Input features.
+const (
+	InWholeNetwork Feature = "input:whole-network"
+	InTags         Feature = "input:tags"
+	InSingleUser   Feature = "input:single-user"
+	InList         Feature = "input:list"
+	InFeed         Feature = "input:feed"
+	InSinglePost   Feature = "input:single-post"
+	InLabels       Feature = "input:labels"
+	InToken        Feature = "input:token"
+	InSegment      Feature = "input:segment"
+)
+
+// Filter features.
+const (
+	FiltItem        Feature = "filter:item"
+	FiltLabels      Feature = "filter:labels"
+	FiltImageCount  Feature = "filter:image-count"
+	FiltLinkCount   Feature = "filter:link-count"
+	FiltRepostCount Feature = "filter:repost-count"
+	FiltEmbed       Feature = "filter:embed"
+	FiltDuplicate   Feature = "filter:duplicate"
+	FiltUserList    Feature = "filter:list-of-users"
+	FiltLanguage    Feature = "filter:language"
+	FiltRegexText   Feature = "filter:regex-text"
+	FiltRegexAlt    Feature = "filter:regex-image-alt"
+	FiltRegexLink   Feature = "filter:regex-link"
+)
+
+// Platform is one Feed-Generator-as-a-Service provider.
+type Platform struct {
+	Name     string
+	Features map[Feature]bool
+	// Paid reports whether the platform offers paid tiers
+	// (only Blueskyfeedcreator in Table 5).
+	Paid bool
+}
+
+// Supports reports whether the platform offers a feature.
+func (p *Platform) Supports(f Feature) bool { return p.Features[f] }
+
+// Platforms returns the five FGaaS platforms with the feature sets of
+// Table 5.
+func Platforms() []*Platform {
+	mk := func(name string, paid bool, feats ...Feature) *Platform {
+		m := make(map[Feature]bool, len(feats))
+		for _, f := range feats {
+			m[f] = true
+		}
+		return &Platform{Name: name, Features: m, Paid: paid}
+	}
+	return []*Platform{
+		mk("Skyfeed", false,
+			InWholeNetwork, InTags, InSingleUser, InList, InFeed, InSinglePost, InLabels,
+			FiltItem, FiltLabels, FiltImageCount, FiltLinkCount, FiltRepostCount,
+			FiltEmbed, FiltDuplicate, FiltUserList, FiltLanguage,
+			FiltRegexText, FiltRegexAlt, FiltRegexLink),
+		mk("Bluefeed", false,
+			InWholeNetwork, InTags, InSingleUser, InList, InFeed, InSinglePost, InLabels,
+			FiltItem, FiltLabels, FiltUserList, FiltLanguage),
+		mk("Blueskyfeeds", false,
+			InWholeNetwork, InTags, InSingleUser, InList,
+			FiltLabels, FiltUserList, FiltLanguage),
+		mk("goodfeeds", false,
+			InWholeNetwork, InTags, InSingleUser, InList, InToken,
+			FiltLabels),
+		mk("Blueskyfeedcreator", true,
+			InSingleUser, InSinglePost, InSegment,
+			FiltDuplicate),
+	}
+}
+
+// PlatformByName finds a platform, or nil.
+func PlatformByName(name string) *Platform {
+	for _, p := range Platforms() {
+		if strings.EqualFold(p.Name, name) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Config defines one feed's curation rule.
+type Config struct {
+	// URI is the at:// URI of the generator record.
+	URI string
+	// DisplayName and Description mirror the declaration record.
+	DisplayName string
+	Description string
+
+	// Inputs.
+	WholeNetwork bool
+	Tags         []string // match any
+	Users        []string // author DIDs to include
+
+	// Filters.
+	RequireLangs  []string
+	ExcludeLabels []string
+	RequireLabels []string
+	TextRegex     string
+	AltRegex      string
+	LinkRegex     string
+	RequireImages bool
+	DropDuplicate bool
+
+	// Personalized feeds tailor output per requester and return
+	// nothing for unknown accounts (the paper's "empty crawl account"
+	// observation on the-algorithm / whats-hot).
+	Personalized bool
+
+	// Retention: 0 values mean unlimited.
+	MaxAge   time.Duration
+	MaxPosts int
+}
+
+// RequiredFeatures lists the platform features this config needs.
+func (c *Config) RequiredFeatures() []Feature {
+	var out []Feature
+	if c.WholeNetwork {
+		out = append(out, InWholeNetwork)
+	}
+	if len(c.Tags) > 0 {
+		out = append(out, InTags)
+	}
+	if len(c.Users) > 0 {
+		out = append(out, InSingleUser)
+	}
+	if len(c.RequireLangs) > 0 {
+		out = append(out, FiltLanguage)
+	}
+	if len(c.ExcludeLabels) > 0 || len(c.RequireLabels) > 0 {
+		out = append(out, FiltLabels)
+	}
+	if c.TextRegex != "" {
+		out = append(out, FiltRegexText)
+	}
+	if c.AltRegex != "" {
+		out = append(out, FiltRegexAlt)
+	}
+	if c.LinkRegex != "" {
+		out = append(out, FiltRegexLink)
+	}
+	if c.RequireImages {
+		out = append(out, FiltImageCount)
+	}
+	if c.DropDuplicate {
+		out = append(out, FiltDuplicate)
+	}
+	return out
+}
+
+// CompatibleWith reports whether platform supports every feature the
+// config needs (nil platform = self-hosted: everything allowed).
+func (c *Config) CompatibleWith(p *Platform) error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range c.RequiredFeatures() {
+		if !p.Supports(f) {
+			return fmt.Errorf("feedgen: platform %s does not support %s", p.Name, f)
+		}
+	}
+	return nil
+}
+
+// feed is one hosted feed with its curated output.
+type feed struct {
+	cfg      Config
+	re       *regexp.Regexp
+	altRe    *regexp.Regexp
+	linkRe   *regexp.Regexp
+	posts    []PostView // newest last
+	seenText map[string]bool
+	likes    int
+}
+
+// Engine hosts feeds (one Engine per service/platform instance).
+type Engine struct {
+	name     string
+	platform *Platform
+	clock    func() time.Time
+
+	mu    sync.RWMutex
+	feeds map[string]*feed
+
+	mux  *xrpc.Mux
+	http *http.Server
+	base string
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Name labels the engine (e.g. "Skyfeed" or a self-host DID).
+	Name string
+	// Platform constrains hostable feeds; nil = self-hosted.
+	Platform *Platform
+	// Clock supplies time; time.Now if nil.
+	Clock func() time.Time
+}
+
+// NewEngine creates an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	e := &Engine{
+		name:     cfg.Name,
+		platform: cfg.Platform,
+		clock:    clock,
+		feeds:    make(map[string]*feed),
+	}
+	e.mux = xrpc.NewMux()
+	e.register()
+	return e
+}
+
+// Name returns the engine label.
+func (e *Engine) Name() string { return e.name }
+
+// Platform returns the hosting platform (nil for self-hosted).
+func (e *Engine) Platform() *Platform { return e.platform }
+
+// Start begins serving getFeedSkeleton on a loopback port.
+func (e *Engine) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	e.base = "http://" + ln.Addr().String()
+	e.http = &http.Server{Handler: e.mux}
+	go func() { _ = e.http.Serve(ln) }()
+	return nil
+}
+
+// URL returns the engine endpoint ("" before Start).
+func (e *Engine) URL() string { return e.base }
+
+// Close stops the engine.
+func (e *Engine) Close() error {
+	if e.http != nil {
+		return e.http.Close()
+	}
+	return nil
+}
+
+// AddFeed registers a feed, validating platform compatibility and
+// regexes.
+func (e *Engine) AddFeed(cfg Config) error {
+	if cfg.URI == "" {
+		return fmt.Errorf("feedgen: feed needs a URI")
+	}
+	if _, err := identity.ParseURI(cfg.URI); err != nil {
+		return err
+	}
+	if err := cfg.CompatibleWith(e.platform); err != nil {
+		return err
+	}
+	f := &feed{cfg: cfg, seenText: make(map[string]bool)}
+	var err error
+	if cfg.TextRegex != "" {
+		if f.re, err = regexp.Compile(cfg.TextRegex); err != nil {
+			return fmt.Errorf("feedgen: text regex: %w", err)
+		}
+	}
+	if cfg.AltRegex != "" {
+		if f.altRe, err = regexp.Compile(cfg.AltRegex); err != nil {
+			return fmt.Errorf("feedgen: alt regex: %w", err)
+		}
+	}
+	if cfg.LinkRegex != "" {
+		if f.linkRe, err = regexp.Compile(cfg.LinkRegex); err != nil {
+			return fmt.Errorf("feedgen: link regex: %w", err)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.feeds[cfg.URI]; dup {
+		return fmt.Errorf("feedgen: feed %s already registered", cfg.URI)
+	}
+	e.feeds[cfg.URI] = f
+	return nil
+}
+
+// FeedURIs lists hosted feed URIs, sorted.
+func (e *Engine) FeedURIs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.feeds))
+	for uri := range e.feeds {
+		out = append(out, uri)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FeedCount reports the number of hosted feeds.
+func (e *Engine) FeedCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.feeds)
+}
+
+// Ingest offers a post to every hosted feed (the firehose-consumption
+// path).
+func (e *Engine) Ingest(post PostView) {
+	now := e.clock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, f := range e.feeds {
+		if f.matches(post) {
+			if f.cfg.DropDuplicate {
+				if f.seenText[post.Text] {
+					continue
+				}
+				f.seenText[post.Text] = true
+			}
+			f.posts = append(f.posts, post)
+			f.trim(now)
+		}
+	}
+}
+
+func (f *feed) trim(now time.Time) {
+	if f.cfg.MaxPosts > 0 && len(f.posts) > f.cfg.MaxPosts {
+		f.posts = f.posts[len(f.posts)-f.cfg.MaxPosts:]
+	}
+	if f.cfg.MaxAge > 0 {
+		cutoff := now.Add(-f.cfg.MaxAge)
+		i := 0
+		for i < len(f.posts) && f.posts[i].CreatedAt.Before(cutoff) {
+			i++
+		}
+		f.posts = f.posts[i:]
+	}
+}
+
+func (f *feed) matches(p PostView) bool {
+	cfg := &f.cfg
+	// Input selection.
+	selected := cfg.WholeNetwork
+	if !selected && len(cfg.Users) > 0 {
+		for _, u := range cfg.Users {
+			if u == p.DID {
+				selected = true
+				break
+			}
+		}
+	}
+	if !selected && len(cfg.Tags) > 0 {
+		for _, want := range cfg.Tags {
+			for _, tag := range p.Tags {
+				if strings.EqualFold(tag, want) {
+					selected = true
+					break
+				}
+			}
+		}
+	}
+	if !selected {
+		return false
+	}
+	// Filters.
+	if len(cfg.RequireLangs) > 0 && !intersects(cfg.RequireLangs, p.Langs) {
+		return false
+	}
+	if len(cfg.ExcludeLabels) > 0 && intersects(cfg.ExcludeLabels, p.Labels) {
+		return false
+	}
+	if len(cfg.RequireLabels) > 0 && !intersects(cfg.RequireLabels, p.Labels) {
+		return false
+	}
+	if cfg.RequireImages && len(p.ImageAlts) == 0 {
+		return false
+	}
+	if f.re != nil && !f.re.MatchString(p.Text) {
+		return false
+	}
+	if f.altRe != nil {
+		ok := false
+		for _, alt := range p.ImageAlts {
+			if f.altRe.MatchString(alt) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.linkRe != nil {
+		ok := false
+		for _, link := range p.Links {
+			if f.linkRe.MatchString(link) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Skeleton returns the newest-first post URIs of a feed, applying the
+// personalization rule: personalized feeds return nothing for unknown
+// requesters.
+func (e *Engine) Skeleton(feedURI, requester string, limit int) ([]string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	f, ok := e.feeds[feedURI]
+	if !ok {
+		return nil, xrpc.ErrNotFound("unknown feed %s", feedURI)
+	}
+	if f.cfg.Personalized {
+		known := false
+		for _, u := range f.cfg.Users {
+			if u == requester {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, nil // personalized: empty for crawler accounts
+		}
+	}
+	if limit <= 0 {
+		limit = 50
+	}
+	out := make([]string, 0, min(limit, len(f.posts)))
+	for i := len(f.posts) - 1; i >= 0 && len(out) < limit; i-- {
+		out = append(out, f.posts[i].URI)
+	}
+	return out, nil
+}
+
+// LikeCount support: the AppView tracks likes on generator records and
+// reports them through getFeedGenerator; engines keep a counter so the
+// synthetic world can exercise the "likes vs posts" analysis.
+func (e *Engine) AddLike(feedURI string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.feeds[feedURI]; ok {
+		f.likes++
+	}
+}
+
+// Likes reports a feed's like counter.
+func (e *Engine) Likes(feedURI string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if f, ok := e.feeds[feedURI]; ok {
+		return f.likes
+	}
+	return 0
+}
+
+// PostCount reports a feed's current curated post count.
+func (e *Engine) PostCount(feedURI string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if f, ok := e.feeds[feedURI]; ok {
+		return len(f.posts)
+	}
+	return 0
+}
+
+func (e *Engine) register() {
+	e.mux.Query("app.bsky.feed.getFeedSkeleton", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		limit := 50
+		if l := params.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				return nil, xrpc.ErrInvalidRequest("bad limit %q", l)
+			}
+			limit = n
+		}
+		uris, err := e.Skeleton(params.Get("feed"), params.Get("requester"), limit)
+		if err != nil {
+			return nil, err
+		}
+		type item struct {
+			Post string `json:"post"`
+		}
+		items := make([]item, len(uris))
+		for i, u := range uris {
+			items[i] = item{Post: u}
+		}
+		return map[string]any{"feed": items}, nil
+	})
+	e.mux.Query("com.atproto.server.describeServer", func(_ context.Context, _ url.Values, _ []byte) (any, error) {
+		return map[string]any{"name": e.name, "feeds": e.FeedCount()}, nil
+	})
+}

@@ -1,0 +1,259 @@
+package feedgen
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"testing"
+	"time"
+
+	"blueskies/internal/xrpc"
+)
+
+var ts = time.Date(2024, 4, 20, 0, 0, 0, 0, time.UTC)
+
+const creatorDID = "did:plc:abcdefghijklmnopqrstuvwx"
+
+func feedURI(rkey string) string {
+	return "at://" + creatorDID + "/app.bsky.feed.generator/" + rkey
+}
+
+func post(i int, text string, langs ...string) PostView {
+	return PostView{
+		URI:       fmt.Sprintf("at://%s/app.bsky.feed.post/3k%011d", creatorDID, i),
+		DID:       creatorDID,
+		Text:      text,
+		Langs:     langs,
+		CreatedAt: ts.Add(time.Duration(i) * time.Minute),
+	}
+}
+
+func TestTable5FeatureMatrix(t *testing.T) {
+	platforms := Platforms()
+	if len(platforms) != 5 {
+		t.Fatalf("want 5 platforms, got %d", len(platforms))
+	}
+	sky := PlatformByName("Skyfeed")
+	if sky == nil {
+		t.Fatal("Skyfeed missing")
+	}
+	// Skyfeed is the ONLY platform with regex support (Table 5).
+	for _, p := range platforms {
+		hasRegex := p.Supports(FiltRegexText) || p.Supports(FiltRegexAlt) || p.Supports(FiltRegexLink)
+		if (p.Name == "Skyfeed") != hasRegex {
+			t.Errorf("platform %s regex support = %v", p.Name, hasRegex)
+		}
+	}
+	// Only Blueskyfeedcreator is paid.
+	for _, p := range platforms {
+		if (p.Name == "Blueskyfeedcreator") != p.Paid {
+			t.Errorf("platform %s paid = %v", p.Name, p.Paid)
+		}
+	}
+	// goodfeeds is the only one with token input.
+	for _, p := range platforms {
+		if (p.Name == "goodfeeds") != p.Supports(InToken) {
+			t.Errorf("platform %s token input = %v", p.Name, p.Supports(InToken))
+		}
+	}
+}
+
+func TestPlatformCompatibilityEnforced(t *testing.T) {
+	regexCfg := Config{URI: feedURI("regex"), WholeNetwork: true, TextRegex: "ramen"}
+	// Skyfeed hosts regex feeds.
+	sky := NewEngine(EngineConfig{Name: "Skyfeed", Platform: PlatformByName("Skyfeed")})
+	if err := sky.AddFeed(regexCfg); err != nil {
+		t.Fatalf("Skyfeed must support regex: %v", err)
+	}
+	// goodfeeds must reject them.
+	good := NewEngine(EngineConfig{Name: "goodfeeds", Platform: PlatformByName("goodfeeds")})
+	if err := good.AddFeed(regexCfg); err == nil {
+		t.Fatal("goodfeeds must reject regex feeds")
+	}
+	// Self-hosted engines accept anything.
+	self := NewEngine(EngineConfig{Name: "self"})
+	if err := self.AddFeed(Config{URI: feedURI("self"), WholeNetwork: true, TextRegex: "x", Personalized: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestAndSkeleton(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test", Clock: func() time.Time { return ts.Add(100 * time.Minute) }})
+	if err := e.AddFeed(Config{URI: feedURI("ramen"), WholeNetwork: true, TextRegex: "(?i)ramen"}); err != nil {
+		t.Fatal(err)
+	}
+	e.Ingest(post(1, "I love Ramen noodles"))
+	e.Ingest(post(2, "nothing to see"))
+	e.Ingest(post(3, "ramen again"))
+
+	uris, err := e.Skeleton(feedURI("ramen"), "", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uris) != 2 {
+		t.Fatalf("got %d posts", len(uris))
+	}
+	// Newest first.
+	if uris[0] != post(3, "").URI {
+		t.Fatalf("order wrong: %v", uris)
+	}
+}
+
+func TestLanguageFilter(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	_ = e.AddFeed(Config{URI: feedURI("hebrew"), WholeNetwork: true, RequireLangs: []string{"he"}})
+	e.Ingest(post(1, "shalom", "he"))
+	e.Ingest(post(2, "hello", "en"))
+	uris, _ := e.Skeleton(feedURI("hebrew"), "", 50)
+	if len(uris) != 1 {
+		t.Fatalf("got %v", uris)
+	}
+}
+
+func TestLabelFilters(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	_ = e.AddFeed(Config{URI: feedURI("sfw"), WholeNetwork: true, ExcludeLabels: []string{"porn", "sexual"}})
+	_ = e.AddFeed(Config{URI: feedURI("nsfw"), WholeNetwork: true, RequireLabels: []string{"porn"}})
+	clean := post(1, "clean")
+	dirty := post(2, "dirty")
+	dirty.Labels = []string{"porn"}
+	e.Ingest(clean)
+	e.Ingest(dirty)
+	if uris, _ := e.Skeleton(feedURI("sfw"), "", 50); len(uris) != 1 || uris[0] != clean.URI {
+		t.Fatalf("sfw = %v", uris)
+	}
+	if uris, _ := e.Skeleton(feedURI("nsfw"), "", 50); len(uris) != 1 || uris[0] != dirty.URI {
+		t.Fatalf("nsfw = %v", uris)
+	}
+}
+
+func TestUserAndTagInputs(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	_ = e.AddFeed(Config{URI: feedURI("single"), Users: []string{"did:plc:author1"}})
+	_ = e.AddFeed(Config{URI: feedURI("tagged"), Tags: []string{"furry"}})
+	p1 := post(1, "from author1")
+	p1.DID = "did:plc:author1"
+	p2 := post(2, "tagged post")
+	p2.Tags = []string{"Furry"}
+	p3 := post(3, "unrelated")
+	for _, p := range []PostView{p1, p2, p3} {
+		e.Ingest(p)
+	}
+	if uris, _ := e.Skeleton(feedURI("single"), "", 50); len(uris) != 1 || uris[0] != p1.URI {
+		t.Fatalf("single = %v", uris)
+	}
+	if uris, _ := e.Skeleton(feedURI("tagged"), "", 50); len(uris) != 1 || uris[0] != p2.URI {
+		t.Fatalf("tagged = %v", uris)
+	}
+}
+
+func TestPersonalizedFeedEmptyForCrawler(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	_ = e.AddFeed(Config{URI: feedURI("the-algorithm"), WholeNetwork: true, Personalized: true,
+		Users: []string{"did:plc:subscriber"}})
+	e.Ingest(post(1, "content"))
+	// The crawler's empty account gets nothing…
+	if uris, _ := e.Skeleton(feedURI("the-algorithm"), "did:plc:crawler", 50); len(uris) != 0 {
+		t.Fatalf("crawler got %v", uris)
+	}
+	// …but a known subscriber does.
+	if uris, _ := e.Skeleton(feedURI("the-algorithm"), "did:plc:subscriber", 50); len(uris) != 1 {
+		t.Fatalf("subscriber got %v", uris)
+	}
+}
+
+func TestRetentionByCountAndAge(t *testing.T) {
+	now := ts
+	e := NewEngine(EngineConfig{Name: "test", Clock: func() time.Time { return now }})
+	_ = e.AddFeed(Config{URI: feedURI("cap"), WholeNetwork: true, MaxPosts: 3})
+	for i := 0; i < 10; i++ {
+		e.Ingest(post(i, "x"))
+	}
+	if n := e.PostCount(feedURI("cap")); n != 3 {
+		t.Fatalf("cap feed has %d posts", n)
+	}
+
+	_ = e.AddFeed(Config{URI: feedURI("age"), WholeNetwork: true, MaxAge: 24 * time.Hour})
+	old := post(100, "old")
+	old.CreatedAt = ts.Add(-48 * time.Hour)
+	fresh := post(101, "fresh")
+	fresh.CreatedAt = ts.Add(-1 * time.Hour)
+	now = ts
+	e.Ingest(old)
+	e.Ingest(fresh) // ingest of fresh triggers trim; old is beyond 24h
+	if n := e.PostCount(feedURI("age")); n != 1 {
+		t.Fatalf("age feed has %d posts", n)
+	}
+}
+
+func TestDuplicateFilter(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	_ = e.AddFeed(Config{URI: feedURI("dedup"), WholeNetwork: true, DropDuplicate: true})
+	e.Ingest(post(1, "same text"))
+	e.Ingest(post(2, "same text"))
+	e.Ingest(post(3, "different"))
+	if n := e.PostCount(feedURI("dedup")); n != 2 {
+		t.Fatalf("dedup feed has %d posts", n)
+	}
+}
+
+func TestGetFeedSkeletonXRPC(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_ = e.AddFeed(Config{URI: feedURI("api"), WholeNetwork: true})
+	e.Ingest(post(1, "first"))
+	e.Ingest(post(2, "second"))
+
+	client := xrpc.NewClient(e.URL())
+	var out struct {
+		Feed []struct {
+			Post string `json:"post"`
+		} `json:"feed"`
+	}
+	err := client.Query(context.Background(), "app.bsky.feed.getFeedSkeleton",
+		url.Values{"feed": {feedURI("api")}, "limit": {"1"}}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Feed) != 1 || out.Feed[0].Post != post(2, "").URI {
+		t.Fatalf("feed = %+v", out.Feed)
+	}
+	// Unknown feed → NotFound.
+	err = client.Query(context.Background(), "app.bsky.feed.getFeedSkeleton",
+		url.Values{"feed": {feedURI("ghost")}}, nil)
+	if xe, ok := xrpc.AsError(err); !ok || xe.Name != "NotFound" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLikesCounter(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	_ = e.AddFeed(Config{URI: feedURI("liked"), WholeNetwork: true})
+	for i := 0; i < 5; i++ {
+		e.AddLike(feedURI("liked"))
+	}
+	if e.Likes(feedURI("liked")) != 5 {
+		t.Fatalf("likes = %d", e.Likes(feedURI("liked")))
+	}
+}
+
+func TestBadRegexRejected(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	if err := e.AddFeed(Config{URI: feedURI("bad"), WholeNetwork: true, TextRegex: "("}); err == nil {
+		t.Fatal("bad regex must be rejected")
+	}
+}
+
+func TestDuplicateFeedURIRejected(t *testing.T) {
+	e := NewEngine(EngineConfig{Name: "test"})
+	cfg := Config{URI: feedURI("dup"), WholeNetwork: true}
+	if err := e.AddFeed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFeed(cfg); err == nil {
+		t.Fatal("duplicate URI must be rejected")
+	}
+}

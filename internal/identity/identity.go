@@ -1,0 +1,361 @@
+// Package identity implements AT Protocol identity primitives:
+// decentralized identifiers (did:plc and did:web), user handles,
+// at:// record URIs, TID record keys, DID documents, and the signing
+// keys referenced from DID documents.
+//
+// The paper (§2) describes these as the foundation of Bluesky's
+// account portability: the DID is the immutable identifier, the handle
+// is a mutable DNS name proving domain ownership, and the DID document
+// binds the two together along with the user's PDS endpoint and keys.
+//
+// Substitution note: atproto signs with secp256k1 keys; the Go standard
+// library provides ed25519, which fills the same role (commit and
+// operation authenticity) here.
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/base32"
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Method is a DID method understood by the network.
+type Method string
+
+// Supported DID methods (§2, "Decentralized Identities").
+const (
+	MethodPLC Method = "plc"
+	MethodWeb Method = "web"
+)
+
+// base32Sortable is the lowercase base32 alphabet used by PLC
+// identifiers and TIDs.
+var base32Sortable = base32.NewEncoding("abcdefghijklmnopqrstuvwxyz234567").WithPadding(base32.NoPadding)
+
+// DID is a decentralized identifier such as
+// did:plc:ewvi7nxzyoun6zhxrhs64oiz or did:web:example.com.
+type DID string
+
+var plcSuffixRe = regexp.MustCompile(`^[a-z2-7]{24}$`)
+
+// ParseDID validates the textual form of a DID.
+func ParseDID(s string) (DID, error) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 || parts[0] != "did" {
+		return "", fmt.Errorf("identity: malformed DID %q", s)
+	}
+	switch Method(parts[1]) {
+	case MethodPLC:
+		if !plcSuffixRe.MatchString(parts[2]) {
+			return "", fmt.Errorf("identity: malformed did:plc suffix %q", parts[2])
+		}
+	case MethodWeb:
+		if err := ValidateHandle(parts[2]); err != nil {
+			return "", fmt.Errorf("identity: did:web requires a FQDN: %w", err)
+		}
+	default:
+		return "", fmt.Errorf("identity: unsupported DID method %q", parts[1])
+	}
+	return DID(s), nil
+}
+
+// Method returns the DID method, or "" if the DID is malformed.
+func (d DID) Method() Method {
+	parts := strings.SplitN(string(d), ":", 3)
+	if len(parts) != 3 {
+		return ""
+	}
+	return Method(parts[1])
+}
+
+// Suffix returns the method-specific identifier portion.
+func (d DID) Suffix() string {
+	parts := strings.SplitN(string(d), ":", 3)
+	if len(parts) != 3 {
+		return ""
+	}
+	return parts[2]
+}
+
+// String returns the textual DID.
+func (d DID) String() string { return string(d) }
+
+// PLCFromGenesis derives a did:plc identifier from the DAG-CBOR bytes
+// of the genesis PLC operation: the first 24 base32 characters of the
+// sha2-256 digest, as specified by the did:plc method.
+func PLCFromGenesis(genesisOp []byte) DID {
+	sum := sha256.Sum256(genesisOp)
+	enc := base32Sortable.EncodeToString(sum[:])
+	return DID("did:plc:" + enc[:24])
+}
+
+// WebDID constructs a did:web identifier from a fully qualified domain
+// name.
+func WebDID(fqdn string) (DID, error) {
+	if err := ValidateHandle(fqdn); err != nil {
+		return "", err
+	}
+	return DID("did:web:" + fqdn), nil
+}
+
+// Handle is a user handle: a fully qualified domain name such as
+// alice.bsky.social or example.com.
+type Handle string
+
+var handleLabelRe = regexp.MustCompile(`^[a-z0-9]([a-z0-9-]*[a-z0-9])?$`)
+
+// ValidateHandle checks that s is a plausible FQDN handle: at least two
+// dot-separated labels of letters, digits and inner hyphens, total
+// length ≤ 253.
+func ValidateHandle(s string) error {
+	if len(s) == 0 || len(s) > 253 {
+		return fmt.Errorf("identity: handle length %d out of range", len(s))
+	}
+	labels := strings.Split(strings.ToLower(s), ".")
+	if len(labels) < 2 {
+		return fmt.Errorf("identity: handle %q needs at least two labels", s)
+	}
+	for _, l := range labels {
+		if len(l) == 0 || len(l) > 63 {
+			return fmt.Errorf("identity: handle label %q length out of range", l)
+		}
+		if !handleLabelRe.MatchString(l) {
+			return fmt.Errorf("identity: invalid handle label %q", l)
+		}
+	}
+	return nil
+}
+
+// ParseHandle validates and normalizes (lowercases) a handle.
+func ParseHandle(s string) (Handle, error) {
+	if err := ValidateHandle(s); err != nil {
+		return "", err
+	}
+	return Handle(strings.ToLower(s)), nil
+}
+
+// String returns the textual handle.
+func (h Handle) String() string { return string(h) }
+
+// Domain returns the parent domain of the handle (everything after the
+// first label), e.g. "bsky.social" for "alice.bsky.social".
+func (h Handle) Domain() string {
+	if i := strings.IndexByte(string(h), '.'); i >= 0 {
+		return string(h)[i+1:]
+	}
+	return string(h)
+}
+
+// TXTRecordName returns the DNS name holding the handle's ownership
+// proof: _atproto.<handle>.
+func (h Handle) TXTRecordName() string { return "_atproto." + string(h) }
+
+// WellKnownPath is the HTTPS path of the alternative ownership proof.
+const WellKnownPath = "/.well-known/atproto-did"
+
+// DIDDocPath is the did:web document location.
+const DIDDocPath = "/.well-known/did.json"
+
+// URI is an at:// URI identifying a record:
+// at://<did>/<collection>/<rkey>.
+type URI struct {
+	DID        DID
+	Collection string
+	RKey       string
+}
+
+// ParseURI parses an at:// URI.
+func ParseURI(s string) (URI, error) {
+	const scheme = "at://"
+	if !strings.HasPrefix(s, scheme) {
+		return URI{}, fmt.Errorf("identity: not an at:// URI: %q", s)
+	}
+	rest := s[len(scheme):]
+	parts := strings.Split(rest, "/")
+	if len(parts) != 3 {
+		return URI{}, fmt.Errorf("identity: at:// URI needs did/collection/rkey: %q", s)
+	}
+	did, err := ParseDID(parts[0])
+	if err != nil {
+		return URI{}, err
+	}
+	if parts[1] == "" || parts[2] == "" {
+		return URI{}, fmt.Errorf("identity: empty collection or rkey in %q", s)
+	}
+	return URI{DID: did, Collection: parts[1], RKey: parts[2]}, nil
+}
+
+// String renders the at:// form.
+func (u URI) String() string {
+	return "at://" + string(u.DID) + "/" + u.Collection + "/" + u.RKey
+}
+
+// RepoPath returns the repository key "collection/rkey".
+func (u URI) RepoPath() string { return u.Collection + "/" + u.RKey }
+
+// ServiceEndpoint describes one service entry in a DID document.
+type ServiceEndpoint struct {
+	ID       string `cbor:"id" json:"id"`
+	Type     string `cbor:"type" json:"type"`
+	Endpoint string `cbor:"serviceEndpoint" json:"serviceEndpoint"`
+}
+
+// Well-known service IDs used by atproto DID documents.
+const (
+	ServiceIDPDS     = "#atproto_pds"
+	ServiceIDLabeler = "#atproto_labeler"
+	ServiceTypePDS   = "AtprotoPersonalDataServer"
+	ServiceTypeLabel = "AtprotoLabeler"
+)
+
+// VerificationMethod holds a public signing key in a DID document.
+type VerificationMethod struct {
+	ID                 string `cbor:"id" json:"id"`
+	Type               string `cbor:"type" json:"type"`
+	Controller         string `cbor:"controller" json:"controller"`
+	PublicKeyMultibase string `cbor:"publicKeyMultibase" json:"publicKeyMultibase"`
+}
+
+// Document is a DID document: the service record binding a DID to its
+// handle, PDS endpoint, and signing keys (§2).
+type Document struct {
+	ID                 DID                  `cbor:"id" json:"id"`
+	AlsoKnownAs        []string             `cbor:"alsoKnownAs" json:"alsoKnownAs"`
+	VerificationMethod []VerificationMethod `cbor:"verificationMethod" json:"verificationMethod"`
+	Service            []ServiceEndpoint    `cbor:"service" json:"service"`
+}
+
+// Handle extracts the primary handle from alsoKnownAs ("at://<handle>"
+// entries), or "" if none is present.
+func (doc *Document) Handle() Handle {
+	for _, aka := range doc.AlsoKnownAs {
+		if h, ok := strings.CutPrefix(aka, "at://"); ok {
+			return Handle(h)
+		}
+	}
+	return ""
+}
+
+// PDSEndpoint returns the personal data server endpoint, or "".
+func (doc *Document) PDSEndpoint() string { return doc.serviceEndpoint(ServiceIDPDS) }
+
+// LabelerEndpoint returns the labeler service endpoint, or "".
+func (doc *Document) LabelerEndpoint() string { return doc.serviceEndpoint(ServiceIDLabeler) }
+
+func (doc *Document) serviceEndpoint(id string) string {
+	for _, s := range doc.Service {
+		if s.ID == id {
+			return s.Endpoint
+		}
+	}
+	return ""
+}
+
+// SetService adds or replaces a service entry.
+func (doc *Document) SetService(id, typ, endpoint string) {
+	for i, s := range doc.Service {
+		if s.ID == id {
+			doc.Service[i] = ServiceEndpoint{ID: id, Type: typ, Endpoint: endpoint}
+			return
+		}
+	}
+	doc.Service = append(doc.Service, ServiceEndpoint{ID: id, Type: typ, Endpoint: endpoint})
+}
+
+// SetHandle replaces the primary handle in alsoKnownAs.
+func (doc *Document) SetHandle(h Handle) {
+	aka := "at://" + string(h)
+	for i, s := range doc.AlsoKnownAs {
+		if strings.HasPrefix(s, "at://") {
+			doc.AlsoKnownAs[i] = aka
+			return
+		}
+	}
+	doc.AlsoKnownAs = append(doc.AlsoKnownAs, aka)
+}
+
+// SigningKey returns the document's first verification key, decoded.
+func (doc *Document) SigningKey() (ed25519.PublicKey, error) {
+	if len(doc.VerificationMethod) == 0 {
+		return nil, errors.New("identity: document has no verification method")
+	}
+	return DecodePublicKeyMultibase(doc.VerificationMethod[0].PublicKeyMultibase)
+}
+
+// KeyPair wraps an ed25519 signing key used for repo commits and PLC
+// operations.
+type KeyPair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewKeyPairFromSeed derives a deterministic key pair from a 32-byte
+// seed. Deterministic keys keep the synthetic world reproducible.
+func NewKeyPairFromSeed(seed []byte) (*KeyPair, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("identity: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &KeyPair{pub: priv.Public().(ed25519.PublicKey), priv: priv}, nil
+}
+
+// DeriveKeyPair derives a key pair from an arbitrary label by hashing
+// it to a seed; convenient for simulated accounts.
+func DeriveKeyPair(label string) *KeyPair {
+	seed := sha256.Sum256([]byte("blueskies-key:" + label))
+	kp, err := NewKeyPairFromSeed(seed[:])
+	if err != nil {
+		panic(err) // unreachable: seed is always 32 bytes
+	}
+	return kp
+}
+
+// Public returns the public key.
+func (k *KeyPair) Public() ed25519.PublicKey { return k.pub }
+
+// Sign signs msg.
+func (k *KeyPair) Sign(msg []byte) []byte { return ed25519.Sign(k.priv, msg) }
+
+// PublicMultibase renders the public key in multibase form ("z" +
+// base32 here; the real network uses base58btc, which stdlib lacks —
+// the prefix semantics are what matters).
+func (k *KeyPair) PublicMultibase() string { return EncodePublicKeyMultibase(k.pub) }
+
+// VerificationMethod renders the key as a DID-document entry.
+func (k *KeyPair) VerificationMethod(controller DID) VerificationMethod {
+	return VerificationMethod{
+		ID:                 string(controller) + "#atproto",
+		Type:               "Multikey",
+		Controller:         string(controller),
+		PublicKeyMultibase: k.PublicMultibase(),
+	}
+}
+
+// EncodePublicKeyMultibase encodes an ed25519 public key.
+func EncodePublicKeyMultibase(pub ed25519.PublicKey) string {
+	return "z" + base32Sortable.EncodeToString(pub)
+}
+
+// DecodePublicKeyMultibase reverses EncodePublicKeyMultibase.
+func DecodePublicKeyMultibase(s string) (ed25519.PublicKey, error) {
+	if len(s) < 2 || s[0] != 'z' {
+		return nil, fmt.Errorf("identity: bad multibase key %q", s)
+	}
+	raw, err := base32Sortable.DecodeString(s[1:])
+	if err != nil {
+		return nil, fmt.Errorf("identity: bad multibase key: %w", err)
+	}
+	if len(raw) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("identity: key length %d", len(raw))
+	}
+	return ed25519.PublicKey(raw), nil
+}
+
+// Verify checks an ed25519 signature.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}

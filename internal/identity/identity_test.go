@@ -1,0 +1,266 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseDIDPLC(t *testing.T) {
+	d, err := ParseDID("did:plc:ewvi7nxzyoun6zhxrhs64oiz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method() != MethodPLC {
+		t.Fatalf("method = %q", d.Method())
+	}
+	if d.Suffix() != "ewvi7nxzyoun6zhxrhs64oiz" {
+		t.Fatalf("suffix = %q", d.Suffix())
+	}
+}
+
+func TestParseDIDWeb(t *testing.T) {
+	d, err := ParseDID("did:web:example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method() != MethodWeb {
+		t.Fatalf("method = %q", d.Method())
+	}
+}
+
+func TestParseDIDErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"did:plc:",
+		"did:plc:SHOUTING24CHARSAAAAAAAAA",
+		"did:plc:short",
+		"did:web:nodots",
+		"did:key:z6Mk",
+		"plc:abcdefghijklmnopqrstuvwx",
+	}
+	for _, s := range bad {
+		if _, err := ParseDID(s); err == nil {
+			t.Errorf("ParseDID(%q): expected error", s)
+		}
+	}
+}
+
+func TestPLCFromGenesisShape(t *testing.T) {
+	d := PLCFromGenesis([]byte("genesis operation bytes"))
+	if _, err := ParseDID(string(d)); err != nil {
+		t.Fatalf("derived DID invalid: %v", err)
+	}
+	if d2 := PLCFromGenesis([]byte("genesis operation bytes")); d2 != d {
+		t.Fatal("derivation not deterministic")
+	}
+	if d3 := PLCFromGenesis([]byte("other")); d3 == d {
+		t.Fatal("different genesis produced same DID")
+	}
+}
+
+func TestHandleValidation(t *testing.T) {
+	good := []string{"alice.bsky.social", "example.com", "a-b.example.co.uk", "x1.y2.z3"}
+	for _, h := range good {
+		if err := ValidateHandle(h); err != nil {
+			t.Errorf("ValidateHandle(%q): %v", h, err)
+		}
+	}
+	bad := []string{"", "nolabels", ".example.com", "ex..com", "-bad.example.com",
+		"bad-.example.com", strings.Repeat("a", 64) + ".com", "under_score.com"}
+	for _, h := range bad {
+		if err := ValidateHandle(h); err == nil {
+			t.Errorf("ValidateHandle(%q): expected error", h)
+		}
+	}
+}
+
+func TestHandleNormalization(t *testing.T) {
+	h, err := ParseHandle("Alice.BSKY.Social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != "alice.bsky.social" {
+		t.Fatalf("handle = %q", h)
+	}
+	if h.Domain() != "bsky.social" {
+		t.Fatalf("domain = %q", h.Domain())
+	}
+	if h.TXTRecordName() != "_atproto.alice.bsky.social" {
+		t.Fatalf("txt name = %q", h.TXTRecordName())
+	}
+}
+
+func TestURIRoundTrip(t *testing.T) {
+	s := "at://did:plc:ewvi7nxzyoun6zhxrhs64oiz/app.bsky.feed.post/3kdgeujwlq32y"
+	u, err := ParseURI(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Collection != "app.bsky.feed.post" || u.RKey != "3kdgeujwlq32y" {
+		t.Fatalf("parsed %+v", u)
+	}
+	if u.String() != s {
+		t.Fatalf("round trip: %q", u.String())
+	}
+	if u.RepoPath() != "app.bsky.feed.post/3kdgeujwlq32y" {
+		t.Fatalf("repo path: %q", u.RepoPath())
+	}
+}
+
+func TestURIErrors(t *testing.T) {
+	bad := []string{
+		"http://example.com",
+		"at://did:plc:ewvi7nxzyoun6zhxrhs64oiz",
+		"at://did:plc:ewvi7nxzyoun6zhxrhs64oiz/coll",
+		"at://did:plc:ewvi7nxzyoun6zhxrhs64oiz//rkey",
+		"at://notadid/coll/rkey",
+	}
+	for _, s := range bad {
+		if _, err := ParseURI(s); err == nil {
+			t.Errorf("ParseURI(%q): expected error", s)
+		}
+	}
+}
+
+func TestDocumentAccessors(t *testing.T) {
+	kp := DeriveKeyPair("alice")
+	doc := Document{ID: "did:plc:abcdefghijklmnopqrstuvwx"}
+	doc.SetHandle("alice.bsky.social")
+	doc.SetService(ServiceIDPDS, ServiceTypePDS, "http://pds.example")
+	doc.VerificationMethod = []VerificationMethod{kp.VerificationMethod(doc.ID)}
+
+	if doc.Handle() != "alice.bsky.social" {
+		t.Fatalf("handle = %q", doc.Handle())
+	}
+	if doc.PDSEndpoint() != "http://pds.example" {
+		t.Fatalf("pds = %q", doc.PDSEndpoint())
+	}
+	if doc.LabelerEndpoint() != "" {
+		t.Fatalf("unexpected labeler endpoint")
+	}
+
+	doc.SetHandle("alice.example.com")
+	if doc.Handle() != "alice.example.com" {
+		t.Fatalf("handle after update = %q", doc.Handle())
+	}
+	if len(doc.AlsoKnownAs) != 1 {
+		t.Fatalf("SetHandle must replace, got %v", doc.AlsoKnownAs)
+	}
+
+	doc.SetService(ServiceIDPDS, ServiceTypePDS, "http://pds2.example")
+	if doc.PDSEndpoint() != "http://pds2.example" || len(doc.Service) != 1 {
+		t.Fatalf("SetService must replace, got %v", doc.Service)
+	}
+
+	pub, err := doc.SigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("commit bytes")
+	if !Verify(pub, msg, kp.Sign(msg)) {
+		t.Fatal("signature did not verify")
+	}
+}
+
+func TestKeyPairDeterminism(t *testing.T) {
+	a := DeriveKeyPair("label")
+	b := DeriveKeyPair("label")
+	if a.PublicMultibase() != b.PublicMultibase() {
+		t.Fatal("DeriveKeyPair not deterministic")
+	}
+	c := DeriveKeyPair("other")
+	if a.PublicMultibase() == c.PublicMultibase() {
+		t.Fatal("distinct labels produced same key")
+	}
+}
+
+func TestMultibaseKeyRoundTrip(t *testing.T) {
+	kp := DeriveKeyPair("mb")
+	enc := kp.PublicMultibase()
+	pub, err := DecodePublicKeyMultibase(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(kp.Public()) {
+		t.Fatal("multibase round trip mismatch")
+	}
+	if _, err := DecodePublicKeyMultibase("not-multibase"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTIDRoundTrip(t *testing.T) {
+	ts := time.Date(2024, 4, 24, 12, 30, 45, 123456000, time.UTC)
+	tid := NewTID(ts, 7)
+	if len(tid) != 13 {
+		t.Fatalf("TID length %d", len(tid))
+	}
+	if _, err := ParseTID(string(tid)); err != nil {
+		t.Fatal(err)
+	}
+	if !tid.Time().Equal(ts) {
+		t.Fatalf("time round trip: %v vs %v", tid.Time(), ts)
+	}
+	if tid.ClockID() != 7 {
+		t.Fatalf("clock id = %d", tid.ClockID())
+	}
+}
+
+func TestTIDSortableByTime(t *testing.T) {
+	base := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	prev := NewTID(base, 0)
+	for i := 1; i < 1000; i++ {
+		next := NewTID(base.Add(time.Duration(i)*time.Millisecond), 0)
+		if !prev.Less(next) {
+			t.Fatalf("TIDs not sorted at step %d: %s >= %s", i, prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestTIDQuickOrdering(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ta := time.Unix(int64(a), 0)
+		tb := time.Unix(int64(b), 0)
+		tidA, tidB := NewTID(ta, 1), NewTID(tb, 1)
+		switch {
+		case a < b:
+			return tidA.Less(tidB)
+		case a > b:
+			return tidB.Less(tidA)
+		default:
+			return tidA == tidB
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTIDClockMonotonic(t *testing.T) {
+	clock := NewTIDClock(3)
+	same := time.Date(2024, 3, 6, 0, 0, 0, 0, time.UTC)
+	prev := clock.Next(same)
+	for i := 0; i < 100; i++ {
+		next := clock.Next(same) // identical timestamp every call
+		if !prev.Less(next) {
+			t.Fatalf("clock not monotonic: %s then %s", prev, next)
+		}
+		prev = next
+	}
+	// A rewound wall clock must still move forward.
+	rewound := clock.Next(same.Add(-time.Hour))
+	if !prev.Less(rewound) {
+		t.Fatalf("clock went backwards: %s then %s", prev, rewound)
+	}
+}
+
+func TestParseTIDErrors(t *testing.T) {
+	for _, s := range []string{"", "short", "3kdgeujwlq32y9", "3kdgeujwlq32!", "zzzzzzzzzzzzz"} {
+		if _, err := ParseTID(s); err == nil {
+			t.Errorf("ParseTID(%q): expected error", s)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package identity
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TID is a timestamp identifier: the 13-character, base32-sortable
+// record key format used for atproto records (e.g. 3kdgeujwlq32y).
+// A TID encodes 53 bits of microseconds since the Unix epoch and a
+// 10-bit clock identifier, so lexicographic order equals time order.
+type TID string
+
+const tidAlphabet = "234567abcdefghijklmnopqrstuvwxyz"
+
+var tidReverse = func() [256]int8 {
+	var t [256]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for i := 0; i < len(tidAlphabet); i++ {
+		t[tidAlphabet[i]] = int8(i)
+	}
+	return t
+}()
+
+// NewTID builds a TID from a timestamp and a clock ID (0–1023).
+func NewTID(ts time.Time, clockID uint16) TID {
+	micros := uint64(ts.UnixMicro()) & ((1 << 53) - 1)
+	v := micros<<10 | uint64(clockID&0x3ff)
+	var b [13]byte
+	for i := 12; i >= 0; i-- {
+		b[i] = tidAlphabet[v&0x1f]
+		v >>= 5
+	}
+	return TID(b[:])
+}
+
+// ParseTID validates a TID string.
+func ParseTID(s string) (TID, error) {
+	if len(s) != 13 {
+		return "", fmt.Errorf("identity: TID must be 13 chars, got %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if tidReverse[s[i]] < 0 {
+			return "", fmt.Errorf("identity: invalid TID char %q", s[i])
+		}
+	}
+	// The top bit must be zero (53-bit microsecond range).
+	if tidReverse[s[0]] >= 16 {
+		return "", fmt.Errorf("identity: TID high bit set: %q", s)
+	}
+	return TID(s), nil
+}
+
+// Time recovers the timestamp encoded in the TID.
+func (t TID) Time() time.Time {
+	var v uint64
+	for i := 0; i < len(t); i++ {
+		v = v<<5 | uint64(tidReverse[t[i]])
+	}
+	return time.UnixMicro(int64(v >> 10)).UTC()
+}
+
+// ClockID recovers the clock identifier encoded in the TID.
+func (t TID) ClockID() uint16 {
+	var v uint64
+	for i := 0; i < len(t); i++ {
+		v = v<<5 | uint64(tidReverse[t[i]])
+	}
+	return uint16(v & 0x3ff)
+}
+
+// String returns the textual TID.
+func (t TID) String() string { return string(t) }
+
+// Less orders TIDs; because the encoding is base32-sortable this is
+// plain string comparison.
+func (t TID) Less(o TID) bool { return strings.Compare(string(t), string(o)) < 0 }
+
+// TIDClock issues strictly monotonic TIDs even when the underlying
+// clock is coarse or rewinds; safe for concurrent use.
+type TIDClock struct {
+	mu      sync.Mutex
+	clockID uint16
+	last    uint64 // last issued microsecond value
+}
+
+// NewTIDClock creates a clock with the given 10-bit clock identifier.
+func NewTIDClock(clockID uint16) *TIDClock {
+	return &TIDClock{clockID: clockID & 0x3ff}
+}
+
+// Next issues a TID for the given timestamp, bumping by one microsecond
+// whenever the timestamp would not be strictly greater than the last.
+func (c *TIDClock) Next(ts time.Time) TID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	micros := uint64(ts.UnixMicro())
+	if micros <= c.last {
+		micros = c.last + 1
+	}
+	c.last = micros
+	return NewTID(time.UnixMicro(int64(micros)), c.clockID)
+}

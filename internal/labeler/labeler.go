@@ -1,0 +1,321 @@
+// Package labeler implements Labelers: services that attach short
+// textual labels to network objects (posts, accounts, profile media),
+// publish them on an open stream, and can rescind them by negation
+// (§2 and §6 of the paper).
+//
+// A labeler is itself a regular account: it declares its label values
+// in an app.bsky.labeler.service record in its repository and lists a
+// labeler service endpoint in its DID document. The endpoint serves
+// com.atproto.label.subscribeLabels (full-history backfill — the
+// paper's crawler consumes every stream from sequence zero) and
+// com.atproto.label.queryLabels.
+package labeler
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/pds"
+	"blueskies/internal/xrpc"
+)
+
+// Hardcoded label values with special behaviour (§6.2). The "!" values
+// are valid only from the official Bluesky labeler; porn/sexual/
+// graphic-media gate under-18 access regardless of source.
+const (
+	LabelTakedown = "!takedown"
+	LabelHide     = "!hide"
+	LabelWarn     = "!warn"
+	LabelPorn     = "porn"
+	LabelSexual   = "sexual"
+	LabelGraphic  = "graphic-media"
+)
+
+// ReservedLabel reports whether val is a reserved ("!…") value.
+func ReservedLabel(val string) bool { return strings.HasPrefix(val, "!") }
+
+// AdultContentLabel reports whether val has hardcoded age-gating.
+func AdultContentLabel(val string) bool {
+	return val == LabelPorn || val == LabelSexual || val == LabelGraphic
+}
+
+// Service is one labeler.
+type Service struct {
+	did    identity.DID
+	values []string
+	clock  func() time.Time
+
+	mu     sync.RWMutex
+	labels []events.Label
+	// active tracks current (uri,val) applications for negation
+	// bookkeeping.
+	active map[string]bool
+
+	seq  *events.Sequencer
+	mux  *xrpc.Mux
+	http *http.Server
+	base string
+}
+
+// Config configures a labeler service.
+type Config struct {
+	// DID is the labeler's account DID.
+	DID identity.DID
+	// Values declares the label values the service emits.
+	Values []string
+	// Clock supplies timestamps; time.Now if nil.
+	Clock func() time.Time
+}
+
+// New creates a labeler service.
+func New(cfg Config) *Service {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Service{
+		did:    cfg.DID,
+		values: append([]string(nil), cfg.Values...),
+		clock:  clock,
+		active: make(map[string]bool),
+		seq:    events.NewSequencer(0, 0), // full history, as the paper's crawl relies on
+	}
+	s.seq.SetClock(clock)
+	s.mux = xrpc.NewMux()
+	s.register()
+	return s
+}
+
+// DID returns the labeler's identity.
+func (s *Service) DID() identity.DID { return s.did }
+
+// Values returns the declared label values.
+func (s *Service) Values() []string { return append([]string(nil), s.values...) }
+
+// Start begins serving the label stream on a loopback port.
+func (s *Service) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.base = "http://" + ln.Addr().String()
+	s.http = &http.Server{Handler: s.mux}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// URL returns the service endpoint ("" before Start).
+func (s *Service) URL() string { return s.base }
+
+// Close stops the service.
+func (s *Service) Close() error {
+	if s.http != nil {
+		return s.http.Close()
+	}
+	return nil
+}
+
+func key(uri, val string) string { return uri + "\x00" + val }
+
+// declared reports whether the service declared val.
+func (s *Service) declared(val string) bool {
+	for _, v := range s.values {
+		if v == val {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply attaches val to the object at uri (an at:// URI or a bare DID
+// for account-level labels). Undeclared values are rejected: labelers
+// must provide descriptive metadata for every value they emit (§6.2).
+func (s *Service) Apply(uri, val string) (events.Label, error) {
+	return s.ApplyAt(uri, val, s.clock())
+}
+
+// ApplyAt is Apply with an explicit timestamp (virtual-time worlds).
+func (s *Service) ApplyAt(uri, val string, at time.Time) (events.Label, error) {
+	if !s.declared(val) {
+		return events.Label{}, fmt.Errorf("labeler: value %q not declared by %s", val, s.did)
+	}
+	label := events.Label{Src: string(s.did), URI: uri, Val: val, CTS: events.FormatTime(at)}
+	s.emit(label)
+	return label, nil
+}
+
+// Negate rescinds a previously applied label by publishing the same
+// (uri,val) with the negation mark.
+func (s *Service) Negate(uri, val string) (events.Label, error) {
+	return s.NegateAt(uri, val, s.clock())
+}
+
+// NegateAt is Negate with an explicit timestamp.
+func (s *Service) NegateAt(uri, val string, at time.Time) (events.Label, error) {
+	s.mu.RLock()
+	applied := s.active[key(uri, val)]
+	s.mu.RUnlock()
+	if !applied {
+		return events.Label{}, fmt.Errorf("labeler: %q not currently applied to %s", val, uri)
+	}
+	label := events.Label{Src: string(s.did), URI: uri, Val: val, Neg: true, CTS: events.FormatTime(at)}
+	s.emit(label)
+	return label, nil
+}
+
+func (s *Service) emit(label events.Label) {
+	s.mu.Lock()
+	s.labels = append(s.labels, label)
+	if label.Neg {
+		delete(s.active, key(label.URI, label.Val))
+	} else {
+		s.active[key(label.URI, label.Val)] = true
+	}
+	s.mu.Unlock()
+	_, _ = s.seq.Emit(func(seq int64) any {
+		return &events.Labels{Seq: seq, Labels: []events.Label{label}}
+	})
+}
+
+// All returns every label ever emitted (including negations).
+func (s *Service) All() []events.Label {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]events.Label(nil), s.labels...)
+}
+
+// ActiveOn returns the currently applied values on uri.
+func (s *Service) ActiveOn(uri string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.active {
+		parts := strings.SplitN(k, "\x00", 2)
+		if parts[0] == uri {
+			out = append(out, parts[1])
+		}
+	}
+	return out
+}
+
+func (s *Service) register() {
+	s.mux.Stream("com.atproto.label.subscribeLabels", func(w http.ResponseWriter, r *http.Request) {
+		pds.ServeStream(s.seq, w, r)
+	})
+	s.mux.Query("com.atproto.label.queryLabels", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		uriPatterns := params["uriPatterns"]
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var out []events.Label
+		for _, l := range s.labels {
+			if len(uriPatterns) == 0 || matchAny(l.URI, uriPatterns) {
+				out = append(out, l)
+			}
+		}
+		return map[string]any{"labels": out}, nil
+	})
+}
+
+func matchAny(uri string, patterns []string) bool {
+	for _, p := range patterns {
+		if base, ok := strings.CutSuffix(p, "*"); ok {
+			if strings.HasPrefix(uri, base) {
+				return true
+			}
+		} else if uri == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Visibility is a user's configured reaction to a label (§2, User
+// Preferences): ignore, warn, or hide.
+type Visibility string
+
+// Reactions a user can configure per label value.
+const (
+	Ignore Visibility = "ignore"
+	Warn   Visibility = "warn"
+	Hide   Visibility = "hide"
+)
+
+// Preferences is a user's private moderation policy: which labelers
+// they subscribe to and how to react to each label value.
+type Preferences struct {
+	// Subscriptions maps labeler DIDs the user trusts.
+	Subscriptions map[string]bool
+	// Reactions maps label value → visibility; unlisted values are
+	// ignored.
+	Reactions map[string]Visibility
+	// Adult indicates an 18+ account; when false, adult-content
+	// labels always hide (hardcoded behaviour).
+	Adult bool
+}
+
+// DefaultPreferences subscribes only to the official labeler with
+// warn-on-NSFW defaults.
+func DefaultPreferences(officialDID identity.DID) Preferences {
+	return Preferences{
+		Subscriptions: map[string]bool{string(officialDID): true},
+		Reactions: map[string]Visibility{
+			LabelPorn:    Hide,
+			LabelSexual:  Warn,
+			LabelGraphic: Warn,
+		},
+	}
+}
+
+// Decide folds a set of labels on one object into the strictest
+// resulting visibility. Reserved labels from the official labeler are
+// hardcoded: !takedown and !hide always hide, !warn always warns.
+// Unsubscribing from the official labeler is not possible (§6.2), so
+// officialDID labels are always considered.
+func (p Preferences) Decide(labels []events.Label, officialDID identity.DID) Visibility {
+	result := Ignore
+	upgrade := func(v Visibility) {
+		switch {
+		case v == Hide:
+			result = Hide
+		case v == Warn && result == Ignore:
+			result = Warn
+		}
+	}
+	for _, l := range labels {
+		if l.Neg {
+			continue
+		}
+		official := l.Src == string(officialDID)
+		if !official && !p.Subscriptions[l.Src] {
+			continue
+		}
+		if ReservedLabel(l.Val) {
+			if !official {
+				continue // reserved values are valid only from the official labeler
+			}
+			switch l.Val {
+			case LabelTakedown, LabelHide:
+				upgrade(Hide)
+			case LabelWarn:
+				upgrade(Warn)
+			}
+			continue
+		}
+		if AdultContentLabel(l.Val) && !p.Adult {
+			upgrade(Hide) // under-18 hardcoded gate
+			continue
+		}
+		if v, ok := p.Reactions[l.Val]; ok {
+			upgrade(v)
+		}
+	}
+	return result
+}

@@ -1,0 +1,261 @@
+package labeler
+
+import (
+	"context"
+	"net/url"
+	"sort"
+	"testing"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/xrpc"
+)
+
+var ts = time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func newService(t *testing.T, values ...string) *Service {
+	t.Helper()
+	if values == nil {
+		values = []string{"spam", "porn", "no-alt-text"}
+	}
+	did := identity.PLCFromGenesis([]byte("labeler-" + values[0]))
+	return New(Config{DID: did, Values: values, Clock: func() time.Time { return ts }})
+}
+
+const postURI = "at://did:plc:abcdefghijklmnopqrstuvwx/app.bsky.feed.post/3kaaaaaaaaaa2"
+
+func TestApplyAndActive(t *testing.T) {
+	s := newService(t)
+	l, err := s.Apply(postURI, "spam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Src != string(s.DID()) || l.Neg {
+		t.Fatalf("label = %+v", l)
+	}
+	active := s.ActiveOn(postURI)
+	if len(active) != 1 || active[0] != "spam" {
+		t.Fatalf("active = %v", active)
+	}
+}
+
+func TestUndeclaredValueRejected(t *testing.T) {
+	s := newService(t)
+	if _, err := s.Apply(postURI, "undeclared-label"); err == nil {
+		t.Fatal("undeclared value must be rejected")
+	}
+}
+
+func TestNegation(t *testing.T) {
+	s := newService(t)
+	if _, err := s.Apply(postURI, "spam"); err != nil {
+		t.Fatal(err)
+	}
+	neg, err := s.Negate(postURI, "spam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neg.Neg {
+		t.Fatal("negation must carry the neg mark")
+	}
+	if got := s.ActiveOn(postURI); len(got) != 0 {
+		t.Fatalf("active after negation = %v", got)
+	}
+	// History keeps both events (the paper counts 23,394 rescinded
+	// labels — they stay in the stream).
+	if len(s.All()) != 2 {
+		t.Fatalf("history = %d entries", len(s.All()))
+	}
+	// Negating an un-applied label fails.
+	if _, err := s.Negate(postURI, "spam"); err == nil {
+		t.Fatal("double negation must fail")
+	}
+}
+
+func TestAccountLevelLabels(t *testing.T) {
+	s := newService(t)
+	did := "did:plc:abcdefghijklmnopqrstuvwx"
+	if _, err := s.Apply(did, "spam"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveOn(did); len(got) != 1 {
+		t.Fatalf("active = %v", got)
+	}
+}
+
+func TestSubscribeLabelsFullBackfill(t *testing.T) {
+	s := newService(t)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Emit labels BEFORE subscribing: the stream must backfill all
+	// history (the paper collects labels emitted before its
+	// collection period).
+	_, _ = s.Apply(postURI, "spam")
+	_, _ = s.Apply(postURI, "porn")
+	_, _ = s.Negate(postURI, "spam")
+
+	sub, err := events.Subscribe(s.URL(), "com.atproto.label.subscribeLabels", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var got []events.Label
+	for i := 0; i < 3; i++ {
+		ev, err := sub.NextTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, ok := ev.(*events.Labels)
+		if !ok {
+			t.Fatalf("event = %#v", ev)
+		}
+		got = append(got, frame.Labels...)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d labels", len(got))
+	}
+	if !got[2].Neg {
+		t.Fatal("third label must be the negation")
+	}
+}
+
+func TestQueryLabels(t *testing.T) {
+	s := newService(t)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, _ = s.Apply(postURI, "spam")
+	_, _ = s.Apply("did:plc:other123other123other123", "porn")
+
+	client := xrpc.NewClient(s.URL())
+	var out struct {
+		Labels []events.Label `json:"labels"`
+	}
+	err := client.Query(context.Background(), "com.atproto.label.queryLabels",
+		url.Values{"uriPatterns": {postURI}}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Labels) != 1 || out.Labels[0].Val != "spam" {
+		t.Fatalf("labels = %+v", out.Labels)
+	}
+	// Prefix pattern.
+	out.Labels = nil
+	err = client.Query(context.Background(), "com.atproto.label.queryLabels",
+		url.Values{"uriPatterns": {"at://did:plc:abcdefghijklmnopqrstuvwx/*"}}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Labels) != 1 {
+		t.Fatalf("prefix match labels = %+v", out.Labels)
+	}
+}
+
+func TestReservedAndAdultHelpers(t *testing.T) {
+	if !ReservedLabel("!takedown") || ReservedLabel("porn") {
+		t.Fatal("ReservedLabel wrong")
+	}
+	if !AdultContentLabel("porn") || !AdultContentLabel("sexual") || AdultContentLabel("spam") {
+		t.Fatal("AdultContentLabel wrong")
+	}
+}
+
+func officialAndCommunity() (identity.DID, identity.DID) {
+	return identity.PLCFromGenesis([]byte("official")), identity.PLCFromGenesis([]byte("community"))
+}
+
+func TestDecideSubscriptionFiltering(t *testing.T) {
+	official, community := officialAndCommunity()
+	prefs := Preferences{
+		Subscriptions: map[string]bool{}, // not subscribed to community
+		Reactions:     map[string]Visibility{"spam": Hide},
+		Adult:         true,
+	}
+	labels := []events.Label{{Src: string(community), URI: postURI, Val: "spam"}}
+	if got := prefs.Decide(labels, official); got != Ignore {
+		t.Fatalf("unsubscribed labeler must be ignored, got %q", got)
+	}
+	prefs.Subscriptions[string(community)] = true
+	if got := prefs.Decide(labels, official); got != Hide {
+		t.Fatalf("subscribed labeler must apply, got %q", got)
+	}
+}
+
+func TestDecideOfficialAlwaysApplies(t *testing.T) {
+	official, _ := officialAndCommunity()
+	prefs := Preferences{Adult: true} // no subscriptions at all
+	labels := []events.Label{{Src: string(official), URI: postURI, Val: "!takedown"}}
+	if got := prefs.Decide(labels, official); got != Hide {
+		t.Fatalf("!takedown must hide, got %q", got)
+	}
+}
+
+func TestDecideReservedOnlyFromOfficial(t *testing.T) {
+	official, community := officialAndCommunity()
+	prefs := Preferences{
+		Subscriptions: map[string]bool{string(community): true},
+		Adult:         true,
+	}
+	labels := []events.Label{{Src: string(community), URI: postURI, Val: "!takedown"}}
+	if got := prefs.Decide(labels, official); got != Ignore {
+		t.Fatalf("reserved label from community labeler must be invalid, got %q", got)
+	}
+}
+
+func TestDecideAdultGate(t *testing.T) {
+	official, _ := officialAndCommunity()
+	minor := Preferences{Adult: false}
+	adult := Preferences{Adult: true, Reactions: map[string]Visibility{"porn": Warn}}
+	labels := []events.Label{{Src: string(official), URI: postURI, Val: "porn"}}
+	if got := minor.Decide(labels, official); got != Hide {
+		t.Fatalf("minor must have porn hidden, got %q", got)
+	}
+	if got := adult.Decide(labels, official); got != Warn {
+		t.Fatalf("adult with warn pref, got %q", got)
+	}
+}
+
+func TestDecideNegationClears(t *testing.T) {
+	official, _ := officialAndCommunity()
+	prefs := Preferences{Adult: true, Reactions: map[string]Visibility{"spam": Hide}}
+	labels := []events.Label{
+		{Src: string(official), URI: postURI, Val: "spam"},
+		{Src: string(official), URI: postURI, Val: "spam", Neg: true},
+	}
+	// Decide sees the raw event list; negated events don't act.
+	// (Callers resolve active state first; here only the non-neg
+	// application counts — strictest of remaining = Hide from the
+	// first event.)
+	if got := prefs.Decide(labels[1:], official); got != Ignore {
+		t.Fatalf("negation event alone must not act, got %q", got)
+	}
+}
+
+func TestDecideStrictestWins(t *testing.T) {
+	official, community := officialAndCommunity()
+	prefs := Preferences{
+		Subscriptions: map[string]bool{string(community): true},
+		Reactions:     map[string]Visibility{"a": Warn, "b": Hide},
+		Adult:         true,
+	}
+	labels := []events.Label{
+		{Src: string(community), URI: postURI, Val: "a"},
+		{Src: string(community), URI: postURI, Val: "b"},
+	}
+	if got := prefs.Decide(labels, official); got != Hide {
+		t.Fatalf("strictest must win, got %q", got)
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	s := newService(t, "zeta", "alpha")
+	vals := s.Values()
+	sort.Strings(vals)
+	if len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+}

@@ -1,0 +1,135 @@
+// Package langid is a lightweight language identifier standing in for
+// the langdetect library the paper used to classify Feed Generator
+// descriptions (§7) and to verify post language tags (§4).
+//
+// Classification combines Unicode script detection (Japanese and
+// Korean are script-identified) with stopword scoring for the Latin
+// languages the paper charts: English, German, Portuguese, French,
+// Spanish, and Dutch.
+package langid
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lang is an ISO-639-1 language code.
+type Lang string
+
+// Languages the classifier can report, matching the paper's Figure 2.
+const (
+	English    Lang = "en"
+	Japanese   Lang = "ja"
+	German     Lang = "de"
+	Portuguese Lang = "pt"
+	Korean     Lang = "ko"
+	French     Lang = "fr"
+	Spanish    Lang = "es"
+	Dutch      Lang = "nl"
+	Unknown    Lang = "und"
+)
+
+// stopwords maps each Latin-script language to high-frequency words.
+var stopwords = map[Lang][]string{
+	English:    {"the", "and", "for", "with", "this", "that", "you", "are", "from", "have", "all", "new", "posts", "feed", "about", "your", "what", "not"},
+	German:     {"der", "die", "das", "und", "ist", "nicht", "mit", "ein", "eine", "für", "auf", "von", "sie", "ich", "aus", "dem", "auch", "wir"},
+	Portuguese: {"que", "não", "uma", "para", "com", "por", "mais", "como", "dos", "você", "isso", "muito", "aqui", "tudo", "meu", "sua", "ele", "são"},
+	French:     {"les", "des", "est", "pas", "vous", "une", "sur", "avec", "pour", "qui", "dans", "mais", "tout", "ce", "je", "au", "du", "mes"},
+	Spanish:    {"que", "los", "las", "una", "por", "con", "para", "del", "está", "pero", "como", "más", "este", "todo", "ser", "son", "mi", "muy"},
+	Dutch:      {"het", "een", "van", "dat", "niet", "zijn", "voor", "met", "maar", "ook", "aan", "bij", "naar", "dan", "nog", "wel", "ik", "je"},
+}
+
+var stopwordIndex = func() map[string]map[Lang]bool {
+	idx := make(map[string]map[Lang]bool)
+	for lang, words := range stopwords {
+		for _, w := range words {
+			if idx[w] == nil {
+				idx[w] = make(map[Lang]bool)
+			}
+			idx[w][lang] = true
+		}
+	}
+	return idx
+}()
+
+// Detect classifies text, returning Unknown when no signal is strong
+// enough.
+func Detect(text string) Lang {
+	if lang := detectScript(text); lang != Unknown {
+		return lang
+	}
+	scores := map[Lang]int{}
+	words := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && r != '\''
+	})
+	total := 0
+	for _, w := range words {
+		if langs, ok := stopwordIndex[w]; ok {
+			for lang := range langs {
+				scores[lang]++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return Unknown
+	}
+	best, bestScore, secondScore := Unknown, 0, 0
+	// Iterate deterministically for stable tie-breaking.
+	for _, lang := range []Lang{English, German, Portuguese, French, Spanish, Dutch} {
+		if s := scores[lang]; s > bestScore {
+			best, secondScore, bestScore = lang, bestScore, s
+		} else if s > secondScore {
+			secondScore = s
+		}
+	}
+	// Require a clear margin: ties between Romance languages are
+	// common on short text.
+	if bestScore == 0 || bestScore == secondScore {
+		return Unknown
+	}
+	return best
+}
+
+// detectScript identifies script-distinct languages by rune classes.
+func detectScript(text string) Lang {
+	var ja, ko, latin, total int
+	for _, r := range text {
+		if unicode.IsSpace(r) || unicode.IsPunct(r) || unicode.IsDigit(r) {
+			continue
+		}
+		total++
+		switch {
+		case unicode.In(r, unicode.Hiragana, unicode.Katakana):
+			ja++
+		case unicode.In(r, unicode.Hangul):
+			ko++
+		case unicode.In(r, unicode.Han):
+			// Han alone is ambiguous (Chinese/Japanese); lean Japanese
+			// only when kana are also present, so count separately.
+		case unicode.In(r, unicode.Latin):
+			latin++
+		}
+	}
+	if total == 0 {
+		return Unknown
+	}
+	switch {
+	case ja*5 >= total: // ≥20 % kana → Japanese
+		return Japanese
+	case ko*5 >= total:
+		return Korean
+	}
+	_ = latin
+	return Unknown
+}
+
+// DetectTagged returns the self-assigned tag when present and
+// otherwise falls back to detection — mirroring how the paper uses
+// post language tags but verifies a sample by content.
+func DetectTagged(tag, text string) Lang {
+	if tag != "" {
+		return Lang(tag)
+	}
+	return Detect(text)
+}

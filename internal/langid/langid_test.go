@@ -1,0 +1,60 @@
+package langid
+
+import "testing"
+
+func TestDetectScriptLanguages(t *testing.T) {
+	cases := []struct {
+		text string
+		want Lang
+	}{
+		{"今日はラーメンを食べました。とても美味しかったです", Japanese},
+		{"안녕하세요 오늘 날씨가 좋네요", Korean},
+	}
+	for _, tc := range cases {
+		if got := Detect(tc.text); got != tc.want {
+			t.Errorf("Detect(%q) = %q, want %q", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestDetectLatinLanguages(t *testing.T) {
+	cases := []struct {
+		text string
+		want Lang
+	}{
+		{"the best feed for all the new posts about art and this community", English},
+		{"die besten Posts für die Community und das ist nicht alles", German},
+		{"uma feed para você com tudo isso que não pode perder aqui", Portuguese},
+		{"les meilleurs posts pour vous avec tout ce qui est dans le feed", French},
+	}
+	for _, tc := range cases {
+		if got := Detect(tc.text); got != tc.want {
+			t.Errorf("Detect(%q) = %q, want %q", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestDetectUnknown(t *testing.T) {
+	for _, text := range []string{"", "12345 !!!", "xkcd qwerty zxcvb"} {
+		if got := Detect(text); got != Unknown {
+			t.Errorf("Detect(%q) = %q, want unknown", text, got)
+		}
+	}
+}
+
+func TestDetectTagged(t *testing.T) {
+	if got := DetectTagged("ja", "anything"); got != Japanese {
+		t.Fatalf("tag must win: %q", got)
+	}
+	if got := DetectTagged("", "the new posts for the feed and all that"); got != English {
+		t.Fatalf("fallback detect: %q", got)
+	}
+}
+
+func TestMixedScriptPrefersKana(t *testing.T) {
+	// Japanese posts often mix Latin hashtags with kana text.
+	text := "ラーメン最高です #ramen #food"
+	if got := Detect(text); got != Japanese {
+		t.Fatalf("Detect(%q) = %q", text, got)
+	}
+}

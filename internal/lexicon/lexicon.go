@@ -1,0 +1,284 @@
+// Package lexicon defines the record schemas exchanged on the
+// network: NSID validation and constructors/parsers for the app.bsky
+// and com.atproto record types the paper's dataset contains (posts,
+// likes, reposts, follows, blocks, profiles, feed generator
+// declarations, labeler service declarations), plus a non-Bluesky
+// lexicon (com.whtwnd.blog.entry) exercising the paper's §4
+// "Non-Bluesky content" finding.
+//
+// ATProto lexicons are JSON schema documents; here each type is a Go
+// constructor producing the canonical record map, which keeps the
+// wire format (deterministic DAG-CBOR) decoupled from Go structs.
+package lexicon
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Record collection NSIDs used throughout the system.
+const (
+	Post           = "app.bsky.feed.post"
+	Like           = "app.bsky.feed.like"
+	Repost         = "app.bsky.feed.repost"
+	Follow         = "app.bsky.graph.follow"
+	Block          = "app.bsky.graph.block"
+	Profile        = "app.bsky.actor.profile"
+	FeedGenerator  = "app.bsky.feed.generator"
+	LabelerService = "app.bsky.labeler.service"
+	// WhiteWindEntry is a non-Bluesky lexicon observed in the firehose
+	// (long-form blogging on atproto, §4).
+	WhiteWindEntry = "com.whtwnd.blog.entry"
+)
+
+var nsidRe = regexp.MustCompile(`^[a-z]([a-z0-9-]*[a-z0-9])?(\.[a-z]([a-z0-9-]*[a-z0-9])?)+\.[a-zA-Z]([a-zA-Z0-9]*)$`)
+
+// ValidateNSID checks the namespaced identifier grammar: at least
+// three dot-separated segments, reverse-DNS style.
+func ValidateNSID(nsid string) error {
+	if len(nsid) > 317 {
+		return fmt.Errorf("lexicon: NSID too long: %d", len(nsid))
+	}
+	if strings.Count(nsid, ".") < 2 {
+		return fmt.Errorf("lexicon: NSID needs ≥3 segments: %q", nsid)
+	}
+	if !nsidRe.MatchString(nsid) {
+		return fmt.Errorf("lexicon: invalid NSID %q", nsid)
+	}
+	return nil
+}
+
+// IsBlueskyLexicon reports whether the collection belongs to the
+// Bluesky application namespaces (app.bsky.* / com.atproto.*) — the
+// paper counts everything else as "non-Bluesky content".
+func IsBlueskyLexicon(collection string) bool {
+	return strings.HasPrefix(collection, "app.bsky.") ||
+		strings.HasPrefix(collection, "com.atproto.")
+}
+
+// TimeFormat is the RFC 3339 profile used in record timestamps.
+const TimeFormat = "2006-01-02T15:04:05.000Z"
+
+// FormatTime renders a record timestamp.
+func FormatTime(t time.Time) string { return t.UTC().Format(TimeFormat) }
+
+// ParseTime parses a record timestamp, accepting RFC 3339 variants.
+func ParseTime(s string) (time.Time, error) {
+	for _, layout := range []string{TimeFormat, time.RFC3339, time.RFC3339Nano} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("lexicon: bad timestamp %q", s)
+}
+
+// NewPost builds an app.bsky.feed.post record. langs may be empty.
+func NewPost(text string, langs []string, createdAt time.Time) map[string]any {
+	rec := map[string]any{
+		"$type":     Post,
+		"text":      text,
+		"createdAt": FormatTime(createdAt),
+	}
+	if len(langs) > 0 {
+		tags := make([]any, len(langs))
+		for i, l := range langs {
+			tags[i] = l
+		}
+		rec["langs"] = tags
+	}
+	return rec
+}
+
+// NewReply builds a post that replies to parent/root URIs.
+func NewReply(text string, parentURI, rootURI string, createdAt time.Time) map[string]any {
+	rec := NewPost(text, nil, createdAt)
+	rec["reply"] = map[string]any{
+		"parent": map[string]any{"uri": parentURI},
+		"root":   map[string]any{"uri": rootURI},
+	}
+	return rec
+}
+
+// NewLike builds an app.bsky.feed.like record for subjectURI.
+func NewLike(subjectURI string, createdAt time.Time) map[string]any {
+	return map[string]any{
+		"$type":     Like,
+		"subject":   map[string]any{"uri": subjectURI},
+		"createdAt": FormatTime(createdAt),
+	}
+}
+
+// NewRepost builds an app.bsky.feed.repost record.
+func NewRepost(subjectURI string, createdAt time.Time) map[string]any {
+	return map[string]any{
+		"$type":     Repost,
+		"subject":   map[string]any{"uri": subjectURI},
+		"createdAt": FormatTime(createdAt),
+	}
+}
+
+// NewFollow builds an app.bsky.graph.follow record for subjectDID.
+func NewFollow(subjectDID string, createdAt time.Time) map[string]any {
+	return map[string]any{
+		"$type":     Follow,
+		"subject":   subjectDID,
+		"createdAt": FormatTime(createdAt),
+	}
+}
+
+// NewBlock builds an app.bsky.graph.block record for subjectDID.
+func NewBlock(subjectDID string, createdAt time.Time) map[string]any {
+	return map[string]any{
+		"$type":     Block,
+		"subject":   subjectDID,
+		"createdAt": FormatTime(createdAt),
+	}
+}
+
+// NewProfile builds an app.bsky.actor.profile record.
+func NewProfile(displayName, description string) map[string]any {
+	return map[string]any{
+		"$type":       Profile,
+		"displayName": displayName,
+		"description": description,
+	}
+}
+
+// NewFeedGenerator builds the app.bsky.feed.generator declaration
+// record: the pointer from a creator's repo to the feed service DID
+// and its human-readable metadata (§2, Feed Generators).
+func NewFeedGenerator(serviceDID, displayName, description string, createdAt time.Time) map[string]any {
+	return map[string]any{
+		"$type":       FeedGenerator,
+		"did":         serviceDID,
+		"displayName": displayName,
+		"description": description,
+		"createdAt":   FormatTime(createdAt),
+	}
+}
+
+// LabelValueDefinition describes one label value a labeler emits.
+type LabelValueDefinition struct {
+	Value    string `json:"identifier"`
+	Severity string `json:"severity"` // inform | alert | none
+	Blurs    string `json:"blurs"`    // content | media | none
+}
+
+// NewLabelerService builds the app.bsky.labeler.service declaration
+// record listing the label values the service emits (§2, Labelers).
+func NewLabelerService(values []LabelValueDefinition, createdAt time.Time) map[string]any {
+	vals := make([]any, len(values))
+	defs := make([]any, len(values))
+	for i, v := range values {
+		vals[i] = v.Value
+		defs[i] = map[string]any{
+			"identifier": v.Value,
+			"severity":   v.Severity,
+			"blurs":      v.Blurs,
+		}
+	}
+	return map[string]any{
+		"$type": LabelerService,
+		"policies": map[string]any{
+			"labelValues":           vals,
+			"labelValueDefinitions": defs,
+		},
+		"createdAt": FormatTime(createdAt),
+	}
+}
+
+// NewWhiteWindEntry builds a com.whtwnd.blog.entry record (non-Bluesky
+// lexicon content carried over the same infrastructure).
+func NewWhiteWindEntry(title, markdown string, createdAt time.Time) map[string]any {
+	return map[string]any{
+		"$type":     WhiteWindEntry,
+		"title":     title,
+		"content":   markdown,
+		"createdAt": FormatTime(createdAt),
+	}
+}
+
+// RecordType extracts the $type of a decoded record, or "".
+func RecordType(rec map[string]any) string {
+	t, _ := rec["$type"].(string)
+	return t
+}
+
+// PostText extracts the text of a post record.
+func PostText(rec map[string]any) string {
+	t, _ := rec["text"].(string)
+	return t
+}
+
+// PostLangs extracts the language tags of a post record.
+func PostLangs(rec map[string]any) []string {
+	raw, _ := rec["langs"].([]any)
+	out := make([]string, 0, len(raw))
+	for _, v := range raw {
+		if s, ok := v.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SubjectURI extracts the subject URI of a like/repost record.
+func SubjectURI(rec map[string]any) string {
+	switch s := rec["subject"].(type) {
+	case map[string]any:
+		uri, _ := s["uri"].(string)
+		return uri
+	case string:
+		return s
+	}
+	return ""
+}
+
+// SubjectDID extracts the subject DID of a follow/block record.
+func SubjectDID(rec map[string]any) string {
+	s, _ := rec["subject"].(string)
+	return s
+}
+
+// CreatedAt extracts and parses the record timestamp.
+func CreatedAt(rec map[string]any) (time.Time, bool) {
+	s, _ := rec["createdAt"].(string)
+	if s == "" {
+		return time.Time{}, false
+	}
+	t, err := ParseTime(s)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// FeedGeneratorServiceDID extracts the hosting service DID from a
+// feed generator declaration.
+func FeedGeneratorServiceDID(rec map[string]any) string {
+	s, _ := rec["did"].(string)
+	return s
+}
+
+// Description extracts the description field of profile/generator
+// records.
+func Description(rec map[string]any) string {
+	s, _ := rec["description"].(string)
+	return s
+}
+
+// LabelerValues extracts the declared label values from a labeler
+// service record.
+func LabelerValues(rec map[string]any) []string {
+	policies, _ := rec["policies"].(map[string]any)
+	raw, _ := policies["labelValues"].([]any)
+	out := make([]string, 0, len(raw))
+	for _, v := range raw {
+		if s, ok := v.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package lexicon
+
+import (
+	"testing"
+	"time"
+
+	"blueskies/internal/cbor"
+)
+
+var ts = time.Date(2024, 4, 1, 10, 30, 0, 0, time.UTC)
+
+func TestValidateNSID(t *testing.T) {
+	good := []string{Post, Like, Follow, FeedGenerator, LabelerService, WhiteWindEntry,
+		"com.atproto.sync.getRepo"}
+	for _, n := range good {
+		if err := ValidateNSID(n); err != nil {
+			t.Errorf("ValidateNSID(%q): %v", n, err)
+		}
+	}
+	bad := []string{"", "single", "two.parts", "has space.x.y", ".leading.dot.x",
+		"trailing.dot.", "Upper.Case.First"}
+	for _, n := range bad {
+		if err := ValidateNSID(n); err == nil {
+			t.Errorf("ValidateNSID(%q): expected error", n)
+		}
+	}
+}
+
+func TestIsBlueskyLexicon(t *testing.T) {
+	if !IsBlueskyLexicon(Post) || !IsBlueskyLexicon("com.atproto.label.defs") {
+		t.Fatal("bsky lexicons misclassified")
+	}
+	if IsBlueskyLexicon(WhiteWindEntry) {
+		t.Fatal("whtwnd must be non-Bluesky")
+	}
+}
+
+func TestTimeRoundTrip(t *testing.T) {
+	s := FormatTime(ts)
+	got, err := ParseTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ts) {
+		t.Fatalf("round trip: %v vs %v", got, ts)
+	}
+	if _, err := ParseTime("yesterday"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestPostRecord(t *testing.T) {
+	rec := NewPost("hello world", []string{"en", "pt"}, ts)
+	if RecordType(rec) != Post {
+		t.Fatalf("type = %q", RecordType(rec))
+	}
+	if PostText(rec) != "hello world" {
+		t.Fatalf("text = %q", PostText(rec))
+	}
+	langs := PostLangs(rec)
+	if len(langs) != 2 || langs[0] != "en" || langs[1] != "pt" {
+		t.Fatalf("langs = %v", langs)
+	}
+	created, ok := CreatedAt(rec)
+	if !ok || !created.Equal(ts) {
+		t.Fatalf("createdAt = %v %v", created, ok)
+	}
+	// Must survive CBOR round trip (the storage encoding).
+	data, err := cbor.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := cbor.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if PostText(back) != "hello world" || len(PostLangs(back)) != 2 {
+		t.Fatalf("CBOR round trip lost fields: %v", back)
+	}
+}
+
+func TestReplyRecord(t *testing.T) {
+	rec := NewReply("re", "at://did:plc:a/app.bsky.feed.post/p", "at://did:plc:a/app.bsky.feed.post/r", ts)
+	reply, ok := rec["reply"].(map[string]any)
+	if !ok {
+		t.Fatal("reply missing")
+	}
+	parent := reply["parent"].(map[string]any)
+	if parent["uri"] != "at://did:plc:a/app.bsky.feed.post/p" {
+		t.Fatalf("parent = %v", parent)
+	}
+}
+
+func TestLikeRepostSubject(t *testing.T) {
+	uri := "at://did:plc:abcdefghijklmnopqrstuvwx/app.bsky.feed.post/3kaaaaaaaaaa2"
+	if got := SubjectURI(NewLike(uri, ts)); got != uri {
+		t.Fatalf("like subject = %q", got)
+	}
+	if got := SubjectURI(NewRepost(uri, ts)); got != uri {
+		t.Fatalf("repost subject = %q", got)
+	}
+}
+
+func TestFollowBlockSubject(t *testing.T) {
+	did := "did:plc:abcdefghijklmnopqrstuvwx"
+	if got := SubjectDID(NewFollow(did, ts)); got != did {
+		t.Fatalf("follow subject = %q", got)
+	}
+	if got := SubjectDID(NewBlock(did, ts)); got != did {
+		t.Fatalf("block subject = %q", got)
+	}
+}
+
+func TestFeedGeneratorRecord(t *testing.T) {
+	rec := NewFeedGenerator("did:web:feeds.example.com", "Cat Pics", "all the cat pictures", ts)
+	if FeedGeneratorServiceDID(rec) != "did:web:feeds.example.com" {
+		t.Fatalf("service did = %q", FeedGeneratorServiceDID(rec))
+	}
+	if Description(rec) != "all the cat pictures" {
+		t.Fatalf("description = %q", Description(rec))
+	}
+}
+
+func TestLabelerServiceRecord(t *testing.T) {
+	rec := NewLabelerService([]LabelValueDefinition{
+		{Value: "spoiler", Severity: "inform", Blurs: "content"},
+		{Value: "ai-imagery", Severity: "inform", Blurs: "none"},
+	}, ts)
+	vals := LabelerValues(rec)
+	if len(vals) != 2 || vals[0] != "spoiler" || vals[1] != "ai-imagery" {
+		t.Fatalf("values = %v", vals)
+	}
+	// Round trip through CBOR, as stored in a repo.
+	data, err := cbor.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := cbor.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := LabelerValues(back); len(got) != 2 {
+		t.Fatalf("values after round trip = %v", got)
+	}
+}
+
+func TestWhiteWindEntry(t *testing.T) {
+	rec := NewWhiteWindEntry("My Post", "# markdown", ts)
+	if RecordType(rec) != WhiteWindEntry {
+		t.Fatalf("type = %q", RecordType(rec))
+	}
+	if IsBlueskyLexicon(RecordType(rec)) {
+		t.Fatal("whtwnd entry must count as non-Bluesky content")
+	}
+}

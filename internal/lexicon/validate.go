@@ -1,0 +1,135 @@
+package lexicon
+
+import (
+	"fmt"
+)
+
+// fieldSpec describes one record field constraint.
+type fieldSpec struct {
+	name     string
+	kind     string // "string" | "strings" | "subject-uri" | "subject-did" | "map"
+	required bool
+	maxLen   int // for strings; 0 = unlimited
+}
+
+// schemas maps collection NSIDs to their field constraints — a
+// lightweight stand-in for the JSON lexicon documents the protocol
+// publishes. Unknown collections are accepted unvalidated (ATProto is
+// deliberately open to new lexicons; §2, §4 "Non-Bluesky content").
+var schemas = map[string][]fieldSpec{
+	Post: {
+		{name: "text", kind: "string", required: true, maxLen: 3000},
+		{name: "createdAt", kind: "string", required: true},
+		{name: "langs", kind: "strings"},
+		{name: "reply", kind: "map"},
+	},
+	Like: {
+		{name: "subject", kind: "subject-uri", required: true},
+		{name: "createdAt", kind: "string", required: true},
+	},
+	Repost: {
+		{name: "subject", kind: "subject-uri", required: true},
+		{name: "createdAt", kind: "string", required: true},
+	},
+	Follow: {
+		{name: "subject", kind: "subject-did", required: true},
+		{name: "createdAt", kind: "string", required: true},
+	},
+	Block: {
+		{name: "subject", kind: "subject-did", required: true},
+		{name: "createdAt", kind: "string", required: true},
+	},
+	Profile: {
+		{name: "displayName", kind: "string", maxLen: 640},
+		{name: "description", kind: "string", maxLen: 2560},
+	},
+	FeedGenerator: {
+		{name: "did", kind: "string", required: true},
+		{name: "displayName", kind: "string", required: true, maxLen: 240},
+		{name: "description", kind: "string", maxLen: 3000},
+		{name: "createdAt", kind: "string", required: true},
+	},
+	LabelerService: {
+		{name: "policies", kind: "map", required: true},
+		{name: "createdAt", kind: "string", required: true},
+	},
+}
+
+// ValidateRecord checks a record against its collection's schema.
+// The record's $type, when present, must match the collection.
+// Unknown collections pass (open lexicon ecosystem) provided the
+// collection is a valid NSID.
+func ValidateRecord(collection string, rec map[string]any) error {
+	if err := ValidateNSID(collection); err != nil {
+		return err
+	}
+	if t := RecordType(rec); t != "" && t != collection {
+		return fmt.Errorf("lexicon: record $type %q does not match collection %q", t, collection)
+	}
+	specs, known := schemas[collection]
+	if !known {
+		return nil
+	}
+	for _, spec := range specs {
+		v, present := rec[spec.name]
+		if !present || v == nil {
+			if spec.required {
+				return fmt.Errorf("lexicon: %s requires field %q", collection, spec.name)
+			}
+			continue
+		}
+		if err := checkField(collection, spec, v); err != nil {
+			return err
+		}
+	}
+	// CreatedAt, when present, must parse.
+	if s, ok := rec["createdAt"].(string); ok {
+		if _, err := ParseTime(s); err != nil {
+			return fmt.Errorf("lexicon: %s: %w", collection, err)
+		}
+	}
+	return nil
+}
+
+func checkField(collection string, spec fieldSpec, v any) error {
+	bad := func(want string) error {
+		return fmt.Errorf("lexicon: %s field %q must be %s, got %T", collection, spec.name, want, v)
+	}
+	switch spec.kind {
+	case "string":
+		s, ok := v.(string)
+		if !ok {
+			return bad("a string")
+		}
+		if spec.maxLen > 0 && len(s) > spec.maxLen {
+			return fmt.Errorf("lexicon: %s field %q exceeds %d bytes", collection, spec.name, spec.maxLen)
+		}
+	case "strings":
+		arr, ok := v.([]any)
+		if !ok {
+			return bad("an array of strings")
+		}
+		for _, e := range arr {
+			if _, ok := e.(string); !ok {
+				return bad("an array of strings")
+			}
+		}
+	case "subject-uri":
+		m, ok := v.(map[string]any)
+		if !ok {
+			return bad("an object with a uri")
+		}
+		if _, ok := m["uri"].(string); !ok {
+			return fmt.Errorf("lexicon: %s field %q missing uri", collection, spec.name)
+		}
+	case "subject-did":
+		if _, ok := v.(string); !ok {
+			return bad("a DID string")
+		}
+	case "map":
+		if _, ok := v.(map[string]any); !ok {
+			return bad("an object")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var vts = time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestValidateWellFormedRecords(t *testing.T) {
+	cases := map[string]map[string]any{
+		Post:           NewPost("hello", []string{"en"}, vts),
+		Like:           NewLike("at://did:plc:a/app.bsky.feed.post/1", vts),
+		Repost:         NewRepost("at://did:plc:a/app.bsky.feed.post/1", vts),
+		Follow:         NewFollow("did:plc:abcdefghijklmnopqrstuvwx", vts),
+		Block:          NewBlock("did:plc:abcdefghijklmnopqrstuvwx", vts),
+		Profile:        NewProfile("Alice", "about me"),
+		FeedGenerator:  NewFeedGenerator("did:web:svc.example", "Feed", "desc", vts),
+		LabelerService: NewLabelerService([]LabelValueDefinition{{Value: "spam"}}, vts),
+		WhiteWindEntry: NewWhiteWindEntry("Title", "body", vts), // unknown schema: accepted
+	}
+	for coll, rec := range cases {
+		if err := ValidateRecord(coll, rec); err != nil {
+			t.Errorf("ValidateRecord(%s): %v", coll, err)
+		}
+	}
+}
+
+func TestValidateMissingRequiredField(t *testing.T) {
+	rec := NewPost("x", nil, vts)
+	delete(rec, "text")
+	if err := ValidateRecord(Post, rec); err == nil {
+		t.Fatal("post without text must fail")
+	}
+	like := NewLike("at://did:plc:a/app.bsky.feed.post/1", vts)
+	delete(like, "subject")
+	if err := ValidateRecord(Like, like); err == nil {
+		t.Fatal("like without subject must fail")
+	}
+}
+
+func TestValidateTypeMismatch(t *testing.T) {
+	rec := NewPost("x", nil, vts)
+	if err := ValidateRecord(Like, rec); err == nil {
+		t.Fatal("post record in like collection must fail")
+	}
+}
+
+func TestValidateFieldTypes(t *testing.T) {
+	rec := NewPost("x", nil, vts)
+	rec["text"] = 42
+	if err := ValidateRecord(Post, rec); err == nil {
+		t.Fatal("numeric text must fail")
+	}
+	rec = NewPost("x", nil, vts)
+	rec["langs"] = []any{"en", 7}
+	if err := ValidateRecord(Post, rec); err == nil {
+		t.Fatal("mixed langs array must fail")
+	}
+	follow := NewFollow("did:plc:abcdefghijklmnopqrstuvwx", vts)
+	follow["subject"] = map[string]any{"did": "x"}
+	if err := ValidateRecord(Follow, follow); err == nil {
+		t.Fatal("object follow subject must fail")
+	}
+}
+
+func TestValidateLengthLimits(t *testing.T) {
+	rec := NewPost(strings.Repeat("x", 3001), nil, vts)
+	if err := ValidateRecord(Post, rec); err == nil {
+		t.Fatal("3001-byte post must fail")
+	}
+	if err := ValidateRecord(Post, NewPost(strings.Repeat("x", 3000), nil, vts)); err != nil {
+		t.Fatalf("3000-byte post must pass: %v", err)
+	}
+}
+
+func TestValidateBadTimestamp(t *testing.T) {
+	rec := NewPost("x", nil, vts)
+	rec["createdAt"] = "yesterday"
+	if err := ValidateRecord(Post, rec); err == nil {
+		t.Fatal("unparseable createdAt must fail")
+	}
+}
+
+func TestValidateBadCollectionNSID(t *testing.T) {
+	if err := ValidateRecord("not-an-nsid", map[string]any{}); err == nil {
+		t.Fatal("invalid NSID must fail")
+	}
+}
+
+func TestValidateSubjectURIShape(t *testing.T) {
+	like := NewLike("at://did:plc:a/app.bsky.feed.post/1", vts)
+	like["subject"] = map[string]any{"cid": "no uri here"}
+	if err := ValidateRecord(Like, like); err == nil {
+		t.Fatal("like subject without uri must fail")
+	}
+}

@@ -1,0 +1,53 @@
+package mst
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDiffApply checks the fundamental diff property: applying
+// Diff(a, b) to a yields exactly b — the invariant the relay's mirror
+// maintenance (apply firehose ops to a key map) depends on.
+func TestQuickDiffApply(t *testing.T) {
+	f := func(aRaw, bRaw map[string]uint8) bool {
+		a, b := New(), New()
+		for k, v := range aRaw {
+			if k == "" {
+				continue
+			}
+			_ = a.Put(k, val(fmt.Sprintf("a%d", v)))
+		}
+		for k, v := range bRaw {
+			if k == "" {
+				continue
+			}
+			_ = b.Put(k, val(fmt.Sprintf("b%d", v)))
+		}
+		// Apply the diff to a clone of a.
+		c := a.Clone()
+		for _, ch := range Diff(a, b) {
+			switch ch.Op {
+			case OpCreate, OpUpdate:
+				if err := c.Put(ch.Key, ch.New); err != nil {
+					return false
+				}
+			case OpDelete:
+				if !c.Delete(ch.Key) {
+					return false
+				}
+			}
+		}
+		// c must now equal b — including identical canonical roots.
+		if c.Len() != b.Len() {
+			return false
+		}
+		bsC, bsB := NewMemBlockStore(), NewMemBlockStore()
+		rootC, err1 := c.Build(bsC)
+		rootB, err2 := b.Build(bsB)
+		return err1 == nil && err2 == nil && rootC.Equal(rootB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package mst implements the Merkle Search Tree used by AT Protocol
+// repositories to index record keys ("collection/rkey") to record CIDs.
+//
+// An MST is a deterministic, content-addressed search tree: every key
+// is assigned a layer equal to half the number of leading zero bits of
+// its sha2-256 digest, and the tree structure is a pure function of
+// the key set — independent of insertion order. This package exploits
+// that property: mutations edit a flat key→CID map, and Build
+// materializes the canonical node blocks (DAG-CBOR, matching the
+// atproto node schema: {l, e:[{p,k,v,t}]} with prefix-compressed keys)
+// into a block store on demand.
+package mst
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"blueskies/internal/cbor"
+	"blueskies/internal/cid"
+)
+
+// BlockStore is the backing store for serialized tree nodes.
+type BlockStore interface {
+	// Put stores a block and returns its CID.
+	Put(codec cid.Codec, data []byte) cid.CID
+	// Get retrieves a block by CID.
+	Get(c cid.CID) ([]byte, bool)
+}
+
+// MemBlockStore is an in-memory BlockStore.
+type MemBlockStore struct {
+	blocks map[cid.CID][]byte
+}
+
+// NewMemBlockStore creates an empty in-memory block store.
+func NewMemBlockStore() *MemBlockStore {
+	return &MemBlockStore{blocks: make(map[cid.CID][]byte)}
+}
+
+// Put stores data and returns its CID.
+func (s *MemBlockStore) Put(codec cid.Codec, data []byte) cid.CID {
+	c := cid.Sum(codec, data)
+	if _, ok := s.blocks[c]; !ok {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.blocks[c] = cp
+	}
+	return c
+}
+
+// Get retrieves a block.
+func (s *MemBlockStore) Get(c cid.CID) ([]byte, bool) {
+	b, ok := s.blocks[c]
+	return b, ok
+}
+
+// Len reports the number of stored blocks.
+func (s *MemBlockStore) Len() int { return len(s.blocks) }
+
+// CIDs returns all stored block CIDs (unordered).
+func (s *MemBlockStore) CIDs() []cid.CID {
+	out := make([]cid.CID, 0, len(s.blocks))
+	for c := range s.blocks {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Tree is a mutable MST: a key→CID map with canonical serialization.
+type Tree struct {
+	entries map[string]cid.CID
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{entries: make(map[string]cid.CID)} }
+
+// Put inserts or replaces the value for key.
+func (t *Tree) Put(key string, value cid.CID) error {
+	if key == "" {
+		return errors.New("mst: empty key")
+	}
+	if !value.Defined() {
+		return errors.New("mst: undefined value CID")
+	}
+	t.entries[key] = value
+	return nil
+}
+
+// Delete removes a key, reporting whether it was present.
+func (t *Tree) Delete(key string) bool {
+	if _, ok := t.entries[key]; !ok {
+		return false
+	}
+	delete(t.entries, key)
+	return true
+}
+
+// Get looks up the value for key.
+func (t *Tree) Get(key string) (cid.CID, bool) {
+	c, ok := t.entries[key]
+	return c, ok
+}
+
+// Len reports the number of entries.
+func (t *Tree) Len() int { return len(t.entries) }
+
+// Entry is one key→value pair.
+type Entry struct {
+	Key   string
+	Value cid.CID
+}
+
+// Entries returns all entries in key order.
+func (t *Tree) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for k, v := range t.entries {
+		out = append(out, Entry{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Clone returns an independent copy of the tree.
+func (t *Tree) Clone() *Tree {
+	cp := New()
+	for k, v := range t.entries {
+		cp.entries[k] = v
+	}
+	return cp
+}
+
+// KeyLayer computes the MST layer of a key: half the leading zero bits
+// of its sha2-256 digest.
+func KeyLayer(key string) int {
+	sum := sha256.Sum256([]byte(key))
+	zeros := 0
+	for _, b := range sum {
+		if b == 0 {
+			zeros += 8
+			continue
+		}
+		zeros += bits.LeadingZeros8(b)
+		break
+	}
+	return zeros / 2
+}
+
+// node mirrors the atproto MST node schema.
+type node struct {
+	Left    *cid.CID    `cbor:"l"`
+	Entries []nodeEntry `cbor:"e"`
+}
+
+type nodeEntry struct {
+	PrefixLen int      `cbor:"p"`
+	KeySuffix []byte   `cbor:"k"`
+	Value     cid.CID  `cbor:"v"`
+	Right     *cid.CID `cbor:"t"`
+}
+
+// Build serializes the tree into bs and returns the root node CID.
+// An empty tree serializes as a single empty node.
+func (t *Tree) Build(bs BlockStore) (cid.CID, error) {
+	entries := t.Entries()
+	if len(entries) == 0 {
+		return writeNode(bs, node{})
+	}
+	top := 0
+	for _, e := range entries {
+		if l := KeyLayer(e.Key); l > top {
+			top = l
+		}
+	}
+	c, err := buildLayer(bs, entries, top)
+	if err != nil {
+		return cid.CID{}, err
+	}
+	if c == nil {
+		return writeNode(bs, node{})
+	}
+	return *c, nil
+}
+
+// buildLayer builds the subtree covering entries at the given layer,
+// returning nil for an empty range.
+func buildLayer(bs BlockStore, entries []Entry, layer int) (*cid.CID, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	if layer < 0 {
+		return nil, fmt.Errorf("mst: %d entries below layer 0", len(entries))
+	}
+	var n node
+	var prevKey string
+	start := 0 // start of the pending lower-layer run
+	flush := func(end int, intoLeft bool) error {
+		sub, err := buildLayer(bs, entries[start:end], layer-1)
+		if err != nil {
+			return err
+		}
+		if intoLeft {
+			n.Left = sub
+		} else if len(n.Entries) > 0 {
+			n.Entries[len(n.Entries)-1].Right = sub
+		}
+		return nil
+	}
+	for i, e := range entries {
+		if KeyLayer(e.Key) < layer {
+			continue
+		}
+		// e belongs on this layer: everything accumulated since
+		// start forms the subtree to its left.
+		if err := flush(i, len(n.Entries) == 0); err != nil {
+			return nil, err
+		}
+		p := commonPrefixLen(prevKey, e.Key)
+		n.Entries = append(n.Entries, nodeEntry{
+			PrefixLen: p,
+			KeySuffix: []byte(e.Key[p:]),
+			Value:     e.Value,
+		})
+		prevKey = e.Key
+		start = i + 1
+	}
+	if len(n.Entries) == 0 {
+		// No entry at this layer: the whole range lives lower.
+		return buildLayer(bs, entries, layer-1)
+	}
+	if err := flush(len(entries), false); err != nil {
+		return nil, err
+	}
+	c, err := writeNode(bs, n)
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+func writeNode(bs BlockStore, n node) (cid.CID, error) {
+	data, err := cbor.Marshal(n)
+	if err != nil {
+		return cid.CID{}, fmt.Errorf("mst: encode node: %w", err)
+	}
+	return bs.Put(cid.DagCBOR, data), nil
+}
+
+func commonPrefixLen(a, b string) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Load reconstructs a tree from its root CID.
+func Load(bs BlockStore, root cid.CID) (*Tree, error) {
+	t := New()
+	if err := loadNode(bs, root, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func loadNode(bs BlockStore, c cid.CID, t *Tree) error {
+	data, ok := bs.Get(c)
+	if !ok {
+		return fmt.Errorf("mst: missing block %s", c)
+	}
+	var n node
+	if err := cbor.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("mst: decode node %s: %w", c, err)
+	}
+	if n.Left != nil {
+		if err := loadNode(bs, *n.Left, t); err != nil {
+			return err
+		}
+	}
+	prevKey := ""
+	for _, e := range n.Entries {
+		if e.PrefixLen > len(prevKey) {
+			return fmt.Errorf("mst: prefix length %d exceeds previous key %q", e.PrefixLen, prevKey)
+		}
+		key := prevKey[:e.PrefixLen] + string(e.KeySuffix)
+		if key <= prevKey && prevKey != "" {
+			return fmt.Errorf("mst: keys out of order: %q after %q", key, prevKey)
+		}
+		t.entries[key] = e.Value
+		prevKey = key
+		if e.Right != nil {
+			if err := loadNode(bs, *e.Right, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ChangeOp describes the kind of a Diff change.
+type ChangeOp string
+
+// Diff operations, matching atproto firehose op actions.
+const (
+	OpCreate ChangeOp = "create"
+	OpUpdate ChangeOp = "update"
+	OpDelete ChangeOp = "delete"
+)
+
+// Change is one key difference between two trees.
+type Change struct {
+	Op  ChangeOp
+	Key string
+	Old cid.CID // defined for update/delete
+	New cid.CID // defined for create/update
+}
+
+// Diff computes the changes transforming old into new, in key order.
+func Diff(oldT, newT *Tree) []Change {
+	var out []Change
+	for _, e := range newT.Entries() {
+		if oldV, ok := oldT.entries[e.Key]; !ok {
+			out = append(out, Change{Op: OpCreate, Key: e.Key, New: e.Value})
+		} else if !oldV.Equal(e.Value) {
+			out = append(out, Change{Op: OpUpdate, Key: e.Key, Old: oldV, New: e.Value})
+		}
+	}
+	for _, e := range oldT.Entries() {
+		if _, ok := newT.entries[e.Key]; !ok {
+			out = append(out, Change{Op: OpDelete, Key: e.Key, Old: e.Value})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

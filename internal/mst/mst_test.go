@@ -1,0 +1,275 @@
+package mst
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"blueskies/internal/cid"
+)
+
+func val(s string) cid.CID { return cid.SumRaw([]byte(s)) }
+
+func buildFrom(t *testing.T, keys []string) (cid.CID, *MemBlockStore) {
+	t.Helper()
+	tree := New()
+	for _, k := range keys {
+		if err := tree.Put(k, val(k)); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	bs := NewMemBlockStore()
+	root, err := tree.Build(bs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return root, bs
+}
+
+func TestEmptyTree(t *testing.T) {
+	root, bs := buildFrom(t, nil)
+	if !root.Defined() {
+		t.Fatal("empty tree must still have a root")
+	}
+	loaded, err := Load(bs, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	tree := New()
+	if err := tree.Put("", val("x")); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+	if err := tree.Put("k", cid.CID{}); err == nil {
+		t.Fatal("undefined CID must be rejected")
+	}
+}
+
+func TestGetPutDelete(t *testing.T) {
+	tree := New()
+	key := "app.bsky.feed.post/3kdgeujwlq32y"
+	if err := tree.Put(key, val("a")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tree.Get(key)
+	if !ok || !got.Equal(val("a")) {
+		t.Fatal("Get after Put failed")
+	}
+	if err := tree.Put(key, val("b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tree.Get(key); !got.Equal(val("b")) {
+		t.Fatal("Put must replace")
+	}
+	if !tree.Delete(key) {
+		t.Fatal("Delete must report presence")
+	}
+	if tree.Delete(key) {
+		t.Fatal("second Delete must report absence")
+	}
+	if _, ok := tree.Get(key); ok {
+		t.Fatal("Get after Delete must miss")
+	}
+}
+
+func TestRootIndependentOfInsertionOrder(t *testing.T) {
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("app.bsky.feed.like/%026d", i*7)
+	}
+	rootA, _ := buildFrom(t, keys)
+
+	shuffled := append([]string(nil), keys...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	rootB, _ := buildFrom(t, shuffled)
+
+	if !rootA.Equal(rootB) {
+		t.Fatalf("roots differ by insertion order: %s vs %s", rootA, rootB)
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	rootA, _ := buildFrom(t, []string{"a/1", "b/2"})
+	rootB, _ := buildFrom(t, []string{"a/1", "b/3"})
+	rootC, _ := buildFrom(t, []string{"a/1"})
+	if rootA.Equal(rootB) || rootA.Equal(rootC) || rootB.Equal(rootC) {
+		t.Fatal("distinct key sets must give distinct roots")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	keys := []string{
+		"app.bsky.actor.profile/self",
+		"app.bsky.feed.post/3kdgeujwlq32y",
+		"app.bsky.feed.post/3kdgeujwlq32z",
+		"app.bsky.feed.like/3kaaaaaaaaaaa",
+		"app.bsky.graph.follow/3kbbbbbbbbbb2",
+	}
+	root, bs := buildFrom(t, keys)
+	loaded, err := Load(bs, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != len(keys) {
+		t.Fatalf("loaded %d entries, want %d", loaded.Len(), len(keys))
+	}
+	for _, k := range keys {
+		got, ok := loaded.Get(k)
+		if !ok || !got.Equal(val(k)) {
+			t.Fatalf("key %q missing or wrong after load", k)
+		}
+	}
+	// Rebuilding the loaded tree must reproduce the same root.
+	bs2 := NewMemBlockStore()
+	root2, err := loaded.Build(bs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root2.Equal(root) {
+		t.Fatalf("rebuild root mismatch: %s vs %s", root2, root)
+	}
+}
+
+func TestLoadMissingBlock(t *testing.T) {
+	root, _ := buildFrom(t, []string{"a/1", "b/2", "c/3"})
+	if _, err := Load(NewMemBlockStore(), root); err == nil {
+		t.Fatal("expected error loading from empty store")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	tree := New()
+	for _, k := range []string{"z/9", "a/1", "m/5"} {
+		if err := tree.Put(k, val(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := tree.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Key >= es[i].Key {
+			t.Fatalf("entries not sorted: %v", es)
+		}
+	}
+}
+
+func TestKeyLayerDistribution(t *testing.T) {
+	// Layer l has probability 4^-(l+1)·3 ≈ …; just sanity-check that
+	// layer 0 dominates and higher layers occur.
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[KeyLayer(fmt.Sprintf("coll/key%d", i))]++
+	}
+	if counts[0] < 12000 {
+		t.Fatalf("layer 0 count %d unexpectedly low", counts[0])
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("higher layers never occurred: %v", counts)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	oldT := New()
+	newT := New()
+	for _, k := range []string{"keep/1", "update/2", "delete/3"} {
+		_ = oldT.Put(k, val("old-"+k))
+	}
+	_ = newT.Put("keep/1", val("old-keep/1"))
+	_ = newT.Put("update/2", val("new-update/2"))
+	_ = newT.Put("create/4", val("new-create/4"))
+
+	changes := Diff(oldT, newT)
+	want := map[string]ChangeOp{
+		"update/2": OpUpdate,
+		"delete/3": OpDelete,
+		"create/4": OpCreate,
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("got %d changes: %+v", len(changes), changes)
+	}
+	for _, c := range changes {
+		if want[c.Key] != c.Op {
+			t.Errorf("key %q: op %q, want %q", c.Key, c.Op, want[c.Key])
+		}
+		switch c.Op {
+		case OpCreate:
+			if c.Old.Defined() || !c.New.Defined() {
+				t.Errorf("create change CIDs wrong: %+v", c)
+			}
+		case OpUpdate:
+			if !c.Old.Defined() || !c.New.Defined() || c.Old.Equal(c.New) {
+				t.Errorf("update change CIDs wrong: %+v", c)
+			}
+		case OpDelete:
+			if !c.Old.Defined() || c.New.Defined() {
+				t.Errorf("delete change CIDs wrong: %+v", c)
+			}
+		}
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	a, _ := New(), New()
+	if d := Diff(a, a); len(d) != 0 {
+		t.Fatalf("self diff not empty: %v", d)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New()
+	_ = a.Put("k/1", val("v"))
+	b := a.Clone()
+	_ = b.Put("k/2", val("w"))
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Fatalf("clone not independent: %d %d", a.Len(), b.Len())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw map[string]uint16) bool {
+		tree := New()
+		for k, v := range raw {
+			if k == "" {
+				continue
+			}
+			if err := tree.Put(k, val(fmt.Sprint(v))); err != nil {
+				return false
+			}
+		}
+		bs := NewMemBlockStore()
+		root, err := tree.Build(bs)
+		if err != nil {
+			return false
+		}
+		loaded, err := Load(bs, root)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(loaded.Entries(), tree.Entries())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	tree := New()
+	for i := 0; i < 1000; i++ {
+		_ = tree.Put(fmt.Sprintf("app.bsky.feed.post/%013d", i), val(fmt.Sprint(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs := NewMemBlockStore()
+		if _, err := tree.Build(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,745 @@
+// Package pds implements a Personal Data Server: the service hosting
+// user repositories (§2). A PDS owns accounts, applies record writes
+// as signed repo commits, serves sync endpoints (getRepo/listRepos),
+// emits a per-PDS event stream (subscribeRepos) that Relays crawl,
+// stores private user preferences, and supports account migration and
+// handle updates via the PLC directory.
+package pds
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"blueskies/internal/car"
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/plc"
+	"blueskies/internal/repo"
+	"blueskies/internal/ws"
+	"blueskies/internal/xrpc"
+)
+
+// Account is one hosted account.
+type Account struct {
+	DID         identity.DID
+	Handle      identity.Handle
+	Key         *identity.KeyPair
+	Repo        *repo.Repo
+	Preferences map[string]any // private: served only to the owner
+	Deleted     bool
+}
+
+// Config configures a PDS.
+type Config struct {
+	// Hostname labels this PDS (e.g. "pds1.example"); informational.
+	Hostname string
+	// PLCURL is the PLC directory base URL; empty disables directory
+	// registration (accounts still work locally).
+	PLCURL string
+	// Clock supplies timestamps; time.Now if nil.
+	Clock func() time.Time
+	// Retention bounds the event backlog (0 = keep all).
+	Retention time.Duration
+	// MaxEvents caps the event backlog (0 = unbounded).
+	MaxEvents int
+}
+
+// Server is a Personal Data Server.
+type Server struct {
+	cfg   Config
+	plc   *plc.Client
+	clock func() time.Time
+
+	mu       sync.RWMutex
+	accounts map[identity.DID]*Account
+	byHandle map[identity.Handle]identity.DID
+
+	seq  *events.Sequencer
+	tids *identity.TIDClock
+	mux  *xrpc.Mux
+	http *http.Server
+	ln   net.Listener
+	base string
+}
+
+// New creates a PDS without starting an HTTP listener (useful for
+// in-process tests); call Start to serve.
+func New(cfg Config) *Server {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		clock:    clock,
+		accounts: make(map[identity.DID]*Account),
+		byHandle: make(map[identity.Handle]identity.DID),
+		seq:      events.NewSequencer(cfg.Retention, cfg.MaxEvents),
+		tids:     identity.NewTIDClock(0),
+	}
+	s.seq.SetClock(clock)
+	if cfg.PLCURL != "" {
+		s.plc = plc.NewClient(cfg.PLCURL)
+	}
+	s.mux = xrpc.NewMux()
+	s.register()
+	return s
+}
+
+// Start begins serving on a loopback port.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.base = "http://" + ln.Addr().String()
+	s.http = &http.Server{Handler: s.mux}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// URL returns the server's base URL ("" before Start).
+func (s *Server) URL() string { return s.base }
+
+// Close stops the HTTP listener.
+func (s *Server) Close() error {
+	if s.http != nil {
+		return s.http.Close()
+	}
+	return nil
+}
+
+// Sequencer exposes the event stream (for relays running in-process).
+func (s *Server) Sequencer() *events.Sequencer { return s.seq }
+
+// token computes the (simulated) bearer token of an account. The real
+// network uses OAuth/JWTs; a per-DID static token preserves the only
+// property the paper relies on — preferences are owner-private.
+func token(did identity.DID) string { return "tok:" + string(did) }
+
+// Token returns the bearer token for did (for clients in tests and
+// examples).
+func Token(did identity.DID) string { return token(did) }
+
+// CreateAccount provisions an account: derives a key, registers a
+// did:plc genesis with the directory (when configured), and creates an
+// empty repository with a genesis commit.
+func (s *Server) CreateAccount(handle identity.Handle) (*Account, error) {
+	if err := identity.ValidateHandle(string(handle)); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, taken := s.byHandle[handle]; taken {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pds: handle %s already taken", handle)
+	}
+	s.mu.Unlock()
+
+	key := identity.DeriveKeyPair(s.cfg.Hostname + "/" + string(handle))
+	did, genesis := plc.NewGenesis(key, handle, s.base)
+	if s.plc != nil {
+		if err := s.plc.Submit(did, genesis); err != nil {
+			return nil, fmt.Errorf("pds: register DID: %w", err)
+		}
+	}
+	acct := &Account{
+		DID:         did,
+		Handle:      handle,
+		Key:         key,
+		Repo:        repo.New(did, key),
+		Preferences: make(map[string]any),
+	}
+	if _, err := acct.Repo.Commit(s.clock()); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.accounts[did] = acct
+	s.byHandle[handle] = did
+	s.mu.Unlock()
+	s.emitIdentity(did)
+	return acct, nil
+}
+
+// ImportAccount adopts an account migrating in from another PDS: the
+// caller supplies the existing DID, key, and exported repo CAR.
+func (s *Server) ImportAccount(did identity.DID, handle identity.Handle, key *identity.KeyPair, carBytes []byte) (*Account, error) {
+	loaded, err := repo.LoadCAR(bytes.NewReader(carBytes), key.Public())
+	if err != nil {
+		return nil, fmt.Errorf("pds: import: %w", err)
+	}
+	if loaded.DID() != did {
+		return nil, fmt.Errorf("pds: archive DID %s does not match %s", loaded.DID(), did)
+	}
+	// Re-materialize a writable repo under the same DID/key, replaying
+	// the loaded records into a fresh commit on this PDS.
+	fresh := repo.New(did, key)
+	recs, err := loaded.List("")
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if _, _, err := fresh.Put(rec.URI.Collection, rec.URI.RKey, rec.Value); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := fresh.Commit(s.clock()); err != nil {
+		return nil, err
+	}
+	acct := &Account{DID: did, Handle: handle, Key: key, Repo: fresh, Preferences: make(map[string]any)}
+	s.mu.Lock()
+	s.accounts[did] = acct
+	s.byHandle[handle] = did
+	s.mu.Unlock()
+	s.emitIdentity(did)
+	return acct, nil
+}
+
+// Account returns a hosted account.
+func (s *Server) Account(did identity.DID) (*Account, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.accounts[did]
+	return a, ok
+}
+
+// Accounts returns all hosted DIDs, sorted.
+func (s *Server) Accounts() []identity.DID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]identity.DID, 0, len(s.accounts))
+	for did := range s.accounts {
+		out = append(out, did)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CreateRecord applies a create and emits the commit event. An empty
+// rkey is replaced with a fresh TID. Records are validated against
+// their collection's lexicon schema before acceptance.
+func (s *Server) CreateRecord(did identity.DID, collection, rkey string, record map[string]any) (identity.URI, error) {
+	if err := lexicon.ValidateRecord(collection, record); err != nil {
+		return identity.URI{}, xrpc.ErrInvalidRequest("%v", err)
+	}
+	if rkey == "" {
+		rkey = string(s.tids.Next(s.clock()))
+	}
+	return s.write(did, func(r *repo.Repo) error {
+		_, _, err := r.Create(collection, rkey, record)
+		return err
+	}, collection, rkey)
+}
+
+// PutRecord applies a create-or-replace and emits the commit event.
+// An empty rkey is replaced with a fresh TID.
+func (s *Server) PutRecord(did identity.DID, collection, rkey string, record map[string]any) (identity.URI, error) {
+	if err := lexicon.ValidateRecord(collection, record); err != nil {
+		return identity.URI{}, xrpc.ErrInvalidRequest("%v", err)
+	}
+	if rkey == "" {
+		rkey = string(s.tids.Next(s.clock()))
+	}
+	return s.write(did, func(r *repo.Repo) error {
+		_, _, err := r.Put(collection, rkey, record)
+		return err
+	}, collection, rkey)
+}
+
+// DeleteRecord applies a delete and emits the commit event.
+func (s *Server) DeleteRecord(did identity.DID, collection, rkey string) error {
+	_, err := s.write(did, func(r *repo.Repo) error {
+		return r.Delete(collection, rkey)
+	}, collection, rkey)
+	return err
+}
+
+func (s *Server) write(did identity.DID, apply func(*repo.Repo) error, collection, rkey string) (identity.URI, error) {
+	s.mu.Lock()
+	acct, ok := s.accounts[did]
+	if !ok || acct.Deleted {
+		s.mu.Unlock()
+		return identity.URI{}, xrpc.ErrNotFound("repo %s not hosted here", did)
+	}
+	if err := apply(acct.Repo); err != nil {
+		s.mu.Unlock()
+		return identity.URI{}, err
+	}
+	info, err := acct.Repo.Commit(s.clock())
+	s.mu.Unlock()
+	if err != nil {
+		return identity.URI{}, err
+	}
+	s.emitCommit(info)
+	return identity.URI{DID: did, Collection: collection, RKey: rkey}, nil
+}
+
+// emitCommit publishes a #commit event with a CAR slice of the new
+// blocks.
+func (s *Server) emitCommit(info repo.CommitInfo) {
+	var blocksBuf bytes.Buffer
+	cw, err := car.NewWriter(&blocksBuf, info.CID)
+	if err != nil {
+		return
+	}
+	for _, b := range info.Blocks {
+		if err := cw.WriteBlock(b); err != nil {
+			return
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return
+	}
+	ops := make([]events.RepoOp, len(info.Ops))
+	for i, op := range info.Ops {
+		ops[i] = events.RepoOp{Action: op.Action, Path: op.Path}
+		if op.CID.Defined() {
+			c := op.CID
+			ops[i].CID = &c
+		}
+	}
+	_, _ = s.seq.Emit(func(seq int64) any {
+		return &events.Commit{
+			Seq:    seq,
+			Repo:   string(info.DID),
+			Rev:    string(info.Rev),
+			Commit: info.CID,
+			Ops:    ops,
+			Blocks: blocksBuf.Bytes(),
+			Time:   events.FormatTime(info.Time),
+		}
+	})
+}
+
+func (s *Server) emitIdentity(did identity.DID) {
+	_, _ = s.seq.Emit(func(seq int64) any {
+		return &events.Identity{Seq: seq, DID: string(did), Time: events.FormatTime(s.clock())}
+	})
+}
+
+// UpdateHandle changes an account's handle, updates the PLC directory,
+// and emits a #handle event (the update type the paper measures in
+// §5, "User Handles Updates").
+func (s *Server) UpdateHandle(did identity.DID, newHandle identity.Handle) error {
+	if err := identity.ValidateHandle(string(newHandle)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	acct, ok := s.accounts[did]
+	if !ok || acct.Deleted {
+		s.mu.Unlock()
+		return xrpc.ErrNotFound("repo %s not hosted here", did)
+	}
+	if other, taken := s.byHandle[newHandle]; taken && other != did {
+		s.mu.Unlock()
+		return fmt.Errorf("pds: handle %s already taken", newHandle)
+	}
+	delete(s.byHandle, acct.Handle)
+	acct.Handle = newHandle
+	s.byHandle[newHandle] = did
+	key := acct.Key
+	s.mu.Unlock()
+
+	if s.plc != nil {
+		if err := s.plcUpdate(did, key, newHandle); err != nil {
+			return err
+		}
+	}
+	_, _ = s.seq.Emit(func(seq int64) any {
+		return &events.Handle{Seq: seq, DID: string(did), Handle: string(newHandle), Time: events.FormatTime(s.clock())}
+	})
+	return nil
+}
+
+func (s *Server) plcUpdate(did identity.DID, key *identity.KeyPair, handle identity.Handle) error {
+	// Fetch the op log head to chain the update.
+	resp, err := http.Get(s.cfg.PLCURL + "/" + string(did) + "/log")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var log []plc.Operation
+	if err := json.NewDecoder(resp.Body).Decode(&log); err != nil {
+		return err
+	}
+	if len(log) == 0 {
+		return errors.New("pds: empty PLC log")
+	}
+	head := log[len(log)-1]
+	op := plc.Operation{
+		Type:            plc.OpTypeOperation,
+		VerificationKey: key.PublicMultibase(),
+		Handle:          string(handle),
+		PDSEndpoint:     s.base,
+		LabelerEndpoint: head.LabelerEndpoint,
+		Prev:            head.CID(),
+	}
+	op.Sign(key)
+	return s.plc.Submit(did, op)
+}
+
+// DeleteAccount tombstones an account and emits a #tombstone event.
+func (s *Server) DeleteAccount(did identity.DID) error {
+	s.mu.Lock()
+	acct, ok := s.accounts[did]
+	if !ok || acct.Deleted {
+		s.mu.Unlock()
+		return xrpc.ErrNotFound("repo %s not hosted here", did)
+	}
+	acct.Deleted = true
+	delete(s.byHandle, acct.Handle)
+	s.mu.Unlock()
+	_, _ = s.seq.Emit(func(seq int64) any {
+		return &events.Tombstone{Seq: seq, DID: string(did), Time: events.FormatTime(s.clock())}
+	})
+	return nil
+}
+
+// ExportCAR returns the full repo archive for did.
+func (s *Server) ExportCAR(did identity.DID) ([]byte, error) {
+	s.mu.RLock()
+	acct, ok := s.accounts[did]
+	s.mu.RUnlock()
+	if !ok || acct.Deleted {
+		return nil, xrpc.ErrNotFound("repo %s not hosted here", did)
+	}
+	var buf bytes.Buffer
+	if err := acct.Repo.ExportCAR(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// register wires the XRPC routes.
+func (s *Server) register() {
+	s.mux.Procedure("com.atproto.server.createAccount", func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		var req struct {
+			Handle string `json:"handle"`
+		}
+		if err := json.Unmarshal(input, &req); err != nil {
+			return nil, xrpc.ErrInvalidRequest("bad input: %v", err)
+		}
+		acct, err := s.CreateAccount(identity.Handle(req.Handle))
+		if err != nil {
+			return nil, xrpc.ErrInvalidRequest("%v", err)
+		}
+		return map[string]string{
+			"did":         string(acct.DID),
+			"handle":      string(acct.Handle),
+			"accessToken": token(acct.DID),
+		}, nil
+	})
+
+	s.mux.Procedure("com.atproto.repo.createRecord", s.recordWrite(func(did identity.DID, coll, rkey string, rec map[string]any) (identity.URI, error) {
+		return s.CreateRecord(did, coll, rkey, rec)
+	}))
+	s.mux.Procedure("com.atproto.repo.putRecord", s.recordWrite(func(did identity.DID, coll, rkey string, rec map[string]any) (identity.URI, error) {
+		return s.PutRecord(did, coll, rkey, rec)
+	}))
+
+	s.mux.Procedure("com.atproto.repo.deleteRecord", func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		var req struct {
+			Repo       string `json:"repo"`
+			Collection string `json:"collection"`
+			RKey       string `json:"rkey"`
+		}
+		if err := json.Unmarshal(input, &req); err != nil {
+			return nil, xrpc.ErrInvalidRequest("bad input: %v", err)
+		}
+		if err := s.DeleteRecord(identity.DID(req.Repo), req.Collection, req.RKey); err != nil {
+			return nil, err
+		}
+		return map[string]bool{"ok": true}, nil
+	})
+
+	s.mux.Query("com.atproto.repo.getRecord", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		acct, err := s.lookup(params.Get("repo"))
+		if err != nil {
+			return nil, err
+		}
+		rec, err := acct.Repo.Get(params.Get("collection"), params.Get("rkey"))
+		if err != nil {
+			return nil, xrpc.ErrNotFound("%v", err)
+		}
+		return map[string]any{"uri": rec.URI.String(), "cid": rec.CID.String(), "value": rec.Value}, nil
+	})
+
+	s.mux.Query("com.atproto.repo.listRecords", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		acct, err := s.lookup(params.Get("repo"))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := acct.Repo.List(params.Get("collection"))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]map[string]any, len(recs))
+		for i, rec := range recs {
+			out[i] = map[string]any{"uri": rec.URI.String(), "cid": rec.CID.String(), "value": rec.Value}
+		}
+		return map[string]any{"records": out}, nil
+	})
+
+	s.mux.Query("com.atproto.sync.getRepo", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		data, err := s.ExportCAR(identity.DID(params.Get("did")))
+		if err != nil {
+			return nil, err
+		}
+		return xrpc.Raw{ContentType: "application/vnd.ipld.car", Data: data}, nil
+	})
+
+	s.mux.Query("com.atproto.sync.listRepos", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		return s.listRepos(params)
+	})
+
+	s.mux.Procedure("com.atproto.identity.updateHandle", func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		var req struct {
+			DID    string `json:"did"`
+			Handle string `json:"handle"`
+		}
+		if err := json.Unmarshal(input, &req); err != nil {
+			return nil, xrpc.ErrInvalidRequest("bad input: %v", err)
+		}
+		if err := s.UpdateHandle(identity.DID(req.DID), identity.Handle(req.Handle)); err != nil {
+			return nil, err
+		}
+		return map[string]bool{"ok": true}, nil
+	})
+
+	s.mux.Procedure("com.atproto.server.deleteAccount", func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		var req struct {
+			DID string `json:"did"`
+		}
+		if err := json.Unmarshal(input, &req); err != nil {
+			return nil, xrpc.ErrInvalidRequest("bad input: %v", err)
+		}
+		if err := s.DeleteAccount(identity.DID(req.DID)); err != nil {
+			return nil, err
+		}
+		return map[string]bool{"ok": true}, nil
+	})
+
+	s.mux.Stream("com.atproto.sync.subscribeRepos", s.serveSubscribe)
+
+	// Preferences are private: the paper explicitly does not crawl
+	// them (§2 User Preferences); enforcement here is the bearer token.
+	s.mux.Procedure("app.bsky.actor.putPreferences", s.authed(func(acct *Account, input []byte) (any, error) {
+		var req struct {
+			Preferences map[string]any `json:"preferences"`
+		}
+		if err := json.Unmarshal(input, &req); err != nil {
+			return nil, xrpc.ErrInvalidRequest("bad input: %v", err)
+		}
+		s.mu.Lock()
+		acct.Preferences = req.Preferences
+		s.mu.Unlock()
+		return map[string]bool{"ok": true}, nil
+	}))
+	s.mux.Query("app.bsky.actor.getPreferences", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		acct, err := s.authAccount(params.Get("auth"))
+		if err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return map[string]any{"preferences": acct.Preferences}, nil
+	})
+}
+
+func (s *Server) recordWrite(apply func(identity.DID, string, string, map[string]any) (identity.URI, error)) xrpc.Handler {
+	return func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		var req struct {
+			Repo       string         `json:"repo"`
+			Collection string         `json:"collection"`
+			RKey       string         `json:"rkey"`
+			Record     map[string]any `json:"record"`
+		}
+		if err := json.Unmarshal(input, &req); err != nil {
+			return nil, xrpc.ErrInvalidRequest("bad input: %v", err)
+		}
+		rkey := req.RKey
+		if rkey == "" {
+			rkey = string(identity.NewTID(s.clock(), 0))
+		}
+		uri, err := apply(identity.DID(req.Repo), req.Collection, rkey, req.Record)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"uri": uri.String()}, nil
+	}
+}
+
+func (s *Server) lookup(didStr string) (*Account, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	acct, ok := s.accounts[identity.DID(didStr)]
+	if !ok || acct.Deleted {
+		return nil, xrpc.ErrNotFound("repo %s not hosted here", didStr)
+	}
+	return acct, nil
+}
+
+// authed wraps a procedure handler with bearer-token authentication
+// carried in the JSON input's "auth" field or query.
+func (s *Server) authed(h func(acct *Account, input []byte) (any, error)) xrpc.Handler {
+	return func(_ context.Context, params url.Values, input []byte) (any, error) {
+		authToken := params.Get("auth")
+		if authToken == "" {
+			var probe struct {
+				Auth string `json:"auth"`
+			}
+			_ = json.Unmarshal(input, &probe)
+			authToken = probe.Auth
+		}
+		acct, err := s.authAccount(authToken)
+		if err != nil {
+			return nil, err
+		}
+		return h(acct, input)
+	}
+}
+
+func (s *Server) authAccount(authToken string) (*Account, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for did, acct := range s.accounts {
+		if token(did) == authToken && !acct.Deleted {
+			return acct, nil
+		}
+	}
+	return nil, &xrpc.Error{Status: http.StatusUnauthorized, Name: "AuthRequired", Message: "invalid token"}
+}
+
+func (s *Server) listRepos(params url.Values) (any, error) {
+	limit := 100
+	if l := params.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			return nil, xrpc.ErrInvalidRequest("bad limit %q", l)
+		}
+		limit = n
+	}
+	cursor := params.Get("cursor")
+	s.mu.RLock()
+	dids := make([]identity.DID, 0, len(s.accounts))
+	for did, acct := range s.accounts {
+		if !acct.Deleted {
+			dids = append(dids, did)
+		}
+	}
+	sort.Slice(dids, func(i, j int) bool { return dids[i] < dids[j] })
+	type repoInfo struct {
+		DID  string `json:"did"`
+		Head string `json:"head"`
+		Rev  string `json:"rev"`
+	}
+	var out []repoInfo
+	var next string
+	for _, did := range dids {
+		if cursor != "" && string(did) <= cursor {
+			continue
+		}
+		acct := s.accounts[did]
+		out = append(out, repoInfo{DID: string(did), Head: acct.Repo.Head().String(), Rev: string(acct.Repo.Rev())})
+		if len(out) >= limit {
+			next = string(did)
+			break
+		}
+	}
+	s.mu.RUnlock()
+	resp := map[string]any{"repos": out}
+	if next != "" {
+		resp["cursor"] = next
+	}
+	return resp, nil
+}
+
+// serveSubscribe streams events over WebSocket with cursor backfill.
+func (s *Server) serveSubscribe(w http.ResponseWriter, r *http.Request) {
+	ServeStream(s.seq, w, r)
+}
+
+// ServeStream implements the subscribeRepos/subscribeLabels WebSocket
+// semantics over any sequencer: optional ?cursor= backfill (an
+// out-of-retention cursor yields an #info frame first), then live
+// delivery. Shared by PDS, Relay, and Labeler services.
+func ServeStream(seq *events.Sequencer, w http.ResponseWriter, r *http.Request) {
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	var cursor int64
+	if cs := r.URL.Query().Get("cursor"); cs != "" {
+		n, err := strconv.ParseInt(cs, 10, 64)
+		if err != nil {
+			return
+		}
+		cursor = n
+	}
+	// Subscribe first so no events are lost between backfill and live.
+	live, cancel := seq.Subscribe(1024)
+	defer cancel()
+	var lastSent int64
+	frames, outdated := seq.Backfill(cursor)
+	if outdated {
+		info, err := events.Encode(&events.Info{Name: "OutdatedCursor", Message: "requested cursor exceeded retention window"})
+		if err == nil {
+			if err := conn.WriteMessage(ws.OpBinary, info); err != nil {
+				return
+			}
+		}
+	}
+	for _, f := range frames {
+		if err := conn.WriteMessage(ws.OpBinary, f); err != nil {
+			return
+		}
+		if ev, err := events.Decode(f); err == nil {
+			lastSent = events.Seq(ev)
+		}
+	}
+	// Reader goroutine to notice client close.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, _, err := conn.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case frame, ok := <-live:
+			if !ok {
+				return
+			}
+			if ev, err := events.Decode(frame); err == nil && events.Seq(ev) <= lastSent {
+				continue // duplicate of backfill
+			}
+			if err := conn.WriteMessage(ws.OpBinary, frame); err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// EncodeCARBase64 helps JSON transports carry CAR archives.
+func EncodeCARBase64(carBytes []byte) string { return base64.StdEncoding.EncodeToString(carBytes) }
+
+// DecodeCARBase64 reverses EncodeCARBase64.
+func DecodeCARBase64(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }

@@ -1,0 +1,411 @@
+package pds
+
+import (
+	"context"
+	"net/url"
+	"testing"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/plc"
+	"blueskies/internal/repo"
+	"blueskies/internal/xrpc"
+
+	"bytes"
+)
+
+var ts = time.Date(2024, 4, 1, 12, 0, 0, 0, time.UTC)
+
+func startPDS(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Hostname: "pds.test", Clock: func() time.Time { return ts }})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCreateAccountAndPost(t *testing.T) {
+	s := startPDS(t)
+	acct, err := s.CreateAccount("alice.bsky.social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.DID.Method() != identity.MethodPLC {
+		t.Fatalf("did = %s", acct.DID)
+	}
+	uri, err := s.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("hello", []string{"en"}, ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uri.DID != acct.DID {
+		t.Fatalf("uri = %v", uri)
+	}
+	rec, err := acct.Repo.Get(lexicon.Post, "3kaaaaaaaaaa2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lexicon.PostText(rec.Value) != "hello" {
+		t.Fatalf("text = %q", lexicon.PostText(rec.Value))
+	}
+}
+
+func TestDuplicateHandleRejected(t *testing.T) {
+	s := startPDS(t)
+	if _, err := s.CreateAccount("dup.bsky.social"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateAccount("dup.bsky.social"); err == nil {
+		t.Fatal("duplicate handle must fail")
+	}
+}
+
+func TestXRPCRecordLifecycle(t *testing.T) {
+	s := startPDS(t)
+	client := xrpc.NewClient(s.URL())
+	ctx := context.Background()
+
+	var created struct {
+		DID    string `json:"did"`
+		Handle string `json:"handle"`
+	}
+	err := client.Procedure(ctx, "com.atproto.server.createAccount", nil,
+		map[string]string{"handle": "bob.bsky.social"}, &created)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Handle != "bob.bsky.social" {
+		t.Fatalf("created = %+v", created)
+	}
+
+	var putOut struct {
+		URI string `json:"uri"`
+	}
+	err = client.Procedure(ctx, "com.atproto.repo.createRecord", nil, map[string]any{
+		"repo":       created.DID,
+		"collection": lexicon.Post,
+		"rkey":       "3kaaaaaaaaaa2",
+		"record":     lexicon.NewPost("via xrpc", nil, ts),
+	}, &putOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got struct {
+		URI   string         `json:"uri"`
+		Value map[string]any `json:"value"`
+	}
+	err = client.Query(ctx, "com.atproto.repo.getRecord", url.Values{
+		"repo": {created.DID}, "collection": {lexicon.Post}, "rkey": {"3kaaaaaaaaaa2"},
+	}, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value["text"] != "via xrpc" {
+		t.Fatalf("value = %v", got.Value)
+	}
+
+	var list struct {
+		Records []struct {
+			URI string `json:"uri"`
+		} `json:"records"`
+	}
+	err = client.Query(ctx, "com.atproto.repo.listRecords", url.Values{
+		"repo": {created.DID}, "collection": {lexicon.Post},
+	}, &list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Records) != 1 {
+		t.Fatalf("records = %+v", list.Records)
+	}
+
+	err = client.Procedure(ctx, "com.atproto.repo.deleteRecord", nil, map[string]string{
+		"repo": created.DID, "collection": lexicon.Post, "rkey": "3kaaaaaaaaaa2",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = client.Query(ctx, "com.atproto.repo.getRecord", url.Values{
+		"repo": {created.DID}, "collection": {lexicon.Post}, "rkey": {"3kaaaaaaaaaa2"},
+	}, nil)
+	if xe, ok := xrpc.AsError(err); !ok || xe.Name != "NotFound" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSyncGetRepoRoundTrip(t *testing.T) {
+	s := startPDS(t)
+	acct, _ := s.CreateAccount("carol.bsky.social")
+	_, _ = s.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("persisted", nil, ts))
+
+	client := xrpc.NewClient(s.URL())
+	carBytes, err := client.QueryBytes(context.Background(), "com.atproto.sync.getRepo",
+		url.Values{"did": {string(acct.DID)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repo.LoadCAR(bytes.NewReader(carBytes), acct.Key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := loaded.Get(lexicon.Post, "3kaaaaaaaaaa2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lexicon.PostText(rec.Value) != "persisted" {
+		t.Fatalf("text = %q", lexicon.PostText(rec.Value))
+	}
+}
+
+func TestListReposPagination(t *testing.T) {
+	s := startPDS(t)
+	for _, h := range []string{"u1", "u2", "u3", "u4", "u5"} {
+		if _, err := s.CreateAccount(identity.Handle(h + ".bsky.social")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := xrpc.NewClient(s.URL())
+	type listResp struct {
+		Cursor string `json:"cursor"`
+		Repos  []struct {
+			DID  string `json:"did"`
+			Head string `json:"head"`
+			Rev  string `json:"rev"`
+		} `json:"repos"`
+	}
+	seen := map[string]bool{}
+	cursor := ""
+	for page := 0; page < 10; page++ {
+		var out listResp
+		params := url.Values{"limit": {"2"}}
+		if cursor != "" {
+			params.Set("cursor", cursor)
+		}
+		if err := client.Query(context.Background(), "com.atproto.sync.listRepos", params, &out); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Repos {
+			if seen[r.DID] {
+				t.Fatalf("repo %s repeated across pages", r.DID)
+			}
+			seen[r.DID] = true
+			if r.Head == "" || r.Rev == "" {
+				t.Fatalf("repo %s missing head/rev", r.DID)
+			}
+		}
+		if out.Cursor == "" {
+			break
+		}
+		cursor = out.Cursor
+	}
+	if len(seen) != 5 {
+		t.Fatalf("saw %d repos", len(seen))
+	}
+}
+
+func TestFirehoseEventsOverWebSocket(t *testing.T) {
+	s := startPDS(t)
+	acct, _ := s.CreateAccount("dave.bsky.social")
+
+	sub, err := events.Subscribe(s.URL(), "com.atproto.sync.subscribeRepos", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Backfill: the createAccount identity event.
+	ev, err := sub.NextTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := ev.(*events.Identity)
+	if !ok || id.DID != string(acct.DID) {
+		t.Fatalf("first event = %#v", ev)
+	}
+
+	// Live: a post commit.
+	if _, err := s.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("live", nil, ts)); err != nil {
+		t.Fatal(err)
+	}
+	ev, err = sub.NextTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit, ok := ev.(*events.Commit)
+	if !ok {
+		t.Fatalf("second event = %#v", ev)
+	}
+	if commit.Repo != string(acct.DID) || len(commit.Ops) != 1 || commit.Ops[0].Action != "create" {
+		t.Fatalf("commit = %+v", commit)
+	}
+	if len(commit.Blocks) == 0 {
+		t.Fatal("commit must carry CAR blocks")
+	}
+}
+
+func TestHandleUpdateEmitsEventAndUpdatesPLC(t *testing.T) {
+	dir := plc.NewDirectory()
+	plcSrv, err := plc.NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plcSrv.Close()
+
+	s := New(Config{Hostname: "pds.test", PLCURL: plcSrv.URL(), Clock: func() time.Time { return ts }})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	acct, err := s.CreateAccount("eve.bsky.social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := events.Subscribe(s.URL(), "com.atproto.sync.subscribeRepos", int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.NextTimeout(time.Second); err != nil { // identity event
+		t.Fatal(err)
+	}
+
+	if err := s.UpdateHandle(acct.DID, "eve.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sub.NextTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := ev.(*events.Handle)
+	if !ok || h.Handle != "eve.example.com" {
+		t.Fatalf("event = %#v", ev)
+	}
+
+	doc, err := dir.Resolve(acct.DID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Handle() != "eve.example.com" {
+		t.Fatalf("PLC handle = %s", doc.Handle())
+	}
+}
+
+func TestDeleteAccountTombstone(t *testing.T) {
+	s := startPDS(t)
+	acct, _ := s.CreateAccount("gone.bsky.social")
+	if err := s.DeleteAccount(acct.DID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExportCAR(acct.DID); err == nil {
+		t.Fatal("export of deleted account must fail")
+	}
+	if err := s.DeleteAccount(acct.DID); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	// Handle is freed.
+	if _, err := s.CreateAccount("gone.bsky.social"); err != nil {
+		t.Fatalf("handle must be reusable after delete: %v", err)
+	}
+}
+
+func TestPreferencesArePrivate(t *testing.T) {
+	s := startPDS(t)
+	acct, _ := s.CreateAccount("frank.bsky.social")
+	client := xrpc.NewClient(s.URL())
+	ctx := context.Background()
+
+	err := client.Procedure(ctx, "app.bsky.actor.putPreferences", nil, map[string]any{
+		"auth":        Token(acct.DID),
+		"preferences": map[string]any{"labelers": []string{"did:plc:labeler"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner can read.
+	var out struct {
+		Preferences map[string]any `json:"preferences"`
+	}
+	err = client.Query(ctx, "app.bsky.actor.getPreferences", url.Values{"auth": {Token(acct.DID)}}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Preferences["labelers"] == nil {
+		t.Fatalf("preferences = %v", out.Preferences)
+	}
+
+	// Anyone else cannot.
+	err = client.Query(ctx, "app.bsky.actor.getPreferences", url.Values{"auth": {"tok:did:plc:attacker"}}, nil)
+	if xe, ok := xrpc.AsError(err); !ok || xe.Status != 401 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAccountMigration(t *testing.T) {
+	srcPDS := startPDS(t)
+	dstPDS := startPDS(t)
+
+	acct, _ := srcPDS.CreateAccount("mover.bsky.social")
+	_, _ = srcPDS.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("pre-migration", nil, ts))
+	_, _ = srcPDS.CreateRecord(acct.DID, lexicon.Follow, "3kaaaaaaaaaa3", lexicon.NewFollow("did:plc:abcdefghijklmnopqrstuvwx", ts))
+
+	carBytes, err := srcPDS.ExportCAR(acct.DID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := dstPDS.ImportAccount(acct.DID, acct.Handle, acct.Key, carBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.DID != acct.DID {
+		t.Fatalf("DID changed in migration: %s", moved.DID)
+	}
+	rec, err := moved.Repo.Get(lexicon.Post, "3kaaaaaaaaaa2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lexicon.PostText(rec.Value) != "pre-migration" {
+		t.Fatal("record content lost in migration")
+	}
+	// The social graph survives: follow records intact.
+	follows, err := moved.Repo.List(lexicon.Follow)
+	if err != nil || len(follows) != 1 {
+		t.Fatalf("follows = %v, %v", follows, err)
+	}
+}
+
+func TestImportRejectsWrongDID(t *testing.T) {
+	src := startPDS(t)
+	dst := startPDS(t)
+	acct, _ := src.CreateAccount("orig.bsky.social")
+	carBytes, _ := src.ExportCAR(acct.DID)
+	other := identity.PLCFromGenesis([]byte("other"))
+	if _, err := dst.ImportAccount(other, "other.bsky.social", acct.Key, carBytes); err == nil {
+		t.Fatal("import with mismatched DID must fail")
+	}
+}
+
+func TestRecordSchemaValidation(t *testing.T) {
+	s := startPDS(t)
+	acct, _ := s.CreateAccount("schema.bsky.social")
+	// Post without text: rejected by the lexicon schema.
+	bad := map[string]any{"$type": lexicon.Post, "createdAt": lexicon.FormatTime(ts)}
+	if _, err := s.CreateRecord(acct.DID, lexicon.Post, "", bad); err == nil {
+		t.Fatal("schema-invalid record must be rejected")
+	}
+	// Mismatched $type vs collection: rejected.
+	post := lexicon.NewPost("x", nil, ts)
+	if _, err := s.CreateRecord(acct.DID, lexicon.Like, "", post); err == nil {
+		t.Fatal("type/collection mismatch must be rejected")
+	}
+	// Unknown lexicons are accepted (open ecosystem, §4).
+	entry := lexicon.NewWhiteWindEntry("Title", "body", ts)
+	if _, err := s.CreateRecord(acct.DID, lexicon.WhiteWindEntry, "", entry); err != nil {
+		t.Fatalf("unknown lexicon must pass: %v", err)
+	}
+}

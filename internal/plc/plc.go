@@ -1,0 +1,368 @@
+// Package plc implements the did:plc method and the PLC directory
+// service (plc.directory in the real network, operated by Bluesky
+// PBC): an append-only log of signed operations per DID, from which
+// the current DID document is derived.
+//
+// The paper (§5) highlights that nearly all Bluesky identities resolve
+// through this single centralized directory; the crawler downloads a
+// full snapshot of DID documents from it.
+package plc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blueskies/internal/cbor"
+	"blueskies/internal/identity"
+)
+
+// Operation is one signed PLC operation. Each operation carries the
+// full desired identity state (simplified from the production schema,
+// which splits rotation and verification keys).
+type Operation struct {
+	Type            string `cbor:"type" json:"type"` // plc_operation | plc_tombstone
+	VerificationKey string `cbor:"verificationKey,omitempty" json:"verificationKey,omitempty"`
+	Handle          string `cbor:"handle,omitempty" json:"handle,omitempty"`
+	PDSEndpoint     string `cbor:"pdsEndpoint,omitempty" json:"pdsEndpoint,omitempty"`
+	LabelerEndpoint string `cbor:"labelerEndpoint,omitempty" json:"labelerEndpoint,omitempty"`
+	Prev            string `cbor:"prev,omitempty" json:"prev,omitempty"` // CID string of previous op
+	Sig             []byte `cbor:"sig,omitempty" json:"sig,omitempty"`
+}
+
+// Operation types.
+const (
+	OpTypeOperation = "plc_operation"
+	OpTypeTombstone = "plc_tombstone"
+)
+
+// unsigned returns the canonical signable bytes.
+func (op Operation) unsigned() []byte {
+	op.Sig = nil
+	return cbor.MustMarshal(op)
+}
+
+// Sign signs the operation with key.
+func (op *Operation) Sign(key *identity.KeyPair) {
+	op.Sig = key.Sign(op.unsigned())
+}
+
+// CID returns the operation's content identifier string.
+func (op Operation) CID() string {
+	return fmt.Sprintf("%s", opCID(op))
+}
+
+func opCID(op Operation) string {
+	data := cbor.MustMarshal(op)
+	return identity.PLCFromGenesis(data).Suffix() // reuse the 24-char digest form
+}
+
+// NewGenesis builds and signs a genesis operation, returning the
+// derived did:plc identifier.
+func NewGenesis(key *identity.KeyPair, handle identity.Handle, pdsEndpoint string) (identity.DID, Operation) {
+	op := Operation{
+		Type:            OpTypeOperation,
+		VerificationKey: key.PublicMultibase(),
+		Handle:          string(handle),
+		PDSEndpoint:     pdsEndpoint,
+	}
+	op.Sign(key)
+	did := identity.PLCFromGenesis(cbor.MustMarshal(op))
+	return did, op
+}
+
+// Directory is the in-memory operation log, independent of transport.
+type Directory struct {
+	mu   sync.RWMutex
+	logs map[identity.DID][]Operation
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{logs: make(map[identity.DID][]Operation)}
+}
+
+// errors returned by the directory.
+var (
+	ErrNotFound    = errors.New("plc: DID not registered")
+	ErrTombstoned  = errors.New("plc: DID is tombstoned")
+	ErrBadSig      = errors.New("plc: operation signature invalid")
+	ErrBadPrev     = errors.New("plc: operation prev does not match log head")
+	ErrDIDMismatch = errors.New("plc: genesis operation does not derive the DID")
+)
+
+// Create registers a DID with its genesis operation.
+func (d *Directory) Create(did identity.DID, genesis Operation) error {
+	if genesis.Prev != "" {
+		return errors.New("plc: genesis operation must have no prev")
+	}
+	if derived := identity.PLCFromGenesis(cbor.MustMarshal(genesis)); derived != did {
+		return ErrDIDMismatch
+	}
+	if err := verifyOp(genesis, genesis.VerificationKey); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.logs[did]; exists {
+		return fmt.Errorf("plc: DID %s already registered", did)
+	}
+	d.logs[did] = []Operation{genesis}
+	return nil
+}
+
+// Update appends an operation to an existing log. The operation must
+// be signed with the key of the current head and chain to it via Prev.
+func (d *Directory) Update(did identity.DID, op Operation) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	log, ok := d.logs[did]
+	if !ok {
+		return ErrNotFound
+	}
+	head := log[len(log)-1]
+	if head.Type == OpTypeTombstone {
+		return ErrTombstoned
+	}
+	if op.Prev != opCID(head) {
+		return ErrBadPrev
+	}
+	if err := verifyOp(op, head.VerificationKey); err != nil {
+		return err
+	}
+	d.logs[did] = append(log, op)
+	return nil
+}
+
+func verifyOp(op Operation, keyMultibase string) error {
+	pub, err := identity.DecodePublicKeyMultibase(keyMultibase)
+	if err != nil {
+		return fmt.Errorf("plc: %w", err)
+	}
+	if !identity.Verify(pub, op.unsigned(), op.Sig) {
+		return ErrBadSig
+	}
+	return nil
+}
+
+// Resolve derives the current DID document.
+func (d *Directory) Resolve(did identity.DID) (identity.Document, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	log, ok := d.logs[did]
+	if !ok {
+		return identity.Document{}, ErrNotFound
+	}
+	head := log[len(log)-1]
+	if head.Type == OpTypeTombstone {
+		return identity.Document{}, ErrTombstoned
+	}
+	return documentFromOp(did, head), nil
+}
+
+func documentFromOp(did identity.DID, op Operation) identity.Document {
+	doc := identity.Document{ID: did}
+	if op.Handle != "" {
+		doc.SetHandle(identity.Handle(op.Handle))
+	}
+	if op.VerificationKey != "" {
+		doc.VerificationMethod = []identity.VerificationMethod{{
+			ID:                 string(did) + "#atproto",
+			Type:               "Multikey",
+			Controller:         string(did),
+			PublicKeyMultibase: op.VerificationKey,
+		}}
+	}
+	if op.PDSEndpoint != "" {
+		doc.SetService(identity.ServiceIDPDS, identity.ServiceTypePDS, op.PDSEndpoint)
+	}
+	if op.LabelerEndpoint != "" {
+		doc.SetService(identity.ServiceIDLabeler, identity.ServiceTypeLabel, op.LabelerEndpoint)
+	}
+	return doc
+}
+
+// Log returns the operation log of a DID.
+func (d *Directory) Log(did identity.DID) ([]Operation, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	log, ok := d.logs[did]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]Operation(nil), log...), nil
+}
+
+// DIDs lists all registered DIDs (including tombstoned), sorted.
+func (d *Directory) DIDs() []identity.DID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]identity.DID, 0, len(d.logs))
+	for did := range d.logs {
+		out = append(out, did)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len reports the number of registered DIDs.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.logs)
+}
+
+// Server exposes the directory over HTTP with the plc.directory API
+// shape: GET /{did} (document), GET /{did}/log, POST /{did} (submit).
+type Server struct {
+	dir  *Directory
+	srv  *http.Server
+	ln   net.Listener
+	base string
+}
+
+// NewServer starts a directory server on a loopback port.
+func NewServer(dir *Directory) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{dir: dir, ln: ln, base: "http://" + ln.Addr().String()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return s.base }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	wantLog := false
+	if rest, ok := strings.CutSuffix(path, "/log"); ok {
+		path, wantLog = rest, true
+	}
+	did, err := identity.ParseDID(path)
+	if err != nil {
+		http.Error(w, "bad DID", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if wantLog {
+			log, err := s.dir.Log(did)
+			if err != nil {
+				writeDirErr(w, err)
+				return
+			}
+			writeJSON(w, log)
+			return
+		}
+		doc, err := s.dir.Resolve(did)
+		if err != nil {
+			writeDirErr(w, err)
+			return
+		}
+		writeJSON(w, doc)
+	case http.MethodPost:
+		var op Operation
+		if err := json.NewDecoder(r.Body).Decode(&op); err != nil {
+			http.Error(w, "bad operation", http.StatusBadRequest)
+			return
+		}
+		if op.Prev == "" {
+			err = s.dir.Create(did, op)
+		} else {
+			err = s.dir.Update(did, op)
+		}
+		if err != nil {
+			writeDirErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeDirErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrTombstoned):
+		status = http.StatusGone
+	case errors.Is(err, ErrBadSig), errors.Is(err, ErrBadPrev), errors.Is(err, ErrDIDMismatch):
+		status = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client talks to a directory server.
+type Client struct {
+	// BaseURL is the directory's root URL.
+	BaseURL string
+	// HTTPClient overrides the transport.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the directory at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Resolve fetches the DID document for did.
+func (c *Client) Resolve(did identity.DID) (identity.Document, error) {
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/" + string(did))
+	if err != nil {
+		return identity.Document{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return identity.Document{}, ErrNotFound
+	case http.StatusGone:
+		return identity.Document{}, ErrTombstoned
+	default:
+		return identity.Document{}, fmt.Errorf("plc: resolve status %d", resp.StatusCode)
+	}
+	var doc identity.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return identity.Document{}, err
+	}
+	return doc, nil
+}
+
+// Submit sends an operation (genesis when op.Prev is empty).
+func (c *Client) Submit(did identity.DID, op Operation) error {
+	body, err := json.Marshal(op)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTPClient.Post(c.BaseURL+"/"+string(did), "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("plc: submit status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package psl implements Public Suffix List rule parsing and
+// registered-domain (eTLD+1) extraction, as used by the paper (§5) to
+// group FQDN handles by their effective second-level domain for the
+// handle-concentration analysis (Figure 3).
+//
+// The algorithm follows publicsuffix.org: the longest matching rule
+// wins, exception rules ("!") beat wildcard rules ("*."), and an
+// unmatched name falls back to the implicit "*" rule (its last label
+// is the public suffix).
+package psl
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// List is a parsed set of public-suffix rules.
+type List struct {
+	rules      map[string]bool // normal rules
+	wildcards  map[string]bool // "*.<base>" rules keyed by base
+	exceptions map[string]bool // "!<name>" rules
+}
+
+// Parse reads rules in the publicsuffix.org file format: one rule per
+// line, comments starting with "//", blank lines ignored.
+func Parse(text string) (*List, error) {
+	l := &List{
+		rules:      make(map[string]bool),
+		wildcards:  make(map[string]bool),
+		exceptions: make(map[string]bool),
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		// Rules are the first whitespace-separated token.
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(line, "!"):
+			l.exceptions[line[1:]] = true
+		case strings.HasPrefix(line, "*."):
+			l.wildcards[line[2:]] = true
+		default:
+			if strings.Contains(line, "*") {
+				return nil, fmt.Errorf("psl: unsupported interior wildcard rule %q", line)
+			}
+			l.rules[line] = true
+		}
+	}
+	return l, sc.Err()
+}
+
+// MustParse is Parse but panics on error; for embedded rule sets.
+func MustParse(text string) *List {
+	l, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// PublicSuffix returns the public suffix of domain and whether it was
+// matched by an explicit rule (as opposed to the implicit "*" rule).
+func (l *List) PublicSuffix(domain string) (string, bool) {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	labels := strings.Split(domain, ".")
+	// Find the longest explicit match.
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		if l.exceptions[candidate] {
+			// Exception: the suffix is one label shorter.
+			return strings.Join(labels[i+1:], "."), true
+		}
+		if l.rules[candidate] {
+			return candidate, true
+		}
+		// "*.base" matches "<anything>.base" — candidate's tail.
+		if i+1 <= len(labels)-1 {
+			base := strings.Join(labels[i+1:], ".")
+			if l.wildcards[base] && !l.exceptions[candidate] {
+				return candidate, true
+			}
+		}
+	}
+	// Implicit "*" rule: last label.
+	return labels[len(labels)-1], false
+}
+
+// RegisteredDomain returns the eTLD+1 of domain: the public suffix
+// plus one label. It returns "" when domain is itself a public suffix
+// or has no extra label.
+func (l *List) RegisteredDomain(domain string) string {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	suffix, _ := l.PublicSuffix(domain)
+	if domain == suffix {
+		return ""
+	}
+	rest := strings.TrimSuffix(domain, "."+suffix)
+	if rest == domain {
+		return ""
+	}
+	labels := strings.Split(rest, ".")
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// Default returns the rule set used by the synthetic world: the
+// generic TLDs, ccTLDs, and multi-label suffixes that appear in the
+// paper's handle population. (The full Mozilla PSL is thousands of
+// rules; only those the simulation can produce are embedded.)
+func Default() *List {
+	return MustParse(defaultRules)
+}
+
+const defaultRules = `
+// Generic TLDs
+com
+net
+org
+edu
+gov
+app
+dev
+io
+me
+social
+cool
+online
+site
+host
+cloud
+xyz
+art
+blog
+page
+work
+team
+news
+// ccTLDs with flat registration
+de
+fr
+nl
+es
+it
+ca
+ch
+at
+be
+se
+no
+us
+// ccTLDs with second-level structure
+jp
+co.jp
+ne.jp
+or.jp
+ac.jp
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+br
+com.br
+net.br
+org.br
+kr
+co.kr
+or.kr
+au
+com.au
+org.au
+nz
+co.nz
+// Wildcard example used in tests (ck-style)
+*.ck
+!www.ck
+`

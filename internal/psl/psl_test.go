@@ -1,0 +1,90 @@
+package psl
+
+import "testing"
+
+func TestPublicSuffixBasic(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		domain   string
+		suffix   string
+		explicit bool
+	}{
+		{"alice.bsky.social", "social", true},
+		{"example.com", "com", true},
+		{"www.example.co.uk", "co.uk", true},
+		{"sub.deep.example.com.br", "com.br", true},
+		{"something.unknowntld", "unknowntld", false},
+		{"tanaka.example.co.jp", "co.jp", true},
+	}
+	for _, tc := range cases {
+		suffix, explicit := l.PublicSuffix(tc.domain)
+		if suffix != tc.suffix || explicit != tc.explicit {
+			t.Errorf("PublicSuffix(%q) = %q/%v, want %q/%v",
+				tc.domain, suffix, explicit, tc.suffix, tc.explicit)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	l := Default()
+	cases := []struct{ domain, want string }{
+		{"alice.bsky.social", "bsky.social"},
+		{"bsky.social", "bsky.social"},
+		{"social", ""}, // a bare public suffix has no registrant
+		{"a.b.c.example.com", "example.com"},
+		{"www.example.co.uk", "example.co.uk"},
+		{"example.co.uk", "example.co.uk"},
+		{"co.uk", ""},
+		{"user.swifties.social", "swifties.social"},
+		{"x.github.io", "github.io"}, // github.io deliberately not a suffix here (paper counts it as a registered name)
+	}
+	for _, tc := range cases {
+		if got := l.RegisteredDomain(tc.domain); got != tc.want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestWildcardAndExceptionRules(t *testing.T) {
+	l := Default()
+	// "*.ck" makes "foo.ck" a public suffix → "bar.foo.ck" registers.
+	if got := l.RegisteredDomain("bar.foo.ck"); got != "bar.foo.ck" {
+		t.Errorf("wildcard: RegisteredDomain(bar.foo.ck) = %q", got)
+	}
+	if got := l.RegisteredDomain("foo.ck"); got != "" {
+		t.Errorf("wildcard: RegisteredDomain(foo.ck) = %q", got)
+	}
+	// "!www.ck" exempts www.ck: its suffix is "ck", so www.ck registers.
+	if got := l.RegisteredDomain("www.ck"); got != "www.ck" {
+		t.Errorf("exception: RegisteredDomain(www.ck) = %q", got)
+	}
+	if got := l.RegisteredDomain("sub.www.ck"); got != "www.ck" {
+		t.Errorf("exception: RegisteredDomain(sub.www.ck) = %q", got)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	l, err := Parse("// comment\n\ncom\n  org  \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := l.PublicSuffix("a.com"); s != "com" || !ok {
+		t.Fatalf("suffix = %q %v", s, ok)
+	}
+	if s, ok := l.PublicSuffix("a.org"); s != "org" || !ok {
+		t.Fatalf("suffix = %q %v", s, ok)
+	}
+}
+
+func TestParseRejectsInteriorWildcard(t *testing.T) {
+	if _, err := Parse("foo.*.bar"); err == nil {
+		t.Fatal("expected error for interior wildcard")
+	}
+}
+
+func TestCaseAndTrailingDot(t *testing.T) {
+	l := Default()
+	if got := l.RegisteredDomain("WWW.Example.COM."); got != "example.com" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,487 @@
+// Package relay implements the Relay (bsky.network in production): the
+// component that crawls every known PDS, mirrors all repositories, and
+// re-publishes the combined event stream as the Firehose with a
+// three-day retention window (§2, "The Relay").
+//
+// The paper's entire measurement methodology leans on this component:
+// sync.listRepos enumerates every user, sync.getRepo serves cached
+// copies of all repositories (even self-hosted ones), and
+// subscribeRepos delivers the real-time Firehose.
+package relay
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"blueskies/internal/car"
+	"blueskies/internal/cbor"
+	"blueskies/internal/cid"
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/mst"
+	"blueskies/internal/pds"
+	"blueskies/internal/xrpc"
+)
+
+// FirehoseRetention is the production Firehose retention window the
+// paper reports (three days).
+const FirehoseRetention = 72 * time.Hour
+
+// mirror is the relay's cached copy of one repository.
+type mirror struct {
+	did         identity.DID
+	store       *mst.MemBlockStore
+	tree        *mst.Tree
+	head        cid.CID
+	rev         string
+	commitBlock []byte
+	handle      string
+	tombstoned  bool
+}
+
+// Config configures a relay.
+type Config struct {
+	// Clock supplies timestamps; time.Now if nil.
+	Clock func() time.Time
+	// Retention bounds the Firehose backlog; FirehoseRetention if 0.
+	Retention time.Duration
+	// MaxEvents caps the backlog regardless of age (0 = unbounded).
+	MaxEvents int
+}
+
+// Relay aggregates PDS event streams into the Firehose.
+type Relay struct {
+	clock func() time.Time
+
+	mu      sync.RWMutex
+	mirrors map[identity.DID]*mirror
+	sources map[string]func() // pdsURL → cancel
+
+	seq  *events.Sequencer
+	mux  *xrpc.Mux
+	http *http.Server
+	base string
+}
+
+// New creates a relay.
+func New(cfg Config) *Relay {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	retention := cfg.Retention
+	if retention == 0 {
+		retention = FirehoseRetention
+	}
+	r := &Relay{
+		clock:   clock,
+		mirrors: make(map[identity.DID]*mirror),
+		sources: make(map[string]func()),
+		seq:     events.NewSequencer(retention, cfg.MaxEvents),
+	}
+	r.seq.SetClock(clock)
+	r.mux = xrpc.NewMux()
+	r.register()
+	return r
+}
+
+// Start begins serving on a loopback port.
+func (r *Relay) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	r.base = "http://" + ln.Addr().String()
+	r.http = &http.Server{Handler: r.mux}
+	go func() { _ = r.http.Serve(ln) }()
+	return nil
+}
+
+// URL returns the relay's base URL.
+func (r *Relay) URL() string { return r.base }
+
+// Close stops the relay and all PDS subscriptions.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	for _, cancel := range r.sources {
+		cancel()
+	}
+	r.sources = map[string]func(){}
+	r.mu.Unlock()
+	if r.http != nil {
+		return r.http.Close()
+	}
+	return nil
+}
+
+// Sequencer exposes the Firehose sequencer.
+func (r *Relay) Sequencer() *events.Sequencer { return r.seq }
+
+// MirrorCount reports the number of mirrored repositories.
+func (r *Relay) MirrorCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.mirrors)
+}
+
+// AddPDS registers a PDS: performs a full crawl of its repositories
+// and subscribes to its event stream for incremental updates.
+func (r *Relay) AddPDS(pdsURL string) error {
+	if err := r.crawl(pdsURL); err != nil {
+		return err
+	}
+	sub, err := events.Subscribe(pdsURL, "com.atproto.sync.subscribeRepos", 0)
+	if err != nil {
+		return fmt.Errorf("relay: subscribe to %s: %w", pdsURL, err)
+	}
+	done := make(chan struct{})
+	cancel := func() {
+		close(done)
+		sub.Close()
+	}
+	r.mu.Lock()
+	if _, dup := r.sources[pdsURL]; dup {
+		r.mu.Unlock()
+		cancel()
+		return fmt.Errorf("relay: PDS %s already registered", pdsURL)
+	}
+	r.sources[pdsURL] = cancel
+	r.mu.Unlock()
+	go r.consume(sub, done)
+	return nil
+}
+
+// crawl performs the initial full sync of a PDS (listRepos + getRepo).
+func (r *Relay) crawl(pdsURL string) error {
+	client := xrpc.NewClient(pdsURL)
+	ctx := context.Background()
+	cursor := ""
+	for {
+		params := url.Values{"limit": {"100"}}
+		if cursor != "" {
+			params.Set("cursor", cursor)
+		}
+		var page struct {
+			Cursor string `json:"cursor"`
+			Repos  []struct {
+				DID string `json:"did"`
+			} `json:"repos"`
+		}
+		if err := client.Query(ctx, "com.atproto.sync.listRepos", params, &page); err != nil {
+			return fmt.Errorf("relay: listRepos on %s: %w", pdsURL, err)
+		}
+		for _, info := range page.Repos {
+			if err := r.fetchRepo(client, identity.DID(info.DID)); err != nil {
+				return err
+			}
+		}
+		if page.Cursor == "" {
+			return nil
+		}
+		cursor = page.Cursor
+	}
+}
+
+func (r *Relay) fetchRepo(client *xrpc.Client, did identity.DID) error {
+	carBytes, err := client.QueryBytes(context.Background(), "com.atproto.sync.getRepo",
+		url.Values{"did": {string(did)}})
+	if err != nil {
+		return fmt.Errorf("relay: getRepo %s: %w", did, err)
+	}
+	m, err := mirrorFromCAR(did, carBytes)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.mirrors[did] = m
+	r.mu.Unlock()
+	return nil
+}
+
+func mirrorFromCAR(did identity.DID, carBytes []byte) (*mirror, error) {
+	cr, err := car.NewReader(bytes.NewReader(carBytes))
+	if err != nil {
+		return nil, err
+	}
+	if len(cr.Roots()) != 1 {
+		return nil, errors.New("relay: repo CAR must have one root")
+	}
+	root := cr.Roots()[0]
+	store := mst.NewMemBlockStore()
+	blocks, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range blocks {
+		store.Put(b.CID.Codec(), b.Data)
+	}
+	commitData, ok := store.Get(root)
+	if !ok {
+		return nil, errors.New("relay: CAR missing commit")
+	}
+	var commit struct {
+		DID  string  `cbor:"did"`
+		Data cid.CID `cbor:"data"`
+		Rev  string  `cbor:"rev"`
+	}
+	if err := cbor.Unmarshal(commitData, &commit); err != nil {
+		return nil, err
+	}
+	if commit.DID != string(did) {
+		return nil, fmt.Errorf("relay: CAR is for %s, expected %s", commit.DID, did)
+	}
+	tree, err := mst.Load(store, commit.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &mirror{
+		did:         did,
+		store:       store,
+		tree:        tree,
+		head:        root,
+		rev:         commit.Rev,
+		commitBlock: commitData,
+	}, nil
+}
+
+// consume applies one PDS's event stream and re-sequences it onto the
+// Firehose.
+func (r *Relay) consume(sub *events.Subscription, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		ev, err := sub.Next()
+		if err != nil {
+			return
+		}
+		r.Ingest(ev)
+	}
+}
+
+// Ingest applies one upstream event to the mirrors and re-emits it on
+// the Firehose with a relay sequence number. Exposed for in-process
+// wiring and deterministic tests.
+func (r *Relay) Ingest(ev any) {
+	switch e := ev.(type) {
+	case *events.Commit:
+		if err := r.applyCommit(e); err != nil {
+			return
+		}
+		_, _ = r.seq.Emit(func(seq int64) any {
+			cp := *e
+			cp.Seq = seq
+			return &cp
+		})
+	case *events.Identity:
+		_, _ = r.seq.Emit(func(seq int64) any {
+			cp := *e
+			cp.Seq = seq
+			return &cp
+		})
+	case *events.Handle:
+		r.mu.Lock()
+		if m, ok := r.mirrors[identity.DID(e.DID)]; ok {
+			m.handle = e.Handle
+		}
+		r.mu.Unlock()
+		_, _ = r.seq.Emit(func(seq int64) any {
+			cp := *e
+			cp.Seq = seq
+			return &cp
+		})
+	case *events.Tombstone:
+		r.mu.Lock()
+		if m, ok := r.mirrors[identity.DID(e.DID)]; ok {
+			m.tombstoned = true
+		}
+		r.mu.Unlock()
+		_, _ = r.seq.Emit(func(seq int64) any {
+			cp := *e
+			cp.Seq = seq
+			return &cp
+		})
+	}
+}
+
+func (r *Relay) applyCommit(e *events.Commit) error {
+	did := identity.DID(e.Repo)
+	cr, err := car.NewReader(bytes.NewReader(e.Blocks))
+	if err != nil {
+		return err
+	}
+	blocks, err := cr.ReadAll()
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.mirrors[did]
+	if !ok {
+		// A repo we have not crawled yet (e.g. created after AddPDS):
+		// start an empty mirror; ops carry everything needed.
+		m = &mirror{did: did, store: mst.NewMemBlockStore(), tree: mst.New()}
+		r.mirrors[did] = m
+	}
+	for _, b := range blocks {
+		m.store.Put(b.CID.Codec(), b.Data)
+		if b.CID.Equal(e.Commit) {
+			m.commitBlock = b.Data
+		}
+	}
+	for _, op := range e.Ops {
+		switch op.Action {
+		case "create", "update":
+			if op.CID == nil {
+				return fmt.Errorf("relay: %s op without cid", op.Action)
+			}
+			if err := m.tree.Put(op.Path, *op.CID); err != nil {
+				return err
+			}
+		case "delete":
+			m.tree.Delete(op.Path)
+		}
+	}
+	m.head = e.Commit
+	m.rev = e.Rev
+	return nil
+}
+
+// ExportCAR reconstructs the full repo archive for did from the
+// mirror: commit block, canonical MST nodes, and record blocks.
+func (r *Relay) ExportCAR(did identity.DID) ([]byte, error) {
+	r.mu.RLock()
+	m, ok := r.mirrors[did]
+	r.mu.RUnlock()
+	if !ok || m.tombstoned {
+		return nil, xrpc.ErrNotFound("repo %s not mirrored", did)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nodeStore := mst.NewMemBlockStore()
+	if _, err := m.tree.Build(nodeStore); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	cw, err := car.NewWriter(&buf, m.head)
+	if err != nil {
+		return nil, err
+	}
+	if m.commitBlock == nil {
+		return nil, errors.New("relay: mirror missing commit block")
+	}
+	if err := cw.WriteBlock(car.Block{CID: m.head, Data: m.commitBlock}); err != nil {
+		return nil, err
+	}
+	for _, c := range nodeStore.CIDs() {
+		data, _ := nodeStore.Get(c)
+		if err := cw.WriteBlock(car.Block{CID: c, Data: data}); err != nil {
+			return nil, err
+		}
+	}
+	for _, entry := range m.tree.Entries() {
+		data, ok := m.store.Get(entry.Value)
+		if !ok {
+			return nil, fmt.Errorf("relay: mirror missing record block %s", entry.Value)
+		}
+		if err := cw.WriteBlock(car.Block{CID: entry.Value, Data: data}); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RepoInfo summarizes one mirrored repository for listRepos.
+type RepoInfo struct {
+	DID  string `json:"did"`
+	Head string `json:"head"`
+	Rev  string `json:"rev"`
+}
+
+// ListRepos returns mirrored repos after cursor (a DID), up to limit.
+func (r *Relay) ListRepos(cursor string, limit int) (repos []RepoInfo, nextCursor string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	dids := make([]string, 0, len(r.mirrors))
+	for did, m := range r.mirrors {
+		if !m.tombstoned {
+			dids = append(dids, string(did))
+		}
+	}
+	sort.Strings(dids)
+	for _, did := range dids {
+		if cursor != "" && did <= cursor {
+			continue
+		}
+		m := r.mirrors[identity.DID(did)]
+		repos = append(repos, RepoInfo{DID: did, Head: m.head.String(), Rev: m.rev})
+		if limit > 0 && len(repos) >= limit {
+			nextCursor = did
+			break
+		}
+	}
+	return repos, nextCursor
+}
+
+func (r *Relay) register() {
+	r.mux.Query("com.atproto.sync.listRepos", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		limit := 100
+		if l := params.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				return nil, xrpc.ErrInvalidRequest("bad limit %q", l)
+			}
+			limit = n
+		}
+		repos, next := r.ListRepos(params.Get("cursor"), limit)
+		resp := map[string]any{"repos": repos}
+		if next != "" {
+			resp["cursor"] = next
+		}
+		return resp, nil
+	})
+	r.mux.Query("com.atproto.sync.getRepo", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		data, err := r.ExportCAR(identity.DID(params.Get("did")))
+		if err != nil {
+			return nil, err
+		}
+		return xrpc.Raw{ContentType: "application/vnd.ipld.car", Data: data}, nil
+	})
+	r.mux.Stream("com.atproto.sync.subscribeRepos", func(w http.ResponseWriter, req *http.Request) {
+		pds.ServeStream(r.seq, w, req)
+	})
+}
+
+// WaitForMirrors polls until the relay mirrors at least n repos or the
+// timeout elapses; a convenience for tests and examples wiring live
+// streams.
+func (r *Relay) WaitForMirrors(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.MirrorCount() >= n {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("relay: only %d mirrors after %v", r.MirrorCount(), timeout)
+}
+
+// FirehoseURL returns the ws endpoint path clients subscribe to.
+func (r *Relay) FirehoseURL() string {
+	return strings.TrimSuffix(r.base, "/") + "/xrpc/com.atproto.sync.subscribeRepos"
+}

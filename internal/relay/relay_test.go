@@ -1,0 +1,243 @@
+package relay
+
+import (
+	"bytes"
+	"context"
+	"net/url"
+	"testing"
+	"time"
+
+	"blueskies/internal/events"
+	"blueskies/internal/identity"
+	"blueskies/internal/lexicon"
+	"blueskies/internal/pds"
+	"blueskies/internal/repo"
+	"blueskies/internal/xrpc"
+)
+
+var ts = time.Date(2024, 4, 1, 12, 0, 0, 0, time.UTC)
+
+func startPDS(t *testing.T) *pds.Server {
+	t.Helper()
+	s := pds.New(pds.Config{Hostname: "pds.test", Clock: func() time.Time { return ts }})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func startRelay(t *testing.T) *Relay {
+	t.Helper()
+	r := New(Config{Clock: func() time.Time { return ts }})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestInitialCrawlMirrorsExistingRepos(t *testing.T) {
+	p := startPDS(t)
+	for _, h := range []string{"a", "b", "c"} {
+		acct, err := p.CreateAccount(identity.Handle(h + ".bsky.social"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("hi "+h, nil, ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := startRelay(t)
+	if err := r.AddPDS(p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if r.MirrorCount() != 3 {
+		t.Fatalf("mirrors = %d", r.MirrorCount())
+	}
+}
+
+func TestLiveCommitPropagation(t *testing.T) {
+	p := startPDS(t)
+	acct, _ := p.CreateAccount("live.bsky.social")
+	r := startRelay(t)
+	if err := r.AddPDS(p.URL()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe to the relay Firehose before the write.
+	sub, err := events.Subscribe(r.URL(), "com.atproto.sync.subscribeRepos", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if _, err := p.CreateRecord(acct.DID, lexicon.Post, "3kbbbbbbbbbb2", lexicon.NewPost("fan out", nil, ts)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, err := sub.NextTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if commit, ok := ev.(*events.Commit); ok && commit.Repo == string(acct.DID) {
+			if len(commit.Ops) == 1 && commit.Ops[0].Path == lexicon.Post+"/3kbbbbbbbbbb2" {
+				return // success
+			}
+		}
+	}
+	t.Fatal("commit never arrived on the firehose")
+}
+
+func TestRelayGetRepoReconstruction(t *testing.T) {
+	p := startPDS(t)
+	acct, _ := p.CreateAccount("repro.bsky.social")
+	_, _ = p.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("one", nil, ts))
+	r := startRelay(t)
+	if err := r.AddPDS(p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	// A post-crawl live write must be reflected in the export.
+	_, _ = p.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa3", lexicon.NewPost("two", nil, ts))
+
+	var carBytes []byte
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		var err error
+		carBytes, err = r.ExportCAR(acct.DID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := repo.LoadCAR(bytes.NewReader(carBytes), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := loaded.List(lexicon.Post)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 2 {
+			// Both posts present; verify contents.
+			texts := map[string]bool{}
+			for _, rec := range recs {
+				texts[lexicon.PostText(rec.Value)] = true
+			}
+			if !texts["one"] || !texts["two"] {
+				t.Fatalf("texts = %v", texts)
+			}
+			// Heads must match the PDS's.
+			if loaded.Head() != acct.Repo.Head() {
+				t.Fatalf("relay head %s != pds head %s", loaded.Head(), acct.Repo.Head())
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("live write never reached the mirror")
+}
+
+func TestRelayListReposXRPC(t *testing.T) {
+	p := startPDS(t)
+	for _, h := range []string{"x", "y"} {
+		_, _ = p.CreateAccount(identity.Handle(h + ".bsky.social"))
+	}
+	r := startRelay(t)
+	if err := r.AddPDS(p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	client := xrpc.NewClient(r.URL())
+	var out struct {
+		Repos []RepoInfo `json:"repos"`
+	}
+	if err := client.Query(context.Background(), "com.atproto.sync.listRepos", url.Values{"limit": {"10"}}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Repos) != 2 {
+		t.Fatalf("repos = %+v", out.Repos)
+	}
+	for _, info := range out.Repos {
+		if info.Head == "" || info.Rev == "" {
+			t.Fatalf("incomplete info: %+v", info)
+		}
+	}
+}
+
+func TestIngestDeterministic(t *testing.T) {
+	// Drive the relay without sockets via Ingest.
+	r := New(Config{Clock: func() time.Time { return ts }})
+	p := pds.New(pds.Config{Hostname: "inproc", Clock: func() time.Time { return ts }})
+	acct, err := p.CreateAccount("inproc.bsky.social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Sequencer().Subscribe(16)
+	defer cancel()
+	if _, err := p.CreateRecord(acct.DID, lexicon.Post, "3kaaaaaaaaaa2", lexicon.NewPost("in process", nil, ts)); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the PDS events into the relay synchronously.
+	for len(ch) > 0 {
+		frame := <-ch
+		ev, err := events.Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Ingest(ev)
+	}
+	if r.MirrorCount() != 1 {
+		t.Fatalf("mirrors = %d", r.MirrorCount())
+	}
+	carBytes, err := r.ExportCAR(acct.DID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repo.LoadCAR(bytes.NewReader(carBytes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := loaded.Get(lexicon.Post, "3kaaaaaaaaaa2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lexicon.PostText(rec.Value) != "in process" {
+		t.Fatal("record lost through ingest path")
+	}
+}
+
+func TestTombstoneHidesRepo(t *testing.T) {
+	r := New(Config{})
+	r.Ingest(&events.Tombstone{Seq: 1, DID: "did:plc:abcdefghijklmnopqrstuvwx"})
+	// Tombstone for unknown repo: no crash, no mirror.
+	if r.MirrorCount() != 0 {
+		t.Fatal("tombstone must not create mirrors")
+	}
+}
+
+func TestDuplicateAddPDSRejected(t *testing.T) {
+	p := startPDS(t)
+	r := startRelay(t)
+	if err := r.AddPDS(p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPDS(p.URL()); err == nil {
+		t.Fatal("duplicate AddPDS must fail")
+	}
+}
+
+func TestFirehoseRetentionWindow(t *testing.T) {
+	now := ts
+	clock := func() time.Time { return now }
+	r := New(Config{Clock: clock})
+	r.Ingest(&events.Identity{Seq: 1, DID: "did:plc:old", Time: events.FormatTime(now)})
+	now = now.Add(FirehoseRetention + time.Hour)
+	r.Ingest(&events.Identity{Seq: 2, DID: "did:plc:new", Time: events.FormatTime(now)})
+	frames, outdated := r.Sequencer().Backfill(0)
+	if !outdated {
+		t.Fatal("cursor 0 must be outdated after retention lapse")
+	}
+	if len(frames) != 1 {
+		t.Fatalf("retained %d frames", len(frames))
+	}
+}

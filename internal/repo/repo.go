@@ -1,0 +1,466 @@
+// Package repo implements AT Protocol user data repositories: the
+// signed, git-like key-value store of a user's public records (posts,
+// likes, follows, blocks, …) described in §2 of the paper.
+//
+// A repository is a set of records keyed "collection/rkey", indexed by
+// a Merkle Search Tree whose root is referenced from a signed commit.
+// Every mutation produces a new commit with a monotonically increasing
+// TID revision. Repositories serialize to CARv1 archives, which is
+// what com.atproto.sync.getRepo returns.
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"blueskies/internal/car"
+	"blueskies/internal/cbor"
+	"blueskies/internal/cid"
+	"blueskies/internal/identity"
+	"blueskies/internal/mst"
+)
+
+// commitVersion is the atproto repo format version.
+const commitVersion = 3
+
+// Commit is the signed repository commit object.
+type Commit struct {
+	DID     string   `cbor:"did"`
+	Version int      `cbor:"version"`
+	Data    cid.CID  `cbor:"data"`
+	Rev     string   `cbor:"rev"`
+	Prev    *cid.CID `cbor:"prev"`
+	Sig     []byte   `cbor:"sig,omitempty"`
+}
+
+// unsigned returns the commit's canonical bytes without the signature,
+// which is what gets signed.
+func (c Commit) unsigned() []byte {
+	c.Sig = nil
+	return cbor.MustMarshal(c)
+}
+
+// Verify checks the commit signature against pub.
+func (c Commit) Verify(pub []byte) bool {
+	return identity.Verify(pub, c.unsigned(), c.Sig)
+}
+
+// Record is a decoded repository record.
+type Record struct {
+	URI   identity.URI
+	CID   cid.CID
+	Value map[string]any
+}
+
+// Collection extracts the "$type"-style collection of the record key.
+func (r Record) Collection() string { return r.URI.Collection }
+
+// Op is one record-level operation included in a commit, mirroring the
+// firehose ops array.
+type Op struct {
+	Action string  // create | update | delete
+	Path   string  // collection/rkey
+	CID    cid.CID // new record CID (undefined for delete)
+}
+
+// CommitInfo summarizes one applied commit for event emission.
+type CommitInfo struct {
+	DID    identity.DID
+	Rev    identity.TID
+	CID    cid.CID
+	Prev   *cid.CID
+	Ops    []Op
+	Time   time.Time
+	Blocks []car.Block // new blocks introduced by this commit
+}
+
+// Repo is a single user's mutable repository.
+type Repo struct {
+	did    identity.DID
+	key    *identity.KeyPair
+	store  *mst.MemBlockStore
+	tree   *mst.Tree
+	clock  *identity.TIDClock
+	head   cid.CID
+	rev    identity.TID
+	nextup *mst.Tree // staged tree with uncommitted changes
+}
+
+// New creates an empty repository for did, signing with key.
+func New(did identity.DID, key *identity.KeyPair) *Repo {
+	return &Repo{
+		did:   did,
+		key:   key,
+		store: mst.NewMemBlockStore(),
+		tree:  mst.New(),
+		clock: identity.NewTIDClock(uint16(len(did)) & 0x3ff),
+	}
+}
+
+// DID returns the repository owner.
+func (r *Repo) DID() identity.DID { return r.did }
+
+// Head returns the current commit CID (undefined before first commit).
+func (r *Repo) Head() cid.CID { return r.head }
+
+// Rev returns the current revision TID ("" before first commit).
+func (r *Repo) Rev() identity.TID { return r.rev }
+
+// Len reports the number of live records.
+func (r *Repo) Len() int { return r.staged().Len() }
+
+func (r *Repo) staged() *mst.Tree {
+	if r.nextup != nil {
+		return r.nextup
+	}
+	return r.tree
+}
+
+func (r *Repo) stage() *mst.Tree {
+	if r.nextup == nil {
+		r.nextup = r.tree.Clone()
+	}
+	return r.nextup
+}
+
+func repoPath(collection, rkey string) (string, error) {
+	if collection == "" || rkey == "" {
+		return "", errors.New("repo: empty collection or rkey")
+	}
+	if strings.ContainsRune(collection, '/') || strings.ContainsRune(rkey, '/') {
+		return "", fmt.Errorf("repo: '/' not allowed in %q/%q", collection, rkey)
+	}
+	return collection + "/" + rkey, nil
+}
+
+// Create stages a new record and returns its URI and CID. The record
+// value must be CBOR-encodable (typically a map or tagged struct).
+func (r *Repo) Create(collection, rkey string, value any) (identity.URI, cid.CID, error) {
+	path, err := repoPath(collection, rkey)
+	if err != nil {
+		return identity.URI{}, cid.CID{}, err
+	}
+	if _, exists := r.staged().Get(path); exists {
+		return identity.URI{}, cid.CID{}, fmt.Errorf("repo: record %s already exists", path)
+	}
+	return r.put(path, collection, rkey, value)
+}
+
+// Put stages a create-or-replace of a record.
+func (r *Repo) Put(collection, rkey string, value any) (identity.URI, cid.CID, error) {
+	path, err := repoPath(collection, rkey)
+	if err != nil {
+		return identity.URI{}, cid.CID{}, err
+	}
+	return r.put(path, collection, rkey, value)
+}
+
+func (r *Repo) put(path, collection, rkey string, value any) (identity.URI, cid.CID, error) {
+	data, err := cbor.Marshal(value)
+	if err != nil {
+		return identity.URI{}, cid.CID{}, fmt.Errorf("repo: encode record: %w", err)
+	}
+	c := r.store.Put(cid.DagCBOR, data)
+	if err := r.stage().Put(path, c); err != nil {
+		return identity.URI{}, cid.CID{}, err
+	}
+	uri := identity.URI{DID: r.did, Collection: collection, RKey: rkey}
+	return uri, c, nil
+}
+
+// Delete stages removal of a record.
+func (r *Repo) Delete(collection, rkey string) error {
+	path, err := repoPath(collection, rkey)
+	if err != nil {
+		return err
+	}
+	if !r.stage().Delete(path) {
+		return fmt.Errorf("repo: record %s not found", path)
+	}
+	return nil
+}
+
+// Get returns a decoded record by collection and rkey.
+func (r *Repo) Get(collection, rkey string) (Record, error) {
+	path, err := repoPath(collection, rkey)
+	if err != nil {
+		return Record{}, err
+	}
+	c, ok := r.staged().Get(path)
+	if !ok {
+		return Record{}, fmt.Errorf("repo: record %s not found", path)
+	}
+	return r.loadRecord(collection, rkey, c)
+}
+
+func (r *Repo) loadRecord(collection, rkey string, c cid.CID) (Record, error) {
+	data, ok := r.store.Get(c)
+	if !ok {
+		return Record{}, fmt.Errorf("repo: missing block %s", c)
+	}
+	var value map[string]any
+	if err := cbor.Unmarshal(data, &value); err != nil {
+		return Record{}, fmt.Errorf("repo: decode record: %w", err)
+	}
+	return Record{
+		URI:   identity.URI{DID: r.did, Collection: collection, RKey: rkey},
+		CID:   c,
+		Value: value,
+	}, nil
+}
+
+// List returns all records in a collection ("" for all), in key order.
+func (r *Repo) List(collection string) ([]Record, error) {
+	var out []Record
+	for _, e := range r.staged().Entries() {
+		coll, rkey, ok := strings.Cut(e.Key, "/")
+		if !ok {
+			continue
+		}
+		if collection != "" && coll != collection {
+			continue
+		}
+		rec, err := r.loadRecord(coll, rkey, e.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Collections lists the distinct collection NSIDs present, sorted.
+func (r *Repo) Collections() []string {
+	seen := map[string]bool{}
+	for _, e := range r.staged().Entries() {
+		if coll, _, ok := strings.Cut(e.Key, "/"); ok {
+			seen[coll] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commit applies staged changes as a new signed commit at the given
+// timestamp. Committing with no staged changes is an error.
+func (r *Repo) Commit(ts time.Time) (CommitInfo, error) {
+	if r.key == nil {
+		return CommitInfo{}, errors.New("repo: read-only repository (no signing key)")
+	}
+	if r.nextup == nil && r.head.Defined() {
+		return CommitInfo{}, errors.New("repo: nothing staged")
+	}
+	newTree := r.staged()
+	changes := mst.Diff(r.tree, newTree)
+	if len(changes) == 0 && r.head.Defined() {
+		r.nextup = nil
+		return CommitInfo{}, errors.New("repo: nothing staged")
+	}
+
+	before := r.store.Len()
+	_ = before // retained for clarity; block dedup makes Put idempotent
+	root, err := newTree.Build(r.store)
+	if err != nil {
+		return CommitInfo{}, fmt.Errorf("repo: build mst: %w", err)
+	}
+	rev := r.clock.Next(ts)
+	commit := Commit{
+		DID:     string(r.did),
+		Version: commitVersion,
+		Data:    root,
+		Rev:     string(rev),
+	}
+	if r.head.Defined() {
+		prev := r.head
+		commit.Prev = &prev
+	}
+	commit.Sig = r.key.Sign(commit.unsigned())
+	commitBytes := cbor.MustMarshal(commit)
+	commitCID := r.store.Put(cid.DagCBOR, commitBytes)
+
+	info := CommitInfo{
+		DID:  r.did,
+		Rev:  rev,
+		CID:  commitCID,
+		Prev: commit.Prev,
+		Time: ts,
+	}
+	for _, ch := range changes {
+		op := Op{Path: ch.Key}
+		switch ch.Op {
+		case mst.OpCreate:
+			op.Action, op.CID = "create", ch.New
+		case mst.OpUpdate:
+			op.Action, op.CID = "update", ch.New
+		case mst.OpDelete:
+			op.Action = "delete"
+		}
+		info.Ops = append(info.Ops, op)
+		if ch.New.Defined() {
+			if data, ok := r.store.Get(ch.New); ok {
+				info.Blocks = append(info.Blocks, car.Block{CID: ch.New, Data: data})
+			}
+		}
+	}
+	info.Blocks = append(info.Blocks, car.Block{CID: commitCID, Data: commitBytes})
+
+	r.tree = newTree
+	r.nextup = nil
+	r.head = commitCID
+	r.rev = rev
+	return info, nil
+}
+
+// HeadCommit returns the decoded current commit.
+func (r *Repo) HeadCommit() (Commit, error) {
+	if !r.head.Defined() {
+		return Commit{}, errors.New("repo: no commits yet")
+	}
+	data, ok := r.store.Get(r.head)
+	if !ok {
+		return Commit{}, fmt.Errorf("repo: missing commit block %s", r.head)
+	}
+	var c Commit
+	if err := cbor.Unmarshal(data, &c); err != nil {
+		return Commit{}, err
+	}
+	return c, nil
+}
+
+// ExportCAR writes the full repository (commit, MST nodes, records) as
+// a CARv1 archive rooted at the head commit.
+func (r *Repo) ExportCAR(w io.Writer) error {
+	if !r.head.Defined() {
+		return errors.New("repo: no commits to export")
+	}
+	cw, err := car.NewWriter(w, r.head)
+	if err != nil {
+		return err
+	}
+	// Deterministic export order: commit first, then reachable blocks
+	// in walk order (MST nodes and records).
+	visited := map[cid.CID]bool{}
+	var emit func(c cid.CID) error
+	emit = func(c cid.CID) error {
+		if visited[c] {
+			return nil
+		}
+		visited[c] = true
+		data, ok := r.store.Get(c)
+		if !ok {
+			return fmt.Errorf("repo: missing block %s during export", c)
+		}
+		if err := cw.WriteBlock(car.Block{CID: c, Data: data}); err != nil {
+			return err
+		}
+		for _, link := range cborLinks(data) {
+			if err := emit(link); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit(r.head); err != nil {
+		return err
+	}
+	return cw.Flush()
+}
+
+// cborLinks extracts all CID links from a DAG-CBOR block, in encounter
+// order. Non-CBOR blocks yield none.
+func cborLinks(data []byte) []cid.CID {
+	v, err := cbor.Decode(data)
+	if err != nil {
+		return nil
+	}
+	var out []cid.CID
+	var walk func(any)
+	walk = func(x any) {
+		switch t := x.(type) {
+		case cid.CID:
+			out = append(out, t)
+		case []any:
+			for _, e := range t {
+				walk(e)
+			}
+		case map[string]any:
+			keys := make([]string, 0, len(t))
+			for k := range t {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				walk(t[k])
+			}
+		}
+	}
+	walk(v)
+	return out
+}
+
+// LoadCAR reconstructs a repository from a CARv1 archive, verifying
+// the commit signature against pub (skip verification if pub is nil)
+// and the block digests (enforced by the CAR reader).
+func LoadCAR(rd io.Reader, pub []byte) (*Repo, error) {
+	cr, err := car.NewReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	if len(cr.Roots()) != 1 {
+		return nil, fmt.Errorf("repo: expected 1 root, got %d", len(cr.Roots()))
+	}
+	root := cr.Roots()[0]
+	store := mst.NewMemBlockStore()
+	for {
+		b, err := cr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		store.Put(b.CID.Codec(), b.Data)
+	}
+	commitData, ok := store.Get(root)
+	if !ok {
+		return nil, errors.New("repo: archive missing root commit")
+	}
+	var commit Commit
+	if err := cbor.Unmarshal(commitData, &commit); err != nil {
+		return nil, fmt.Errorf("repo: decode commit: %w", err)
+	}
+	if commit.Version != commitVersion {
+		return nil, fmt.Errorf("repo: unsupported commit version %d", commit.Version)
+	}
+	did, err := identity.ParseDID(commit.DID)
+	if err != nil {
+		return nil, fmt.Errorf("repo: commit DID: %w", err)
+	}
+	if pub != nil && !commit.Verify(pub) {
+		return nil, errors.New("repo: commit signature invalid")
+	}
+	rev, err := identity.ParseTID(commit.Rev)
+	if err != nil {
+		return nil, fmt.Errorf("repo: commit rev: %w", err)
+	}
+	tree, err := mst.Load(store, commit.Data)
+	if err != nil {
+		return nil, fmt.Errorf("repo: load mst: %w", err)
+	}
+	return &Repo{
+		did:   did,
+		store: store,
+		tree:  tree,
+		clock: identity.NewTIDClock(0),
+		head:  root,
+		rev:   rev,
+	}, nil
+}

@@ -1,0 +1,289 @@
+package repo
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"blueskies/internal/identity"
+)
+
+var t0 = time.Date(2024, 4, 24, 0, 0, 0, 0, time.UTC)
+
+func newTestRepo(t *testing.T) (*Repo, *identity.KeyPair) {
+	t.Helper()
+	kp := identity.DeriveKeyPair("test-repo")
+	did := identity.PLCFromGenesis([]byte("test-repo-genesis"))
+	return New(did, kp), kp
+}
+
+func postValue(text string) map[string]any {
+	return map[string]any{
+		"$type":     "app.bsky.feed.post",
+		"text":      text,
+		"createdAt": t0.Format(time.RFC3339),
+	}
+}
+
+func TestCreateCommitGet(t *testing.T) {
+	r, kp := newTestRepo(t)
+	uri, c, err := r.Create("app.bsky.feed.post", "3kdgeujwlq32y", postValue("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Defined() {
+		t.Fatal("record CID undefined")
+	}
+	if uri.Collection != "app.bsky.feed.post" {
+		t.Fatalf("uri = %v", uri)
+	}
+	info, err := r.Commit(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Ops) != 1 || info.Ops[0].Action != "create" {
+		t.Fatalf("ops = %+v", info.Ops)
+	}
+	if info.Rev == "" || !info.CID.Defined() {
+		t.Fatal("commit info incomplete")
+	}
+	rec, err := r.Get("app.bsky.feed.post", "3kdgeujwlq32y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value["text"] != "hello" {
+		t.Fatalf("record = %v", rec.Value)
+	}
+	head, err := r.HeadCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !head.Verify(kp.Public()) {
+		t.Fatal("commit signature must verify")
+	}
+	if head.Prev != nil {
+		t.Fatal("first commit must have nil prev")
+	}
+}
+
+func TestCommitChain(t *testing.T) {
+	r, _ := newTestRepo(t)
+	_, _, _ = r.Create("app.bsky.feed.post", "3kaaaaaaaaaa2", postValue("one"))
+	info1, err := r.Commit(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = r.Create("app.bsky.feed.post", "3kaaaaaaaaaa3", postValue("two"))
+	info2, err := r.Commit(t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Prev == nil || !info2.Prev.Equal(info1.CID) {
+		t.Fatal("second commit must link to first")
+	}
+	if !info1.Rev.Less(info2.Rev) {
+		t.Fatalf("revs not increasing: %s then %s", info1.Rev, info2.Rev)
+	}
+}
+
+func TestCommitNothingStaged(t *testing.T) {
+	r, _ := newTestRepo(t)
+	if _, err := r.Commit(t0); err != nil {
+		t.Fatalf("genesis commit of empty repo should work: %v", err)
+	}
+	if _, err := r.Commit(t0); err == nil {
+		t.Fatal("expected error committing with nothing staged")
+	}
+}
+
+func TestCreateDuplicateRejected(t *testing.T) {
+	r, _ := newTestRepo(t)
+	_, _, err := r.Create("c", "k", postValue("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Create("c", "k", postValue("y")); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	// Put must succeed as replace.
+	if _, _, err := r.Put("c", "k", postValue("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r, _ := newTestRepo(t)
+	_, _, _ = r.Create("app.bsky.feed.like", "3kaaaaaaaaaa2", map[string]any{"$type": "app.bsky.feed.like"})
+	if _, err := r.Commit(t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("app.bsky.feed.like", "3kaaaaaaaaaa2"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Commit(t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Ops) != 1 || info.Ops[0].Action != "delete" {
+		t.Fatalf("ops = %+v", info.Ops)
+	}
+	if err := r.Delete("app.bsky.feed.like", "3kaaaaaaaaaa2"); err == nil {
+		t.Fatal("deleting absent record must fail")
+	}
+}
+
+func TestUpdateOp(t *testing.T) {
+	r, _ := newTestRepo(t)
+	_, _, _ = r.Create("c", "k", postValue("v1"))
+	_, _ = r.Commit(t0)
+	_, _, err := r.Put("c", "k", postValue("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Commit(t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Ops) != 1 || info.Ops[0].Action != "update" {
+		t.Fatalf("ops = %+v", info.Ops)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	r, _ := newTestRepo(t)
+	if _, _, err := r.Create("", "k", nil); err == nil {
+		t.Fatal("empty collection must fail")
+	}
+	if _, _, err := r.Create("c", "", nil); err == nil {
+		t.Fatal("empty rkey must fail")
+	}
+	if _, _, err := r.Create("c/d", "k", nil); err == nil {
+		t.Fatal("slash in collection must fail")
+	}
+}
+
+func TestListAndCollections(t *testing.T) {
+	r, _ := newTestRepo(t)
+	for i := 0; i < 5; i++ {
+		_, _, _ = r.Create("app.bsky.feed.post", fmt.Sprintf("3kaaaaaaaaa%02d", i), postValue(fmt.Sprint(i)))
+	}
+	_, _, _ = r.Create("app.bsky.graph.follow", "3kbbbbbbbbbb2", map[string]any{"subject": "did:plc:x"})
+	if _, err := r.Commit(t0); err != nil {
+		t.Fatal(err)
+	}
+	posts, err := r.List("app.bsky.feed.post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 5 {
+		t.Fatalf("got %d posts", len(posts))
+	}
+	all, err := r.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("got %d records", len(all))
+	}
+	colls := r.Collections()
+	if len(colls) != 2 || colls[0] != "app.bsky.feed.post" || colls[1] != "app.bsky.graph.follow" {
+		t.Fatalf("collections = %v", colls)
+	}
+}
+
+func TestCARExportLoad(t *testing.T) {
+	r, kp := newTestRepo(t)
+	for i := 0; i < 20; i++ {
+		_, _, _ = r.Create("app.bsky.feed.post", fmt.Sprintf("3kaaaaaaaaa%02d", i), postValue(fmt.Sprint(i)))
+	}
+	if _, err := r.Commit(t0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.ExportCAR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCAR(&buf, kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DID() != r.DID() {
+		t.Fatalf("did mismatch: %s vs %s", loaded.DID(), r.DID())
+	}
+	if loaded.Rev() != r.Rev() || !loaded.Head().Equal(r.Head()) {
+		t.Fatal("head/rev mismatch after load")
+	}
+	recs, err := loaded.List("app.bsky.feed.post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("loaded %d records", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Value["$type"] != "app.bsky.feed.post" {
+			t.Fatalf("record %v lost its type", rec.URI)
+		}
+	}
+}
+
+func TestCARLoadRejectsWrongKey(t *testing.T) {
+	r, _ := newTestRepo(t)
+	_, _, _ = r.Create("c", "k", postValue("x"))
+	_, _ = r.Commit(t0)
+	var buf bytes.Buffer
+	if err := r.ExportCAR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong := identity.DeriveKeyPair("attacker")
+	if _, err := LoadCAR(&buf, wrong.Public()); err == nil {
+		t.Fatal("load must fail with wrong verification key")
+	}
+}
+
+func TestLoadedRepoIsReadOnly(t *testing.T) {
+	r, kp := newTestRepo(t)
+	_, _, _ = r.Create("c", "k", postValue("x"))
+	_, _ = r.Commit(t0)
+	var buf bytes.Buffer
+	_ = r.ExportCAR(&buf)
+	loaded, err := LoadCAR(&buf, kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = loaded.Put("c", "k2", postValue("y"))
+	if _, err := loaded.Commit(t0); err == nil {
+		t.Fatal("loaded repo must refuse to commit without key")
+	}
+}
+
+func TestExportBeforeCommit(t *testing.T) {
+	r, _ := newTestRepo(t)
+	var buf bytes.Buffer
+	if err := r.ExportCAR(&buf); err == nil {
+		t.Fatal("export of uncommitted repo must fail")
+	}
+}
+
+func TestCommitBlocksIncludeRecordsAndCommit(t *testing.T) {
+	r, _ := newTestRepo(t)
+	_, recCID, _ := r.Create("c", "k", postValue("x"))
+	info, err := r.Commit(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRec, foundCommit := false, false
+	for _, b := range info.Blocks {
+		if b.CID.Equal(recCID) {
+			foundRec = true
+		}
+		if b.CID.Equal(info.CID) {
+			foundCommit = true
+		}
+	}
+	if !foundRec || !foundCommit {
+		t.Fatalf("commit blocks incomplete: rec=%v commit=%v", foundRec, foundCommit)
+	}
+}

@@ -1,0 +1,269 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blueskies/internal/core"
+)
+
+// Languages and their base shares among users who posted at least
+// once (§4: ≈800K English, ≈700K Japanese of ≈2M tagged users;
+// Portuguese and German next).
+var langShares = []struct {
+	Lang  string
+	Share float64
+}{
+	{"en", 0.40},
+	{"ja", 0.35},
+	{"de", 0.05},
+	{"pt", 0.045},
+	{"ko", 0.03},
+	{"fr", 0.025},
+	{"es", 0.025},
+	{"nl", 0.01},
+	{"", 0.065}, // untagged / other
+}
+
+// postedShare is the fraction of users who ever posted (≈2M of 5.5M).
+const postedShare = 0.36
+
+// dauPoints is the daily-active-users curve (unscaled), matching the
+// growth narrative of §4: launch Nov 2022, hundreds of thousands by
+// July 2023, public opening Feb 2024, ≈500K DAU with a −60K decline
+// March→May 2024.
+var dauPoints = []struct {
+	Date time.Time
+	DAU  float64
+	Log  bool // log-interpolate towards this point
+}{
+	{date(2022, 11, 17), 300, false},
+	{date(2022, 12, 15), 1_500, true},
+	{date(2023, 3, 1), 60_000, true},
+	{date(2023, 7, 1), 250_000, true},
+	{date(2024, 1, 1), 330_000, false},
+	{date(2024, 2, 5), 350_000, false},
+	{date(2024, 2, 10), 560_000, false}, // public-opening surge
+	{date(2024, 3, 1), 560_000, false},
+	{date(2024, 5, 1), 500_000, false}, // −60K decline
+}
+
+// DAU evaluates the (unscaled) daily-active-user curve.
+func DAU(t time.Time) float64 {
+	if t.Before(dauPoints[0].Date) {
+		return 0
+	}
+	for i := 1; i < len(dauPoints); i++ {
+		p, q := dauPoints[i-1], dauPoints[i]
+		if t.Before(q.Date) || t.Equal(q.Date) {
+			f := float64(t.Sub(p.Date)) / float64(q.Date.Sub(p.Date))
+			if q.Log {
+				return exp(lerp(logf(p.DAU), logf(q.DAU), f))
+			}
+			return lerp(p.DAU, q.DAU, f)
+		}
+	}
+	return dauPoints[len(dauPoints)-1].DAU
+}
+
+// Per-active-user daily operation rates, derived from §4's April-2024
+// snapshot (≈3M likes, 800K posts, 300K reposts at ≈500K DAU) and the
+// dataset totals' follow/block proportions.
+const (
+	rateLikes   = 6.0
+	ratePosts   = 1.6
+	rateReposts = 0.6
+	rateFollows = 1.3
+	rateBlocks  = 0.088
+)
+
+// langActivityShare returns language l's share of active users on day
+// t, encoding the Figure 2 dynamics: the Japanese bump at the public
+// opening, the April-2024 Portuguese surge, German indifference.
+func langActivityShare(lang string, t time.Time) float64 {
+	switch lang {
+	case "ja":
+		if t.Before(PublicDate) {
+			return 0.28
+		}
+		return 0.36
+	case "pt":
+		switch {
+		case t.Before(PTSurge):
+			return 0.006
+		case t.Before(PTSurge.AddDate(0, 0, 5)):
+			f := float64(t.Sub(PTSurge)) / float64(PTSurge.AddDate(0, 0, 5).Sub(PTSurge))
+			return lerp(0.006, 0.055, f)
+		default:
+			return 0.055
+		}
+	case "de":
+		return 0.025 // unaffected by the public opening
+	case "ko":
+		return 0.02
+	case "fr":
+		return 0.018
+	case "en":
+		if t.Before(PublicDate) {
+			return 0.45
+		}
+		return 0.40
+	}
+	return 0
+}
+
+// genUsers populates the user population: signup dates proportional to
+// the growth curve, language assignment, and follow-graph degrees.
+func genUsers(ds *core.Dataset, rng *rand.Rand) {
+	n := scaled(TargetUsers, ds.Scale, 500)
+	users := make([]core.User, 0, n)
+
+	// Signup-date sampling: weight each day by DAU (growing platforms
+	// acquire proportionally to activity).
+	days := int(WindowEnd.Sub(LaunchDate).Hours() / 24)
+	weights := make([]float64, days)
+	var totalW float64
+	for i := 0; i < days; i++ {
+		weights[i] = DAU(LaunchDate.AddDate(0, 0, i))
+		totalW += weights[i]
+	}
+	cum := make([]float64, days)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / totalW
+		cum[i] = acc
+	}
+	sampleDay := func() time.Time {
+		u := rng.Float64()
+		lo, hi := 0, days-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return LaunchDate.AddDate(0, 0, lo)
+	}
+
+	maxFollowers := scaled(775_000, ds.Scale, 200) // the official account's 775K
+	for i := 0; i < n; i++ {
+		u := core.User{
+			DID:       fmt.Sprintf("did:plc:%024d", i),
+			CreatedAt: sampleDay(),
+		}
+		if rng.Float64() < postedShare {
+			u.Lang = pickLang(rng)
+		}
+		// Degrees: bounded power laws; total follows scale-consistent.
+		u.Followers = powerlawInt(rng, 2.05, maxFollowers) - 1
+		u.Following = powerlawInt(rng, 1.9, 8_000) - 1
+		users = append(users, u)
+	}
+	// The most-followed accounts (official, newspapers) and the
+	// most-blocked ones (impersonators, propagandists).
+	users[0].Followers = maxFollowers
+	if n > 2 {
+		users[1].Followers = scaled(220_000, ds.Scale, 120)
+		users[2].Followers = scaled(205_000, ds.Scale, 110)
+		users[1].Blocks = scaled(15_000, ds.Scale, 20)
+		users[2].Blocks = scaled(14_500, ds.Scale, 18)
+	}
+	ds.Users = users
+}
+
+func pickLang(rng *rand.Rand) string {
+	u := rng.Float64()
+	acc := 0.0
+	for _, ls := range langShares {
+		acc += ls.Share
+		if u < acc {
+			return ls.Lang
+		}
+	}
+	return ""
+}
+
+// genActivity builds the daily activity series (Figures 1 and 2).
+func genActivity(ds *core.Dataset, rng *rand.Rand) {
+	days := int(WindowEnd.Sub(LaunchDate).Hours() / 24)
+	ds.Daily = make([]core.DayActivity, 0, days)
+	for i := 0; i < days; i++ {
+		day := LaunchDate.AddDate(0, 0, i)
+		dau := DAU(day) / float64(ds.Scale)
+		if dau < 1 {
+			dau = 1
+		}
+		noise := func() float64 { return 0.92 + 0.16*rng.Float64() }
+		act := core.DayActivity{
+			Date:         day,
+			ActiveUsers:  int(dau * noise()),
+			Posts:        int(dau * ratePosts * noise()),
+			Likes:        int(dau * rateLikes * noise()),
+			Reposts:      int(dau * rateReposts * noise()),
+			Follows:      int(dau * rateFollows * noise()),
+			Blocks:       int(dau * rateBlocks * noise()),
+			ActiveByLang: map[string]int{},
+		}
+		for _, ls := range langShares {
+			if ls.Lang == "" {
+				continue
+			}
+			share := langActivityShare(ls.Lang, day)
+			act.ActiveByLang[ls.Lang] = int(dau * share * noise())
+		}
+		ds.Daily = append(ds.Daily, act)
+	}
+	// Firehose event counts (Table 1) over the collection window.
+	total := int64(scaled(TargetFirehoseEvents, ds.Scale, 10_000))
+	ds.Firehose = core.EventCounts{
+		Commits:   int64(float64(total) * ShareCommits),
+		Identity:  int64(float64(total) * ShareIdentity),
+		Handle:    int64(float64(total) * ShareHandle),
+		Tombstone: int64(float64(total) * ShareTombstone),
+	}
+	ds.NonBskyEvents = int64(scaled(TargetNonBskyEvents, ds.Scale, 3))
+}
+
+// genPosts creates the measurement-window post corpus used for label
+// joins, language verification, and feed contents. The paper observed
+// 26,467,002 posts in April 2024 alone; the window here spans the
+// firehose collection period.
+func genPosts(ds *core.Dataset, rng *rand.Rand) {
+	const windowPostsTarget = 26_467_002 * 2 // Mar 6 – Apr 30 ≈ 2 April-months
+	n := scaled(windowPostsTarget, ds.Scale, 2_000)
+	posts := make([]core.Post, 0, n)
+	windowDays := int(WindowEnd.Sub(WindowStart).Hours() / 24)
+	// Posting users, weighted by (tagged) language presence.
+	var posters []int
+	for i := range ds.Users {
+		if ds.Users[i].Lang != "" {
+			posters = append(posters, i)
+		}
+	}
+	if len(posters) == 0 {
+		posters = []int{0}
+	}
+	for i := 0; i < n; i++ {
+		author := posters[rng.Intn(len(posters))]
+		day := WindowStart.AddDate(0, 0, rng.Intn(windowDays))
+		created := day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+		p := core.Post{
+			URI:       fmt.Sprintf("at://%s/app.bsky.feed.post/3p%011d", ds.Users[author].DID, i),
+			AuthorIdx: author,
+			Lang:      ds.Users[author].Lang,
+			CreatedAt: created,
+			Likes:     powerlawInt(rng, 2.3, 40_000) - 1,
+			Reposts:   powerlawInt(rng, 2.6, 8_000) - 1,
+			HasMedia:  rng.Float64() < 0.32,
+		}
+		if p.HasMedia {
+			p.AltText = rng.Float64() < 0.35 // most media lacks alt text
+		}
+		posts = append(posts, p)
+		ds.Users[author].Posts++
+	}
+	ds.Posts = posts
+}

@@ -1,0 +1,12 @@
+package synth
+
+import "math"
+
+// Thin wrappers over math for the samplers; isolated here so the
+// samplers read cleanly and can be unit-tested.
+
+func exp(x float64) float64            { return math.Exp(x) }
+func pow(x, y float64) float64         { return math.Pow(x, y) }
+func logf(x float64) float64           { return math.Log(x) }
+func lerp(a, b, t float64) float64     { return a + (b-a)*t }
+func clampF(x, lo, hi float64) float64 { return math.Min(math.Max(x, lo), hi) }

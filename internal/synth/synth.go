@@ -1,0 +1,130 @@
+// Package synth generates synthetic Bluesky measurement datasets whose
+// distributions are calibrated to every number reported in the paper:
+// platform growth, language communities, handle concentration,
+// registrar shares, the labeler ecosystem with its reaction-time
+// regimes, and the feed generator economy (see DESIGN.md for the full
+// target list).
+//
+// Generation is deterministic in (Scale, Seed). Scale divides the
+// paper's absolute counts (1:1000 for tests, 1:400 for benches);
+// structural small-N populations — labelers, FGaaS platforms, top
+// registrars — keep their absolute sizes because the paper's tables
+// are about their identities, not their magnitude.
+package synth
+
+import (
+	"math/rand"
+	"time"
+
+	"blueskies/internal/core"
+)
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Scale divides the paper's absolute counts (≥1).
+	Scale int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Paper-reported absolute targets (see §3–§7 and DESIGN.md).
+const (
+	TargetUsers          = 5_523_919
+	TargetPosts          = 225_461_969
+	TargetLikes          = 740_000_000
+	TargetFollows        = 160_900_000
+	TargetReposts        = 77_900_000
+	TargetBlocks         = 10_800_000
+	TargetFirehoseEvents = 279_289_739
+	TargetNonBskyEvents  = 1_855
+	TargetLabelTotal     = 3_402_009
+	TargetRescinded      = 23_394
+	TargetFeedGens       = 43_063
+	TargetReachableFGs   = 40_398
+	TargetHandleUpdates  = 44_449
+	TargetUpdatingDIDs   = 31_494
+	TargetAltHandles     = 57_202
+	TargetRegDomains     = 51_879
+	TargetDIDWeb         = 6
+)
+
+// Firehose event-type shares (Table 1).
+const (
+	ShareCommits   = 0.9978
+	ShareIdentity  = 0.0019
+	ShareHandle    = 0.0002
+	ShareTombstone = 0.0001
+)
+
+// Timeline landmarks.
+var (
+	LaunchDate     = date(2022, 11, 17) // invite-only launch
+	PublicDate     = date(2024, 2, 6)   // opened to the public
+	LabelersOpen   = date(2024, 3, 15)  // community labelers enabled
+	FeedGensLaunch = date(2023, 5, 1)
+	OfficialLbl    = date(2023, 4, 1) // first official labeler
+	WindowStart    = date(2024, 3, 6) // firehose collection start
+	WindowEnd      = date(2024, 5, 1)
+	PTSurge        = date(2024, 4, 10) // Portuguese community surge
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Generate produces the full dataset.
+func Generate(cfg Config) *core.Dataset {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &core.Dataset{
+		Scale:       cfg.Scale,
+		WindowStart: WindowStart,
+		WindowEnd:   WindowEnd,
+	}
+	genUsers(ds, rng)
+	genActivity(ds, rng)
+	genPosts(ds, rng)
+	genIdentity(ds, rng)
+	genModeration(ds, rng)
+	genFeedGens(ds, rng)
+	return ds
+}
+
+// scaled divides a paper target by the configured scale, with a floor
+// of min (structural populations keep shape at any scale).
+func scaled(target, scale, minimum int) int {
+	n := target / scale
+	if n < minimum {
+		return minimum
+	}
+	return n
+}
+
+// lognormal samples a log-normal value with the given median and
+// geometric spread (sigma of the underlying normal).
+func lognormal(rng *rand.Rand, median float64, sigma float64) float64 {
+	return median * expApprox(rng.NormFloat64()*sigma)
+}
+
+func expApprox(x float64) float64 {
+	// math.Exp wrapped for clarity; kept separate for testability.
+	return exp(x)
+}
+
+// powerlawInt samples a discrete power-law value in [1, max] with
+// exponent alpha (>1); larger alpha = steeper tail.
+func powerlawInt(rng *rand.Rand, alpha float64, maxV int) int {
+	// Inverse-CDF sampling of a bounded Pareto.
+	u := rng.Float64()
+	x := pow(1-u*(1-pow(float64(maxV), 1-alpha)), 1/(1-alpha))
+	n := int(x)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxV {
+		n = maxV
+	}
+	return n
+}

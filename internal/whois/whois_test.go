@@ -1,0 +1,142 @@
+package whois
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*DB, string) {
+	t.Helper()
+	db := NewDB()
+	srv, err := NewServer(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return db, srv.Addr()
+}
+
+func TestLookupRegisteredDomain(t *testing.T) {
+	db, addr := testServer(t)
+	db.Put(Registration{
+		Domain:    "example.com",
+		Registrar: Registrar{IANAID: 1068, Name: "NameCheap, Inc."},
+		Created:   time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC),
+	})
+	var c Client
+	rec, err := c.Scan(addr, "EXAMPLE.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Found {
+		t.Fatal("domain should be found")
+	}
+	if rec.IANAID != 1068 || rec.RegistrarName != "NameCheap, Inc." {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestLookupMissingDomain(t *testing.T) {
+	_, addr := testServer(t)
+	var c Client
+	rec, err := c.Scan(addr, "ghost.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Found || rec.IANAID != 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestCCTLDOmitsIANAID(t *testing.T) {
+	db, addr := testServer(t)
+	db.Put(Registration{
+		Domain:      "beispiel.de",
+		Registrar:   Registrar{IANAID: 49, Name: "Local DE Registrar"},
+		CCTLDPolicy: true,
+	})
+	var c Client
+	rec, err := c.Scan(addr, "beispiel.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Found {
+		t.Fatal("ccTLD domain should be found")
+	}
+	if rec.IANAID != 0 {
+		t.Fatalf("ccTLD response must omit IANA ID, got %d", rec.IANAID)
+	}
+	if rec.RegistrarName != "Local DE Registrar" {
+		t.Fatalf("registrar name = %q", rec.RegistrarName)
+	}
+}
+
+func TestParseResponseDirect(t *testing.T) {
+	text := "Domain Name: FOO.NET\nRegistrar: Porkbun, LLC\nRegistrar IANA ID: 1861\n"
+	rec := ParseResponse("foo.net", text)
+	if !rec.Found || rec.IANAID != 1861 || rec.RegistrarName != "Porkbun, LLC" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestParseResponseMalformedID(t *testing.T) {
+	text := "Domain Name: FOO.NET\nRegistrar IANA ID: not-a-number\n"
+	rec := ParseResponse("foo.net", text)
+	if rec.IANAID != 0 {
+		t.Fatalf("IANAID = %d", rec.IANAID)
+	}
+}
+
+func TestDBSemantics(t *testing.T) {
+	db := NewDB()
+	db.Put(Registration{Domain: "A.com", Registrar: Registrar{IANAID: 1}})
+	db.Put(Registration{Domain: "a.COM", Registrar: Registrar{IANAID: 2}})
+	if db.Len() != 1 {
+		t.Fatalf("case-insensitive keying broken: len=%d", db.Len())
+	}
+	reg, ok := db.Get("a.com")
+	if !ok || reg.Registrar.IANAID != 2 {
+		t.Fatalf("get = %+v %v", reg, ok)
+	}
+	db.Put(Registration{Domain: "b.com"})
+	doms := db.Domains()
+	if len(doms) != 2 || doms[0] != "a.com" || doms[1] != "b.com" {
+		t.Fatalf("domains = %v", doms)
+	}
+}
+
+func TestPaperRegistrarsMatchTable2(t *testing.T) {
+	regs := PaperRegistrars()
+	if len(regs) != 7 {
+		t.Fatalf("want 7 registrars, got %d", len(regs))
+	}
+	byID := map[int]string{}
+	for _, r := range regs {
+		byID[r.IANAID] = r.Name
+	}
+	if !strings.Contains(byID[1068], "NameCheap") {
+		t.Fatalf("IANA 1068 = %q", byID[1068])
+	}
+	if !strings.Contains(byID[146], "GoDaddy") {
+		t.Fatalf("IANA 146 = %q", byID[146])
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	db, addr := testServer(t)
+	db.Put(Registration{Domain: "x.com", Registrar: Registrar{IANAID: 7, Name: "R"}})
+	done := make(chan error, 10)
+	for i := 0; i < 10; i++ {
+		go func() {
+			var c Client
+			_, err := c.Scan(addr, "x.com")
+			done <- err
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation covering
+// what the AT Protocol event streams need: HTTP/1.1 upgrade handshake,
+// binary/text data frames with client-side masking, fragmentation on
+// receive, and ping/pong/close control frames.
+//
+// The real Bluesky Firehose (com.atproto.sync.subscribeRepos) and
+// Labeler streams (com.atproto.label.subscribeLabels) are WebSocket
+// endpoints; this package provides the same transport using only the
+// standard library.
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Opcode identifies a WebSocket frame type.
+type Opcode byte
+
+// Frame opcodes defined by RFC 6455 §5.2.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xa
+)
+
+// magicGUID is the fixed GUID of the Sec-WebSocket-Accept computation.
+const magicGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// ErrClosed is returned after the connection has been closed.
+var ErrClosed = errors.New("ws: connection closed")
+
+// maxFrameSize bounds a single message to protect against hostile
+// length headers.
+const maxFrameSize = 64 << 20
+
+// Conn is a WebSocket connection. Reads and writes may each be used by
+// one goroutine at a time; reads and writes are independently locked.
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // client connections mask outgoing frames
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a request key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + magicGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade performs the server side of the WebSocket handshake on an
+// http.Handler request and hijacks the underlying TCP connection.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: GET required", http.StatusMethodNotAllowed)
+		return nil, errors.New("ws: method not GET")
+	}
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket: upgrade required", http.StatusBadRequest)
+		return nil, errors.New("ws: missing upgrade headers")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: missing key", http.StatusBadRequest)
+		return nil, errors.New("ws: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: hijack unsupported", http.StatusInternalServerError)
+		return nil, errors.New("ws: response writer cannot hijack")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Conn{conn: conn, br: rw.Reader, client: false}, nil
+}
+
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Dial connects to a ws:// URL and performs the client handshake.
+func Dial(rawURL string, timeout time.Duration) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: parse url: %w", err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("ws: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", resp.Status)
+	}
+	if resp.Header.Get("Sec-WebSocket-Accept") != AcceptKey(key) {
+		conn.Close()
+		return nil, errors.New("ws: bad Sec-WebSocket-Accept")
+	}
+	return &Conn{conn: conn, br: br, client: true}, nil
+}
+
+// ReadMessage reads the next complete data message, transparently
+// answering pings and handling fragmentation. It returns ErrClosed
+// after a close frame.
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	var msgOp Opcode
+	var msg []byte
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case OpPing:
+			if err := c.writeFrame(OpPong, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			_ = c.writeFrame(OpClose, payload)
+			c.conn.Close()
+			return 0, nil, ErrClosed
+		case OpText, OpBinary:
+			if msg != nil {
+				return 0, nil, errors.New("ws: new data frame during fragmented message")
+			}
+			msgOp = op
+			msg = payload
+		case OpContinuation:
+			if msg == nil {
+				return 0, nil, errors.New("ws: continuation without initial frame")
+			}
+			if len(msg)+len(payload) > maxFrameSize {
+				return 0, nil, errors.New("ws: fragmented message too large")
+			}
+			msg = append(msg, payload...)
+		default:
+			return 0, nil, fmt.Errorf("ws: unexpected opcode %#x", op)
+		}
+		if fin {
+			return msgOp, msg, nil
+		}
+	}
+}
+
+func (c *Conn) readFrame() (fin bool, op Opcode, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return false, 0, nil, errors.New("ws: reserved bits set")
+	}
+	op = Opcode(hdr[0] & 0x0f)
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7f)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = uint64(ext[0])<<8 | uint64(ext[1])
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		for _, b := range ext {
+			length = length<<8 | uint64(b)
+		}
+	}
+	if length > maxFrameSize {
+		return false, 0, nil, fmt.Errorf("ws: frame of %d bytes exceeds limit", length)
+	}
+	var maskKey [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, maskKey[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= maskKey[i%4]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+// WriteMessage writes one unfragmented data message.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if op != OpText && op != OpBinary {
+		return fmt.Errorf("ws: WriteMessage with control opcode %#x", op)
+	}
+	return c.writeFrame(op, payload)
+}
+
+// Ping sends a ping control frame.
+func (c *Conn) Ping(payload []byte) error { return c.writeFrame(OpPing, payload) }
+
+func (c *Conn) writeFrame(op Opcode, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	var hdr []byte
+	b0 := byte(0x80) | byte(op)
+	maskBit := byte(0)
+	if c.client {
+		maskBit = 0x80
+	}
+	switch {
+	case len(payload) < 126:
+		hdr = []byte{b0, maskBit | byte(len(payload))}
+	case len(payload) <= 0xffff:
+		hdr = []byte{b0, maskBit | 126, byte(len(payload) >> 8), byte(len(payload))}
+	default:
+		hdr = make([]byte, 10)
+		hdr[0], hdr[1] = b0, maskBit|127
+		n := uint64(len(payload))
+		for i := 0; i < 8; i++ {
+			hdr[9-i] = byte(n >> (8 * i))
+		}
+	}
+	if _, err := c.conn.Write(hdr); err != nil {
+		return err
+	}
+	if c.client {
+		var key [4]byte
+		if _, err := rand.Read(key[:]); err != nil {
+			return err
+		}
+		if _, err := c.conn.Write(key[:]); err != nil {
+			return err
+		}
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ key[i%4]
+		}
+		_, err := c.conn.Write(masked)
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// Close sends a close frame and closes the transport.
+func (c *Conn) Close() error {
+	err := c.writeFrame(OpClose, nil)
+	c.wmu.Lock()
+	c.closed = true
+	c.wmu.Unlock()
+	cerr := c.conn.Close()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	return cerr
+}
+
+// SetReadDeadline sets the read deadline on the underlying transport.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }

@@ -1,0 +1,250 @@
+package ws
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// echoServer upgrades and echoes every data message back.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			op, msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(op, msg); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func wsURL(srv *httptest.Server) string {
+	return "ws" + strings.TrimPrefix(srv.URL, "http")
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for _, msg := range [][]byte{
+		[]byte("hello"),
+		[]byte(""),
+		bytes.Repeat([]byte("x"), 125),   // 7-bit length boundary
+		bytes.Repeat([]byte("y"), 126),   // 16-bit length
+		bytes.Repeat([]byte("z"), 70000), // 64-bit length
+	} {
+		if err := conn.WriteMessage(OpBinary, msg); err != nil {
+			t.Fatal(err)
+		}
+		op, got, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != OpBinary || !bytes.Equal(got, msg) {
+			t.Fatalf("echo mismatch for %d bytes", len(msg))
+		}
+	}
+}
+
+func TestTextMessage(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.WriteMessage(OpText, []byte("text payload")); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(got) != "text payload" {
+		t.Fatalf("got op=%v %q", op, got)
+	}
+}
+
+func TestPingHandledTransparently(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server's ReadMessage should answer the ping with a pong and
+	// then echo the data message; the client's ReadMessage should skip
+	// the pong.
+	if err := conn.Ping([]byte("beat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteMessage(OpBinary, []byte("after-ping")); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "after-ping" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteMessage(OpBinary, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestServerInitiatedMessages(t *testing.T) {
+	const n = 50
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < n; i++ {
+			if err := conn.WriteMessage(OpBinary, []byte{byte(i)}); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < n; i++ {
+		_, msg, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if len(msg) != 1 || msg[0] != byte(i) {
+			t.Fatalf("message %d: got %v", i, msg)
+		}
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if err := conn.WriteMessage(OpBinary, []byte("concurrent")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_, msg, err := conn.ReadMessage()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(msg) != "concurrent" {
+				t.Errorf("corrupted frame: %q", msg)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestUpgradeRejectsPlainRequest(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r); err == nil {
+			t.Error("upgrade of plain request must fail")
+		}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusSwitchingProtocols {
+		t.Fatal("plain GET must not switch protocols")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://example.com", time.Second); err == nil {
+		t.Fatal("non-ws scheme must fail")
+	}
+	if _, err := Dial("ws://127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("refused connection must fail")
+	}
+}
+
+func TestAcceptKeyKnownVector(t *testing.T) {
+	// RFC 6455 §1.3 example.
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("AcceptKey = %q, want %q", got, want)
+	}
+}
+
+func TestQuickEcho(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(wsURL(srv), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f := func(msg []byte) bool {
+		if err := conn.WriteMessage(OpBinary, msg); err != nil {
+			return false
+		}
+		_, got, err := conn.ReadMessage()
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package xrpc implements the AT Protocol's HTTP API convention:
+// queries (GET) and procedures (POST) addressed by NSID under /xrpc/,
+// with JSON bodies and a structured {error, message} failure envelope.
+//
+// Both the services (PDS, Relay, AppView, PLC directory) and the
+// measurement crawler in this repository speak XRPC through this
+// package.
+package xrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Error is the structured XRPC failure envelope.
+type Error struct {
+	Status  int    `json:"-"`
+	Name    string `json:"error"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("xrpc %d %s: %s", e.Status, e.Name, e.Message)
+}
+
+// Standard error constructors.
+func ErrInvalidRequest(format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Name: "InvalidRequest", Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrNotFound reports a missing entity.
+func ErrNotFound(format string, args ...any) *Error {
+	return &Error{Status: http.StatusNotFound, Name: "NotFound", Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrInternal reports a server-side failure.
+func ErrInternal(format string, args ...any) *Error {
+	return &Error{Status: http.StatusInternalServerError, Name: "InternalError", Message: fmt.Sprintf(format, args...)}
+}
+
+// AsError extracts an *Error from err, if present.
+func AsError(err error) (*Error, bool) {
+	var xe *Error
+	ok := errors.As(err, &xe)
+	return xe, ok
+}
+
+// Handler processes one XRPC call. params holds the query string;
+// input is the request body (nil for queries). The returned value is
+// JSON-encoded, unless it is a Raw, which is written verbatim.
+type Handler func(ctx context.Context, params url.Values, input []byte) (any, error)
+
+// Raw is a non-JSON response body (e.g. a CAR archive).
+type Raw struct {
+	ContentType string
+	Data        []byte
+}
+
+// Mux routes /xrpc/<nsid> requests to registered handlers.
+type Mux struct {
+	queries    map[string]Handler
+	procedures map[string]Handler
+	streams    map[string]http.HandlerFunc
+}
+
+// NewMux creates an empty router.
+func NewMux() *Mux {
+	return &Mux{
+		queries:    make(map[string]Handler),
+		procedures: make(map[string]Handler),
+		streams:    make(map[string]http.HandlerFunc),
+	}
+}
+
+// Query registers a GET method.
+func (m *Mux) Query(nsid string, h Handler) { m.queries[nsid] = h }
+
+// Procedure registers a POST method.
+func (m *Mux) Procedure(nsid string, h Handler) { m.procedures[nsid] = h }
+
+// Stream registers a WebSocket subscription endpoint; the handler is
+// responsible for upgrading the connection.
+func (m *Mux) Stream(nsid string, h http.HandlerFunc) { m.streams[nsid] = h }
+
+// ServeHTTP implements http.Handler.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	nsid, ok := strings.CutPrefix(r.URL.Path, "/xrpc/")
+	if !ok || nsid == "" {
+		writeError(w, ErrNotFound("not an xrpc path: %s", r.URL.Path))
+		return
+	}
+	if h, ok := m.streams[nsid]; ok {
+		h(w, r)
+		return
+	}
+	var h Handler
+	switch r.Method {
+	case http.MethodGet:
+		h = m.queries[nsid]
+	case http.MethodPost:
+		h = m.procedures[nsid]
+	default:
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Name: "InvalidRequest", Message: "unsupported method"})
+		return
+	}
+	if h == nil {
+		writeError(w, &Error{Status: http.StatusNotImplemented, Name: "MethodNotImplemented", Message: nsid})
+		return
+	}
+	var input []byte
+	if r.Method == http.MethodPost && r.Body != nil {
+		var err error
+		input, err = io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			writeError(w, ErrInvalidRequest("read body: %v", err))
+			return
+		}
+	}
+	out, err := h(r.Context(), r.URL.Query(), input)
+	if err != nil {
+		if xe, ok := AsError(err); ok {
+			writeError(w, xe)
+		} else {
+			writeError(w, ErrInternal("%v", err))
+		}
+		return
+	}
+	switch body := out.(type) {
+	case nil:
+		w.WriteHeader(http.StatusOK)
+	case Raw:
+		w.Header().Set("Content-Type", body.ContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body.Data)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(out); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	}
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+// Client calls XRPC methods on a remote service.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:4000".
+	BaseURL string
+	// HTTPClient overrides the transport; http.DefaultClient if nil.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) endpoint(nsid string, params url.Values) string {
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/xrpc/" + nsid
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	return u
+}
+
+// Query performs a GET call and decodes the JSON response into out
+// (out may be nil to discard).
+func (c *Client) Query(ctx context.Context, nsid string, params url.Values, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint(nsid, params), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// QueryBytes performs a GET call and returns the raw response body,
+// for non-JSON results such as CAR archives.
+func (c *Client) QueryBytes(ctx context.Context, nsid string, params url.Values) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint(nsid, params), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// Procedure performs a POST call with a JSON input body.
+func (c *Client) Procedure(ctx context.Context, nsid string, params url.Values, input, out any) error {
+	var body io.Reader
+	if input != nil {
+		raw, err := json.Marshal(input)
+		if err != nil {
+			return fmt.Errorf("xrpc: encode input: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint(nsid, params), body)
+	if err != nil {
+		return err
+	}
+	if input != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp.StatusCode, body)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("xrpc: decode response: %w", err)
+	}
+	return nil
+}
+
+func decodeError(status int, body []byte) error {
+	var e Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Name != "" {
+		e.Status = status
+		return &e
+	}
+	return &Error{Status: status, Name: "HTTPError", Message: strings.TrimSpace(string(body))}
+}

@@ -1,0 +1,152 @@
+package xrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+func testServer(t *testing.T) (*Mux, *Client) {
+	t.Helper()
+	mux := NewMux()
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return mux, NewClient(srv.URL)
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	mux, client := testServer(t)
+	mux.Query("com.example.echo", func(_ context.Context, params url.Values, _ []byte) (any, error) {
+		return map[string]string{"echo": params.Get("value")}, nil
+	})
+	var out struct{ Echo string }
+	if err := client.Query(context.Background(), "com.example.echo", url.Values{"value": {"hi"}}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Echo != "hi" {
+		t.Fatalf("echo = %q", out.Echo)
+	}
+}
+
+func TestProcedureRoundTrip(t *testing.T) {
+	mux, client := testServer(t)
+	type in struct {
+		A, B int
+	}
+	mux.Procedure("com.example.add", func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		var req in
+		if err := jsonUnmarshal(input, &req); err != nil {
+			return nil, ErrInvalidRequest("bad input")
+		}
+		return map[string]int{"sum": req.A + req.B}, nil
+	})
+	var out struct{ Sum int }
+	if err := client.Procedure(context.Background(), "com.example.add", nil, in{A: 2, B: 3}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum != 5 {
+		t.Fatalf("sum = %d", out.Sum)
+	}
+}
+
+func jsonUnmarshal(data []byte, v any) error {
+	if len(data) == 0 {
+		return errors.New("empty")
+	}
+	return json.Unmarshal(data, v)
+}
+
+func TestStructuredErrors(t *testing.T) {
+	mux, client := testServer(t)
+	mux.Query("com.example.missing", func(_ context.Context, _ url.Values, _ []byte) (any, error) {
+		return nil, ErrNotFound("no such repo")
+	})
+	err := client.Query(context.Background(), "com.example.missing", nil, nil)
+	xe, ok := AsError(err)
+	if !ok {
+		t.Fatalf("error not structured: %v", err)
+	}
+	if xe.Status != http.StatusNotFound || xe.Name != "NotFound" {
+		t.Fatalf("error = %+v", xe)
+	}
+}
+
+func TestInternalErrorWrapping(t *testing.T) {
+	mux, client := testServer(t)
+	mux.Query("com.example.boom", func(_ context.Context, _ url.Values, _ []byte) (any, error) {
+		return nil, errors.New("disk on fire")
+	})
+	err := client.Query(context.Background(), "com.example.boom", nil, nil)
+	xe, ok := AsError(err)
+	if !ok || xe.Name != "InternalError" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestMethodNotImplemented(t *testing.T) {
+	_, client := testServer(t)
+	err := client.Query(context.Background(), "com.example.nope", nil, nil)
+	xe, ok := AsError(err)
+	if !ok || xe.Status != http.StatusNotImplemented {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestQueryVsProcedureMethodSeparation(t *testing.T) {
+	mux, client := testServer(t)
+	mux.Procedure("com.example.write", func(_ context.Context, _ url.Values, _ []byte) (any, error) {
+		return nil, nil
+	})
+	// GET on a procedure-only NSID must not dispatch.
+	if err := client.Query(context.Background(), "com.example.write", nil, nil); err == nil {
+		t.Fatal("expected MethodNotImplemented")
+	}
+	if err := client.Procedure(context.Background(), "com.example.write", nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawResponse(t *testing.T) {
+	mux, client := testServer(t)
+	payload := []byte{0x01, 0x02, 0x03, 0xff}
+	mux.Query("com.example.car", func(_ context.Context, _ url.Values, _ []byte) (any, error) {
+		return Raw{ContentType: "application/vnd.ipld.car", Data: payload}, nil
+	})
+	got, err := client.QueryBytes(context.Background(), "com.example.car", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("raw payload mismatch: %v", got)
+	}
+}
+
+func TestNonXRPCPath(t *testing.T) {
+	mux := NewMux()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryBytesErrorDecoding(t *testing.T) {
+	mux, client := testServer(t)
+	mux.Query("com.example.err", func(_ context.Context, _ url.Values, _ []byte) (any, error) {
+		return nil, ErrInvalidRequest("bad cursor")
+	})
+	_, err := client.QueryBytes(context.Background(), "com.example.err", nil)
+	xe, ok := AsError(err)
+	if !ok || xe.Name != "InvalidRequest" {
+		t.Fatalf("error = %v", err)
+	}
+}
