@@ -151,6 +151,23 @@ func BenchmarkCommitEventDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWorkers ablates the evaluation engine's traversal
+// sharding: the same single-pass evaluation at fixed worker counts,
+// isolating the merge/remap overhead from the work-sharing win the
+// FullEvaluation pair measures.
+func BenchmarkEngineWorkers(b *testing.B) {
+	ds := synth.Generate(synth.Config{Scale: 2000, Seed: 1})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := analysis.RunAll(ds, workers); len(got) == 0 {
+					b.Fatal("no reports")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDiscussionBandwidth regenerates the §9 firehose-bandwidth
 // estimate (paper: ≈30 GB/day per subscribed client).
 func BenchmarkDiscussionBandwidth(b *testing.B) {

@@ -1,8 +1,10 @@
 // Benchmark harness: one benchmark per table and figure of the
-// paper's evaluation. Each benchmark regenerates its artifact from the
-// calibrated synthetic dataset (1:400 scale by default; see DESIGN.md)
-// and prints the rows/series once, so `go test -bench=. -benchmem`
-// reproduces the whole evaluation section.
+// paper's evaluation, plus the FullEvaluation pair comparing the
+// legacy one-scan-per-report path against the single-pass engine.
+// Each benchmark regenerates its artifact from the calibrated
+// synthetic dataset (1:400 scale by default; see DESIGN.md) and prints
+// the rows/series once, so `go test -bench=. -benchmem` reproduces the
+// whole evaluation section.
 package blueskies_test
 
 import (
@@ -71,6 +73,53 @@ func BenchmarkFigure9FeedLabels(b *testing.B)           { run(b, "F9", analysis.
 func BenchmarkFigure10PostsVsLikes(b *testing.B)        { run(b, "F10", analysis.Figure10) }
 func BenchmarkFigure11DegreeDistributions(b *testing.B) { run(b, "F11", analysis.Figure11) }
 func BenchmarkFigure12ProviderShares(b *testing.B)      { run(b, "F12", analysis.Figure12) }
+
+// ---- Full evaluation: sequential vs single-pass ----
+
+// BenchmarkFullEvaluationSequential runs the ~25 per-table functions
+// back-to-back — the legacy path, one full dataset scan per report.
+func BenchmarkFullEvaluationSequential(b *testing.B) {
+	ds := datasetOnce()
+	b.ResetTimer()
+	var reports []*analysis.Report
+	for i := 0; i < b.N; i++ {
+		reports = analysis.AllReports(ds)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(reports)), "reports")
+}
+
+// BenchmarkFullEvaluationParallel runs the same evaluation through the
+// single-pass engine (analysis.RunAll): one sharded traversal streams
+// every record through all report accumulators at once. Output is
+// byte-identical to the sequential path (asserted by
+// TestFullEvaluationPathsAgree and the engine's own golden tests).
+func BenchmarkFullEvaluationParallel(b *testing.B) {
+	ds := datasetOnce()
+	b.ResetTimer()
+	var reports []*analysis.Report
+	for i := 0; i < b.N; i++ {
+		reports = analysis.RunAll(ds, 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(reports)), "reports")
+}
+
+// TestFullEvaluationPathsAgree pins the bench comparison's premise on
+// the bench dataset itself: both paths must render identical bytes.
+func TestFullEvaluationPathsAgree(t *testing.T) {
+	ds := datasetOnce()
+	seq := analysis.AllReports(ds)
+	par := analysis.RunAll(ds, 0)
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].String() != par[i].String() {
+			t.Fatalf("report %s differs between sequential and parallel paths", seq[i].ID)
+		}
+	}
+}
 
 // ---- Workload generation itself ----
 

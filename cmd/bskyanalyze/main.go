@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	bskyanalyze [-scale N] [-seed S] [-only T1,F12]
+//	bskyanalyze [-scale N] [-seed S] [-only T1,F12] [-parallel] [-workers N]
+//
+// By default the evaluation runs through the single-pass engine
+// (analysis.RunAll), which shards the dataset traversal across
+// -workers workers (0 = GOMAXPROCS) and streams every record through
+// all report accumulators at once. -parallel=false falls back to the
+// legacy one-pass-per-report path; both render byte-identical output.
 package main
 
 import (
@@ -19,6 +25,8 @@ func main() {
 	scale := flag.Int("scale", 1000, "downscaling factor vs. the paper's dataset")
 	seed := flag.Int64("seed", 2024, "generation seed")
 	only := flag.String("only", "", "comma-separated report IDs (e.g. T1,F12); empty = all")
+	parallel := flag.Bool("parallel", true, "evaluate in one sharded pass instead of per-report scans")
+	workers := flag.Int("workers", 0, "traversal workers for -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ds := synth.Generate(synth.Config{Scale: *scale, Seed: *seed})
@@ -28,7 +36,13 @@ func main() {
 			want[id] = true
 		}
 	}
-	for _, r := range analysis.AllReports(ds) {
+	var reports []*analysis.Report
+	if *parallel {
+		reports = analysis.RunAll(ds, *workers)
+	} else {
+		reports = analysis.AllReports(ds)
+	}
+	for _, r := range reports {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}

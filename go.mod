@@ -1,0 +1,3 @@
+module blueskies
+
+go 1.24

@@ -1,0 +1,989 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"blueskies/internal/core"
+	"blueskies/internal/feedgen"
+)
+
+// Accumulators over the non-label collections, plus the render-only
+// reports that read scalar dataset fields.
+
+// ---- Section 4: headline dataset counts ----
+
+type section4Acc struct{}
+
+func newSection4Acc() Accumulator { return section4Acc{} }
+
+type section4Shard struct {
+	NopShard
+	posts, likes, reposts, follows, blocks int64
+}
+
+func (section4Acc) IDs() []string                { return []string{"S4"} }
+func (section4Acc) Needs() Collection            { return ColDays }
+func (section4Acc) NewShard(*core.Dataset) Shard { return &section4Shard{} }
+
+func (s *section4Shard) Days(days []core.DayActivity, _ int) {
+	for i := range days {
+		s.posts += int64(days[i].Posts)
+		s.likes += int64(days[i].Likes)
+		s.reposts += int64(days[i].Reposts)
+		s.follows += int64(days[i].Follows)
+		s.blocks += int64(days[i].Blocks)
+	}
+}
+
+func (section4Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*section4Shard), src.(*section4Shard)
+	d.posts += s.posts
+	d.likes += s.likes
+	d.reposts += s.reposts
+	d.follows += s.follows
+	d.blocks += s.blocks
+}
+
+func (section4Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	s := sh.(*section4Shard)
+	r := &Report{
+		ID:     "S4",
+		Title:  "Dataset totals (scaled 1:" + fmt.Sprint(ds.Scale) + ")",
+		Header: []string{"metric", "value"},
+	}
+	add := func(k string, v any) { r.Rows = append(r.Rows, []string{k, fmt.Sprint(v)}) }
+	add("users", len(ds.Users))
+	add("likes (accumulated ops)", s.likes)
+	add("posts (accumulated ops)", s.posts)
+	add("follows (accumulated ops)", s.follows)
+	add("reposts (accumulated ops)", s.reposts)
+	add("blocks (accumulated ops)", s.blocks)
+	add("firehose events", ds.Firehose.Total())
+	add("non-Bluesky lexicon events", ds.NonBskyEvents)
+	add("feed generators", len(ds.FeedGens))
+	add("labelers announced", len(ds.Labelers))
+	add("label interactions", len(ds.Labels))
+	return []*Report{r}
+}
+
+// ---- Section 5: identity statistics ----
+
+type section5Acc struct{}
+
+func newSection5Acc() Accumulator { return section5Acc{} }
+
+type section5Shard struct {
+	NopShard
+	bsky, alt, didWeb, txt, wk int
+	tranco                     int
+	dids                       map[string]bool
+	final                      map[string]string
+}
+
+func (section5Acc) IDs() []string { return []string{"S5"} }
+func (section5Acc) Needs() Collection {
+	return ColUsers | ColDomains | ColHandleUpdates
+}
+func (section5Acc) NewShard(*core.Dataset) Shard {
+	return &section5Shard{dids: map[string]bool{}, final: map[string]string{}}
+}
+
+func (s *section5Shard) Users(us []core.User, _ int) {
+	for i := range us {
+		u := &us[i]
+		if strings.HasSuffix(u.Handle, ".bsky.social") {
+			s.bsky++
+		} else {
+			s.alt++
+		}
+		if u.DIDMethod == "web" {
+			s.didWeb++
+		}
+		switch u.Proof {
+		case core.ProofDNSTXT:
+			s.txt++
+		case core.ProofWellKnown:
+			s.wk++
+		}
+	}
+}
+
+func (s *section5Shard) Domains(doms []core.Domain, _ int) {
+	for i := range doms {
+		if doms[i].TrancoRank > 0 {
+			s.tranco++
+		}
+	}
+}
+
+func (s *section5Shard) HandleUpdates(hus []core.HandleUpdate, _ int) {
+	for i := range hus {
+		s.dids[hus[i].DID] = true
+		s.final[hus[i].DID] = hus[i].NewHandle
+	}
+}
+
+func (section5Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*section5Shard), src.(*section5Shard)
+	d.bsky += s.bsky
+	d.alt += s.alt
+	d.didWeb += s.didWeb
+	d.txt += s.txt
+	d.wk += s.wk
+	d.tranco += s.tranco
+	for did := range s.dids {
+		d.dids[did] = true
+	}
+	// src holds later updates than dst (shards merge in index order),
+	// so src's final handle wins.
+	for did, h := range s.final {
+		d.final[did] = h
+	}
+}
+
+func (s *section5Shard) stats(ds *core.Dataset) IdentityStats {
+	var st IdentityStats
+	st.Users = len(ds.Users)
+	st.AltHandles = s.alt
+	st.DIDWeb = s.didWeb
+	st.BskySocialShare = float64(s.bsky) / float64(st.Users)
+	if s.txt+s.wk > 0 {
+		st.TXTShare = float64(s.txt) / float64(s.txt+s.wk)
+		st.WellKnownShare = float64(s.wk) / float64(s.txt+s.wk)
+	}
+	st.RegisteredDoms = len(ds.Domains)
+	if len(ds.Domains) > 0 {
+		st.TrancoShare = float64(s.tranco) / float64(len(ds.Domains))
+	}
+	st.HandleUpdates = len(ds.HandleUpdates)
+	st.UpdatingDIDs = len(s.dids)
+	toBsky := 0
+	for _, h := range s.final {
+		if strings.HasSuffix(h, ".bsky.social") {
+			toBsky++
+		}
+	}
+	if len(s.final) > 0 {
+		st.FinalBskyShare = float64(toBsky) / float64(len(s.final))
+	}
+	return st
+}
+
+func (section5Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{renderSection5(sh.(*section5Shard).stats(ds))}
+}
+
+// ---- Table 1: firehose event types (scalar fields only) ----
+
+type table1Acc struct{}
+
+func newTable1Acc() Accumulator { return table1Acc{} }
+
+func (table1Acc) IDs() []string                 { return []string{"T1"} }
+func (table1Acc) Needs() Collection             { return 0 }
+func (table1Acc) NewShard(*core.Dataset) Shard  { return NopShard{} }
+func (table1Acc) Merge(_, _ Shard, _ *MergeCtx) {}
+
+func (table1Acc) Render(ds *core.Dataset, _ Shard, _ *LabelTables) []*Report {
+	e := ds.Firehose
+	total := e.Total()
+	return []*Report{{
+		ID:     "T1",
+		Title:  "Overview of Firehose event types",
+		Header: []string{"Event Type", "# Total", "Share (%)"},
+		Rows: [][]string{
+			{"Repo Commit", fmt.Sprint(e.Commits), pct(e.Commits, total)},
+			{"Identity Update", fmt.Sprint(e.Identity), pct(e.Identity, total)},
+			{"User Handle Update", fmt.Sprint(e.Handle), pct(e.Handle, total)},
+			{"Repo Tombstone", fmt.Sprint(e.Tombstone), pct(e.Tombstone, total)},
+		},
+	}}
+}
+
+// ---- Table 2: registrar concentration ----
+
+type table2Acc struct{}
+
+func newTable2Acc() Accumulator { return table2Acc{} }
+
+type table2Shard struct {
+	NopShard
+	counts map[int]*RegistrarRow
+	withID int
+}
+
+func (table2Acc) IDs() []string     { return []string{"T2"} }
+func (table2Acc) Needs() Collection { return ColDomains }
+func (table2Acc) NewShard(*core.Dataset) Shard {
+	return &table2Shard{counts: map[int]*RegistrarRow{}}
+}
+
+func (s *table2Shard) Domains(doms []core.Domain, _ int) {
+	for i := range doms {
+		d := &doms[i]
+		if d.IANAID == 0 {
+			continue
+		}
+		s.withID++
+		row, ok := s.counts[d.IANAID]
+		if !ok {
+			row = &RegistrarRow{IANAID: d.IANAID, Name: d.RegistrarName}
+			s.counts[d.IANAID] = row
+		}
+		row.Count++
+	}
+}
+
+func (table2Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*table2Shard), src.(*table2Shard)
+	d.withID += s.withID
+	for id, row := range s.counts {
+		dr, ok := d.counts[id]
+		if !ok {
+			cp := *row
+			d.counts[id] = &cp
+			continue
+		}
+		dr.Count += row.Count
+	}
+}
+
+func (s *table2Shard) rows() []RegistrarRow {
+	rows := make([]RegistrarRow, 0, len(s.counts))
+	for _, row := range s.counts {
+		r := *row
+		r.Share = float64(r.Count) / float64(s.withID)
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].IANAID < rows[j].IANAID
+	})
+	return rows
+}
+
+func (table2Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	s := sh.(*table2Shard)
+	return []*Report{renderTable2(s.rows(), s.withID)}
+}
+
+// ---- Table 5: FGaaS feature matrix ----
+
+type table5Acc struct{}
+
+func newTable5Acc() Accumulator { return table5Acc{} }
+
+type table5Shard struct {
+	NopShard
+	feeds map[string]int
+}
+
+func (table5Acc) IDs() []string     { return []string{"T5"} }
+func (table5Acc) Needs() Collection { return ColFeedGens }
+func (table5Acc) NewShard(*core.Dataset) Shard {
+	return &table5Shard{feeds: map[string]int{}}
+}
+
+func (s *table5Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		s.feeds[strings.ToLower(fs[i].Platform)]++
+	}
+}
+
+func (table5Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*table5Shard), src.(*table5Shard)
+	for k, n := range s.feeds {
+		d.feeds[k] += n
+	}
+}
+
+func (table5Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{renderTable5(sh.(*table5Shard).feeds)}
+}
+
+// ---- Figures 1–2: daily activity series ----
+
+type figure1Acc struct{}
+
+func newFigure1Acc() Accumulator { return figure1Acc{} }
+
+type weeklyShard struct {
+	NopShard
+	langs []string
+	rows  [][]string
+}
+
+func (figure1Acc) IDs() []string                { return []string{"F1"} }
+func (figure1Acc) Needs() Collection            { return ColDays }
+func (figure1Acc) NewShard(*core.Dataset) Shard { return &weeklyShard{} }
+
+func (s *weeklyShard) Days(days []core.DayActivity, base int) {
+	for i := range days {
+		if (base+i)%7 != 0 {
+			continue
+		}
+		d := &days[i]
+		if s.langs == nil {
+			s.rows = append(s.rows, []string{
+				d.Date.Format("2006-01-02"),
+				fmt.Sprint(d.ActiveUsers), fmt.Sprint(d.Posts), fmt.Sprint(d.Likes),
+				fmt.Sprint(d.Reposts), fmt.Sprint(d.Follows), fmt.Sprint(d.Blocks),
+			})
+			continue
+		}
+		row := []string{d.Date.Format("2006-01-02")}
+		for _, l := range s.langs {
+			row = append(row, fmt.Sprint(d.ActiveByLang[l]))
+		}
+		s.rows = append(s.rows, row)
+	}
+}
+
+func mergeWeekly(dst, src Shard) {
+	d, s := dst.(*weeklyShard), src.(*weeklyShard)
+	d.rows = append(d.rows, s.rows...)
+}
+
+func (figure1Acc) Merge(dst, src Shard, _ *MergeCtx) { mergeWeekly(dst, src) }
+
+func (figure1Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{{
+		ID:     "F1",
+		Title:  "Daily operation and active user counts (weekly samples)",
+		Header: []string{"week", "active", "posts", "likes", "reposts", "follows", "blocks"},
+		Rows:   sh.(*weeklyShard).rows,
+	}}
+}
+
+var figure2Langs = []string{"en", "ja", "pt", "de", "ko", "fr"}
+
+type figure2Acc struct{}
+
+func newFigure2Acc() Accumulator { return figure2Acc{} }
+
+func (figure2Acc) IDs() []string     { return []string{"F2"} }
+func (figure2Acc) Needs() Collection { return ColDays }
+func (figure2Acc) NewShard(*core.Dataset) Shard {
+	return &weeklyShard{langs: figure2Langs}
+}
+func (figure2Acc) Merge(dst, src Shard, _ *MergeCtx) { mergeWeekly(dst, src) }
+
+func (figure2Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{{
+		ID:     "F2",
+		Title:  "Active user counts of language communities (weekly samples)",
+		Header: append([]string{"week"}, figure2Langs...),
+		Rows:   sh.(*weeklyShard).rows,
+	}}
+}
+
+// ---- Figure 3: handle concentration ----
+
+type figure3Acc struct{}
+
+func newFigure3Acc() Accumulator { return figure3Acc{} }
+
+type figure3Shard struct {
+	NopShard
+	doms []core.Domain
+}
+
+func (figure3Acc) IDs() []string                { return []string{"F3"} }
+func (figure3Acc) Needs() Collection            { return ColDomains }
+func (figure3Acc) NewShard(*core.Dataset) Shard { return &figure3Shard{} }
+
+func (s *figure3Shard) Domains(doms []core.Domain, _ int) {
+	s.doms = append(s.doms, doms...)
+}
+
+func (figure3Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure3Shard), src.(*figure3Shard)
+	d.doms = append(d.doms, s.doms...)
+}
+
+func (figure3Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	doms := sh.(*figure3Shard).doms
+	sort.SliceStable(doms, func(i, j int) bool { return doms[i].Subdomains > doms[j].Subdomains })
+	r := &Report{
+		ID:     "F3",
+		Title:  "Subdomain handles per registered domain (bsky.social excluded)",
+		Header: []string{"registered domain", "# subdomain handles"},
+	}
+	for i, d := range doms {
+		if i >= 10 {
+			break
+		}
+		r.Rows = append(r.Rows, []string{d.Name, fmt.Sprint(d.Subdomains)})
+	}
+	hist := map[int]int{}
+	for _, d := range doms {
+		switch {
+		case d.Subdomains == 1:
+			hist[1]++
+		case d.Subdomains <= 5:
+			hist[5]++
+		case d.Subdomains <= 50:
+			hist[50]++
+		default:
+			hist[51]++
+		}
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"distribution: %d domains with 1 handle, %d with 2–5, %d with 6–50, %d with >50",
+		hist[1], hist[5], hist[50], hist[51]))
+	return []*Report{r}
+}
+
+// ---- Figure 7: feed generator growth ----
+
+type figure7Acc struct{}
+
+func newFigure7Acc() Accumulator { return figure7Acc{} }
+
+type fgGrowth struct {
+	created    time.Time
+	likes      int
+	creatorIdx int
+}
+
+type figure7Shard struct {
+	NopShard
+	fgs []fgGrowth
+}
+
+func (figure7Acc) IDs() []string                { return []string{"F7"} }
+func (figure7Acc) Needs() Collection            { return ColFeedGens }
+func (figure7Acc) NewShard(*core.Dataset) Shard { return &figure7Shard{} }
+
+func (s *figure7Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		s.fgs = append(s.fgs, fgGrowth{fs[i].CreatedAt, fs[i].Likes, fs[i].CreatorIdx})
+	}
+}
+
+func (figure7Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure7Shard), src.(*figure7Shard)
+	d.fgs = append(d.fgs, s.fgs...)
+}
+
+func (figure7Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	fgs := sh.(*figure7Shard).fgs
+	// Unlike the legacy scan, sort a projection rather than reordering
+	// ds.FeedGens in place — traversals must never mutate the dataset.
+	sort.SliceStable(fgs, func(i, j int) bool { return fgs[i].created.Before(fgs[j].created) })
+	r := &Report{
+		ID:     "F7",
+		Title:  "Cumulative feed generators, likes on them, and creator followers",
+		Header: []string{"month", "# feed generators", "Σ likes", "Σ creator followers"},
+	}
+	if len(fgs) == 0 {
+		return []*Report{r}
+	}
+	var cumFG, cumLikes, cumFollows int
+	seenCreator := map[int]bool{}
+	cursor := 0
+	for m := monthOf(fgs[0].created); !m.After(ds.WindowEnd); m = m.AddDate(0, 1, 0) {
+		for cursor < len(fgs) && monthOf(fgs[cursor].created).Equal(m) {
+			fg := fgs[cursor]
+			cumFG++
+			cumLikes += fg.likes
+			if !seenCreator[fg.creatorIdx] {
+				seenCreator[fg.creatorIdx] = true
+				cumFollows += ds.Users[fg.creatorIdx].Followers
+			}
+			cursor++
+		}
+		r.Rows = append(r.Rows, []string{
+			m.Format("2006-01"), fmt.Sprint(cumFG), fmt.Sprint(cumLikes), fmt.Sprint(cumFollows),
+		})
+	}
+	return []*Report{r}
+}
+
+// ---- Figure 8: description word cloud ----
+
+type figure8Acc struct{}
+
+func newFigure8Acc() Accumulator { return figure8Acc{} }
+
+type figure8Shard struct {
+	NopShard
+	counts map[string]int
+}
+
+func (figure8Acc) IDs() []string     { return []string{"F8"} }
+func (figure8Acc) Needs() Collection { return ColFeedGens }
+func (figure8Acc) NewShard(*core.Dataset) Shard {
+	return &figure8Shard{counts: map[string]int{}}
+}
+
+func (s *figure8Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		for _, w := range strings.Fields(strings.ToLower(fs[i].Description)) {
+			if len(w) < 2 {
+				continue
+			}
+			s.counts[w]++
+		}
+	}
+}
+
+func (figure8Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure8Shard), src.(*figure8Shard)
+	for w, n := range s.counts {
+		d.counts[w] += n
+	}
+}
+
+func (figure8Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	r := &Report{
+		ID:     "F8",
+		Title:  "Most common words in feed generator descriptions",
+		Header: []string{"word", "count"},
+	}
+	for _, kv := range topK(sh.(*figure8Shard).counts, 20) {
+		r.Rows = append(r.Rows, []string{kv.Key, fmt.Sprint(kv.Count)})
+	}
+	return []*Report{r}
+}
+
+// ---- Figure 9: top labels of labeled feeds ----
+
+type figure9Acc struct{}
+
+func newFigure9Acc() Accumulator { return figure9Acc{} }
+
+type figure9Shard struct {
+	NopShard
+	counts      map[string]int
+	some, heavy int
+}
+
+func (figure9Acc) IDs() []string     { return []string{"F9"} }
+func (figure9Acc) Needs() Collection { return ColFeedGens }
+func (figure9Acc) NewShard(*core.Dataset) Shard {
+	return &figure9Shard{counts: map[string]int{}}
+}
+
+func (s *figure9Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		fg := &fs[i]
+		if fg.LabeledShare > 0 {
+			s.some++
+		}
+		if fg.LabeledShare >= 0.10 {
+			s.heavy++
+			s.counts[fg.TopLabel]++
+		}
+	}
+}
+
+func (figure9Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure9Shard), src.(*figure9Shard)
+	d.some += s.some
+	d.heavy += s.heavy
+	for k, n := range s.counts {
+		d.counts[k] += n
+	}
+}
+
+func (figure9Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	s := sh.(*figure9Shard)
+	r := &Report{
+		ID:     "F9",
+		Title:  "Top labels associated with posts curated by feed generators (≥10 % labeled)",
+		Header: []string{"label", "# feed generators"},
+	}
+	for _, kv := range topK(s.counts, 10) {
+		r.Rows = append(r.Rows, []string{kv.Key, fmt.Sprint(kv.Count)})
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("feeds with any labeled content: %s; with ≥10%% labeled: %s",
+			pct(int64(s.some), int64(len(ds.FeedGens))), pct(int64(s.heavy), int64(len(ds.FeedGens)))))
+	return []*Report{r}
+}
+
+// ---- Figure 10: posts vs likes scatter ----
+
+type figure10Acc struct{}
+
+func newFigure10Acc() Accumulator { return figure10Acc{} }
+
+type figure10Shard struct {
+	NopShard
+	counts map[[2]string]int
+	notes  []string
+}
+
+func (figure10Acc) IDs() []string     { return []string{"F10"} }
+func (figure10Acc) Needs() Collection { return ColFeedGens }
+func (figure10Acc) NewShard(*core.Dataset) Shard {
+	return &figure10Shard{counts: map[[2]string]int{}}
+}
+
+func logBin(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	p := 0
+	for v := n; v >= 10; v /= 10 {
+		p++
+	}
+	return fmt.Sprintf("10^%d", p)
+}
+
+func (s *figure10Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		fg := &fs[i]
+		s.counts[[2]string{logBin(fg.Posts), logBin(fg.Likes)}]++
+		switch fg.DisplayName {
+		case "the-algorithm", "whats-hot", "4dff350a5a3e", "hebrew-feed":
+			s.notes = append(s.notes, fmt.Sprintf("%s: posts=%d likes=%d personalized=%v",
+				fg.DisplayName, fg.Posts, fg.Likes, fg.Personalized))
+		}
+	}
+}
+
+func (figure10Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure10Shard), src.(*figure10Shard)
+	for k, n := range s.counts {
+		d.counts[k] += n
+	}
+	d.notes = append(d.notes, s.notes...)
+}
+
+func (figure10Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	s := sh.(*figure10Shard)
+	r := &Report{
+		ID:     "F10",
+		Title:  "Feed generator curated posts vs like count (log-binned)",
+		Header: []string{"posts bin", "likes bin", "# feeds"},
+	}
+	keys := make([][2]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		r.Rows = append(r.Rows, []string{k[0], k[1], fmt.Sprint(s.counts[k])})
+	}
+	r.Notes = append(r.Notes, s.notes...)
+	sort.Strings(r.Notes)
+	return []*Report{r}
+}
+
+// ---- Figure 11: degree distributions ----
+
+const maxLogBins = 32 // 4^32 far exceeds any follower count
+
+// log4Bin returns the bin index of degree d (bins [4^k, 4^(k+1)-1]),
+// or -1 for degrees below 1 — matching the legacy bin search.
+func log4Bin(d int) int {
+	if d < 1 {
+		return -1
+	}
+	k := 0
+	for v := d; v >= 4; v >>= 2 {
+		k++
+	}
+	return k
+}
+
+type figure11Acc struct{}
+
+func newFigure11Acc() Accumulator { return figure11Acc{} }
+
+type creatorAgg struct {
+	likes int64
+	count int64
+}
+
+type figure11Shard struct {
+	NopShard
+	inBins, outBins [maxLogBins]int
+	maxDeg          int
+	creators        map[int]*creatorAgg
+}
+
+func (figure11Acc) IDs() []string     { return []string{"F11"} }
+func (figure11Acc) Needs() Collection { return ColUsers | ColFeedGens }
+func (figure11Acc) NewShard(*core.Dataset) Shard {
+	return &figure11Shard{maxDeg: 1, creators: map[int]*creatorAgg{}}
+}
+
+func (s *figure11Shard) Users(us []core.User, _ int) {
+	for i := range us {
+		u := &us[i]
+		if u.Followers > s.maxDeg {
+			s.maxDeg = u.Followers
+		}
+		if u.Following > s.maxDeg {
+			s.maxDeg = u.Following
+		}
+		if b := log4Bin(u.Followers); b >= 0 {
+			s.inBins[b]++
+		}
+		if b := log4Bin(u.Following); b >= 0 {
+			s.outBins[b]++
+		}
+	}
+}
+
+func (s *figure11Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		fg := &fs[i]
+		a := s.creators[fg.CreatorIdx]
+		if a == nil {
+			a = &creatorAgg{}
+			s.creators[fg.CreatorIdx] = a
+		}
+		a.likes += int64(fg.Likes)
+		a.count++
+	}
+}
+
+func (figure11Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure11Shard), src.(*figure11Shard)
+	if s.maxDeg > d.maxDeg {
+		d.maxDeg = s.maxDeg
+	}
+	for b := 0; b < maxLogBins; b++ {
+		d.inBins[b] += s.inBins[b]
+		d.outBins[b] += s.outBins[b]
+	}
+	for ci, a := range s.creators {
+		da := d.creators[ci]
+		if da == nil {
+			d.creators[ci] = a
+			continue
+		}
+		da.likes += a.likes
+		da.count += a.count
+	}
+}
+
+func (s *figure11Shard) bins(ds *core.Dataset) []DegreeBin {
+	var bins []DegreeBin
+	for lo := 1; lo <= s.maxDeg; lo *= 4 {
+		bins = append(bins, DegreeBin{Lo: lo, Hi: lo*4 - 1})
+	}
+	for b := range bins {
+		bins[b].InCount = s.inBins[b]
+		bins[b].OutCount = s.outBins[b]
+	}
+	for _, ci := range sortedCreatorIdxs(s.creators) {
+		if b := log4Bin(ds.Users[ci].Followers); b >= 0 {
+			bins[b].InFGCreators++
+		}
+	}
+	return bins
+}
+
+func sortedCreatorIdxs(m map[int]*creatorAgg) []int {
+	idxs := make([]int, 0, len(m))
+	for ci := range m {
+		idxs = append(idxs, ci)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+func (figure11Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	s := sh.(*figure11Shard)
+	bins := s.bins(ds)
+	r := &Report{
+		ID:     "F11",
+		Title:  "Follow degree distributions; feed generator creators highlighted",
+		Header: []string{"degree bin", "# users (in)", "FG creators (in)", "# users (out)"},
+	}
+	for _, b := range bins {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d–%d", b.Lo, b.Hi),
+			fmt.Sprint(b.InCount), fmt.Sprint(b.InFGCreators), fmt.Sprint(b.OutCount),
+		})
+	}
+	// §7.1 correlations, over creators in deterministic index order.
+	var xs, ys, cs []float64
+	for _, ci := range sortedCreatorIdxs(s.creators) {
+		a := s.creators[ci]
+		xs = append(xs, float64(a.likes))
+		ys = append(ys, float64(ds.Users[ci].Followers))
+		cs = append(cs, float64(a.count))
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("Pearson r(Σ feed likes, followers) = %.3f (paper: 0.533)", Pearson(xs, ys)),
+		fmt.Sprintf("Pearson r(# feeds, followers) = %.3f (paper: 0.005)", Pearson(cs, ys)))
+	return []*Report{r}
+}
+
+// ---- Figure 12 / provider shares ----
+
+type figure12Acc struct{}
+
+func newFigure12Acc() Accumulator { return figure12Acc{} }
+
+type figure12Shard struct {
+	NopShard
+	agg                          map[string]*ProviderShare
+	totFeeds, totPosts, totLikes int
+}
+
+func (figure12Acc) IDs() []string     { return []string{"F12"} }
+func (figure12Acc) Needs() Collection { return ColFeedGens }
+func (figure12Acc) NewShard(*core.Dataset) Shard {
+	return &figure12Shard{agg: map[string]*ProviderShare{}}
+}
+
+func (s *figure12Shard) FeedGens(fs []core.FeedGen, _ int) {
+	for i := range fs {
+		fg := &fs[i]
+		p, ok := s.agg[fg.Platform]
+		if !ok {
+			p = &ProviderShare{Name: fg.Platform}
+			s.agg[fg.Platform] = p
+		}
+		p.Feeds++
+		p.PostsTotal += fg.Posts
+		p.LikesTotal += fg.Likes
+		s.totFeeds++
+		s.totPosts += fg.Posts
+		s.totLikes += fg.Likes
+	}
+}
+
+func (figure12Acc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*figure12Shard), src.(*figure12Shard)
+	d.totFeeds += s.totFeeds
+	d.totPosts += s.totPosts
+	d.totLikes += s.totLikes
+	for name, p := range s.agg {
+		dp, ok := d.agg[name]
+		if !ok {
+			cp := *p
+			d.agg[name] = &cp
+			continue
+		}
+		dp.Feeds += p.Feeds
+		dp.PostsTotal += p.PostsTotal
+		dp.LikesTotal += p.LikesTotal
+	}
+}
+
+func (s *figure12Shard) shares() []ProviderShare {
+	out := make([]ProviderShare, 0, len(s.agg))
+	for _, p := range s.agg {
+		cp := *p
+		cp.FeedShare = float64(cp.Feeds) / float64(s.totFeeds)
+		cp.PostShare = float64(cp.PostsTotal) / float64(s.totPosts)
+		cp.LikeShare = float64(cp.LikesTotal) / float64(s.totLikes)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Feeds != out[j].Feeds {
+			return out[i].Feeds > out[j].Feeds
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func (figure12Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{renderFigure12(sh.(*figure12Shard).shares())}
+}
+
+// ---- Discussion (§9): bandwidth estimate ----
+
+type discussionAcc struct{}
+
+func newDiscussionAcc() Accumulator { return discussionAcc{} }
+
+func (discussionAcc) IDs() []string                 { return []string{"S9"} }
+func (discussionAcc) Needs() Collection             { return 0 }
+func (discussionAcc) NewShard(*core.Dataset) Shard  { return NopShard{} }
+func (discussionAcc) Merge(_, _ Shard, _ *MergeCtx) {}
+
+func (discussionAcc) Render(ds *core.Dataset, _ Shard, _ *LabelTables) []*Report {
+	bw := EstimateFirehoseBandwidth(ds)
+	r := &Report{
+		ID:     "S9",
+		Title:  "Discussion: firehose scalability estimate",
+		Header: []string{"metric", "value"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"firehose events/day (scaled)", fmt.Sprintf("%.0f", bw.EventsPerDay)},
+		[]string{"firehose MB/day per client (scaled)", fmt.Sprintf("%.1f", bw.BytesPerDay/1e6)},
+		[]string{"projected GB/day per client (unscaled)", fmt.Sprintf("%.1f", bw.GBPerDayPaper)},
+	)
+	r.Notes = append(r.Notes, "paper §9 estimates ≈30 GB/day per subscribed client")
+	return []*Report{r}
+}
+
+// renderTable5 joins the static FGaaS feature matrix with per-platform
+// feed counts.
+func renderTable5(feeds map[string]int) *Report {
+	platforms := feedgen.Platforms()
+	features := []struct {
+		Name string
+		F    feedgen.Feature
+	}{
+		{"Input: whole network", feedgen.InWholeNetwork},
+		{"Input: tags", feedgen.InTags},
+		{"Input: single user", feedgen.InSingleUser},
+		{"Input: list", feedgen.InList},
+		{"Input: feed", feedgen.InFeed},
+		{"Input: single post", feedgen.InSinglePost},
+		{"Input: labels", feedgen.InLabels},
+		{"Input: token", feedgen.InToken},
+		{"Input: segment", feedgen.InSegment},
+		{"Filter: item", feedgen.FiltItem},
+		{"Filter: labels", feedgen.FiltLabels},
+		{"Filter: image count", feedgen.FiltImageCount},
+		{"Filter: link count", feedgen.FiltLinkCount},
+		{"Filter: repost count", feedgen.FiltRepostCount},
+		{"Filter: embed", feedgen.FiltEmbed},
+		{"Filter: duplicate", feedgen.FiltDuplicate},
+		{"Filter: list of users", feedgen.FiltUserList},
+		{"Filter: language", feedgen.FiltLanguage},
+		{"Filter: regex text", feedgen.FiltRegexText},
+		{"Filter: regex image alt", feedgen.FiltRegexAlt},
+		{"Filter: regex link", feedgen.FiltRegexLink},
+	}
+	header := []string{"Feature"}
+	for _, p := range platforms {
+		header = append(header, p.Name)
+	}
+	r := &Report{ID: "T5", Title: "Feed-Generator-as-a-Service feature comparison", Header: header}
+	for _, f := range features {
+		row := []string{f.Name}
+		for _, p := range platforms {
+			if p.Supports(f.F) {
+				row = append(row, "yes")
+			} else {
+				row = append(row, "")
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	countRow := []string{"Number of feeds"}
+	paidRow := []string{"Paid or free"}
+	for _, p := range platforms {
+		countRow = append(countRow, fmt.Sprint(feeds[strings.ToLower(p.Name)]))
+		if p.Paid {
+			paidRow = append(paidRow, "free & paid")
+		} else {
+			paidRow = append(paidRow, "free")
+		}
+	}
+	r.Rows = append(r.Rows, countRow, paidRow)
+	return r
+}

@@ -1,7 +1,13 @@
 // Package analysis computes every statistic in the paper's evaluation
 // (§4–§7) from a core.Dataset and renders the tables and figure series
-// the paper reports. Each Table*/Figure* function returns a Report —
-// a titled grid — plus, where useful for programmatic use, typed rows.
+// the paper reports.
+//
+// The computation lives in per-report Accumulators driven by the
+// single-pass Engine (see engine.go): RunAll streams the dataset once
+// through every accumulator, sharded across workers. The per-table
+// functions below (Section4, Table1…Table6, Figure1…Figure12) are thin
+// wrappers that run their single accumulator sequentially, so both
+// paths render byte-identical Reports.
 package analysis
 
 import (
@@ -131,46 +137,12 @@ func pct(part, whole int64) string {
 // ---- Section 4: headline dataset counts ----
 
 // Section4 summarizes the dataset totals of §3/§4.
-func Section4(ds *core.Dataset) *Report {
-	posts, likes, reposts, follows, blocks := ds.TotalOps()
-	r := &Report{
-		ID:     "S4",
-		Title:  "Dataset totals (scaled 1:" + fmt.Sprint(ds.Scale) + ")",
-		Header: []string{"metric", "value"},
-	}
-	add := func(k string, v any) { r.Rows = append(r.Rows, []string{k, fmt.Sprint(v)}) }
-	add("users", len(ds.Users))
-	add("likes (accumulated ops)", likes)
-	add("posts (accumulated ops)", posts)
-	add("follows (accumulated ops)", follows)
-	add("reposts (accumulated ops)", reposts)
-	add("blocks (accumulated ops)", blocks)
-	add("firehose events", ds.Firehose.Total())
-	add("non-Bluesky lexicon events", ds.NonBskyEvents)
-	add("feed generators", len(ds.FeedGens))
-	add("labelers announced", len(ds.Labelers))
-	add("label interactions", len(ds.Labels))
-	return r
-}
+func Section4(ds *core.Dataset) *Report { return runOne(ds, newSection4Acc())[0] }
 
 // ---- Table 1: firehose event types ----
 
 // Table1 reproduces the firehose event-type breakdown.
-func Table1(ds *core.Dataset) *Report {
-	e := ds.Firehose
-	total := e.Total()
-	return &Report{
-		ID:     "T1",
-		Title:  "Overview of Firehose event types",
-		Header: []string{"Event Type", "# Total", "Share (%)"},
-		Rows: [][]string{
-			{"Repo Commit", fmt.Sprint(e.Commits), pct(e.Commits, total)},
-			{"Identity Update", fmt.Sprint(e.Identity), pct(e.Identity, total)},
-			{"User Handle Update", fmt.Sprint(e.Handle), pct(e.Handle, total)},
-			{"Repo Tombstone", fmt.Sprint(e.Tombstone), pct(e.Tombstone, total)},
-		},
-	}
-}
+func Table1(ds *core.Dataset) *Report { return runOne(ds, newTable1Acc())[0] }
 
 // ---- Table 2: registrar concentration ----
 
@@ -184,33 +156,15 @@ type RegistrarRow struct {
 
 // RegistrarConcentration computes Table 2's rows.
 func RegistrarConcentration(ds *core.Dataset) []RegistrarRow {
-	counts := map[int]*RegistrarRow{}
-	total := 0
-	for _, d := range ds.Domains {
-		if d.IANAID == 0 {
-			continue
-		}
-		total++
-		row, ok := counts[d.IANAID]
-		if !ok {
-			row = &RegistrarRow{IANAID: d.IANAID, Name: d.RegistrarName}
-			counts[d.IANAID] = row
-		}
-		row.Count++
-	}
-	rows := make([]RegistrarRow, 0, len(counts))
-	for _, row := range counts {
-		row.Share = float64(row.Count) / float64(total)
-		rows = append(rows, *row)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
-	return rows
+	sh, _ := runOneShard(ds, newTable2Acc())
+	return sh.(*table2Shard).rows()
 }
 
 // Table2 renders the registrar concentration table (top 7, as in the
 // paper).
-func Table2(ds *core.Dataset) *Report {
-	rows := RegistrarConcentration(ds)
+func Table2(ds *core.Dataset) *Report { return runOne(ds, newTable2Acc())[0] }
+
+func renderTable2(rows []RegistrarRow, withID int) *Report {
 	r := &Report{
 		ID:     "T2",
 		Title:  "Domain name handles per registrar",
@@ -229,12 +183,6 @@ func Table2(ds *core.Dataset) *Report {
 			fmt.Sprintf("%.2f%%", 100*row.Share),
 		})
 	}
-	var withID int
-	for _, d := range ds.Domains {
-		if d.IANAID != 0 {
-			withID++
-		}
-	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("registrars observed: %d; domains with IANA ID: %d", len(rows), withID),
 		fmt.Sprintf("top-4 registrar share: %s", pct(int64(top4), int64(withID))))
@@ -251,28 +199,14 @@ type LabelerVolume struct {
 
 // CommunityTop returns community labelers ranked by labels applied.
 func CommunityTop(ds *core.Dataset) []LabelerVolume {
-	byDID := map[string]int{}
-	for _, l := range ds.Labels {
-		if !l.Neg {
-			byDID[l.Src]++
-		}
-	}
-	var out []LabelerVolume
-	for _, lb := range ds.Labelers {
-		if lb.Official {
-			continue
-		}
-		if n := byDID[lb.DID]; n > 0 {
-			out = append(out, LabelerVolume{Labeler: lb, Applied: n})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Applied > out[j].Applied })
-	return out
+	sh, _ := runOneShard(ds, newTable3Acc())
+	return communityTopFrom(ds, sh.(*table3Shard).counts)
 }
 
 // Table3 renders the top-5 community labelers.
-func Table3(ds *core.Dataset) *Report {
-	ranked := CommunityTop(ds)
+func Table3(ds *core.Dataset) *Report { return runOne(ds, newTable3Acc())[0] }
+
+func renderTable3(ranked []LabelerVolume) *Report {
 	r := &Report{
 		ID:     "T3",
 		Title:  "Top 5 community labelers by number of labels applied",
@@ -293,51 +227,7 @@ func Table3(ds *core.Dataset) *Report {
 // ---- Table 4: label targets ----
 
 // Table4 renders label targets with their most-applied values.
-func Table4(ds *core.Dataset) *Report {
-	type agg struct {
-		objects map[string]bool
-		values  map[string]int
-	}
-	kinds := map[core.SubjectKind]*agg{}
-	for _, kind := range []core.SubjectKind{core.SubjectPost, core.SubjectAccount, core.SubjectMedia, core.SubjectOther} {
-		kinds[kind] = &agg{objects: map[string]bool{}, values: map[string]int{}}
-	}
-	var total int64
-	for _, l := range ds.Labels {
-		if l.Neg {
-			continue
-		}
-		a := kinds[l.Kind]
-		if a == nil {
-			continue
-		}
-		a.objects[l.URI] = true
-		a.values[l.Val]++
-		total++
-	}
-	r := &Report{
-		ID:     "T4",
-		Title:  "Label targets with most-applied labels",
-		Header: []string{"Object Type", "# Objects", "Share (%)", "Top Labels"},
-	}
-	var totalObjects int64
-	for _, a := range kinds {
-		totalObjects += int64(len(a.objects))
-	}
-	for _, kind := range []core.SubjectKind{core.SubjectPost, core.SubjectAccount, core.SubjectMedia, core.SubjectOther} {
-		a := kinds[kind]
-		top := topK(a.values, 5)
-		var tl []string
-		for _, kv := range top {
-			tl = append(tl, fmt.Sprintf("%s (%d)", kv.Key, kv.Count))
-		}
-		r.Rows = append(r.Rows, []string{
-			string(kind), fmt.Sprint(len(a.objects)),
-			pct(int64(len(a.objects)), totalObjects), strings.Join(tl, ", "),
-		})
-	}
-	return r
-}
+func Table4(ds *core.Dataset) *Report { return runOne(ds, newTable4Acc())[0] }
 
 // KV is a counted key.
 type KV struct {
@@ -345,11 +235,9 @@ type KV struct {
 	Count int
 }
 
-func topK(m map[string]int, k int) []KV {
-	out := make([]KV, 0, len(m))
-	for key, c := range m {
-		out = append(out, KV{key, c})
-	}
+// topKVs sorts counted keys by count (desc) with a total key tie-break
+// and truncates to k.
+func topKVs(out []KV, k int) []KV {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
@@ -360,6 +248,14 @@ func topK(m map[string]int, k int) []KV {
 		out = out[:k]
 	}
 	return out
+}
+
+func topK(m map[string]int, k int) []KV {
+	kvs := make([]KV, 0, len(m))
+	for key, c := range m {
+		kvs = append(kvs, KV{key, c})
+	}
+	return topKVs(kvs, k)
 }
 
 // ---- Table 6: labeler reaction times ----
@@ -381,48 +277,15 @@ type ReactionRow struct {
 // fresh posts (as the paper does: only posts first seen on the
 // firehose during the window).
 func ReactionTimes(ds *core.Dataset) []ReactionRow {
-	byDID := map[string]*ReactionRow{}
-	rts := map[string][]float64{}
-	values := map[string]map[string]int{}
-	names := map[string]core.Labeler{}
-	for _, lb := range ds.Labelers {
-		names[lb.DID] = lb
-	}
-	var total int
-	for _, l := range ds.Labels {
-		if l.Neg || !l.FreshSubject || l.Kind != core.SubjectPost {
-			continue
-		}
-		row, ok := byDID[l.Src]
-		if !ok {
-			lb := names[l.Src]
-			row = &ReactionRow{DID: l.Src, Name: lb.Name, Official: lb.Official}
-			byDID[l.Src] = row
-			values[l.Src] = map[string]int{}
-		}
-		row.Total++
-		total++
-		values[l.Src][l.Val]++
-		rts[l.Src] = append(rts[l.Src], l.ReactionTime().Seconds())
-	}
-	rows := make([]ReactionRow, 0, len(byDID))
-	for did, row := range byDID {
-		row.MedianSec = Median(rts[did])
-		row.IQDSec = IQD(rts[did])
-		row.Share = float64(row.Total) / float64(total)
-		row.Unique = len(values[did])
-		for _, kv := range topK(values[did], 3) {
-			row.TopValues = append(row.TopValues, kv.Key)
-		}
-		rows = append(rows, *row)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Total > rows[j].Total })
+	sh, t := runOneShard(ds, newReactionAcc())
+	rows, _ := sh.(*reactionShard).reactionRows(ds, t)
 	return rows
 }
 
 // Table6 renders the reaction-time table.
-func Table6(ds *core.Dataset) *Report {
-	rows := ReactionTimes(ds)
+func Table6(ds *core.Dataset) *Report { return runOne(ds, newReactionAcc())[0] }
+
+func renderTable6(rows []ReactionRow) *Report {
 	r := &Report{
 		ID:     "T6",
 		Title:  "Reaction time of labelers to posts published via the Firehose",
@@ -458,63 +321,14 @@ type IdentityStats struct {
 
 // Identity computes the §5 statistics.
 func Identity(ds *core.Dataset) IdentityStats {
-	var st IdentityStats
-	st.Users = len(ds.Users)
-	var bsky, txt, wk int
-	for _, u := range ds.Users {
-		if strings.HasSuffix(u.Handle, ".bsky.social") {
-			bsky++
-		} else {
-			st.AltHandles++
-		}
-		if u.DIDMethod == "web" {
-			st.DIDWeb++
-		}
-		switch u.Proof {
-		case core.ProofDNSTXT:
-			txt++
-		case core.ProofWellKnown:
-			wk++
-		}
-	}
-	st.BskySocialShare = float64(bsky) / float64(st.Users)
-	if txt+wk > 0 {
-		st.TXTShare = float64(txt) / float64(txt+wk)
-		st.WellKnownShare = float64(wk) / float64(txt+wk)
-	}
-	st.RegisteredDoms = len(ds.Domains)
-	tranco := 0
-	for _, d := range ds.Domains {
-		if d.TrancoRank > 0 {
-			tranco++
-		}
-	}
-	if len(ds.Domains) > 0 {
-		st.TrancoShare = float64(tranco) / float64(len(ds.Domains))
-	}
-	st.HandleUpdates = len(ds.HandleUpdates)
-	dids := map[string]bool{}
-	toBsky := 0
-	final := map[string]string{}
-	for _, hu := range ds.HandleUpdates {
-		dids[hu.DID] = true
-		final[hu.DID] = hu.NewHandle
-	}
-	for _, h := range final {
-		if strings.HasSuffix(h, ".bsky.social") {
-			toBsky++
-		}
-	}
-	st.UpdatingDIDs = len(dids)
-	if len(final) > 0 {
-		st.FinalBskyShare = float64(toBsky) / float64(len(final))
-	}
-	return st
+	sh, _ := runOneShard(ds, newSection5Acc())
+	return sh.(*section5Shard).stats(ds)
 }
 
 // Section5 renders the identity statistics.
-func Section5(ds *core.Dataset) *Report {
-	st := Identity(ds)
+func Section5(ds *core.Dataset) *Report { return runOne(ds, newSection5Acc())[0] }
+
+func renderSection5(st IdentityStats) *Report {
 	r := &Report{
 		ID:     "S5",
 		Title:  "(De)centralized identity",

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"fmt"
-
 	"blueskies/internal/core"
 )
 
@@ -48,18 +46,4 @@ func EstimateFirehoseBandwidth(ds *core.Dataset) FirehoseBandwidth {
 }
 
 // Discussion renders the §9 scalability estimates.
-func Discussion(ds *core.Dataset) *Report {
-	bw := EstimateFirehoseBandwidth(ds)
-	r := &Report{
-		ID:     "S9",
-		Title:  "Discussion: firehose scalability estimate",
-		Header: []string{"metric", "value"},
-	}
-	r.Rows = append(r.Rows,
-		[]string{"firehose events/day (scaled)", fmt.Sprintf("%.0f", bw.EventsPerDay)},
-		[]string{"firehose MB/day per client (scaled)", fmt.Sprintf("%.1f", bw.BytesPerDay/1e6)},
-		[]string{"projected GB/day per client (unscaled)", fmt.Sprintf("%.1f", bw.GBPerDayPaper)},
-	)
-	r.Notes = append(r.Notes, "paper §9 estimates ≈30 GB/day per subscribed client")
-	return r
-}
+func Discussion(ds *core.Dataset) *Report { return runOne(ds, newDiscussionAcc())[0] }

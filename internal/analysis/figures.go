@@ -2,94 +2,33 @@ package analysis
 
 import (
 	"fmt"
-	"math"
-	"sort"
-	"strings"
 	"time"
 
 	"blueskies/internal/core"
-	"blueskies/internal/feedgen"
 )
+
+// Figure wrappers and their typed-row helpers. Each figure's
+// computation lives in its accumulator (accum_labels.go /
+// accum_world.go); the functions here run that accumulator
+// sequentially and exist for API compatibility with the legacy
+// one-pass-per-figure interface.
 
 // ---- Figure 1: daily operations and active users ----
 
 // Figure1 renders the daily activity series, down-sampled to weeks for
 // readable output.
-func Figure1(ds *core.Dataset) *Report {
-	r := &Report{
-		ID:     "F1",
-		Title:  "Daily operation and active user counts (weekly samples)",
-		Header: []string{"week", "active", "posts", "likes", "reposts", "follows", "blocks"},
-	}
-	for i := 0; i < len(ds.Daily); i += 7 {
-		d := ds.Daily[i]
-		r.Rows = append(r.Rows, []string{
-			d.Date.Format("2006-01-02"),
-			fmt.Sprint(d.ActiveUsers), fmt.Sprint(d.Posts), fmt.Sprint(d.Likes),
-			fmt.Sprint(d.Reposts), fmt.Sprint(d.Follows), fmt.Sprint(d.Blocks),
-		})
-	}
-	return r
-}
+func Figure1(ds *core.Dataset) *Report { return runOne(ds, newFigure1Acc())[0] }
 
 // ---- Figure 2: language communities ----
 
 // Figure2 renders active users per language community.
-func Figure2(ds *core.Dataset) *Report {
-	langs := []string{"en", "ja", "pt", "de", "ko", "fr"}
-	r := &Report{
-		ID:     "F2",
-		Title:  "Active user counts of language communities (weekly samples)",
-		Header: append([]string{"week"}, langs...),
-	}
-	for i := 0; i < len(ds.Daily); i += 7 {
-		d := ds.Daily[i]
-		row := []string{d.Date.Format("2006-01-02")}
-		for _, l := range langs {
-			row = append(row, fmt.Sprint(d.ActiveByLang[l]))
-		}
-		r.Rows = append(r.Rows, row)
-	}
-	return r
-}
+func Figure2(ds *core.Dataset) *Report { return runOne(ds, newFigure2Acc())[0] }
 
 // ---- Figure 3: handle concentration ----
 
 // Figure3 renders subdomain handles per registered domain (excluding
 // bsky.social, as the paper does).
-func Figure3(ds *core.Dataset) *Report {
-	doms := append([]core.Domain(nil), ds.Domains...)
-	sort.Slice(doms, func(i, j int) bool { return doms[i].Subdomains > doms[j].Subdomains })
-	r := &Report{
-		ID:     "F3",
-		Title:  "Subdomain handles per registered domain (bsky.social excluded)",
-		Header: []string{"registered domain", "# subdomain handles"},
-	}
-	for i, d := range doms {
-		if i >= 10 {
-			break
-		}
-		r.Rows = append(r.Rows, []string{d.Name, fmt.Sprint(d.Subdomains)})
-	}
-	// Distribution summary.
-	hist := map[int]int{}
-	for _, d := range doms {
-		switch {
-		case d.Subdomains == 1:
-			hist[1]++
-		case d.Subdomains <= 5:
-			hist[5]++
-		case d.Subdomains <= 50:
-			hist[50]++
-		default:
-			hist[51]++
-		}
-	}
-	r.Notes = append(r.Notes, fmt.Sprintf(
-		"distribution: %d domains with 1 handle, %d with 2–5, %d with 6–50, %d with >50",
-		hist[1], hist[5], hist[50], hist[51]))
-	return r
-}
+func Figure3(ds *core.Dataset) *Report { return runOne(ds, newFigure3Acc())[0] }
 
 // ---- Figure 4: labels by source per month ----
 
@@ -105,50 +44,15 @@ type MonthlyLabels struct {
 
 // LabelsBySource computes the Figure 4 series.
 func LabelsBySource(ds *core.Dataset) []MonthlyLabels {
-	official := map[string]bool{}
-	for _, lb := range ds.Labelers {
-		if lb.Official {
-			official[lb.DID] = true
-		}
-	}
-	byMonth := map[time.Time]*MonthlyLabels{}
-	for _, l := range ds.Labels {
-		if l.Neg {
-			continue
-		}
-		m := monthOf(l.Applied)
-		ml, ok := byMonth[m]
-		if !ok {
-			ml = &MonthlyLabels{Month: m}
-			byMonth[m] = ml
-		}
-		if official[l.Src] {
-			ml.Bluesky++
-		} else {
-			ml.Community++
-		}
-	}
-	months := make([]MonthlyLabels, 0, len(byMonth))
-	for _, ml := range byMonth {
-		months = append(months, *ml)
-	}
-	sort.Slice(months, func(i, j int) bool { return months[i].Month.Before(months[j].Month) })
-	for i := range months {
-		n := 0
-		for _, lb := range ds.Labelers {
-			if !lb.Official && !lb.Announced.After(months[i].Month.AddDate(0, 1, -1)) {
-				n++
-			}
-		}
-		months[i].Labelers = n
-	}
-	return months
+	sh, _ := runOneShard(ds, newFigure4Acc())
+	return sh.(*figure4Shard).months(ds)
 }
 
 // Figure4 renders labels produced by source per month plus the
 // community labeler count.
-func Figure4(ds *core.Dataset) *Report {
-	months := LabelsBySource(ds)
+func Figure4(ds *core.Dataset) *Report { return runOne(ds, newFigure4Acc())[0] }
+
+func renderFigure4(months []MonthlyLabels) *Report {
 	r := &Report{
 		ID:     "F4",
 		Title:  "Labels produced by source per month; community labeler services over time",
@@ -165,36 +69,9 @@ func Figure4(ds *core.Dataset) *Report {
 
 // ---- Figure 5: labels produced vs reaction time per labeler ----
 
-// Figure5 renders the per-labeler volume/reaction-time scatter.
-func Figure5(ds *core.Dataset) *Report {
-	rows := ReactionTimes(ds)
-	r := &Report{
-		ID:     "F5",
-		Title:  "Labels produced vs reaction time per labeler (median, Q1, Q3)",
-		Header: []string{"labeler", "source", "# labels", "Q1", "median", "Q3"},
-	}
-	rts := map[string][]float64{}
-	for _, l := range ds.Labels {
-		if l.Neg || !l.FreshSubject || l.Kind != core.SubjectPost {
-			continue
-		}
-		rts[l.Src] = append(rts[l.Src], l.ReactionTime().Seconds())
-	}
-	for _, row := range rows {
-		src := "Community"
-		if row.Official {
-			src = "Bluesky"
-		}
-		xs := rts[row.DID]
-		r.Rows = append(r.Rows, []string{
-			row.Name, src, fmt.Sprint(row.Total),
-			FormatDuration(Quantile(xs, 0.25)),
-			FormatDuration(Quantile(xs, 0.5)),
-			FormatDuration(Quantile(xs, 0.75)),
-		})
-	}
-	return r
-}
+// Figure5 renders the per-labeler volume/reaction-time scatter. It
+// shares the Table 6 reaction aggregation.
+func Figure5(ds *core.Dataset) *Report { return runOne(ds, newReactionAcc())[1] }
 
 // ---- Figure 6: per-label-value reaction times ----
 
@@ -209,44 +86,14 @@ type ValueReaction struct {
 
 // ValueReactions computes the Figure 6 series.
 func ValueReactions(ds *core.Dataset) []ValueReaction {
-	official := map[string]bool{}
-	for _, lb := range ds.Labelers {
-		if lb.Official {
-			official[lb.DID] = true
-		}
-	}
-	type agg struct {
-		objects  map[string]bool
-		rts      []float64
-		official bool
-	}
-	byVal := map[string]*agg{}
-	for _, l := range ds.Labels {
-		if l.Neg || !l.FreshSubject || l.Kind != core.SubjectPost {
-			continue
-		}
-		a, ok := byVal[l.Val]
-		if !ok {
-			a = &agg{objects: map[string]bool{}, official: official[l.Src]}
-			byVal[l.Val] = a
-		}
-		a.objects[l.URI] = true
-		a.rts = append(a.rts, l.ReactionTime().Seconds())
-	}
-	out := make([]ValueReaction, 0, len(byVal))
-	for val, a := range byVal {
-		out = append(out, ValueReaction{
-			Val: val, Official: a.official, Objects: len(a.objects),
-			Median: Median(a.rts), Q1: Quantile(a.rts, 0.25), Q3: Quantile(a.rts, 0.75),
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Objects > out[j].Objects })
-	return out
+	sh, t := runOneShard(ds, newFigure6Acc())
+	return sh.(*figure6Shard).valueRows(t)
 }
 
 // Figure6 renders objects labeled per value vs reaction time.
-func Figure6(ds *core.Dataset) *Report {
-	rows := ValueReactions(ds)
+func Figure6(ds *core.Dataset) *Report { return runOne(ds, newFigure6Acc())[0] }
+
+func renderFigure6(rows []ValueReaction) *Report {
 	r := &Report{
 		ID:     "F6",
 		Title:  "Objects labeled per label value vs reaction time",
@@ -272,137 +119,25 @@ func Figure6(ds *core.Dataset) *Report {
 
 // Figure7 renders cumulative feed generators, likes on them, and
 // followers of their creators over time (monthly).
-func Figure7(ds *core.Dataset) *Report {
-	sort.SliceStable(ds.FeedGens, func(i, j int) bool {
-		return ds.FeedGens[i].CreatedAt.Before(ds.FeedGens[j].CreatedAt)
-	})
-	r := &Report{
-		ID:     "F7",
-		Title:  "Cumulative feed generators, likes on them, and creator followers",
-		Header: []string{"month", "# feed generators", "Σ likes", "Σ creator followers"},
-	}
-	var cumFG, cumLikes, cumFollows int
-	seenCreator := map[int]bool{}
-	cursor := 0
-	for m := monthOf(ds.FeedGens[0].CreatedAt); !m.After(ds.WindowEnd); m = m.AddDate(0, 1, 0) {
-		for cursor < len(ds.FeedGens) && monthOf(ds.FeedGens[cursor].CreatedAt).Equal(m) {
-			fg := ds.FeedGens[cursor]
-			cumFG++
-			cumLikes += fg.Likes
-			if !seenCreator[fg.CreatorIdx] {
-				seenCreator[fg.CreatorIdx] = true
-				cumFollows += ds.Users[fg.CreatorIdx].Followers
-			}
-			cursor++
-		}
-		r.Rows = append(r.Rows, []string{
-			m.Format("2006-01"), fmt.Sprint(cumFG), fmt.Sprint(cumLikes), fmt.Sprint(cumFollows),
-		})
-	}
-	return r
-}
+func Figure7(ds *core.Dataset) *Report { return runOne(ds, newFigure7Acc())[0] }
 
 // ---- Figure 8: description word cloud ----
 
 // Figure8 renders the most common words in feed generator
 // descriptions (the word cloud's underlying frequencies).
-func Figure8(ds *core.Dataset) *Report {
-	counts := map[string]int{}
-	for _, fg := range ds.FeedGens {
-		for _, w := range strings.Fields(strings.ToLower(fg.Description)) {
-			if len(w) < 2 {
-				continue
-			}
-			counts[w]++
-		}
-	}
-	r := &Report{
-		ID:     "F8",
-		Title:  "Most common words in feed generator descriptions",
-		Header: []string{"word", "count"},
-	}
-	for _, kv := range topK(counts, 20) {
-		r.Rows = append(r.Rows, []string{kv.Key, fmt.Sprint(kv.Count)})
-	}
-	return r
-}
+func Figure8(ds *core.Dataset) *Report { return runOne(ds, newFigure8Acc())[0] }
 
 // ---- Figure 9: top labels of labeled feeds ----
 
 // Figure9 renders the top label of feeds whose content is ≥10 %
 // labeled.
-func Figure9(ds *core.Dataset) *Report {
-	counts := map[string]int{}
-	heavy := 0
-	some := 0
-	for _, fg := range ds.FeedGens {
-		if fg.LabeledShare > 0 {
-			some++
-		}
-		if fg.LabeledShare >= 0.10 {
-			heavy++
-			counts[fg.TopLabel]++
-		}
-	}
-	r := &Report{
-		ID:     "F9",
-		Title:  "Top labels associated with posts curated by feed generators (≥10 % labeled)",
-		Header: []string{"label", "# feed generators"},
-	}
-	for _, kv := range topK(counts, 10) {
-		r.Rows = append(r.Rows, []string{kv.Key, fmt.Sprint(kv.Count)})
-	}
-	r.Notes = append(r.Notes,
-		fmt.Sprintf("feeds with any labeled content: %s; with ≥10%% labeled: %s",
-			pct(int64(some), int64(len(ds.FeedGens))), pct(int64(heavy), int64(len(ds.FeedGens)))))
-	return r
-}
+func Figure9(ds *core.Dataset) *Report { return runOne(ds, newFigure9Acc())[0] }
 
 // ---- Figure 10: posts vs likes scatter ----
 
 // Figure10 renders a log-binned summary of the posts-vs-likes scatter
 // plus its named extremes.
-func Figure10(ds *core.Dataset) *Report {
-	r := &Report{
-		ID:     "F10",
-		Title:  "Feed generator curated posts vs like count (log-binned)",
-		Header: []string{"posts bin", "likes bin", "# feeds"},
-	}
-	bin := func(n int) string {
-		if n == 0 {
-			return "0"
-		}
-		p := int(math.Floor(math.Log10(float64(n))))
-		return fmt.Sprintf("10^%d", p)
-	}
-	counts := map[[2]string]int{}
-	for _, fg := range ds.FeedGens {
-		counts[[2]string{bin(fg.Posts), bin(fg.Likes)}]++
-	}
-	keys := make([][2]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	for _, k := range keys {
-		r.Rows = append(r.Rows, []string{k[0], k[1], fmt.Sprint(counts[k])})
-	}
-	// Named extremes.
-	for _, fg := range ds.FeedGens {
-		switch fg.DisplayName {
-		case "the-algorithm", "whats-hot", "4dff350a5a3e", "hebrew-feed":
-			r.Notes = append(r.Notes, fmt.Sprintf("%s: posts=%d likes=%d personalized=%v",
-				fg.DisplayName, fg.Posts, fg.Likes, fg.Personalized))
-		}
-	}
-	sort.Strings(r.Notes)
-	return r
-}
+func Figure10(ds *core.Dataset) *Report { return runOne(ds, newFigure10Acc())[0] }
 
 // ---- Figure 11: degree distributions ----
 
@@ -417,81 +152,12 @@ type DegreeBin struct {
 
 // DegreeDistributions computes Figure 11's binned distributions.
 func DegreeDistributions(ds *core.Dataset) []DegreeBin {
-	creators := map[int]bool{}
-	for _, fg := range ds.FeedGens {
-		creators[fg.CreatorIdx] = true
-	}
-	maxDeg := 1
-	for _, u := range ds.Users {
-		if u.Followers > maxDeg {
-			maxDeg = u.Followers
-		}
-		if u.Following > maxDeg {
-			maxDeg = u.Following
-		}
-	}
-	var bins []DegreeBin
-	for lo := 1; lo <= maxDeg; lo *= 4 {
-		bins = append(bins, DegreeBin{Lo: lo, Hi: lo*4 - 1})
-	}
-	find := func(d int) int {
-		if d < 1 {
-			return -1
-		}
-		for i := range bins {
-			if d >= bins[i].Lo && d <= bins[i].Hi {
-				return i
-			}
-		}
-		return len(bins) - 1
-	}
-	for ui := range ds.Users {
-		u := &ds.Users[ui]
-		if i := find(u.Followers); i >= 0 {
-			bins[i].InCount++
-			if creators[ui] {
-				bins[i].InFGCreators++
-			}
-		}
-		if i := find(u.Following); i >= 0 {
-			bins[i].OutCount++
-		}
-	}
-	return bins
+	sh, _ := runOneShard(ds, newFigure11Acc())
+	return sh.(*figure11Shard).bins(ds)
 }
 
 // Figure11 renders the degree distributions.
-func Figure11(ds *core.Dataset) *Report {
-	bins := DegreeDistributions(ds)
-	r := &Report{
-		ID:     "F11",
-		Title:  "Follow degree distributions; feed generator creators highlighted",
-		Header: []string{"degree bin", "# users (in)", "FG creators (in)", "# users (out)"},
-	}
-	for _, b := range bins {
-		r.Rows = append(r.Rows, []string{
-			fmt.Sprintf("%d–%d", b.Lo, b.Hi),
-			fmt.Sprint(b.InCount), fmt.Sprint(b.InFGCreators), fmt.Sprint(b.OutCount),
-		})
-	}
-	// Correlations from §7.1.
-	likes := map[int]float64{}
-	count := map[int]float64{}
-	for _, fg := range ds.FeedGens {
-		likes[fg.CreatorIdx] += float64(fg.Likes)
-		count[fg.CreatorIdx]++
-	}
-	var xs, ys, cs []float64
-	for ci := range likes {
-		xs = append(xs, likes[ci])
-		ys = append(ys, float64(ds.Users[ci].Followers))
-		cs = append(cs, count[ci])
-	}
-	r.Notes = append(r.Notes,
-		fmt.Sprintf("Pearson r(Σ feed likes, followers) = %.3f (paper: 0.533)", Pearson(xs, ys)),
-		fmt.Sprintf("Pearson r(# feeds, followers) = %.3f (paper: 0.005)", Pearson(cs, ys)))
-	return r
-}
+func Figure11(ds *core.Dataset) *Report { return runOne(ds, newFigure11Acc())[0] }
 
 // ---- Figure 12 / Table 5: FGaaS providers ----
 
@@ -508,35 +174,14 @@ type ProviderShare struct {
 
 // ProviderShares computes Figure 12's platform shares.
 func ProviderShares(ds *core.Dataset) []ProviderShare {
-	agg := map[string]*ProviderShare{}
-	var totFeeds, totPosts, totLikes int
-	for _, fg := range ds.FeedGens {
-		p, ok := agg[fg.Platform]
-		if !ok {
-			p = &ProviderShare{Name: fg.Platform}
-			agg[fg.Platform] = p
-		}
-		p.Feeds++
-		p.PostsTotal += fg.Posts
-		p.LikesTotal += fg.Likes
-		totFeeds++
-		totPosts += fg.Posts
-		totLikes += fg.Likes
-	}
-	out := make([]ProviderShare, 0, len(agg))
-	for _, p := range agg {
-		p.FeedShare = float64(p.Feeds) / float64(totFeeds)
-		p.PostShare = float64(p.PostsTotal) / float64(totPosts)
-		p.LikeShare = float64(p.LikesTotal) / float64(totLikes)
-		out = append(out, *p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Feeds > out[j].Feeds })
-	return out
+	sh, _ := runOneShard(ds, newFigure12Acc())
+	return sh.(*figure12Shard).shares()
 }
 
 // Figure12 renders provider shares and the Pareto cumulative.
-func Figure12(ds *core.Dataset) *Report {
-	shares := ProviderShares(ds)
+func Figure12(ds *core.Dataset) *Report { return runOne(ds, newFigure12Acc())[0] }
+
+func renderFigure12(shares []ProviderShare) *Report {
 	r := &Report{
 		ID:     "F12",
 		Title:  "Feed generator hosting providers: shares and Pareto",
@@ -558,69 +203,11 @@ func Figure12(ds *core.Dataset) *Report {
 
 // Table5 renders the FGaaS feature-comparison matrix joined with the
 // per-platform feed counts from the dataset.
-func Table5(ds *core.Dataset) *Report {
-	platforms := feedgen.Platforms()
-	feeds := map[string]int{}
-	for _, fg := range ds.FeedGens {
-		feeds[strings.ToLower(fg.Platform)]++
-	}
-	features := []struct {
-		Name string
-		F    feedgen.Feature
-	}{
-		{"Input: whole network", feedgen.InWholeNetwork},
-		{"Input: tags", feedgen.InTags},
-		{"Input: single user", feedgen.InSingleUser},
-		{"Input: list", feedgen.InList},
-		{"Input: feed", feedgen.InFeed},
-		{"Input: single post", feedgen.InSinglePost},
-		{"Input: labels", feedgen.InLabels},
-		{"Input: token", feedgen.InToken},
-		{"Input: segment", feedgen.InSegment},
-		{"Filter: item", feedgen.FiltItem},
-		{"Filter: labels", feedgen.FiltLabels},
-		{"Filter: image count", feedgen.FiltImageCount},
-		{"Filter: link count", feedgen.FiltLinkCount},
-		{"Filter: repost count", feedgen.FiltRepostCount},
-		{"Filter: embed", feedgen.FiltEmbed},
-		{"Filter: duplicate", feedgen.FiltDuplicate},
-		{"Filter: list of users", feedgen.FiltUserList},
-		{"Filter: language", feedgen.FiltLanguage},
-		{"Filter: regex text", feedgen.FiltRegexText},
-		{"Filter: regex image alt", feedgen.FiltRegexAlt},
-		{"Filter: regex link", feedgen.FiltRegexLink},
-	}
-	header := []string{"Feature"}
-	for _, p := range platforms {
-		header = append(header, p.Name)
-	}
-	r := &Report{ID: "T5", Title: "Feed-Generator-as-a-Service feature comparison", Header: header}
-	for _, f := range features {
-		row := []string{f.Name}
-		for _, p := range platforms {
-			if p.Supports(f.F) {
-				row = append(row, "yes")
-			} else {
-				row = append(row, "")
-			}
-		}
-		r.Rows = append(r.Rows, row)
-	}
-	countRow := []string{"Number of feeds"}
-	paidRow := []string{"Paid or free"}
-	for _, p := range platforms {
-		countRow = append(countRow, fmt.Sprint(feeds[strings.ToLower(p.Name)]))
-		if p.Paid {
-			paidRow = append(paidRow, "free & paid")
-		} else {
-			paidRow = append(paidRow, "free")
-		}
-	}
-	r.Rows = append(r.Rows, countRow, paidRow)
-	return r
-}
+func Table5(ds *core.Dataset) *Report { return runOne(ds, newTable5Acc())[0] }
 
-// AllReports runs every table and figure.
+// AllReports runs every table and figure as ~25 independent dataset
+// passes — the legacy evaluation path, kept as the sequential baseline
+// the single-pass RunAll is benchmarked against.
 func AllReports(ds *core.Dataset) []*Report {
 	return []*Report{
 		Section4(ds), Section5(ds), Section6(ds), Discussion(ds),

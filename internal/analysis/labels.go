@@ -26,55 +26,8 @@ type LabelValueStats struct {
 
 // LabelValues computes the §6.2 statistics.
 func LabelValues(ds *core.Dataset) LabelValueStats {
-	var st LabelValueStats
-	rawVals := map[string]bool{}
-	appliedVals := map[string]bool{}
-	applied := map[string]bool{} // (src,uri,val) seen as application
-	srcsOn := map[string]map[string]bool{}
-	valSrcs := map[string]map[string]bool{} // uri\x00val → srcs
-	for _, l := range ds.Labels {
-		rawVals[l.Val] = true
-		key := l.Src + "\x00" + l.URI + "\x00" + l.Val
-		if l.Neg {
-			// A negation only "counts" as a value when it rescinds an
-			// observed application; stray negations are the cleaning
-			// target.
-			if applied[key] {
-				appliedVals[l.Val] = true
-			}
-			continue
-		}
-		applied[key] = true
-		appliedVals[l.Val] = true
-		if srcsOn[l.URI] == nil {
-			srcsOn[l.URI] = map[string]bool{}
-		}
-		srcsOn[l.URI][l.Src] = true
-		vk := l.URI + "\x00" + l.Val
-		if valSrcs[vk] == nil {
-			valSrcs[vk] = map[string]bool{}
-		}
-		valSrcs[vk][l.Src] = true
-	}
-	st.DistinctRaw = len(rawVals)
-	st.DistinctCleaned = len(appliedVals)
-	st.LabeledObjects = len(srcsOn)
-	for _, srcs := range srcsOn {
-		if len(srcs) > 1 {
-			st.MultiServiceObjects++
-		}
-	}
-	if st.LabeledObjects > 0 {
-		st.MultiServiceShare = float64(st.MultiServiceObjects) / float64(st.LabeledObjects)
-	}
-	seen := map[string]bool{}
-	for vk, srcs := range valSrcs {
-		if len(srcs) > 1 && !seen[vk] {
-			seen[vk] = true
-			st.SameValueDifferentSrc++
-		}
-	}
-	return st
+	sh, t := runOneShard(ds, newSection6Acc())
+	return sh.(*section6Shard).stats(t)
 }
 
 // HostingMix reproduces §6.1's endpoint analysis: 65 % of labeler
@@ -103,8 +56,9 @@ func LabelerHosting(ds *core.Dataset) HostingMix {
 }
 
 // Section6 renders the §6 label/labeler bookkeeping.
-func Section6(ds *core.Dataset) *Report {
-	st := LabelValues(ds)
+func Section6(ds *core.Dataset) *Report { return runOne(ds, newSection6Acc())[0] }
+
+func renderSection6(ds *core.Dataset, st LabelValueStats) *Report {
 	hm := LabelerHosting(ds)
 	total := len(ds.Labelers)
 	r := &Report{

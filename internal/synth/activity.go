@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"blueskies/internal/core"
@@ -227,14 +228,22 @@ func genActivity(ds *core.Dataset, rng *rand.Rand) {
 	ds.NonBskyEvents = int64(scaled(TargetNonBskyEvents, ds.Scale, 3))
 }
 
+// postShards is the fixed fan-out of post generation. It is a
+// constant — not GOMAXPROCS — so the shard RNG streams, and with them
+// the generated corpus, are identical at any parallelism level.
+const postShards = 8
+
 // genPosts creates the measurement-window post corpus used for label
 // joins, language verification, and feed contents. The paper observed
 // 26,467,002 posts in April 2024 alone; the window here spans the
-// firehose collection period.
-func genPosts(ds *core.Dataset, rng *rand.Rand) {
+// firehose collection period. Posts are generated in postShards
+// disjoint index ranges, each from its own deterministic RNG stream;
+// per-author totals are accumulated in a serial pass afterwards so the
+// user records see the same counts regardless of shard scheduling.
+func genPosts(ds *core.Dataset, seed int64, sequential bool) {
 	const windowPostsTarget = 26_467_002 * 2 // Mar 6 – Apr 30 ≈ 2 April-months
 	n := scaled(windowPostsTarget, ds.Scale, 2_000)
-	posts := make([]core.Post, 0, n)
+	posts := make([]core.Post, n)
 	windowDays := int(WindowEnd.Sub(WindowStart).Hours() / 24)
 	// Posting users, weighted by (tagged) language presence.
 	var posters []int
@@ -246,24 +255,45 @@ func genPosts(ds *core.Dataset, rng *rand.Rand) {
 	if len(posters) == 0 {
 		posters = []int{0}
 	}
-	for i := 0; i < n; i++ {
-		author := posters[rng.Intn(len(posters))]
-		day := WindowStart.AddDate(0, 0, rng.Intn(windowDays))
-		created := day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
-		p := core.Post{
-			URI:       fmt.Sprintf("at://%s/app.bsky.feed.post/3p%011d", ds.Users[author].DID, i),
-			AuthorIdx: author,
-			Lang:      ds.Users[author].Lang,
-			CreatedAt: created,
-			Likes:     powerlawInt(rng, 2.3, 40_000) - 1,
-			Reposts:   powerlawInt(rng, 2.6, 8_000) - 1,
-			HasMedia:  rng.Float64() < 0.32,
+	fill := func(shard int) {
+		rng := stageRNG(seed, stagePostShard0+uint64(shard))
+		lo, hi := n*shard/postShards, n*(shard+1)/postShards
+		for i := lo; i < hi; i++ {
+			author := posters[rng.Intn(len(posters))]
+			day := WindowStart.AddDate(0, 0, rng.Intn(windowDays))
+			created := day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+			p := core.Post{
+				URI:       fmt.Sprintf("at://%s/app.bsky.feed.post/3p%011d", ds.Users[author].DID, i),
+				AuthorIdx: author,
+				Lang:      ds.Users[author].Lang,
+				CreatedAt: created,
+				Likes:     powerlawInt(rng, 2.3, 40_000) - 1,
+				Reposts:   powerlawInt(rng, 2.6, 8_000) - 1,
+				HasMedia:  rng.Float64() < 0.32,
+			}
+			if p.HasMedia {
+				p.AltText = rng.Float64() < 0.35 // most media lacks alt text
+			}
+			posts[i] = p
 		}
-		if p.HasMedia {
-			p.AltText = rng.Float64() < 0.35 // most media lacks alt text
+	}
+	if sequential {
+		for shard := 0; shard < postShards; shard++ {
+			fill(shard)
 		}
-		posts = append(posts, p)
-		ds.Users[author].Posts++
+	} else {
+		var wg sync.WaitGroup
+		for shard := 0; shard < postShards; shard++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				fill(shard)
+			}(shard)
+		}
+		wg.Wait()
+	}
+	for i := range posts {
+		ds.Users[posts[i].AuthorIdx].Posts++
 	}
 	ds.Posts = posts
 }

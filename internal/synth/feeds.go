@@ -202,8 +202,15 @@ func genFeedGens(ds *core.Dataset, rng *rand.Rand) {
 	for _, fg := range fgs {
 		likesByCreator[fg.CreatorIdx] += fg.Likes
 	}
-	for ci, l := range likesByCreator {
-		if l > maxLikes {
+	// Iterate creators in sorted order: consuming rng draws in map
+	// iteration order would make follower boosts differ run to run.
+	creatorIdxs := make([]int, 0, len(likesByCreator))
+	for ci := range likesByCreator {
+		creatorIdxs = append(creatorIdxs, ci)
+	}
+	sort.Ints(creatorIdxs)
+	for _, ci := range creatorIdxs {
+		if l := likesByCreator[ci]; l > maxLikes {
 			maxLikes = l
 		}
 		if f := ds.Users[ci].Followers; f > maxBase {
@@ -211,8 +218,8 @@ func genFeedGens(ds *core.Dataset, rng *rand.Rand) {
 		}
 	}
 	factor := float64(maxBase) / float64(maxLikes)
-	for ci, likes := range likesByCreator {
-		boost := int(float64(likes) * factor * (0.7 + 0.6*rng.Float64()))
+	for _, ci := range creatorIdxs {
+		boost := int(float64(likesByCreator[ci]) * factor * (0.7 + 0.6*rng.Float64()))
 		ds.Users[ci].Followers += boost
 	}
 }

@@ -216,12 +216,15 @@ func genModeration(ds *core.Dataset, rng *rand.Rand) {
 				l.Kind = core.SubjectOther
 			}
 			if l.Kind == core.SubjectPost && len(ds.Posts) > 0 {
-				p := ds.Posts[rng.Intn(len(ds.Posts))]
+				p := &ds.Posts[rng.Intn(len(ds.Posts))]
 				l.URI = p.URI
 				l.SubjectCreated = p.CreatedAt
 				l.FreshSubject = true
 			} else {
-				target := ds.Users[rng.Intn(len(ds.Users))]
+				// Field reads, not a struct copy: this stage runs in
+				// parallel with genFeedGens, which writes the (disjoint)
+				// Following/Followers fields of the same users.
+				target := &ds.Users[rng.Intn(len(ds.Users))]
 				l.URI = target.DID
 				l.SubjectCreated = target.CreatedAt
 			}

@@ -14,6 +14,7 @@ package synth
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"blueskies/internal/core"
@@ -72,23 +73,85 @@ func date(y int, m time.Month, d int) time.Time {
 	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
 }
 
-// Generate produces the full dataset.
+// Generation stage ids. Each gen* stage draws from its own RNG stream
+// (seed ⊕ stage·φ64), so stages can run concurrently while the output
+// stays byte-for-byte deterministic in (Scale, Seed). genPosts
+// additionally fans out over postShards fixed sub-streams — fixed, not
+// GOMAXPROCS-derived, so the dataset is identical at any parallelism.
+const (
+	stageUsers uint64 = iota + 1
+	stageActivity
+	stagePosts
+	stageIdentity
+	stageModeration
+	stageFeedGens
+	// stagePostShard0 + k seeds post shard k.
+	stagePostShard0 uint64 = 100
+)
+
+// stageRNG derives a stage's deterministic RNG stream. The golden
+// ratio multiplier (splitmix64 increment) decorrelates the nearby
+// stage ids before they perturb the user seed.
+func stageRNG(seed int64, stage uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(uint64(seed) ^ stage*0x9E3779B97F4A7C15)))
+}
+
+// Generate produces the full dataset, running the generation stages
+// concurrently along their dependency order:
+//
+//	users ─→ posts ─→ identity ─→ { moderation ∥ feedgens }
+//	activity (independent)
+//
+// posts must precede identity (identity rewrites the six did:web DIDs
+// that post URIs embed), and moderation/feedgens read the identity
+// fields but touch disjoint user fields, so they run in parallel.
 func Generate(cfg Config) *core.Dataset {
+	return generate(cfg, false)
+}
+
+// generateSequential runs the same stages with the same per-stage
+// streams strictly serially — the reference path the concurrent
+// schedule is tested against.
+func generateSequential(cfg Config) *core.Dataset {
+	return generate(cfg, true)
+}
+
+func generate(cfg Config, sequential bool) *core.Dataset {
 	if cfg.Scale < 1 {
 		cfg.Scale = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	ds := &core.Dataset{
 		Scale:       cfg.Scale,
 		WindowStart: WindowStart,
 		WindowEnd:   WindowEnd,
 	}
-	genUsers(ds, rng)
-	genActivity(ds, rng)
-	genPosts(ds, rng)
-	genIdentity(ds, rng)
-	genModeration(ds, rng)
-	genFeedGens(ds, rng)
+	if sequential {
+		genUsers(ds, stageRNG(cfg.Seed, stageUsers))
+		genActivity(ds, stageRNG(cfg.Seed, stageActivity))
+		genPosts(ds, cfg.Seed, true)
+		genIdentity(ds, stageRNG(cfg.Seed, stageIdentity))
+		genModeration(ds, stageRNG(cfg.Seed, stageModeration))
+		genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens))
+		return ds
+	}
+	var activity sync.WaitGroup
+	activity.Add(1)
+	go func() {
+		defer activity.Done()
+		genActivity(ds, stageRNG(cfg.Seed, stageActivity))
+	}()
+	genUsers(ds, stageRNG(cfg.Seed, stageUsers))
+	genPosts(ds, cfg.Seed, false)
+	genIdentity(ds, stageRNG(cfg.Seed, stageIdentity))
+	var tail sync.WaitGroup
+	tail.Add(1)
+	go func() {
+		defer tail.Done()
+		genModeration(ds, stageRNG(cfg.Seed, stageModeration))
+	}()
+	genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens))
+	tail.Wait()
+	activity.Wait()
 	return ds
 }
 
