@@ -7,6 +7,7 @@ package blueskies_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"blueskies/internal/appview"
 	"blueskies/internal/cbor"
 	"blueskies/internal/cid"
+	"blueskies/internal/core"
 	"blueskies/internal/events"
 	"blueskies/internal/identity"
 	"blueskies/internal/lexicon"
@@ -163,6 +165,46 @@ func BenchmarkEngineWorkers(b *testing.B) {
 				if got := analysis.RunAll(ds, workers); len(got) == 0 {
 					b.Fatal("no reports")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingSnapshot measures the streaming evaluation: the
+// corpus replayed through firehose + labeler sequencers, decoded from
+// frames, and accumulated with periodic full-report snapshots — the
+// run-forever path of `bskyanalyze -follow`, whose final snapshot is
+// byte-identical to RunAll.
+func BenchmarkStreamingSnapshot(b *testing.B) {
+	ds := synth.Generate(synth.Config{Scale: 2000, Seed: 1})
+	for _, every := range []int{0, 25_000} {
+		b.Run(fmt.Sprintf("snapshotEvery=%d", every), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fire := events.NewSequencer(0, 0)
+				labeler := events.NewSequencer(0, 0)
+				blocks, errs := core.DrainSequencers(context.Background(), fire, labeler)
+				replayErr := make(chan error, 1)
+				go func() { replayErr <- synth.Replay(ds, fire, labeler, 0) }()
+				snapshots := 0
+				src := &analysis.StreamSource{
+					Blocks:        blocks,
+					SnapshotEvery: every,
+					OnSnapshot:    func(int, []*analysis.Report) { snapshots++ },
+				}
+				reports, err := analysis.NewFullEngine().RunSource(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := <-replayErr; err != nil {
+					b.Fatal(err)
+				}
+				for err := range errs {
+					b.Fatal(err)
+				}
+				if len(reports) == 0 {
+					b.Fatal("no reports")
+				}
+				b.ReportMetric(float64(snapshots), "snapshots/op")
 			}
 		})
 	}

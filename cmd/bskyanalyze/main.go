@@ -4,20 +4,32 @@
 // Usage:
 //
 //	bskyanalyze [-scale N] [-seed S] [-only T1,F12] [-parallel] [-workers N]
+//	bskyanalyze -follow [-snapshot-every N]
 //
 // By default the evaluation runs through the single-pass engine
 // (analysis.RunAll), which shards the dataset traversal across
-// -workers workers (0 = GOMAXPROCS) and streams every record through
-// all report accumulators at once. -parallel=false falls back to the
-// legacy one-pass-per-report path; both render byte-identical output.
+// -workers workers (0 = autotuned from record counts) and streams
+// every record through all report accumulators at once.
+// -parallel=false falls back to the legacy one-pass-per-report path;
+// both render byte-identical output.
+//
+// -follow exercises the streaming path instead: the generated corpus
+// is replayed through in-process firehose + labeler sequencers, the
+// engine consumes the multiplexed record stream without ever holding
+// the materialized dataset, and refreshed tables print as snapshots
+// arrive. The final snapshot is byte-identical to the batch output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"blueskies/internal/analysis"
+	"blueskies/internal/core"
+	"blueskies/internal/events"
 	"blueskies/internal/synth"
 )
 
@@ -26,7 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 2024, "generation seed")
 	only := flag.String("only", "", "comma-separated report IDs (e.g. T1,F12); empty = all")
 	parallel := flag.Bool("parallel", true, "evaluate in one sharded pass instead of per-report scans")
-	workers := flag.Int("workers", 0, "traversal workers for -parallel (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "traversal workers (0 = autotuned)")
+	follow := flag.Bool("follow", false, "consume the corpus as a live record stream and print refreshed tables as snapshots arrive")
+	snapEvery := flag.Int("snapshot-every", 100_000, "records between streaming snapshots in -follow mode")
 	flag.Parse()
 
 	ds := synth.Generate(synth.Config{Scale: *scale, Seed: *seed})
@@ -36,16 +50,67 @@ func main() {
 			want[id] = true
 		}
 	}
+	print := func(reports []*analysis.Report) {
+		for _, r := range reports {
+			if len(want) > 0 && !want[r.ID] {
+				continue
+			}
+			fmt.Println(r.String())
+		}
+	}
+
+	if *follow {
+		if err := runFollow(ds, *workers, *snapEvery, print); err != nil {
+			fmt.Fprintln(os.Stderr, "bskyanalyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var reports []*analysis.Report
 	if *parallel {
 		reports = analysis.RunAll(ds, *workers)
 	} else {
 		reports = analysis.AllReports(ds)
 	}
-	for _, r := range reports {
-		if len(want) > 0 && !want[r.ID] {
-			continue
-		}
-		fmt.Println(r.String())
+	print(reports)
+}
+
+// runFollow replays the corpus through the event-stream stack and
+// drives the engine from the live block channel. Replay and
+// consumption run concurrently over draining sequencers, so the frame
+// backlog holds only the consumer's lag — never a second full copy of
+// the corpus.
+func runFollow(ds *core.Dataset, workers, snapEvery int, print func([]*analysis.Report)) error {
+	fire := events.NewSequencer(0, 0)
+	labeler := events.NewSequencer(0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	blocks, errs := core.DrainSequencers(ctx, fire, labeler)
+	replayErr := make(chan error, 1)
+	go func() { replayErr <- synth.Replay(ds, fire, labeler, 0) }()
+	src := &analysis.StreamSource{
+		Blocks:        blocks,
+		SnapshotEvery: snapEvery,
+		OnSnapshot: func(records int, reports []*analysis.Report) {
+			fmt.Printf("==== snapshot after %d records ====\n\n", records)
+			print(analysis.Canonicalize(reports))
+		},
 	}
+	reports, err := analysis.NewFullEngine().Workers(workers).RunSource(src)
+	if err != nil {
+		return err
+	}
+	if err := <-replayErr; err != nil {
+		return err
+	}
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println("==== final (end of stream) ====")
+	fmt.Println()
+	print(analysis.Canonicalize(reports))
+	return nil
 }

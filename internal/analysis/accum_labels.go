@@ -70,14 +70,14 @@ type pairState struct {
 
 func (section6Acc) IDs() []string     { return []string{"S6"} }
 func (section6Acc) Needs() Collection { return ColLabels }
-func (section6Acc) NewShard(*core.Dataset) Shard {
+func (section6Acc) NewShard(*World) Shard {
 	return &section6Shard{pairs: make(map[int64]*pairState, 1024)}
 }
 
 func (s *section6Shard) Labels(c *LabelChunk) {
-	s.appliedSeen = growBool(s.appliedSeen, len(c.Tables.Vals))
-	s.firstSrc = growI32(s.firstSrc, len(c.Tables.URIs), unseenSrc)
-	s.multiSrc = growBool(s.multiSrc, len(c.Tables.URIs))
+	s.appliedSeen = growBool(s.appliedSeen, c.NumVals)
+	s.firstSrc = growI32(s.firstSrc, c.NumURIs, unseenSrc)
+	s.multiSrc = growBool(s.multiSrc, c.NumURIs)
 	for i := range c.Labels {
 		if c.Labels[i].Neg {
 			continue
@@ -160,8 +160,8 @@ func (s *section6Shard) stats(t *LabelTables) LabelValueStats {
 	return st
 }
 
-func (section6Acc) Render(ds *core.Dataset, sh Shard, t *LabelTables) []*Report {
-	return []*Report{renderSection6(ds, sh.(*section6Shard).stats(t))}
+func (section6Acc) Render(w *World, sh Shard, t *LabelTables) []*Report {
+	return []*Report{renderSection6(w.Labelers, sh.(*section6Shard).stats(t))}
 }
 
 // ---- Table 3: top community labelers ----
@@ -177,8 +177,8 @@ type table3Shard struct {
 
 func (table3Acc) IDs() []string     { return []string{"T3"} }
 func (table3Acc) Needs() Collection { return ColLabels }
-func (table3Acc) NewShard(ds *core.Dataset) Shard {
-	return &table3Shard{counts: make([]int64, len(ds.Labelers))}
+func (table3Acc) NewShard(w *World) Shard {
+	return &table3Shard{counts: make([]int64, len(w.Labelers))}
 }
 
 func (s *table3Shard) Labels(c *LabelChunk) {
@@ -187,6 +187,9 @@ func (s *table3Shard) Labels(c *LabelChunk) {
 			continue
 		}
 		if idx := c.Meta[i].LabelerIdx; idx >= 0 {
+			// Streams may announce labelers after shard allocation;
+			// grow on demand (append-only DID-index growth).
+			s.counts = growI64(s.counts, int(idx)+1)
 			s.counts[idx]++
 		}
 	}
@@ -194,15 +197,16 @@ func (s *table3Shard) Labels(c *LabelChunk) {
 
 func (table3Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	d, s := dst.(*table3Shard), src.(*table3Shard)
+	d.counts = growI64(d.counts, len(s.counts))
 	for i, n := range s.counts {
 		d.counts[i] += n
 	}
 }
 
-func communityTopFrom(ds *core.Dataset, counts []int64) []LabelerVolume {
+func communityTopFrom(labelers []core.Labeler, counts []int64) []LabelerVolume {
 	var out []LabelerVolume
-	for i, lb := range ds.Labelers {
-		if lb.Official {
+	for i, lb := range labelers {
+		if lb.Official || i >= len(counts) {
 			continue
 		}
 		if n := counts[i]; n > 0 {
@@ -213,8 +217,8 @@ func communityTopFrom(ds *core.Dataset, counts []int64) []LabelerVolume {
 	return out
 }
 
-func (table3Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
-	return []*Report{renderTable3(communityTopFrom(ds, sh.(*table3Shard).counts))}
+func (table3Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{renderTable3(communityTopFrom(w.Labelers, sh.(*table3Shard).counts))}
 }
 
 // ---- Table 4: label targets ----
@@ -248,16 +252,16 @@ type table4Shard struct {
 	values   [4][]int64 // by ValID
 }
 
-func (table4Acc) IDs() []string                { return []string{"T4"} }
-func (table4Acc) Needs() Collection            { return ColLabels }
-func (table4Acc) NewShard(*core.Dataset) Shard { return &table4Shard{} }
+func (table4Acc) IDs() []string         { return []string{"T4"} }
+func (table4Acc) Needs() Collection     { return ColLabels }
+func (table4Acc) NewShard(*World) Shard { return &table4Shard{} }
 
 func (s *table4Shard) Labels(c *LabelChunk) {
-	for len(s.kindMask) < len(c.Tables.URIs) {
+	for len(s.kindMask) < c.NumURIs {
 		s.kindMask = append(s.kindMask, 0)
 	}
 	for k := range s.values {
-		s.values[k] = growI64(s.values[k], len(c.Tables.Vals))
+		s.values[k] = growI64(s.values[k], c.NumVals)
 	}
 	for i := range c.Labels {
 		if c.Labels[i].Neg {
@@ -303,7 +307,7 @@ func (table4Acc) Merge(dst, src Shard, mc *MergeCtx) {
 	}
 }
 
-func (table4Acc) Render(_ *core.Dataset, sh Shard, t *LabelTables) []*Report {
+func (table4Acc) Render(_ *World, sh Shard, t *LabelTables) []*Report {
 	s := sh.(*table4Shard)
 	r := &Report{
 		ID:     "T4",
@@ -346,7 +350,7 @@ type figure4Shard struct {
 
 func (figure4Acc) IDs() []string     { return []string{"F4"} }
 func (figure4Acc) Needs() Collection { return ColLabels }
-func (figure4Acc) NewShard(*core.Dataset) Shard {
+func (figure4Acc) NewShard(*World) Shard {
 	return &figure4Shard{byMonth: make(map[int32]*[2]int, 32)}
 }
 
@@ -382,7 +386,7 @@ func (figure4Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	}
 }
 
-func (s *figure4Shard) months(ds *core.Dataset) []MonthlyLabels {
+func (s *figure4Shard) months(w *World) []MonthlyLabels {
 	idxs := make([]int32, 0, len(s.byMonth))
 	for idx := range s.byMonth {
 		idxs = append(idxs, idx)
@@ -395,7 +399,7 @@ func (s *figure4Shard) months(ds *core.Dataset) []MonthlyLabels {
 	}
 	for i := range months {
 		n := 0
-		for _, lb := range ds.Labelers {
+		for _, lb := range w.Labelers {
 			if !lb.Official && !lb.Announced.After(months[i].Month.AddDate(0, 1, -1)) {
 				n++
 			}
@@ -405,8 +409,8 @@ func (s *figure4Shard) months(ds *core.Dataset) []MonthlyLabels {
 	return months
 }
 
-func (figure4Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
-	return []*Report{renderFigure4(sh.(*figure4Shard).months(ds))}
+func (figure4Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{renderFigure4(sh.(*figure4Shard).months(w))}
 }
 
 // ---- Table 6 + Figure 5: shared reaction-time aggregation ----
@@ -431,8 +435,8 @@ type reactionShard struct {
 
 func (reactionAcc) IDs() []string     { return []string{"T6", "F5"} }
 func (reactionAcc) Needs() Collection { return ColLabels }
-func (reactionAcc) NewShard(ds *core.Dataset) Shard {
-	return &reactionShard{perLab: make([]labAgg, len(ds.Labelers))}
+func (reactionAcc) NewShard(w *World) Shard {
+	return &reactionShard{perLab: make([]labAgg, len(w.Labelers))}
 }
 
 func (s *reactionShard) Labels(c *LabelChunk) {
@@ -443,6 +447,9 @@ func (s *reactionShard) Labels(c *LabelChunk) {
 		}
 		var agg *labAgg
 		if m.LabelerIdx >= 0 {
+			for len(s.perLab) <= int(m.LabelerIdx) {
+				s.perLab = append(s.perLab, labAgg{}) // late-announced labeler
+			}
 			agg = &s.perLab[m.LabelerIdx]
 		} else {
 			agg = s.extra[m.LabelerIdx]
@@ -476,6 +483,9 @@ func mergeLabAgg(dst, src *labAgg, mc *MergeCtx) {
 func (reactionAcc) Merge(dst, src Shard, mc *MergeCtx) {
 	d, s := dst.(*reactionShard), src.(*reactionShard)
 	d.total += s.total
+	for len(d.perLab) < len(s.perLab) {
+		d.perLab = append(d.perLab, labAgg{})
+	}
 	for i := range s.perLab {
 		if s.perLab[i].total > 0 {
 			mergeLabAgg(&d.perLab[i], &s.perLab[i], mc)
@@ -506,7 +516,7 @@ func nearestRank(sorted []float64, q float64) float64 {
 // reactionRows builds the ReactionTimes rows plus each row's sorted
 // reaction-time sample (sorted once, reused for median/IQD/quartiles —
 // the legacy path re-sorted per quantile call).
-func (s *reactionShard) reactionRows(ds *core.Dataset, t *LabelTables) ([]ReactionRow, [][]float64) {
+func (s *reactionShard) reactionRows(w *World, t *LabelTables) ([]ReactionRow, [][]float64) {
 	type cand struct {
 		row ReactionRow
 		agg *labAgg
@@ -514,7 +524,7 @@ func (s *reactionShard) reactionRows(ds *core.Dataset, t *LabelTables) ([]Reacti
 	var cands []cand
 	for i := range s.perLab {
 		if s.perLab[i].total > 0 {
-			lb := ds.Labelers[i]
+			lb := w.Labelers[i]
 			cands = append(cands, cand{
 				row: ReactionRow{DID: lb.DID, Name: lb.Name, Official: lb.Official},
 				agg: &s.perLab[i],
@@ -561,8 +571,8 @@ func (s *reactionShard) reactionRows(ds *core.Dataset, t *LabelTables) ([]Reacti
 	return rows, samples
 }
 
-func (reactionAcc) Render(ds *core.Dataset, sh Shard, t *LabelTables) []*Report {
-	rows, samples := sh.(*reactionShard).reactionRows(ds, t)
+func (reactionAcc) Render(w *World, sh Shard, t *LabelTables) []*Report {
+	rows, samples := sh.(*reactionShard).reactionRows(w, t)
 	t6 := renderTable6(rows)
 	f5 := &Report{
 		ID:     "F5",
@@ -605,12 +615,12 @@ type figure6Shard struct {
 
 func (figure6Acc) IDs() []string     { return []string{"F6"} }
 func (figure6Acc) Needs() Collection { return ColLabels }
-func (figure6Acc) NewShard(*core.Dataset) Shard {
+func (figure6Acc) NewShard(*World) Shard {
 	return &figure6Shard{seen: make(map[int64]struct{}, 1024)}
 }
 
 func (s *figure6Shard) Labels(c *LabelChunk) {
-	for len(s.perVal) < len(c.Tables.Vals) {
+	for len(s.perVal) < c.NumVals {
 		s.perVal = append(s.perVal, valAgg{})
 	}
 	for i := range c.Labels {
@@ -678,6 +688,6 @@ func (s *figure6Shard) valueRows(t *LabelTables) []ValueReaction {
 	return out
 }
 
-func (figure6Acc) Render(_ *core.Dataset, sh Shard, t *LabelTables) []*Report {
+func (figure6Acc) Render(_ *World, sh Shard, t *LabelTables) []*Report {
 	return []*Report{renderFigure6(sh.(*figure6Shard).valueRows(t))}
 }

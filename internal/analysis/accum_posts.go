@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"blueskies/internal/core"
+)
+
+// The first ColPosts consumers: per-language post volume and alt-text
+// coverage (§4). Until these, no accumulator registered for the posts
+// stream, so the engine skipped the corpus' largest collection in both
+// batch and streaming runs.
+
+// langPostAgg is one language's post-stream aggregate.
+type langPostAgg struct {
+	posts   int64
+	media   int64
+	altText int64
+	likes   int64
+	reposts int64
+}
+
+type postLangAcc struct{}
+
+func newPostLangAcc() Accumulator { return postLangAcc{} }
+
+type postLangShard struct {
+	NopShard
+	byLang map[string]*langPostAgg
+}
+
+func (postLangAcc) IDs() []string     { return []string{"S4P"} }
+func (postLangAcc) Needs() Collection { return ColPosts }
+func (postLangAcc) NewShard(*World) Shard {
+	return &postLangShard{byLang: make(map[string]*langPostAgg, 16)}
+}
+
+func (s *postLangShard) Posts(ps []core.Post, _ int) {
+	for i := range ps {
+		p := &ps[i]
+		a := s.byLang[p.Lang]
+		if a == nil {
+			a = &langPostAgg{}
+			s.byLang[p.Lang] = a
+		}
+		a.posts++
+		a.likes += int64(p.Likes)
+		a.reposts += int64(p.Reposts)
+		if p.HasMedia {
+			a.media++
+			if p.AltText {
+				a.altText++
+			}
+		}
+	}
+}
+
+func (postLangAcc) Merge(dst, src Shard, _ *MergeCtx) {
+	d, s := dst.(*postLangShard), src.(*postLangShard)
+	for lang, a := range s.byLang {
+		da := d.byLang[lang]
+		if da == nil {
+			cp := *a
+			d.byLang[lang] = &cp
+			continue
+		}
+		da.posts += a.posts
+		da.media += a.media
+		da.altText += a.altText
+		da.likes += a.likes
+		da.reposts += a.reposts
+	}
+}
+
+func (postLangAcc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
+	s := sh.(*postLangShard)
+	langs := make([]string, 0, len(s.byLang))
+	var total, totalMedia, totalAlt int64
+	for lang, a := range s.byLang {
+		langs = append(langs, lang)
+		total += a.posts
+		totalMedia += a.media
+		totalAlt += a.altText
+	}
+	sort.Slice(langs, func(i, j int) bool {
+		a, b := s.byLang[langs[i]], s.byLang[langs[j]]
+		if a.posts != b.posts {
+			return a.posts > b.posts
+		}
+		return langs[i] < langs[j]
+	})
+	r := &Report{
+		ID:     "S4P",
+		Title:  "Posts by self-assigned language; media alt-text coverage",
+		Header: []string{"lang", "# posts", "share (%)", "# media", "alt-text (%)", "likes/post"},
+	}
+	for _, lang := range langs {
+		a := s.byLang[lang]
+		name := lang
+		if name == "" {
+			name = "(untagged)"
+		}
+		likesPerPost := "0.00"
+		if a.posts > 0 {
+			likesPerPost = fmt.Sprintf("%.2f", float64(a.likes)/float64(a.posts))
+		}
+		r.Rows = append(r.Rows, []string{
+			name, fmt.Sprint(a.posts), pct(a.posts, total),
+			fmt.Sprint(a.media), pct(a.altText, a.media), likesPerPost,
+		})
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("window posts: %d; with media: %s; media carrying alt text: %s (paper §4: most media lacks alt text)",
+			total, pct(totalMedia, total), pct(totalAlt, totalMedia)))
+	return []*Report{r}
+}
+
+// Section4Posts renders the per-language post volume and alt-text
+// coverage report.
+func Section4Posts(ds *core.Dataset) *Report { return runOne(ds, newPostLangAcc())[0] }
+
+// LangPostVolume is one language's post-stream summary.
+type LangPostVolume struct {
+	Lang    string
+	Posts   int64
+	Media   int64
+	AltText int64
+	Likes   int64
+	Reposts int64
+}
+
+// PostVolumes computes the per-language post volumes, ranked by post
+// count with a language tie-break.
+func PostVolumes(ds *core.Dataset) []LangPostVolume {
+	_, sh, _ := runOneShard(ds, newPostLangAcc())
+	s := sh.(*postLangShard)
+	out := make([]LangPostVolume, 0, len(s.byLang))
+	for lang, a := range s.byLang {
+		out = append(out, LangPostVolume{
+			Lang: lang, Posts: a.posts, Media: a.media, AltText: a.altText,
+			Likes: a.likes, Reposts: a.reposts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Posts != out[j].Posts {
+			return out[i].Posts > out[j].Posts
+		}
+		return out[i].Lang < out[j].Lang
+	})
+	return out
+}

@@ -24,9 +24,9 @@ type section4Shard struct {
 	posts, likes, reposts, follows, blocks int64
 }
 
-func (section4Acc) IDs() []string                { return []string{"S4"} }
-func (section4Acc) Needs() Collection            { return ColDays }
-func (section4Acc) NewShard(*core.Dataset) Shard { return &section4Shard{} }
+func (section4Acc) IDs() []string         { return []string{"S4"} }
+func (section4Acc) Needs() Collection     { return ColDays }
+func (section4Acc) NewShard(*World) Shard { return &section4Shard{} }
 
 func (s *section4Shard) Days(days []core.DayActivity, _ int) {
 	for i := range days {
@@ -47,25 +47,25 @@ func (section4Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	d.blocks += s.blocks
 }
 
-func (section4Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (section4Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
 	s := sh.(*section4Shard)
 	r := &Report{
 		ID:     "S4",
-		Title:  "Dataset totals (scaled 1:" + fmt.Sprint(ds.Scale) + ")",
+		Title:  "Dataset totals (scaled 1:" + fmt.Sprint(w.Scale) + ")",
 		Header: []string{"metric", "value"},
 	}
 	add := func(k string, v any) { r.Rows = append(r.Rows, []string{k, fmt.Sprint(v)}) }
-	add("users", len(ds.Users))
+	add("users", w.Users)
 	add("likes (accumulated ops)", s.likes)
 	add("posts (accumulated ops)", s.posts)
 	add("follows (accumulated ops)", s.follows)
 	add("reposts (accumulated ops)", s.reposts)
 	add("blocks (accumulated ops)", s.blocks)
-	add("firehose events", ds.Firehose.Total())
-	add("non-Bluesky lexicon events", ds.NonBskyEvents)
-	add("feed generators", len(ds.FeedGens))
-	add("labelers announced", len(ds.Labelers))
-	add("label interactions", len(ds.Labels))
+	add("firehose events", w.Firehose.Total())
+	add("non-Bluesky lexicon events", w.NonBskyEvents)
+	add("feed generators", w.FeedGens)
+	add("labelers announced", len(w.Labelers))
+	add("label interactions", w.Labels)
 	return []*Report{r}
 }
 
@@ -87,7 +87,7 @@ func (section5Acc) IDs() []string { return []string{"S5"} }
 func (section5Acc) Needs() Collection {
 	return ColUsers | ColDomains | ColHandleUpdates
 }
-func (section5Acc) NewShard(*core.Dataset) Shard {
+func (section5Acc) NewShard(*World) Shard {
 	return &section5Shard{dids: map[string]bool{}, final: map[string]string{}}
 }
 
@@ -144,9 +144,9 @@ func (section5Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	}
 }
 
-func (s *section5Shard) stats(ds *core.Dataset) IdentityStats {
+func (s *section5Shard) stats(w *World) IdentityStats {
 	var st IdentityStats
-	st.Users = len(ds.Users)
+	st.Users = w.Users
 	st.AltHandles = s.alt
 	st.DIDWeb = s.didWeb
 	st.BskySocialShare = float64(s.bsky) / float64(st.Users)
@@ -154,11 +154,11 @@ func (s *section5Shard) stats(ds *core.Dataset) IdentityStats {
 		st.TXTShare = float64(s.txt) / float64(s.txt+s.wk)
 		st.WellKnownShare = float64(s.wk) / float64(s.txt+s.wk)
 	}
-	st.RegisteredDoms = len(ds.Domains)
-	if len(ds.Domains) > 0 {
-		st.TrancoShare = float64(s.tranco) / float64(len(ds.Domains))
+	st.RegisteredDoms = w.Domains
+	if w.Domains > 0 {
+		st.TrancoShare = float64(s.tranco) / float64(w.Domains)
 	}
-	st.HandleUpdates = len(ds.HandleUpdates)
+	st.HandleUpdates = w.HandleUpdates
 	st.UpdatingDIDs = len(s.dids)
 	toBsky := 0
 	for _, h := range s.final {
@@ -172,8 +172,8 @@ func (s *section5Shard) stats(ds *core.Dataset) IdentityStats {
 	return st
 }
 
-func (section5Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
-	return []*Report{renderSection5(sh.(*section5Shard).stats(ds))}
+func (section5Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
+	return []*Report{renderSection5(sh.(*section5Shard).stats(w))}
 }
 
 // ---- Table 1: firehose event types (scalar fields only) ----
@@ -184,11 +184,11 @@ func newTable1Acc() Accumulator { return table1Acc{} }
 
 func (table1Acc) IDs() []string                 { return []string{"T1"} }
 func (table1Acc) Needs() Collection             { return 0 }
-func (table1Acc) NewShard(*core.Dataset) Shard  { return NopShard{} }
+func (table1Acc) NewShard(*World) Shard         { return NopShard{} }
 func (table1Acc) Merge(_, _ Shard, _ *MergeCtx) {}
 
-func (table1Acc) Render(ds *core.Dataset, _ Shard, _ *LabelTables) []*Report {
-	e := ds.Firehose
+func (table1Acc) Render(w *World, _ Shard, _ *LabelTables) []*Report {
+	e := w.Firehose
 	total := e.Total()
 	return []*Report{{
 		ID:     "T1",
@@ -217,7 +217,7 @@ type table2Shard struct {
 
 func (table2Acc) IDs() []string     { return []string{"T2"} }
 func (table2Acc) Needs() Collection { return ColDomains }
-func (table2Acc) NewShard(*core.Dataset) Shard {
+func (table2Acc) NewShard(*World) Shard {
 	return &table2Shard{counts: map[int]*RegistrarRow{}}
 }
 
@@ -267,7 +267,7 @@ func (s *table2Shard) rows() []RegistrarRow {
 	return rows
 }
 
-func (table2Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (table2Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	s := sh.(*table2Shard)
 	return []*Report{renderTable2(s.rows(), s.withID)}
 }
@@ -285,7 +285,7 @@ type table5Shard struct {
 
 func (table5Acc) IDs() []string     { return []string{"T5"} }
 func (table5Acc) Needs() Collection { return ColFeedGens }
-func (table5Acc) NewShard(*core.Dataset) Shard {
+func (table5Acc) NewShard(*World) Shard {
 	return &table5Shard{feeds: map[string]int{}}
 }
 
@@ -302,7 +302,7 @@ func (table5Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	}
 }
 
-func (table5Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (table5Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	return []*Report{renderTable5(sh.(*table5Shard).feeds)}
 }
 
@@ -318,9 +318,9 @@ type weeklyShard struct {
 	rows  [][]string
 }
 
-func (figure1Acc) IDs() []string                { return []string{"F1"} }
-func (figure1Acc) Needs() Collection            { return ColDays }
-func (figure1Acc) NewShard(*core.Dataset) Shard { return &weeklyShard{} }
+func (figure1Acc) IDs() []string         { return []string{"F1"} }
+func (figure1Acc) Needs() Collection     { return ColDays }
+func (figure1Acc) NewShard(*World) Shard { return &weeklyShard{} }
 
 func (s *weeklyShard) Days(days []core.DayActivity, base int) {
 	for i := range days {
@@ -351,7 +351,7 @@ func mergeWeekly(dst, src Shard) {
 
 func (figure1Acc) Merge(dst, src Shard, _ *MergeCtx) { mergeWeekly(dst, src) }
 
-func (figure1Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure1Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	return []*Report{{
 		ID:     "F1",
 		Title:  "Daily operation and active user counts (weekly samples)",
@@ -368,12 +368,12 @@ func newFigure2Acc() Accumulator { return figure2Acc{} }
 
 func (figure2Acc) IDs() []string     { return []string{"F2"} }
 func (figure2Acc) Needs() Collection { return ColDays }
-func (figure2Acc) NewShard(*core.Dataset) Shard {
+func (figure2Acc) NewShard(*World) Shard {
 	return &weeklyShard{langs: figure2Langs}
 }
 func (figure2Acc) Merge(dst, src Shard, _ *MergeCtx) { mergeWeekly(dst, src) }
 
-func (figure2Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure2Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	return []*Report{{
 		ID:     "F2",
 		Title:  "Active user counts of language communities (weekly samples)",
@@ -393,9 +393,9 @@ type figure3Shard struct {
 	doms []core.Domain
 }
 
-func (figure3Acc) IDs() []string                { return []string{"F3"} }
-func (figure3Acc) Needs() Collection            { return ColDomains }
-func (figure3Acc) NewShard(*core.Dataset) Shard { return &figure3Shard{} }
+func (figure3Acc) IDs() []string         { return []string{"F3"} }
+func (figure3Acc) Needs() Collection     { return ColDomains }
+func (figure3Acc) NewShard(*World) Shard { return &figure3Shard{} }
 
 func (s *figure3Shard) Domains(doms []core.Domain, _ int) {
 	s.doms = append(s.doms, doms...)
@@ -406,8 +406,10 @@ func (figure3Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	d.doms = append(d.doms, s.doms...)
 }
 
-func (figure3Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
-	doms := sh.(*figure3Shard).doms
+func (figure3Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
+	// Sort a copy: renders must leave shard state untouched so a
+	// streaming snapshot can render again after more records arrive.
+	doms := append([]core.Domain(nil), sh.(*figure3Shard).doms...)
 	sort.SliceStable(doms, func(i, j int) bool { return doms[i].Subdomains > doms[j].Subdomains })
 	r := &Report{
 		ID:     "F3",
@@ -456,9 +458,9 @@ type figure7Shard struct {
 	fgs []fgGrowth
 }
 
-func (figure7Acc) IDs() []string                { return []string{"F7"} }
-func (figure7Acc) Needs() Collection            { return ColFeedGens }
-func (figure7Acc) NewShard(*core.Dataset) Shard { return &figure7Shard{} }
+func (figure7Acc) IDs() []string         { return []string{"F7"} }
+func (figure7Acc) Needs() Collection     { return ColFeedGens }
+func (figure7Acc) NewShard(*World) Shard { return &figure7Shard{} }
 
 func (s *figure7Shard) FeedGens(fs []core.FeedGen, _ int) {
 	for i := range fs {
@@ -471,10 +473,11 @@ func (figure7Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	d.fgs = append(d.fgs, s.fgs...)
 }
 
-func (figure7Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
-	fgs := sh.(*figure7Shard).fgs
-	// Unlike the legacy scan, sort a projection rather than reordering
-	// ds.FeedGens in place — traversals must never mutate the dataset.
+func (figure7Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
+	// Sort a copy of the projection: the dataset must never be
+	// reordered by a traversal, and the shard must stay untouched so a
+	// streaming snapshot can render it again.
+	fgs := append([]fgGrowth(nil), sh.(*figure7Shard).fgs...)
 	sort.SliceStable(fgs, func(i, j int) bool { return fgs[i].created.Before(fgs[j].created) })
 	r := &Report{
 		ID:     "F7",
@@ -487,14 +490,14 @@ func (figure7Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
 	var cumFG, cumLikes, cumFollows int
 	seenCreator := map[int]bool{}
 	cursor := 0
-	for m := monthOf(fgs[0].created); !m.After(ds.WindowEnd); m = m.AddDate(0, 1, 0) {
+	for m := monthOf(fgs[0].created); !m.After(w.WindowEnd); m = m.AddDate(0, 1, 0) {
 		for cursor < len(fgs) && monthOf(fgs[cursor].created).Equal(m) {
 			fg := fgs[cursor]
 			cumFG++
 			cumLikes += fg.likes
 			if !seenCreator[fg.creatorIdx] {
 				seenCreator[fg.creatorIdx] = true
-				cumFollows += ds.Users[fg.creatorIdx].Followers
+				cumFollows += w.Followers(fg.creatorIdx)
 			}
 			cursor++
 		}
@@ -518,7 +521,7 @@ type figure8Shard struct {
 
 func (figure8Acc) IDs() []string     { return []string{"F8"} }
 func (figure8Acc) Needs() Collection { return ColFeedGens }
-func (figure8Acc) NewShard(*core.Dataset) Shard {
+func (figure8Acc) NewShard(*World) Shard {
 	return &figure8Shard{counts: map[string]int{}}
 }
 
@@ -540,7 +543,7 @@ func (figure8Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	}
 }
 
-func (figure8Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure8Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	r := &Report{
 		ID:     "F8",
 		Title:  "Most common words in feed generator descriptions",
@@ -566,7 +569,7 @@ type figure9Shard struct {
 
 func (figure9Acc) IDs() []string     { return []string{"F9"} }
 func (figure9Acc) Needs() Collection { return ColFeedGens }
-func (figure9Acc) NewShard(*core.Dataset) Shard {
+func (figure9Acc) NewShard(*World) Shard {
 	return &figure9Shard{counts: map[string]int{}}
 }
 
@@ -592,7 +595,7 @@ func (figure9Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	}
 }
 
-func (figure9Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure9Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
 	s := sh.(*figure9Shard)
 	r := &Report{
 		ID:     "F9",
@@ -604,7 +607,7 @@ func (figure9Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
 	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("feeds with any labeled content: %s; with ≥10%% labeled: %s",
-			pct(int64(s.some), int64(len(ds.FeedGens))), pct(int64(s.heavy), int64(len(ds.FeedGens)))))
+			pct(int64(s.some), int64(w.FeedGens)), pct(int64(s.heavy), int64(w.FeedGens))))
 	return []*Report{r}
 }
 
@@ -622,7 +625,7 @@ type figure10Shard struct {
 
 func (figure10Acc) IDs() []string     { return []string{"F10"} }
 func (figure10Acc) Needs() Collection { return ColFeedGens }
-func (figure10Acc) NewShard(*core.Dataset) Shard {
+func (figure10Acc) NewShard(*World) Shard {
 	return &figure10Shard{counts: map[[2]string]int{}}
 }
 
@@ -657,7 +660,7 @@ func (figure10Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	d.notes = append(d.notes, s.notes...)
 }
 
-func (figure10Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure10Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	s := sh.(*figure10Shard)
 	r := &Report{
 		ID:     "F10",
@@ -717,7 +720,7 @@ type figure11Shard struct {
 
 func (figure11Acc) IDs() []string     { return []string{"F11"} }
 func (figure11Acc) Needs() Collection { return ColUsers | ColFeedGens }
-func (figure11Acc) NewShard(*core.Dataset) Shard {
+func (figure11Acc) NewShard(*World) Shard {
 	return &figure11Shard{maxDeg: 1, creators: map[int]*creatorAgg{}}
 }
 
@@ -772,7 +775,7 @@ func (figure11Acc) Merge(dst, src Shard, _ *MergeCtx) {
 	}
 }
 
-func (s *figure11Shard) bins(ds *core.Dataset) []DegreeBin {
+func (s *figure11Shard) bins(w *World) []DegreeBin {
 	var bins []DegreeBin
 	for lo := 1; lo <= s.maxDeg; lo *= 4 {
 		bins = append(bins, DegreeBin{Lo: lo, Hi: lo*4 - 1})
@@ -782,7 +785,7 @@ func (s *figure11Shard) bins(ds *core.Dataset) []DegreeBin {
 		bins[b].OutCount = s.outBins[b]
 	}
 	for _, ci := range sortedCreatorIdxs(s.creators) {
-		if b := log4Bin(ds.Users[ci].Followers); b >= 0 {
+		if b := log4Bin(w.Followers(ci)); b >= 0 && b < len(bins) {
 			bins[b].InFGCreators++
 		}
 	}
@@ -798,9 +801,9 @@ func sortedCreatorIdxs(m map[int]*creatorAgg) []int {
 	return idxs
 }
 
-func (figure11Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure11Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
 	s := sh.(*figure11Shard)
-	bins := s.bins(ds)
+	bins := s.bins(w)
 	r := &Report{
 		ID:     "F11",
 		Title:  "Follow degree distributions; feed generator creators highlighted",
@@ -817,7 +820,7 @@ func (figure11Acc) Render(ds *core.Dataset, sh Shard, _ *LabelTables) []*Report 
 	for _, ci := range sortedCreatorIdxs(s.creators) {
 		a := s.creators[ci]
 		xs = append(xs, float64(a.likes))
-		ys = append(ys, float64(ds.Users[ci].Followers))
+		ys = append(ys, float64(w.Followers(ci)))
 		cs = append(cs, float64(a.count))
 	}
 	r.Notes = append(r.Notes,
@@ -840,7 +843,7 @@ type figure12Shard struct {
 
 func (figure12Acc) IDs() []string     { return []string{"F12"} }
 func (figure12Acc) Needs() Collection { return ColFeedGens }
-func (figure12Acc) NewShard(*core.Dataset) Shard {
+func (figure12Acc) NewShard(*World) Shard {
 	return &figure12Shard{agg: map[string]*ProviderShare{}}
 }
 
@@ -897,7 +900,7 @@ func (s *figure12Shard) shares() []ProviderShare {
 	return out
 }
 
-func (figure12Acc) Render(_ *core.Dataset, sh Shard, _ *LabelTables) []*Report {
+func (figure12Acc) Render(_ *World, sh Shard, _ *LabelTables) []*Report {
 	return []*Report{renderFigure12(sh.(*figure12Shard).shares())}
 }
 
@@ -909,11 +912,11 @@ func newDiscussionAcc() Accumulator { return discussionAcc{} }
 
 func (discussionAcc) IDs() []string                 { return []string{"S9"} }
 func (discussionAcc) Needs() Collection             { return 0 }
-func (discussionAcc) NewShard(*core.Dataset) Shard  { return NopShard{} }
+func (discussionAcc) NewShard(*World) Shard         { return NopShard{} }
 func (discussionAcc) Merge(_, _ Shard, _ *MergeCtx) {}
 
-func (discussionAcc) Render(ds *core.Dataset, _ Shard, _ *LabelTables) []*Report {
-	bw := EstimateFirehoseBandwidth(ds)
+func (discussionAcc) Render(w *World, _ Shard, _ *LabelTables) []*Report {
+	bw := estimateBandwidth(w.WindowStart, w.WindowEnd, w.Firehose, w.Scale)
 	r := &Report{
 		ID:     "S9",
 		Title:  "Discussion: firehose scalability estimate",

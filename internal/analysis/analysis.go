@@ -156,7 +156,7 @@ type RegistrarRow struct {
 
 // RegistrarConcentration computes Table 2's rows.
 func RegistrarConcentration(ds *core.Dataset) []RegistrarRow {
-	sh, _ := runOneShard(ds, newTable2Acc())
+	_, sh, _ := runOneShard(ds, newTable2Acc())
 	return sh.(*table2Shard).rows()
 }
 
@@ -199,8 +199,8 @@ type LabelerVolume struct {
 
 // CommunityTop returns community labelers ranked by labels applied.
 func CommunityTop(ds *core.Dataset) []LabelerVolume {
-	sh, _ := runOneShard(ds, newTable3Acc())
-	return communityTopFrom(ds, sh.(*table3Shard).counts)
+	_, sh, _ := runOneShard(ds, newTable3Acc())
+	return communityTopFrom(ds.Labelers, sh.(*table3Shard).counts)
 }
 
 // Table3 renders the top-5 community labelers.
@@ -277,8 +277,8 @@ type ReactionRow struct {
 // fresh posts (as the paper does: only posts first seen on the
 // firehose during the window).
 func ReactionTimes(ds *core.Dataset) []ReactionRow {
-	sh, t := runOneShard(ds, newReactionAcc())
-	rows, _ := sh.(*reactionShard).reactionRows(ds, t)
+	w, sh, t := runOneShard(ds, newReactionAcc())
+	rows, _ := sh.(*reactionShard).reactionRows(w, t)
 	return rows
 }
 
@@ -321,8 +321,8 @@ type IdentityStats struct {
 
 // Identity computes the §5 statistics.
 func Identity(ds *core.Dataset) IdentityStats {
-	sh, _ := runOneShard(ds, newSection5Acc())
-	return sh.(*section5Shard).stats(ds)
+	w, sh, _ := runOneShard(ds, newSection5Acc())
+	return sh.(*section5Shard).stats(w)
 }
 
 // Section5 renders the identity statistics.

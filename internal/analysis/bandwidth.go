@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"time"
+
 	"blueskies/internal/core"
 )
 
@@ -28,11 +30,14 @@ type FirehoseBandwidth struct {
 // EstimateFirehoseBandwidth computes the §9 scalability estimate from
 // the dataset's firehose counts and collection window.
 func EstimateFirehoseBandwidth(ds *core.Dataset) FirehoseBandwidth {
-	days := ds.WindowEnd.Sub(ds.WindowStart).Hours() / 24
+	return estimateBandwidth(ds.WindowStart, ds.WindowEnd, ds.Firehose, ds.Scale)
+}
+
+func estimateBandwidth(windowStart, windowEnd time.Time, e core.EventCounts, scale int) FirehoseBandwidth {
+	days := windowEnd.Sub(windowStart).Hours() / 24
 	if days <= 0 {
 		days = 1
 	}
-	e := ds.Firehose
 	totalBytes := float64(e.Commits)*bytesPerCommit +
 		float64(e.Identity)*bytesPerIdentity +
 		float64(e.Handle)*bytesPerHandle +
@@ -41,7 +46,7 @@ func EstimateFirehoseBandwidth(ds *core.Dataset) FirehoseBandwidth {
 		EventsPerDay: float64(e.Total()) / days,
 		BytesPerDay:  totalBytes / days,
 	}
-	bw.GBPerDayPaper = bw.BytesPerDay * float64(ds.Scale) / 1e9
+	bw.GBPerDayPaper = bw.BytesPerDay * float64(scale) / 1e9
 	return bw
 }
 

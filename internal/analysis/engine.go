@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
 	"blueskies/internal/core"
@@ -11,19 +9,24 @@ import (
 // This file implements the single-pass evaluation engine. The legacy
 // API computed every table and figure with its own full dataset scan
 // (~25 independent passes); the Engine registers one Accumulator per
-// report, shards the dataset traversal across workers, streams each
-// record block through every registered accumulator exactly once, and
-// merges shard-local state before rendering.
+// report, streams each record block of a Source through every
+// registered accumulator exactly once, and renders from the merged
+// state. Two Sources exist: DatasetSource shards a materialized
+// core.Dataset across workers (source.go), and StreamSource consumes a
+// live record stream and renders periodic snapshots (stream.go).
 //
-// Determinism contract: for a fixed dataset the engine produces
-// byte-identical reports at any worker count. Three rules make that
-// hold — shards cover contiguous index ranges and are merged in shard
-// order (so concatenated slice state equals a sequential scan), shard
-// state never sums floating point across records (integer counters
-// and ordered float slices only; float math happens once at render),
-// and every render sort carries a total tie-break.
+// Determinism contract: for a fixed corpus the engine produces
+// byte-identical reports at any worker count, from either source.
+// Three rules make that hold — dataset shards cover contiguous index
+// ranges and are merged in shard order (so concatenated slice state
+// equals a sequential scan), shard state never sums floating point
+// across records (integer counters and ordered float slices only;
+// float math happens once at render), and every render sort carries a
+// total tie-break. Streams add a fourth: each collection's records
+// arrive in dataset order, and each accumulator consumes its streams
+// sequentially, so stream state equals a one-worker scan.
 
-// Collection identifies one record stream of a Dataset traversal.
+// Collection identifies one record stream of a corpus traversal.
 // Accumulators declare the streams they consume via Needs; the engine
 // skips streams nobody registered for.
 type Collection uint8
@@ -39,12 +42,71 @@ const (
 	ColHandleUpdates
 )
 
+// World is the render-time corpus context shared by every accumulator:
+// the scalar dataset facts, the labeler population, and the per-user
+// follower degrees that the feed-generator reports join against.
+// Batch runs derive it from the materialized Dataset; streaming runs
+// grow it append-only as header and record blocks arrive (so a
+// snapshot sees a consistent prefix of the corpus).
+type World struct {
+	Scale                  int
+	WindowStart, WindowEnd time.Time
+	Firehose               core.EventCounts
+	NonBskyEvents          int64
+	// Labelers is the announced labeler population, in DID-index order.
+	// Streams may extend it append-only; labels must never precede
+	// their labeler's announcement.
+	Labelers []core.Labeler
+
+	// Record counts per collection (batch: dataset lengths; stream:
+	// records ingested so far).
+	Users, Posts, Days, Labels, FeedGens, Domains, HandleUpdates int
+
+	// users aliases the materialized dataset (batch); followers is the
+	// append-only streaming equivalent, holding only the degree column.
+	users     []core.User
+	followers []int32
+}
+
+// NewWorld derives the render context from a materialized dataset.
+func NewWorld(ds *core.Dataset) *World {
+	return &World{
+		Scale:         ds.Scale,
+		WindowStart:   ds.WindowStart,
+		WindowEnd:     ds.WindowEnd,
+		Firehose:      ds.Firehose,
+		NonBskyEvents: ds.NonBskyEvents,
+		Labelers:      ds.Labelers,
+		Users:         len(ds.Users),
+		Posts:         len(ds.Posts),
+		Days:          len(ds.Daily),
+		Labels:        len(ds.Labels),
+		FeedGens:      len(ds.FeedGens),
+		Domains:       len(ds.Domains),
+		HandleUpdates: len(ds.HandleUpdates),
+		users:         ds.Users,
+	}
+}
+
+// Followers reports the follower degree of user index i. A streaming
+// snapshot may render a feed-generator creator whose user record has
+// not arrived yet; those read as degree 0 until it does.
+func (w *World) Followers(i int) int {
+	if w.users != nil {
+		return w.users[i].Followers
+	}
+	if i < len(w.followers) {
+		return int(w.followers[i])
+	}
+	return 0
+}
+
 // LabelMeta carries per-label values the engine computes once per
 // record and shares across all label accumulators: interned ids for
 // the subject URI, the label value, and the source labeler, plus the
 // derived fields every consumer used to recompute.
 type LabelMeta struct {
-	// LabelerIdx indexes Dataset.Labelers. Sources not announced as
+	// LabelerIdx indexes World.Labelers. Sources not announced as
 	// labelers get stable negative ids (-2-k via LabelTables.ExtraSrcs)
 	// so distinct unknown DIDs stay distinguishable.
 	LabelerIdx int32
@@ -62,10 +124,11 @@ type LabelMeta struct {
 	RTSec float64
 }
 
-// LabelTables are the intern tables backing LabelMeta ids. Each worker
-// builds its own during traversal; the engine folds them into one
-// global table at merge time. First-occurrence order is preserved, so
-// the merged tables are identical to a sequential scan's.
+// LabelTables are the intern tables backing LabelMeta ids. Each batch
+// worker builds its own during traversal and the engine folds them
+// into one global table at merge time; a stream grows a single table
+// append-only. First-occurrence order is preserved either way, so the
+// merged tables are identical to a sequential scan's.
 type LabelTables struct {
 	URIs      []string
 	Vals      []string
@@ -117,19 +180,20 @@ func (t *LabelTables) internExtraSrc(s string) int32 {
 }
 
 // LabelChunk is one block of the label stream with its shared
-// per-record metadata. Meta[i] describes Labels[i]; ids reference
-// Tables, which belongs to the traversing worker and grows
-// monotonically across that worker's blocks.
+// per-record metadata. Meta[i] describes Labels[i]; NumURIs/NumVals
+// snapshot the feeding worker's intern-table sizes at dispatch time
+// (ids below those bounds are stable for the rest of the run).
 //
-// The chunk and its Meta slice are only valid for the duration of the
-// Shard.Labels call — the engine reuses the Meta buffer for the next
-// block. Accumulators that collect label data must copy what they
-// keep (ids are plain ints; copying them is the point).
+// In batch runs the chunk and its Meta slice are only valid for the
+// duration of the Shard.Labels call — the engine reuses the Meta
+// buffer for the next block. Accumulators that collect label data must
+// copy what they keep (ids are plain ints; copying them is the point).
 type LabelChunk struct {
-	Labels []core.Label
-	Meta   []LabelMeta
-	Tables *LabelTables
-	Base   int
+	Labels  []core.Label
+	Meta    []LabelMeta
+	NumURIs int
+	NumVals int
+	Base    int
 }
 
 // MergeCtx carries the id remappings for folding one worker's
@@ -158,8 +222,8 @@ type Shard interface {
 	Users(us []core.User, base int)
 	Posts(ps []core.Post, base int)
 	Days(days []core.DayActivity, base int)
-	// Labels must not retain c or c.Meta past the call: the engine
-	// reuses the metadata buffer for the next block (see LabelChunk).
+	// Labels must not retain c or c.Meta past the call: batch runs
+	// reuse the metadata buffer for the next block (see LabelChunk).
 	Labels(c *LabelChunk)
 	FeedGens(fs []core.FeedGen, base int)
 	Domains(doms []core.Domain, base int)
@@ -179,29 +243,33 @@ func (NopShard) Domains([]core.Domain, int)             {}
 func (NopShard) HandleUpdates([]core.HandleUpdate, int) {}
 
 // Accumulator computes one (occasionally several) of the paper's
-// reports from a streamed dataset traversal.
+// reports from a streamed corpus traversal.
 type Accumulator interface {
 	// IDs lists the report ids this accumulator renders, in render
 	// order (e.g. the shared reaction-time accumulator yields T6, F5).
 	IDs() []string
 	// Needs is the mask of collections this accumulator consumes.
 	Needs() Collection
-	// NewShard allocates worker-local state.
-	NewShard(ds *core.Dataset) Shard
+	// NewShard allocates worker-local state. Streaming worlds may not
+	// know their final population sizes yet, so shards presize from w
+	// but must tolerate later growth (labeler indexes in particular).
+	NewShard(w *World) Shard
 	// Merge folds src into dst. Shards are merged in worker order; mc
 	// is nil when the accumulator consumes no labels or when only one
 	// worker ran.
 	Merge(dst, src Shard, mc *MergeCtx)
 	// Render produces the reports from merged state. t holds the
-	// global label intern tables (nil without ColLabels).
-	Render(ds *core.Dataset, s Shard, t *LabelTables) []*Report
+	// global label intern tables (nil without ColLabels). Render must
+	// not mutate s: streaming snapshots render the same shard again as
+	// more records arrive.
+	Render(w *World, s Shard, t *LabelTables) []*Report
 }
 
 // blockSize bounds the records handed to each accumulator per call so
 // a block stays cache-resident while every accumulator visits it.
 const blockSize = 4096
 
-// Engine runs registered accumulators over a dataset in one sharded
+// Engine runs registered accumulators over a record source in one
 // traversal.
 type Engine struct {
 	accs    []Accumulator
@@ -211,196 +279,40 @@ type Engine struct {
 // NewEngine builds an engine over the given accumulators.
 func NewEngine(accs ...Accumulator) *Engine { return &Engine{accs: accs} }
 
-// Workers fixes the traversal worker count (0 = GOMAXPROCS).
+// Workers fixes the traversal worker count. 0 (the default) lets the
+// source autotune: dataset traversals pick from record counts (a small
+// corpus is cheaper to scan on one core than to merge across many),
+// streams from the accumulator count.
 func (e *Engine) Workers(n int) *Engine {
 	e.workers = n
 	return e
 }
 
-// Run traverses ds once and renders every registered accumulator's
-// reports, in registration order (flattening multi-report
-// accumulators in their render order).
+// RunSource traverses src once and renders every registered
+// accumulator's reports, in registration order (flattening
+// multi-report accumulators in their render order).
+func (e *Engine) RunSource(src Source) ([]*Report, error) {
+	world, merged, tables, err := src.Run(e.accs, e.workers, e.render)
+	if err != nil {
+		return nil, err
+	}
+	return e.render(world, merged, tables), nil
+}
+
+// Run traverses a materialized dataset (DatasetSource semantics).
 func (e *Engine) Run(ds *core.Dataset) []*Report {
-	w := e.workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	need := Collection(0)
-	for _, a := range e.accs {
-		need |= a.Needs()
-	}
-	var didIdx map[string]int32
-	if need&ColLabels != 0 {
-		didIdx = ds.LabelerIndex()
-	}
+	reports, _ := e.RunSource(NewDatasetSource(ds)) // DatasetSource cannot fail
+	return reports
+}
 
-	shards := make([][]Shard, len(e.accs)) // [acc][worker]
-	for ai, a := range e.accs {
-		shards[ai] = make([]Shard, w)
-		for wi := range shards[ai] {
-			shards[ai][wi] = a.NewShard(ds)
-		}
-	}
-	tables := make([]*LabelTables, w)
-
-	if w == 1 {
-		tables[0] = feedRange(ds, e.accs, shardCol(shards, 0), 0, 1, didIdx)
-	} else {
-		var wg sync.WaitGroup
-		for wi := 0; wi < w; wi++ {
-			wg.Add(1)
-			go func(wi int) {
-				defer wg.Done()
-				tables[wi] = feedRange(ds, e.accs, shardCol(shards, wi), wi, w, didIdx)
-			}(wi)
-		}
-		wg.Wait()
-	}
-
-	// Fold worker intern tables into the global id space. Worker 0's
-	// table is extended in place; first-occurrence order across the
-	// ordered workers matches a sequential scan exactly.
-	var gt *LabelTables
-	var mcs []*MergeCtx
-	if need&ColLabels != 0 {
-		gt = tables[0]
-		mcs = make([]*MergeCtx, w)
-		for wi := 1; wi < w; wi++ {
-			mcs[wi] = remapTables(gt, tables[wi])
-		}
-		for wi := 1; wi < w; wi++ {
-			mcs[wi].NumURIs = len(gt.URIs)
-			mcs[wi].NumVals = len(gt.Vals)
-		}
-	}
-
+// render produces all reports from merged per-accumulator state; it is
+// also the snapshot callback handed to sources.
+func (e *Engine) render(w *World, merged []Shard, t *LabelTables) []*Report {
 	out := make([]*Report, 0, len(e.accs))
 	for ai, a := range e.accs {
-		merged := shards[ai][0]
-		for wi := 1; wi < w; wi++ {
-			var mc *MergeCtx
-			if a.Needs()&ColLabels != 0 {
-				mc = mcs[wi]
-			}
-			a.Merge(merged, shards[ai][wi], mc)
-		}
-		out = append(out, a.Render(ds, merged, gt)...)
+		out = append(out, a.Render(w, merged[ai], t)...)
 	}
 	return out
-}
-
-func shardCol(shards [][]Shard, wi int) []Shard {
-	col := make([]Shard, len(shards))
-	for ai := range shards {
-		col[ai] = shards[ai][wi]
-	}
-	return col
-}
-
-func remapTables(dst, src *LabelTables) *MergeCtx {
-	mc := &MergeCtx{
-		URIRemap: make([]int32, len(src.URIs)),
-		ValRemap: make([]int32, len(src.Vals)),
-		SrcRemap: make([]int32, len(src.ExtraSrcs)),
-	}
-	for i, s := range src.URIs {
-		mc.URIRemap[i] = dst.internURI(s)
-	}
-	for i, s := range src.Vals {
-		mc.ValRemap[i] = dst.internVal(s)
-	}
-	for i, s := range src.ExtraSrcs {
-		mc.SrcRemap[i] = dst.internExtraSrc(s)
-	}
-	return mc
-}
-
-// cut returns worker wi's contiguous slice bounds over n records.
-func cut(n, wi, w int) (int, int) { return n * wi / w, n * (wi + 1) / w }
-
-// feedRange streams worker wi's share of every needed collection
-// through the given shards, block by block, and returns the worker's
-// label intern tables (nil when labels are not consumed).
-func feedRange(ds *core.Dataset, accs []Accumulator, shards []Shard, wi, w int, didIdx map[string]int32) *LabelTables {
-	need := Collection(0)
-	for _, a := range accs {
-		need |= a.Needs()
-	}
-	dispatch := func(col Collection, lo, hi int, f func(s Shard, lo, hi int)) {
-		for b := lo; b < hi; b += blockSize {
-			be := min(b+blockSize, hi)
-			for ai, a := range accs {
-				if a.Needs()&col != 0 {
-					f(shards[ai], b, be)
-				}
-			}
-		}
-	}
-	if need&ColUsers != 0 {
-		lo, hi := cut(len(ds.Users), wi, w)
-		dispatch(ColUsers, lo, hi, func(s Shard, b, e int) { s.Users(ds.Users[b:e], b) })
-	}
-	if need&ColPosts != 0 {
-		lo, hi := cut(len(ds.Posts), wi, w)
-		dispatch(ColPosts, lo, hi, func(s Shard, b, e int) { s.Posts(ds.Posts[b:e], b) })
-	}
-	if need&ColDays != 0 {
-		lo, hi := cut(len(ds.Daily), wi, w)
-		dispatch(ColDays, lo, hi, func(s Shard, b, e int) { s.Days(ds.Daily[b:e], b) })
-	}
-	var tables *LabelTables
-	if need&ColLabels != 0 {
-		tables = newLabelTables()
-		lo, hi := cut(len(ds.Labels), wi, w)
-		meta := make([]LabelMeta, 0, blockSize)
-		for b := lo; b < hi; b += blockSize {
-			be := min(b+blockSize, hi)
-			chunk := LabelChunk{Labels: ds.Labels[b:be], Tables: tables, Base: b}
-			chunk.Meta = buildLabelMeta(ds, chunk.Labels, meta[:0], tables, didIdx)
-			for ai, a := range accs {
-				if a.Needs()&ColLabels != 0 {
-					shards[ai].Labels(&chunk)
-				}
-			}
-		}
-	}
-	if need&ColFeedGens != 0 {
-		lo, hi := cut(len(ds.FeedGens), wi, w)
-		dispatch(ColFeedGens, lo, hi, func(s Shard, b, e int) { s.FeedGens(ds.FeedGens[b:e], b) })
-	}
-	if need&ColDomains != 0 {
-		lo, hi := cut(len(ds.Domains), wi, w)
-		dispatch(ColDomains, lo, hi, func(s Shard, b, e int) { s.Domains(ds.Domains[b:e], b) })
-	}
-	if need&ColHandleUpdates != 0 {
-		lo, hi := cut(len(ds.HandleUpdates), wi, w)
-		dispatch(ColHandleUpdates, lo, hi, func(s Shard, b, e int) { s.HandleUpdates(ds.HandleUpdates[b:e], b) })
-	}
-	return tables
-}
-
-// buildLabelMeta computes the shared per-label metadata for one block.
-func buildLabelMeta(ds *core.Dataset, ls []core.Label, meta []LabelMeta, t *LabelTables, didIdx map[string]int32) []LabelMeta {
-	for i := range ls {
-		l := &ls[i]
-		m := LabelMeta{
-			URIID:    t.internURI(l.URI),
-			ValID:    t.internVal(l.Val),
-			MonthIdx: int32(l.Applied.Year())*12 + int32(l.Applied.Month()) - 1,
-		}
-		if idx, ok := didIdx[l.Src]; ok {
-			m.LabelerIdx = idx
-			m.Official = ds.Labelers[idx].Official
-		} else {
-			m.LabelerIdx = t.internExtraSrc(l.Src)
-		}
-		if !l.Neg && l.FreshSubject && l.Kind == core.SubjectPost {
-			m.FreshPost = true
-			m.RTSec = l.ReactionTime().Seconds()
-		}
-		meta = append(meta, m)
-	}
-	return meta
 }
 
 // monthTime converts a LabelMeta.MonthIdx back to its month start.
@@ -411,31 +323,21 @@ func monthTime(idx int32) time.Time {
 // runOne runs a single accumulator sequentially over the whole
 // dataset — the execution mode behind the legacy per-table functions.
 func runOne(ds *core.Dataset, a Accumulator) []*Report {
-	sh := a.NewShard(ds)
-	var didIdx map[string]int32
-	if a.Needs()&ColLabels != 0 {
-		didIdx = ds.LabelerIndex()
-	}
-	t := feedRange(ds, []Accumulator{a}, []Shard{sh}, 0, 1, didIdx)
-	return a.Render(ds, sh, t)
+	reports, _ := NewEngine(a).Workers(1).RunSource(NewDatasetSource(ds))
+	return reports
 }
 
 // runOneShard is runOne without rendering, for the typed-row helpers
 // that need merged state rather than a Report.
-func runOneShard(ds *core.Dataset, a Accumulator) (Shard, *LabelTables) {
-	sh := a.NewShard(ds)
-	var didIdx map[string]int32
-	if a.Needs()&ColLabels != 0 {
-		didIdx = ds.LabelerIndex()
-	}
-	t := feedRange(ds, []Accumulator{a}, []Shard{sh}, 0, 1, didIdx)
-	return sh, t
+func runOneShard(ds *core.Dataset, a Accumulator) (*World, Shard, *LabelTables) {
+	w, merged, t, _ := NewDatasetSource(ds).Run([]Accumulator{a}, 1, nil)
+	return w, merged[0], t
 }
 
 // canonicalOrder is the report order of the paper's evaluation
 // (AllReports and RunAll emit it).
 var canonicalOrder = []string{
-	"S4", "S5", "S6", "S9",
+	"S4", "S4P", "S5", "S6", "S9",
 	"T1", "T2", "T3", "T4", "T5", "T6",
 	"F1", "F2", "F3", "F4", "F5", "F6",
 	"F7", "F8", "F9", "F10", "F11", "F12",
@@ -444,7 +346,7 @@ var canonicalOrder = []string{
 // NewFullEngine registers every accumulator of the paper's evaluation.
 func NewFullEngine() *Engine {
 	return NewEngine(
-		newSection4Acc(), newSection5Acc(), newSection6Acc(), newDiscussionAcc(),
+		newSection4Acc(), newPostLangAcc(), newSection5Acc(), newSection6Acc(), newDiscussionAcc(),
 		newTable1Acc(), newTable2Acc(), newTable3Acc(), newTable4Acc(), newTable5Acc(),
 		newReactionAcc(), // T6 + F5
 		newFigure1Acc(), newFigure2Acc(), newFigure3Acc(), newFigure4Acc(),
@@ -454,11 +356,21 @@ func NewFullEngine() *Engine {
 }
 
 // RunAll computes the full evaluation in one sharded pass with the
-// given worker count (0 = GOMAXPROCS) and returns the reports in
+// given worker count (0 = autotuned) and returns the reports in
 // canonical order. Output is byte-identical to AllReports at any
 // worker count.
 func RunAll(ds *core.Dataset, workers int) []*Report {
 	reports := NewFullEngine().Workers(workers).Run(ds)
+	return canonicalize(reports)
+}
+
+// Canonicalize reorders reports into the paper's canonical evaluation
+// order, dropping ids outside it. Engine runs return reports in
+// accumulator-registration order; RunAll and streaming consumers that
+// want the paper's ordering pass them through here.
+func Canonicalize(reports []*Report) []*Report { return canonicalize(reports) }
+
+func canonicalize(reports []*Report) []*Report {
 	byID := make(map[string]*Report, len(reports))
 	for _, r := range reports {
 		byID[r.ID] = r

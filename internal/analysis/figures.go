@@ -44,8 +44,8 @@ type MonthlyLabels struct {
 
 // LabelsBySource computes the Figure 4 series.
 func LabelsBySource(ds *core.Dataset) []MonthlyLabels {
-	sh, _ := runOneShard(ds, newFigure4Acc())
-	return sh.(*figure4Shard).months(ds)
+	w, sh, _ := runOneShard(ds, newFigure4Acc())
+	return sh.(*figure4Shard).months(w)
 }
 
 // Figure4 renders labels produced by source per month plus the
@@ -86,7 +86,7 @@ type ValueReaction struct {
 
 // ValueReactions computes the Figure 6 series.
 func ValueReactions(ds *core.Dataset) []ValueReaction {
-	sh, t := runOneShard(ds, newFigure6Acc())
+	_, sh, t := runOneShard(ds, newFigure6Acc())
 	return sh.(*figure6Shard).valueRows(t)
 }
 
@@ -152,8 +152,8 @@ type DegreeBin struct {
 
 // DegreeDistributions computes Figure 11's binned distributions.
 func DegreeDistributions(ds *core.Dataset) []DegreeBin {
-	sh, _ := runOneShard(ds, newFigure11Acc())
-	return sh.(*figure11Shard).bins(ds)
+	w, sh, _ := runOneShard(ds, newFigure11Acc())
+	return sh.(*figure11Shard).bins(w)
 }
 
 // Figure11 renders the degree distributions.
@@ -174,7 +174,7 @@ type ProviderShare struct {
 
 // ProviderShares computes Figure 12's platform shares.
 func ProviderShares(ds *core.Dataset) []ProviderShare {
-	sh, _ := runOneShard(ds, newFigure12Acc())
+	_, sh, _ := runOneShard(ds, newFigure12Acc())
 	return sh.(*figure12Shard).shares()
 }
 
@@ -210,7 +210,7 @@ func Table5(ds *core.Dataset) *Report { return runOne(ds, newTable5Acc())[0] }
 // the single-pass RunAll is benchmarked against.
 func AllReports(ds *core.Dataset) []*Report {
 	return []*Report{
-		Section4(ds), Section5(ds), Section6(ds), Discussion(ds),
+		Section4(ds), Section4Posts(ds), Section5(ds), Section6(ds), Discussion(ds),
 		Table1(ds), Table2(ds), Table3(ds), Table4(ds), Table5(ds), Table6(ds),
 		Figure1(ds), Figure2(ds), Figure3(ds), Figure4(ds), Figure5(ds), Figure6(ds),
 		Figure7(ds), Figure8(ds), Figure9(ds), Figure10(ds), Figure11(ds), Figure12(ds),

@@ -26,7 +26,7 @@ type LabelValueStats struct {
 
 // LabelValues computes the §6.2 statistics.
 func LabelValues(ds *core.Dataset) LabelValueStats {
-	sh, t := runOneShard(ds, newSection6Acc())
+	_, sh, t := runOneShard(ds, newSection6Acc())
 	return sh.(*section6Shard).stats(t)
 }
 
@@ -40,9 +40,11 @@ type HostingMix struct {
 }
 
 // LabelerHosting computes the hosting classification counts.
-func LabelerHosting(ds *core.Dataset) HostingMix {
+func LabelerHosting(ds *core.Dataset) HostingMix { return labelerHosting(ds.Labelers) }
+
+func labelerHosting(labelers []core.Labeler) HostingMix {
 	var m HostingMix
-	for _, lb := range ds.Labelers {
+	for _, lb := range labelers {
 		switch lb.Hosting {
 		case "cloud":
 			m.Cloud++
@@ -58,9 +60,9 @@ func LabelerHosting(ds *core.Dataset) HostingMix {
 // Section6 renders the §6 label/labeler bookkeeping.
 func Section6(ds *core.Dataset) *Report { return runOne(ds, newSection6Acc())[0] }
 
-func renderSection6(ds *core.Dataset, st LabelValueStats) *Report {
-	hm := LabelerHosting(ds)
-	total := len(ds.Labelers)
+func renderSection6(labelers []core.Labeler, st LabelValueStats) *Report {
+	hm := labelerHosting(labelers)
+	total := len(labelers)
 	r := &Report{
 		ID:     "S6",
 		Title:  "Content moderation bookkeeping",

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"blueskies/internal/core"
+)
+
+// StreamSource feeds the engine's accumulators from a live record
+// stream — the Collector's multiplexed firehose/labeler subscriptions
+// or a replayed sequencer backlog — instead of a materialized dataset.
+// Only the accumulator state, the append-only intern tables, and the
+// World's scalar facts are retained; record blocks are dropped as soon
+// as every accumulator has seen them, so memory never holds a second
+// copy of the corpus.
+//
+// Concurrency model: a batch run parallelizes over data (contiguous
+// index ranges per worker); a stream cannot, because record ranges are
+// only discovered as they arrive. StreamSource parallelizes over
+// accumulators instead: the registered accumulators are partitioned
+// into worker groups, each group consumes the block sequence in order
+// on its own goroutine, and the feeder interns label metadata once
+// before fan-out. Every accumulator therefore sees exactly the
+// one-worker batch traversal of its collections, which is what makes
+// the final snapshot byte-identical to RunAll at any worker count.
+//
+// Snapshot semantics: snapshots are stop-the-world — the feeder sends
+// a barrier through every group channel, waits until all in-flight
+// blocks are consumed, renders from the quiescent state, and resumes.
+// Renders never mutate shard state, and the intern tables and DID
+// index only grow, so a snapshot is a consistent prefix of the stream.
+type StreamSource struct {
+	// Blocks is the record stream; closing it ends the run.
+	Blocks <-chan core.RecordBlock
+	// SnapshotEvery renders a full report snapshot each time this many
+	// records have arrived since the last one (0 = final only).
+	SnapshotEvery int
+	// OnSnapshot receives each mid-run snapshot with the total record
+	// count so far. The final state is returned by the engine, not
+	// delivered here.
+	OnSnapshot func(records int, reports []*Report)
+}
+
+// streamItem is one unit of group work: a feed closure tagged with its
+// collection, or a barrier token.
+type streamItem struct {
+	col     Collection
+	feed    func(s Shard)
+	barrier *sync.WaitGroup
+}
+
+// Run implements Source. workers ≤ 0 autotunes to
+// min(GOMAXPROCS, #accumulators).
+func (src *StreamSource) Run(accs []Accumulator, workers int, render RenderFunc) (*World, []Shard, *LabelTables, error) {
+	need := Collection(0)
+	for _, a := range accs {
+		need |= a.Needs()
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(accs) {
+		w = len(accs)
+	}
+	if w < 1 {
+		w = 1
+	}
+
+	world := &World{followers: make([]int32, 0, 1024)}
+	didIdx := make(map[string]int32)
+	var tables *LabelTables
+	if need&ColLabels != 0 {
+		tables = newLabelTables()
+	}
+
+	// Partition accumulators round-robin into worker groups; compute
+	// each group's need mask so whole groups skip irrelevant blocks.
+	groups := make([][]int, w) // group → acc indexes
+	groupNeed := make([]Collection, w)
+	for ai, a := range accs {
+		g := ai % w
+		groups[g] = append(groups[g], ai)
+		groupNeed[g] |= a.Needs()
+	}
+
+	var shards []Shard // allocated once the first block (header) arrives
+	chans := make([]chan streamItem, w)
+	var done sync.WaitGroup
+	startGroups := func() {
+		for g := 0; g < w; g++ {
+			chans[g] = make(chan streamItem, 64)
+			done.Add(1)
+			go func(g int) {
+				defer done.Done()
+				for it := range chans[g] {
+					if it.barrier != nil {
+						it.barrier.Done()
+						continue
+					}
+					for _, ai := range groups[g] {
+						if accs[ai].Needs()&it.col != 0 {
+							it.feed(shards[ai])
+						}
+					}
+				}
+			}(g)
+		}
+	}
+	dispatch := func(col Collection, feed func(s Shard)) {
+		for g := 0; g < w; g++ {
+			if groupNeed[g]&col != 0 {
+				chans[g] <- streamItem{col: col, feed: feed}
+			}
+		}
+	}
+	// flush barriers every group: when it returns, all dispatched
+	// blocks have been consumed and shard state is quiescent.
+	flush := func() {
+		if shards == nil {
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			chans[g] <- streamItem{barrier: &wg}
+		}
+		wg.Wait()
+	}
+
+	records, sinceSnap := 0, 0
+	for b := range src.Blocks {
+		// Corpus facts first: shard allocation and label enrichment
+		// both read the world, and labeler announcements must precede
+		// the labels that reference them.
+		if b.Header != nil {
+			world.Scale = b.Header.Scale
+			world.WindowStart = b.Header.WindowStart
+			world.WindowEnd = b.Header.WindowEnd
+			world.Firehose = b.Header.Firehose
+			world.NonBskyEvents = b.Header.NonBskyEvents
+		}
+		for _, lb := range b.Labelers {
+			didIdx[lb.DID] = int32(len(world.Labelers))
+			world.Labelers = append(world.Labelers, lb)
+		}
+		world.Firehose.Commits += b.Events.Commits
+		world.Firehose.Identity += b.Events.Identity
+		world.Firehose.Handle += b.Events.Handle
+		world.Firehose.Tombstone += b.Events.Tombstone
+		if b.Len() == 0 {
+			continue
+		}
+		if shards == nil {
+			shards = make([]Shard, len(accs))
+			for ai, a := range accs {
+				shards[ai] = a.NewShard(world)
+			}
+			startGroups()
+		}
+		if us := b.Users; len(us) > 0 {
+			base := world.Users
+			world.Users += len(us)
+			for i := range us {
+				world.followers = append(world.followers, int32(us[i].Followers))
+			}
+			if need&ColUsers != 0 {
+				dispatch(ColUsers, func(s Shard) { s.Users(us, base) })
+			}
+		}
+		if ps := b.Posts; len(ps) > 0 {
+			base := world.Posts
+			world.Posts += len(ps)
+			if need&ColPosts != 0 {
+				dispatch(ColPosts, func(s Shard) { s.Posts(ps, base) })
+			}
+		}
+		if days := b.Days; len(days) > 0 {
+			base := world.Days
+			world.Days += len(days)
+			if need&ColDays != 0 {
+				dispatch(ColDays, func(s Shard) { s.Days(days, base) })
+			}
+		}
+		if ls := b.Labels; len(ls) > 0 {
+			base := world.Labels
+			world.Labels += len(ls)
+			if need&ColLabels != 0 {
+				// Enrich once in the feeder; groups share the chunk
+				// read-only. Unlike the batch path the Meta buffer is
+				// per-block, since groups consume asynchronously.
+				chunk := &LabelChunk{Labels: ls, Base: base}
+				chunk.Meta = buildLabelMeta(world.Labelers, ls, nil, tables, didIdx)
+				chunk.NumURIs = len(tables.URIs)
+				chunk.NumVals = len(tables.Vals)
+				dispatch(ColLabels, func(s Shard) { s.Labels(chunk) })
+			}
+		}
+		if fs := b.FeedGens; len(fs) > 0 {
+			base := world.FeedGens
+			world.FeedGens += len(fs)
+			if need&ColFeedGens != 0 {
+				dispatch(ColFeedGens, func(s Shard) { s.FeedGens(fs, base) })
+			}
+		}
+		if doms := b.Domains; len(doms) > 0 {
+			base := world.Domains
+			world.Domains += len(doms)
+			if need&ColDomains != 0 {
+				dispatch(ColDomains, func(s Shard) { s.Domains(doms, base) })
+			}
+		}
+		if hus := b.HandleUpdates; len(hus) > 0 {
+			base := world.HandleUpdates
+			world.HandleUpdates += len(hus)
+			if need&ColHandleUpdates != 0 {
+				dispatch(ColHandleUpdates, func(s Shard) { s.HandleUpdates(hus, base) })
+			}
+		}
+
+		n := b.Len()
+		records += n
+		sinceSnap += n
+		if src.SnapshotEvery > 0 && sinceSnap >= src.SnapshotEvery && render != nil && src.OnSnapshot != nil {
+			flush()
+			src.OnSnapshot(records, render(world, shards, tables))
+			sinceSnap = 0
+		}
+	}
+
+	if shards == nil {
+		// Empty stream: allocate zero-state shards so render works.
+		shards = make([]Shard, len(accs))
+		for ai, a := range accs {
+			shards[ai] = a.NewShard(world)
+		}
+	} else {
+		flush()
+		for g := 0; g < w; g++ {
+			close(chans[g])
+		}
+		done.Wait()
+	}
+	return world, shards, tables, nil
+}

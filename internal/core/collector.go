@@ -3,10 +3,13 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"blueskies/internal/dnssim"
@@ -140,6 +143,106 @@ func (c *Collector) CollectLabels(expected int, timeout time.Duration) ([]events
 		sub.Close()
 	}
 	return out, nil
+}
+
+// Stream subscribes to the relay firehose and every configured labeler
+// stream (cursor 0, i.e. full backfill then live) and multiplexes the
+// decoded record blocks into one channel — the streaming counterpart
+// of Snapshot. Mirroring the paper's methodology (labelers are
+// enumerated before their streams are consumed), labeler subscriptions
+// only start after the firehose delivers its first block, so a
+// replayed corpus header announces the labeler population before any
+// label references it. Each subscription runs until its end-of-stream
+// marker (replayed corpora), a terminal read error, or ctx
+// cancellation; the block channel closes when every subscription has
+// ended. Errors are reported on the second channel (buffered; read
+// after the block channel closes). Records of one collection preserve
+// their stream order; collections from different subscriptions
+// interleave arbitrarily, which the analysis accumulators tolerate by
+// design.
+func (c *Collector) Stream(ctx context.Context) (<-chan RecordBlock, <-chan error) {
+	out := make(chan RecordBlock, 8)
+	errs := make(chan error, 1+len(c.LabelerURLs))
+	gate := newStreamGate()
+	var wg sync.WaitGroup
+	consume := func(base, nsid string, primary bool) {
+		defer wg.Done()
+		if primary {
+			// Abort (not open) on a primary that never delivers: the
+			// labeler consumers must not run on a stream whose labelers
+			// were never enumerated.
+			defer gate.abort()
+		} else {
+			if !gate.wait(ctx) {
+				return
+			}
+		}
+		sub, err := events.Subscribe(base, nsid, 0)
+		if err != nil {
+			// Mirror CollectLabels: an unreachable labeler is data,
+			// not a stream-fatal error.
+			if !primary {
+				return
+			}
+			errs <- err
+			return
+		}
+		defer sub.Close()
+		var lastSeq int64
+		for ctx.Err() == nil {
+			ev, err := sub.NextTimeout(250 * time.Millisecond)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue // idle stream; re-check ctx
+				}
+				errs <- err
+				return
+			}
+			// Silent sequence gaps (frames the server dropped past a
+			// slow subscriber) would thin the corpus undetectably.
+			if s := events.Seq(ev); s >= 0 {
+				if s <= lastSeq {
+					continue
+				}
+				if lastSeq > 0 && s > lastSeq+1 {
+					errs <- fmt.Errorf("core: %s stream lost %d frames (seq %d → %d)", nsid, s-lastSeq-1, lastSeq, s)
+					return
+				}
+				lastSeq = s
+			}
+			block, eof, err := DecodeStreamEvent(ev)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if eof {
+				return
+			}
+			if block == nil {
+				continue
+			}
+			select {
+			case out <- *block:
+				if primary {
+					gate.open()
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+	wg.Add(1 + len(c.LabelerURLs))
+	go consume(c.RelayURL, "com.atproto.sync.subscribeRepos", true)
+	for _, u := range c.LabelerURLs {
+		go consume(u, "com.atproto.label.subscribeLabels", false)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+		close(errs)
+	}()
+	return out, errs
 }
 
 // FeedGeneratorView is the AppView's getFeedGenerator response.

@@ -1,0 +1,622 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"blueskies/internal/cbor"
+	"blueskies/internal/events"
+)
+
+// This file defines the record-stream side of the dataset model: the
+// RecordBlock unit that streaming consumers (the analysis engine's
+// StreamSource) ingest, the wire codec that carries dataset records
+// over sequencer frames, and the taps that turn live event streams
+// into block channels. Batch producers materialize a Dataset; stream
+// producers emit the same records as bounded blocks so a consumer
+// never has to hold the corpus in memory.
+
+// RecordBlock is one bounded batch of measurement records, the unit a
+// streaming analysis consumes. Any subset of the fields may be set;
+// records of each collection arrive in their canonical dataset order.
+type RecordBlock struct {
+	// Header carries the corpus-level facts; producers send it before
+	// any records.
+	Header *StreamHeader
+	// Labelers extends the labeler population append-only. Producers
+	// must announce a labeler before its first label so the stream's
+	// DID index assigns the same indexes a batch traversal would.
+	Labelers []Labeler
+
+	Users         []User
+	Posts         []Post
+	Days          []DayActivity
+	Labels        []Label
+	FeedGens      []FeedGen
+	Domains       []Domain
+	HandleUpdates []HandleUpdate
+
+	// Events counts raw firehose frames observed alongside the block
+	// (live collection only; replays carry totals in the header).
+	Events EventCounts
+}
+
+// Len returns the number of records in the block (header and labeler
+// announcements excluded).
+func (b *RecordBlock) Len() int {
+	return len(b.Users) + len(b.Posts) + len(b.Days) + len(b.Labels) +
+		len(b.FeedGens) + len(b.Domains) + len(b.HandleUpdates)
+}
+
+// StreamHeader is the corpus-level metadata of a record stream — the
+// scalar facts a batch run reads off the materialized Dataset.
+type StreamHeader struct {
+	Scale                  int
+	WindowStart, WindowEnd time.Time
+	Firehose               EventCounts
+	NonBskyEvents          int64
+}
+
+// ---- wire structs ----
+//
+// Timestamps travel as UnixNano so replayed records round-trip
+// losslessly (the protocol's millisecond strings would truncate the
+// sub-second reaction times of §6). Zero times encode as 0.
+
+func nsOf(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func timeOf(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+type wireUser struct {
+	DID       string `cbor:"did"`
+	Handle    string `cbor:"handle,omitempty"`
+	DIDMethod string `cbor:"method,omitempty"`
+	PDS       string `cbor:"pds,omitempty"`
+	Proof     string `cbor:"proof,omitempty"`
+	CreatedNS int64  `cbor:"created,omitempty"`
+	Lang      string `cbor:"lang,omitempty"`
+	Followers int    `cbor:"followers,omitempty"`
+	Following int    `cbor:"following,omitempty"`
+	Posts     int    `cbor:"posts,omitempty"`
+	Likes     int    `cbor:"likes,omitempty"`
+	Reposts   int    `cbor:"reposts,omitempty"`
+	Blocks    int    `cbor:"blocks,omitempty"`
+	Deleted   bool   `cbor:"deleted,omitempty"`
+}
+
+type wirePost struct {
+	URI       string `cbor:"uri"`
+	AuthorIdx int    `cbor:"author,omitempty"`
+	Lang      string `cbor:"lang,omitempty"`
+	CreatedNS int64  `cbor:"created,omitempty"`
+	Likes     int    `cbor:"likes,omitempty"`
+	Reposts   int    `cbor:"reposts,omitempty"`
+	HasMedia  bool   `cbor:"media,omitempty"`
+	AltText   bool   `cbor:"alt,omitempty"`
+}
+
+type wireDay struct {
+	DateNS       int64          `cbor:"date"`
+	ActiveUsers  int            `cbor:"active,omitempty"`
+	Posts        int            `cbor:"posts,omitempty"`
+	Likes        int            `cbor:"likes,omitempty"`
+	Reposts      int            `cbor:"reposts,omitempty"`
+	Follows      int            `cbor:"follows,omitempty"`
+	Blocks       int            `cbor:"blocks,omitempty"`
+	ActiveByLang map[string]int `cbor:"byLang,omitempty"`
+}
+
+type wireFeedGen struct {
+	URI          string  `cbor:"uri"`
+	CreatorIdx   int     `cbor:"creator,omitempty"`
+	Platform     string  `cbor:"platform,omitempty"`
+	DisplayName  string  `cbor:"name,omitempty"`
+	Description  string  `cbor:"desc,omitempty"`
+	Lang         string  `cbor:"lang,omitempty"`
+	CreatedNS    int64   `cbor:"created,omitempty"`
+	Likes        int     `cbor:"likes,omitempty"`
+	Posts        int     `cbor:"posts,omitempty"`
+	LastPostNS   int64   `cbor:"lastPost,omitempty"`
+	Reachable    bool    `cbor:"reachable,omitempty"`
+	Personalized bool    `cbor:"personalized,omitempty"`
+	LabeledShare float64 `cbor:"labeledShare,omitempty"`
+	TopLabel     string  `cbor:"topLabel,omitempty"`
+}
+
+type wireDomain struct {
+	Name          string `cbor:"name"`
+	IANAID        int    `cbor:"ianaID,omitempty"`
+	RegistrarName string `cbor:"registrar,omitempty"`
+	CCTLD         bool   `cbor:"ccTLD,omitempty"`
+	TrancoRank    int    `cbor:"tranco,omitempty"`
+	Subdomains    int    `cbor:"subdomains,omitempty"`
+}
+
+type wireHandleUpdate struct {
+	DID       string `cbor:"did"`
+	NewHandle string `cbor:"handle,omitempty"`
+	TimeNS    int64  `cbor:"time,omitempty"`
+}
+
+type wireLabeler struct {
+	DID         string   `cbor:"did"`
+	Name        string   `cbor:"name,omitempty"`
+	Official    bool     `cbor:"official,omitempty"`
+	Values      []string `cbor:"values,omitempty"`
+	AnnouncedNS int64    `cbor:"announced,omitempty"`
+	Functional  bool     `cbor:"functional,omitempty"`
+	Active      bool     `cbor:"active,omitempty"`
+	Hosting     string   `cbor:"hosting,omitempty"`
+	Automated   bool     `cbor:"automated,omitempty"`
+	Likes       int      `cbor:"likes,omitempty"`
+	Operator    string   `cbor:"operator,omitempty"`
+	About       string   `cbor:"about,omitempty"`
+}
+
+type wireHeader struct {
+	Scale         int   `cbor:"scale,omitempty"`
+	WindowStartNS int64 `cbor:"windowStart,omitempty"`
+	WindowEndNS   int64 `cbor:"windowEnd,omitempty"`
+	Commits       int64 `cbor:"commits,omitempty"`
+	Identity      int64 `cbor:"identity,omitempty"`
+	Handle        int64 `cbor:"handle,omitempty"`
+	Tombstone     int64 `cbor:"tombstone,omitempty"`
+	NonBskyEvents int64 `cbor:"nonBsky,omitempty"`
+}
+
+// wireBlock is the #sim.block body: one RecordBlock minus labels,
+// which travel on the protocol's own labeler stream frames.
+type wireBlock struct {
+	Header        *wireHeader        `cbor:"header,omitempty"`
+	Labelers      []wireLabeler      `cbor:"labelers,omitempty"`
+	Users         []wireUser         `cbor:"users,omitempty"`
+	Posts         []wirePost         `cbor:"posts,omitempty"`
+	Days          []wireDay          `cbor:"days,omitempty"`
+	FeedGens      []wireFeedGen      `cbor:"feedGens,omitempty"`
+	Domains       []wireDomain       `cbor:"domains,omitempty"`
+	HandleUpdates []wireHandleUpdate `cbor:"handleUpdates,omitempty"`
+}
+
+const (
+	simKindBlock = "block"
+	simKindEOF   = "eof"
+)
+
+// BlockEvent encodes a RecordBlock (labels excluded — see LabelsEvent)
+// as a #sim.block event. The sequencer assigns Seq at emit time.
+func BlockEvent(b *RecordBlock) (*events.Sim, error) {
+	if len(b.Labels) > 0 {
+		return nil, fmt.Errorf("core: labels travel on labeler stream frames, not sim blocks")
+	}
+	wb := wireBlock{
+		Labelers:      make([]wireLabeler, 0, len(b.Labelers)),
+		Users:         make([]wireUser, 0, len(b.Users)),
+		Posts:         make([]wirePost, 0, len(b.Posts)),
+		Days:          make([]wireDay, 0, len(b.Days)),
+		FeedGens:      make([]wireFeedGen, 0, len(b.FeedGens)),
+		Domains:       make([]wireDomain, 0, len(b.Domains)),
+		HandleUpdates: make([]wireHandleUpdate, 0, len(b.HandleUpdates)),
+	}
+	if h := b.Header; h != nil {
+		wb.Header = &wireHeader{
+			Scale:         h.Scale,
+			WindowStartNS: nsOf(h.WindowStart),
+			WindowEndNS:   nsOf(h.WindowEnd),
+			Commits:       h.Firehose.Commits,
+			Identity:      h.Firehose.Identity,
+			Handle:        h.Firehose.Handle,
+			Tombstone:     h.Firehose.Tombstone,
+			NonBskyEvents: h.NonBskyEvents,
+		}
+	}
+	for _, l := range b.Labelers {
+		wb.Labelers = append(wb.Labelers, wireLabeler{
+			DID: l.DID, Name: l.Name, Official: l.Official, Values: l.Values,
+			AnnouncedNS: nsOf(l.Announced), Functional: l.Functional, Active: l.Active,
+			Hosting: l.Hosting, Automated: l.Automated, Likes: l.Likes,
+			Operator: l.Operator, About: l.About,
+		})
+	}
+	for _, u := range b.Users {
+		wb.Users = append(wb.Users, wireUser{
+			DID: u.DID, Handle: u.Handle, DIDMethod: u.DIDMethod, PDS: u.PDS,
+			Proof: string(u.Proof), CreatedNS: nsOf(u.CreatedAt), Lang: u.Lang,
+			Followers: u.Followers, Following: u.Following, Posts: u.Posts,
+			Likes: u.Likes, Reposts: u.Reposts, Blocks: u.Blocks, Deleted: u.Deleted,
+		})
+	}
+	for _, p := range b.Posts {
+		wb.Posts = append(wb.Posts, wirePost{
+			URI: p.URI, AuthorIdx: p.AuthorIdx, Lang: p.Lang, CreatedNS: nsOf(p.CreatedAt),
+			Likes: p.Likes, Reposts: p.Reposts, HasMedia: p.HasMedia, AltText: p.AltText,
+		})
+	}
+	for _, d := range b.Days {
+		wb.Days = append(wb.Days, wireDay{
+			DateNS: nsOf(d.Date), ActiveUsers: d.ActiveUsers, Posts: d.Posts,
+			Likes: d.Likes, Reposts: d.Reposts, Follows: d.Follows, Blocks: d.Blocks,
+			ActiveByLang: d.ActiveByLang,
+		})
+	}
+	for _, fg := range b.FeedGens {
+		wb.FeedGens = append(wb.FeedGens, wireFeedGen{
+			URI: fg.URI, CreatorIdx: fg.CreatorIdx, Platform: fg.Platform,
+			DisplayName: fg.DisplayName, Description: fg.Description, Lang: fg.Lang,
+			CreatedNS: nsOf(fg.CreatedAt), Likes: fg.Likes, Posts: fg.Posts,
+			LastPostNS: nsOf(fg.LastPost), Reachable: fg.Reachable,
+			Personalized: fg.Personalized, LabeledShare: fg.LabeledShare, TopLabel: fg.TopLabel,
+		})
+	}
+	for _, d := range b.Domains {
+		wb.Domains = append(wb.Domains, wireDomain{
+			Name: d.Name, IANAID: d.IANAID, RegistrarName: d.RegistrarName,
+			CCTLD: d.CCTLD, TrancoRank: d.TrancoRank, Subdomains: d.Subdomains,
+		})
+	}
+	for _, h := range b.HandleUpdates {
+		wb.HandleUpdates = append(wb.HandleUpdates, wireHandleUpdate{
+			DID: h.DID, NewHandle: h.NewHandle, TimeNS: nsOf(h.Time),
+		})
+	}
+	body, err := cbor.Marshal(wb)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode sim block: %w", err)
+	}
+	return &events.Sim{Kind: simKindBlock, Body: body}, nil
+}
+
+// EOFEvent returns the end-of-stream marker a replay emits after its
+// last record frame.
+func EOFEvent() *events.Sim { return &events.Sim{Kind: simKindEOF} }
+
+// LabelsEvent encodes one batch of labels as a labeler-stream frame,
+// carrying the sim-extension fields for lossless replay.
+func LabelsEvent(ls []Label) *events.Labels {
+	out := &events.Labels{Labels: make([]events.Label, 0, len(ls))}
+	for _, l := range ls {
+		out.Labels = append(out.Labels, events.Label{
+			Src: l.Src, URI: l.URI, Val: l.Val, Neg: l.Neg,
+			CTS:        events.FormatTime(l.Applied),
+			SimApplied: nsOf(l.Applied),
+			SimSubject: nsOf(l.SubjectCreated),
+			SimFresh:   l.FreshSubject,
+			SimKind:    string(l.Kind),
+		})
+	}
+	return out
+}
+
+// labelFromWire reconstructs a core label from its stream frame,
+// preferring the lossless sim-extension fields and falling back to
+// what a live collector can derive (CTS, URI-shape subject kind).
+func labelFromWire(l *events.Label) Label {
+	out := Label{Src: l.Src, URI: l.URI, Val: l.Val, Neg: l.Neg}
+	if l.SimApplied != 0 {
+		out.Applied = timeOf(l.SimApplied)
+	} else if t, err := events.ParseTime(l.CTS); err == nil {
+		out.Applied = t
+	}
+	out.SubjectCreated = timeOf(l.SimSubject)
+	out.FreshSubject = l.SimFresh
+	if l.SimKind != "" {
+		out.Kind = SubjectKind(l.SimKind)
+	} else if len(l.URI) > 5 && l.URI[:5] == "at://" {
+		out.Kind = SubjectPost
+	} else {
+		out.Kind = SubjectAccount
+	}
+	return out
+}
+
+// DecodeStreamEvent turns one decoded stream event into a RecordBlock.
+// It returns eof=true on the replay end-of-stream marker; events that
+// carry no records (info frames, commit payloads) yield a block with
+// only Events counts set, and block=nil means "nothing to ingest".
+func DecodeStreamEvent(ev any) (block *RecordBlock, eof bool, err error) {
+	switch e := ev.(type) {
+	case *events.Sim:
+		if e.Kind == simKindEOF {
+			return nil, true, nil
+		}
+		if e.Kind != simKindBlock {
+			return nil, false, fmt.Errorf("core: unknown sim frame kind %q", e.Kind)
+		}
+		var wb wireBlock
+		if err := cbor.Unmarshal(e.Body, &wb); err != nil {
+			return nil, false, fmt.Errorf("core: decode sim block: %w", err)
+		}
+		return blockFromWire(&wb), false, nil
+	case *events.Labels:
+		b := &RecordBlock{Labels: make([]Label, 0, len(e.Labels))}
+		for i := range e.Labels {
+			b.Labels = append(b.Labels, labelFromWire(&e.Labels[i]))
+		}
+		return b, false, nil
+	case *events.Commit:
+		return &RecordBlock{Events: EventCounts{Commits: 1}}, false, nil
+	case *events.Identity:
+		return &RecordBlock{Events: EventCounts{Identity: 1}}, false, nil
+	case *events.Handle:
+		b := &RecordBlock{Events: EventCounts{Handle: 1}}
+		if t, err := events.ParseTime(e.Time); err == nil {
+			b.HandleUpdates = []HandleUpdate{{DID: e.DID, NewHandle: e.Handle, Time: t}}
+		} else {
+			b.HandleUpdates = []HandleUpdate{{DID: e.DID, NewHandle: e.Handle}}
+		}
+		return b, false, nil
+	case *events.Tombstone:
+		return &RecordBlock{Events: EventCounts{Tombstone: 1}}, false, nil
+	case *events.Info:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("core: unexpected stream event %T", ev)
+}
+
+func blockFromWire(wb *wireBlock) *RecordBlock {
+	b := &RecordBlock{}
+	if wh := wb.Header; wh != nil {
+		b.Header = &StreamHeader{
+			Scale:       wh.Scale,
+			WindowStart: timeOf(wh.WindowStartNS),
+			WindowEnd:   timeOf(wh.WindowEndNS),
+			Firehose: EventCounts{
+				Commits: wh.Commits, Identity: wh.Identity,
+				Handle: wh.Handle, Tombstone: wh.Tombstone,
+			},
+			NonBskyEvents: wh.NonBskyEvents,
+		}
+	}
+	for _, l := range wb.Labelers {
+		b.Labelers = append(b.Labelers, Labeler{
+			DID: l.DID, Name: l.Name, Official: l.Official, Values: l.Values,
+			Announced: timeOf(l.AnnouncedNS), Functional: l.Functional, Active: l.Active,
+			Hosting: l.Hosting, Automated: l.Automated, Likes: l.Likes,
+			Operator: l.Operator, About: l.About,
+		})
+	}
+	for _, u := range wb.Users {
+		b.Users = append(b.Users, User{
+			DID: u.DID, Handle: u.Handle, DIDMethod: u.DIDMethod, PDS: u.PDS,
+			Proof: ProofMethod(u.Proof), CreatedAt: timeOf(u.CreatedNS), Lang: u.Lang,
+			Followers: u.Followers, Following: u.Following, Posts: u.Posts,
+			Likes: u.Likes, Reposts: u.Reposts, Blocks: u.Blocks, Deleted: u.Deleted,
+		})
+	}
+	for _, p := range wb.Posts {
+		b.Posts = append(b.Posts, Post{
+			URI: p.URI, AuthorIdx: p.AuthorIdx, Lang: p.Lang, CreatedAt: timeOf(p.CreatedNS),
+			Likes: p.Likes, Reposts: p.Reposts, HasMedia: p.HasMedia, AltText: p.AltText,
+		})
+	}
+	for _, d := range wb.Days {
+		b.Days = append(b.Days, DayActivity{
+			Date: timeOf(d.DateNS), ActiveUsers: d.ActiveUsers, Posts: d.Posts,
+			Likes: d.Likes, Reposts: d.Reposts, Follows: d.Follows, Blocks: d.Blocks,
+			ActiveByLang: d.ActiveByLang,
+		})
+	}
+	for _, fg := range wb.FeedGens {
+		b.FeedGens = append(b.FeedGens, FeedGen{
+			URI: fg.URI, CreatorIdx: fg.CreatorIdx, Platform: fg.Platform,
+			DisplayName: fg.DisplayName, Description: fg.Description, Lang: fg.Lang,
+			CreatedAt: timeOf(fg.CreatedNS), Likes: fg.Likes, Posts: fg.Posts,
+			LastPost: timeOf(fg.LastPostNS), Reachable: fg.Reachable,
+			Personalized: fg.Personalized, LabeledShare: fg.LabeledShare, TopLabel: fg.TopLabel,
+		})
+	}
+	for _, d := range wb.Domains {
+		b.Domains = append(b.Domains, Domain{
+			Name: d.Name, IANAID: d.IANAID, RegistrarName: d.RegistrarName,
+			CCTLD: d.CCTLD, TrancoRank: d.TrancoRank, Subdomains: d.Subdomains,
+		})
+	}
+	for _, h := range wb.HandleUpdates {
+		b.HandleUpdates = append(b.HandleUpdates, HandleUpdate{
+			DID: h.DID, NewHandle: h.NewHandle, Time: timeOf(h.TimeNS),
+		})
+	}
+	return b
+}
+
+// streamGate delays secondary stream consumers until the primary
+// stream has delivered its first block — the "enumerate labelers
+// before consuming their streams" ordering of the paper's methodology,
+// applied to multiplexed subscriptions. A primary that ends without
+// ever delivering a block aborts the gate so secondaries shut down
+// instead of consuming labels nobody announced.
+type streamGate struct {
+	ch   chan struct{}
+	once sync.Once
+	ok   bool
+}
+
+func newStreamGate() *streamGate { return &streamGate{ch: make(chan struct{})} }
+
+func (g *streamGate) open() { g.once.Do(func() { g.ok = true; close(g.ch) }) }
+
+// abort releases waiters with ok=false; a no-op once opened.
+func (g *streamGate) abort() { g.once.Do(func() { close(g.ch) }) }
+
+// wait blocks until the gate opens; false means the primary aborted or
+// ctx ended first.
+func (g *streamGate) wait(ctx context.Context) bool {
+	select {
+	case <-g.ch:
+		return g.ok
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// SequencerStream taps in-process sequencers directly and multiplexes
+// their decoded record blocks into one channel — the zero-transport
+// version of Collector.Stream used by replay tests and bskyanalyze
+// -follow. The first sequencer is the primary (the firehose): the
+// others are only tapped after its first block is delivered, so a
+// replay's corpus header precedes every label that references an
+// announced labeler; a primary that ends without delivering anything
+// shuts the secondaries down. Each sequencer's retained backlog is
+// drained first, then live frames, until its end-of-stream marker
+// arrives or ctx is canceled; a sequence gap (frames the sequencer
+// dropped past a slow consumer) is reported as an error rather than
+// silently thinning the corpus. Beyond the gate, blocks of different
+// sequencers interleave arbitrarily; each collection's records keep
+// their emission order, which is all the analysis accumulators depend
+// on.
+func SequencerStream(ctx context.Context, seqs ...*events.Sequencer) (<-chan RecordBlock, <-chan error) {
+	return sequencerStream(ctx, false, seqs)
+}
+
+// DrainSequencers is SequencerStream for pipelines that own their
+// sequencers exclusively (no other subscribers, no cursor clients):
+// frames are pulled from the backlog and trimmed as soon as they are
+// processed, so a replay emitting concurrently with consumption keeps
+// retention bounded by the consumer's lag instead of the whole encoded
+// corpus — the memory contract of the streaming path. The live
+// subscription is used only as a wake-up signal; records are always
+// read from the backlog, so a slow consumer can never cause fan-out
+// drops.
+func DrainSequencers(ctx context.Context, seqs ...*events.Sequencer) (<-chan RecordBlock, <-chan error) {
+	return sequencerStream(ctx, true, seqs)
+}
+
+func sequencerStream(ctx context.Context, drain bool, seqs []*events.Sequencer) (<-chan RecordBlock, <-chan error) {
+	out := make(chan RecordBlock, 8)
+	errs := make(chan error, len(seqs))
+	gate := newStreamGate()
+	var wg sync.WaitGroup
+	for i, seq := range seqs {
+		wg.Add(1)
+		go func(seq *events.Sequencer, primary bool) {
+			defer wg.Done()
+			if primary {
+				defer gate.abort()
+			} else {
+				if !gate.wait(ctx) {
+					return
+				}
+			}
+			var lastSeq int64
+			onForward := func() {
+				if primary {
+					gate.open()
+				}
+			}
+			if err := consumeSequencer(ctx, seq, drain, &lastSeq, out, onForward); err != nil {
+				errs <- err
+			}
+		}(seq, i == 0)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+		close(errs)
+	}()
+	return out, errs
+}
+
+// consumeSequencer forwards one sequencer's frames until end of
+// stream. In drain mode frames are pulled from the backlog in chunks
+// and trimmed once processed; otherwise the retained backlog is
+// replayed and live frames followed via the subscription channel.
+func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, lastSeq *int64, out chan<- RecordBlock, onForward func()) error {
+	if drain {
+		live, cancel := seq.Subscribe(1) // wake-up signal only
+		defer cancel()
+		for {
+			frames, _ := seq.Backfill(*lastSeq)
+			if len(frames) == 0 {
+				select {
+				case <-ctx.Done():
+					return nil
+				case _, ok := <-live:
+					if !ok {
+						return nil
+					}
+					continue
+				}
+			}
+			for _, f := range frames {
+				done, err := forwardFrame(ctx, f, lastSeq, out, onForward)
+				seq.TrimTo(*lastSeq)
+				if err != nil || done {
+					return err
+				}
+			}
+		}
+	}
+	live, cancel := seq.Subscribe(1024)
+	defer cancel()
+	frames, _ := seq.Backfill(0)
+	for _, f := range frames {
+		done, err := forwardFrame(ctx, f, lastSeq, out, onForward)
+		if err != nil || done {
+			return err
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case f, ok := <-live:
+			if !ok {
+				return nil
+			}
+			done, err := forwardFrame(ctx, f, lastSeq, out, onForward)
+			if err != nil || done {
+				return err
+			}
+		}
+	}
+}
+
+// forwardFrame decodes one frame and sends its block, skipping
+// duplicates of the backfill; onForward fires after each delivered
+// block. A sequence gap after the first frame means the sequencer
+// dropped frames past this consumer — an error, since a measurement
+// stream that silently thins its corpus corrupts every downstream
+// statistic. done reports end-of-stream (marker seen or ctx canceled).
+func forwardFrame(ctx context.Context, frame []byte, lastSeq *int64, out chan<- RecordBlock, onForward func()) (done bool, err error) {
+	ev, err := events.Decode(frame)
+	if err != nil {
+		return false, err
+	}
+	if s := events.Seq(ev); s >= 0 {
+		if s <= *lastSeq {
+			return false, nil
+		}
+		if *lastSeq > 0 && s > *lastSeq+1 {
+			return false, fmt.Errorf("core: stream lost %d frames (seq %d → %d): consumer outpaced by sequencer fan-out", s-*lastSeq-1, *lastSeq, s)
+		}
+		*lastSeq = s
+	}
+	block, eof, err := DecodeStreamEvent(ev)
+	if err != nil {
+		return false, err
+	}
+	if eof {
+		return true, nil
+	}
+	if block == nil {
+		return false, nil
+	}
+	select {
+	case out <- *block:
+		onForward()
+		return false, nil
+	case <-ctx.Done():
+		return true, nil
+	}
+}

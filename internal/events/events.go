@@ -24,6 +24,7 @@ const (
 	TypeTombstone = "#tombstone"
 	TypeLabels    = "#labels"
 	TypeInfo      = "#info"
+	TypeSim       = "#sim.block"
 )
 
 // header is the first CBOR document of each frame.
@@ -75,12 +76,23 @@ type Tombstone struct {
 
 // Label is one moderation label as emitted on a labeler stream:
 // src applies val to uri; neg rescinds a previous application.
+//
+// The sim* fields are a simulator extension: the measurement replay
+// carries the nanosecond timestamps and subject joins that a live
+// collector reconstructs from other datasets (post creation times,
+// subject kinds). Real streams omit them; decoders that don't know
+// them ignore the extra keys.
 type Label struct {
 	Src string `cbor:"src"` // labeler DID
 	URI string `cbor:"uri"` // subject: at:// URI or a bare DID
 	Val string `cbor:"val"`
 	Neg bool   `cbor:"neg,omitempty"`
 	CTS string `cbor:"cts"` // creation timestamp
+
+	SimApplied int64  `cbor:"simApplied,omitempty"` // UnixNano of application
+	SimSubject int64  `cbor:"simSubject,omitempty"` // UnixNano of subject creation
+	SimFresh   bool   `cbor:"simFresh,omitempty"`   // subject first seen in-window
+	SimKind    string `cbor:"simKind,omitempty"`    // subject kind (core.SubjectKind)
 }
 
 // Labels is a labeler stream frame carrying one or more labels.
@@ -95,6 +107,17 @@ type Info struct {
 	Message string `cbor:"message,omitempty"`
 }
 
+// Sim is a simulator extension frame: an opaque CBOR body under a kind
+// discriminator. The dataset replay uses it to stream measurement
+// records (users, posts, daily activity, …) that the live protocol
+// delivers out of band, plus its end-of-stream marker; see
+// core.BlockEvent / core.DecodeStreamEvent for the body codec.
+type Sim struct {
+	Seq  int64  `cbor:"seq"`
+	Kind string `cbor:"kind"`
+	Body []byte `cbor:"body,omitempty"`
+}
+
 // Seq returns the sequence number of any sequenced event, or -1.
 func Seq(ev any) int64 {
 	switch e := ev.(type) {
@@ -107,6 +130,8 @@ func Seq(ev any) int64 {
 	case *Tombstone:
 		return e.Seq
 	case *Labels:
+		return e.Seq
+	case *Sim:
 		return e.Seq
 	}
 	return -1
@@ -127,6 +152,8 @@ func TypeOf(ev any) (string, error) {
 		return TypeLabels, nil
 	case *Info:
 		return TypeInfo, nil
+	case *Sim:
+		return TypeSim, nil
 	}
 	return "", fmt.Errorf("events: unknown event type %T", ev)
 }
@@ -178,6 +205,8 @@ func Decode(frame []byte) (any, error) {
 		ev = new(Labels)
 	case TypeInfo:
 		ev = new(Info)
+	case TypeSim:
+		ev = new(Sim)
 	default:
 		return nil, fmt.Errorf("events: unknown frame type %q", t)
 	}

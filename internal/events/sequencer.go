@@ -92,6 +92,20 @@ func (s *Sequencer) trimLocked(now time.Time) {
 	}
 }
 
+// TrimTo drops retained frames with seq ≤ cursor. A pipeline that owns
+// a sequencer exclusively (one consumer, no cursor-based backfill
+// clients) releases backlog memory as it durably processes frames;
+// shared sequencers must keep their retention window instead.
+func (s *Sequencer) TrimTo(cursor int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.backlog) && s.backlog[i].seq <= cursor {
+		i++
+	}
+	s.backlog = s.backlog[i:]
+}
+
 // OldestSeq returns the lowest retained sequence number, or the next
 // seq when the backlog is empty.
 func (s *Sequencer) OldestSeq() int64 {

@@ -60,6 +60,26 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestModerationShardingMatchesSequential pins the historic-label
+// fan-out of genModeration the same way genPosts' sharding is pinned:
+// the parallel sub-stream schedule must emit exactly the label stream
+// of the serial reference path, on a scale where the historic loop
+// spans every shard (1:400 → 4,500 historic labels across 8 shards).
+func TestModerationShardingMatchesSequential(t *testing.T) {
+	cfg := Config{Scale: 400, Seed: 5}
+	seq := generateSequential(cfg)
+	par := Generate(cfg)
+	if len(seq.Labels) != len(par.Labels) {
+		t.Fatalf("label counts diverge: seq=%d par=%d", len(seq.Labels), len(par.Labels))
+	}
+	for i := range seq.Labels {
+		if !reflect.DeepEqual(seq.Labels[i], par.Labels[i]) {
+			t.Fatalf("label %d diverges:\nseq: %+v\npar: %+v", i, seq.Labels[i], par.Labels[i])
+		}
+	}
+	datasetsEqual(t, "Labelers", seq.Labelers, par.Labelers)
+}
+
 // TestRepeatedGenerationIdentical guards against hidden run-to-run
 // nondeterminism (map-iteration randomness consuming RNG draws) by
 // comparing two full generations in the same process.

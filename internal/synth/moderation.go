@@ -2,11 +2,16 @@ package synth
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
 	"time"
 
 	"blueskies/internal/core"
 )
+
+// histShards is the fixed fan-out of the historic-label loop — a
+// constant, not GOMAXPROCS, so the dataset is identical at any
+// parallelism (same rule as postShards).
+const histShards = 8
 
 // labelerSpec encodes one labeler from Table 6 / Table 3: its label
 // volume on fresh posts, top values, median reaction time with
@@ -126,7 +131,13 @@ const (
 )
 
 // genModeration builds the labeler population and the label stream.
-func genModeration(ds *core.Dataset, rng *rand.Rand) {
+// The labeler population, the per-labeler spec streams, and the
+// rescind pass draw serially from the stage RNG; the historic-label
+// loop — the stage's dominant cost after scaling — fans out over
+// histShards fixed sub-streams the same way genPosts does, so the
+// output is byte-identical at any parallelism level.
+func genModeration(ds *core.Dataset, seed int64, sequential bool) {
+	rng := stageRNG(seed, stageModeration)
 	// Active labelers from the spec table.
 	specCount := len(labelerSpecs)
 	for i, spec := range labelerSpecs {
@@ -242,23 +253,46 @@ func genModeration(ds *core.Dataset, rng *rand.Rand) {
 	}
 	// The official labeler's historical labels (Apr 2023 → window):
 	// spread proportional to activity; these dominate the all-time
-	// total but not the April community share (Figure 4).
+	// total but not the April community share (Figure 4). The loop
+	// fills histShards disjoint index ranges, each from its own
+	// deterministic RNG stream.
 	histCount := scaled(1_800_000, ds.Scale, 900)
 	official := ds.Labelers[0]
 	days := int(WindowStart.Sub(OfficialLbl).Hours() / 24)
-	for i := 0; i < histCount; i++ {
-		// Weight towards recent months (activity grew).
-		f := pow(rng.Float64(), 0.45)
-		day := OfficialLbl.AddDate(0, 0, int(f*float64(days)))
-		val := official.Values[rng.Intn(3)] // porn / sexual / nudity
-		created := day.Add(-secsDuration(int64(lognormal(rng, 600, 1.5))))
-		ds.Labels = append(ds.Labels, core.Label{
-			Src: official.DID, Val: val, Kind: core.SubjectPost,
-			URI:            fmt.Sprintf("at://did:plc:historic/app.bsky.feed.post/3h%011d", i),
-			SubjectCreated: created,
-			Applied:        day,
-		})
+	hist := make([]core.Label, histCount)
+	fill := func(shard int) {
+		srng := stageRNG(seed, stageHistShard0+uint64(shard))
+		lo, hi := histCount*shard/histShards, histCount*(shard+1)/histShards
+		for i := lo; i < hi; i++ {
+			// Weight towards recent months (activity grew).
+			f := pow(srng.Float64(), 0.45)
+			day := OfficialLbl.AddDate(0, 0, int(f*float64(days)))
+			val := official.Values[srng.Intn(3)] // porn / sexual / nudity
+			created := day.Add(-secsDuration(int64(lognormal(srng, 600, 1.5))))
+			hist[i] = core.Label{
+				Src: official.DID, Val: val, Kind: core.SubjectPost,
+				URI:            fmt.Sprintf("at://did:plc:historic/app.bsky.feed.post/3h%011d", i),
+				SubjectCreated: created,
+				Applied:        day,
+			}
+		}
 	}
+	if sequential {
+		for shard := 0; shard < histShards; shard++ {
+			fill(shard)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for shard := 0; shard < histShards; shard++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				fill(shard)
+			}(shard)
+		}
+		wg.Wait()
+	}
+	ds.Labels = append(ds.Labels, hist...)
 	// Rescinded labels (negations) — 23,394 of 3.4M.
 	negCount := scaled(TargetRescinded, ds.Scale, 12)
 	for i := 0; i < negCount && i < len(ds.Labels); i++ {

@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"fmt"
+
+	"blueskies/internal/core"
+	"blueskies/internal/events"
+)
+
+// ReplayBlockSize is the default number of records per replayed frame.
+const ReplayBlockSize = 2048
+
+// Replay plays a generated dataset through event sequencers the way
+// the live network delivers it: the corpus header, the labeler
+// population, and the non-label record collections go to the firehose
+// sequencer as #sim.block frames; labels go to the labeler sequencer
+// as labeler-stream frames (with the sim-extension fields that make
+// the round trip lossless). Both streams end with an end-of-stream
+// marker. labeler may equal fire to multiplex everything onto one
+// stream.
+//
+// Each collection is emitted in dataset order, so a streaming consumer
+// reconstructs exactly the state of a one-worker batch traversal —
+// the deterministic-replay contract the stream/batch parity tests pin.
+func Replay(ds *core.Dataset, fire, labeler *events.Sequencer, blockSize int) error {
+	if blockSize <= 0 {
+		blockSize = ReplayBlockSize
+	}
+	emit := func(seq *events.Sequencer, ev any) error {
+		_, err := seq.Emit(func(s int64) any {
+			switch e := ev.(type) {
+			case *events.Sim:
+				e.Seq = s
+			case *events.Labels:
+				e.Seq = s
+			}
+			return ev
+		})
+		return err
+	}
+	emitBlock := func(b *core.RecordBlock) error {
+		ev, err := core.BlockEvent(b)
+		if err != nil {
+			return err
+		}
+		return emit(fire, ev)
+	}
+
+	// Header and labeler announcements first: stream consumers need
+	// the labeler DID index before the first label arrives.
+	if err := emitBlock(&core.RecordBlock{
+		Header: &core.StreamHeader{
+			Scale:         ds.Scale,
+			WindowStart:   ds.WindowStart,
+			WindowEnd:     ds.WindowEnd,
+			Firehose:      ds.Firehose,
+			NonBskyEvents: ds.NonBskyEvents,
+		},
+		Labelers: ds.Labelers,
+	}); err != nil {
+		return fmt.Errorf("synth: replay header: %w", err)
+	}
+
+	for lo := 0; lo < len(ds.Users); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.Users))
+		if err := emitBlock(&core.RecordBlock{Users: ds.Users[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(ds.Posts); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.Posts))
+		if err := emitBlock(&core.RecordBlock{Posts: ds.Posts[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(ds.Daily); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.Daily))
+		if err := emitBlock(&core.RecordBlock{Days: ds.Daily[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(ds.FeedGens); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.FeedGens))
+		if err := emitBlock(&core.RecordBlock{FeedGens: ds.FeedGens[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(ds.Domains); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.Domains))
+		if err := emitBlock(&core.RecordBlock{Domains: ds.Domains[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(ds.HandleUpdates); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.HandleUpdates))
+		if err := emitBlock(&core.RecordBlock{HandleUpdates: ds.HandleUpdates[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(ds.Labels); lo += blockSize {
+		hi := min(lo+blockSize, len(ds.Labels))
+		if err := emit(labeler, core.LabelsEvent(ds.Labels[lo:hi])); err != nil {
+			return err
+		}
+	}
+	if err := emit(fire, core.EOFEvent()); err != nil {
+		return err
+	}
+	if labeler != fire {
+		if err := emit(labeler, core.EOFEvent()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -87,6 +87,8 @@ const (
 	stageFeedGens
 	// stagePostShard0 + k seeds post shard k.
 	stagePostShard0 uint64 = 100
+	// stageHistShard0 + k seeds historic-label shard k.
+	stageHistShard0 uint64 = 200
 )
 
 // stageRNG derives a stage's deterministic RNG stream. The golden
@@ -130,7 +132,7 @@ func generate(cfg Config, sequential bool) *core.Dataset {
 		genActivity(ds, stageRNG(cfg.Seed, stageActivity))
 		genPosts(ds, cfg.Seed, true)
 		genIdentity(ds, stageRNG(cfg.Seed, stageIdentity))
-		genModeration(ds, stageRNG(cfg.Seed, stageModeration))
+		genModeration(ds, cfg.Seed, true)
 		genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens))
 		return ds
 	}
@@ -147,7 +149,7 @@ func generate(cfg Config, sequential bool) *core.Dataset {
 	tail.Add(1)
 	go func() {
 		defer tail.Done()
-		genModeration(ds, stageRNG(cfg.Seed, stageModeration))
+		genModeration(ds, cfg.Seed, false)
 	}()
 	genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens))
 	tail.Wait()
