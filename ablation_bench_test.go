@@ -170,6 +170,51 @@ func BenchmarkEngineWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionedEvaluation ablates the two-level merge: the full
+// evaluation over an n-way row-range split of the corpus at fixed
+// per-partition worker counts, against the partitions=1 baseline. The
+// grid locates where the cross-partition fold (intern-table remap plus
+// one extra shard merge per partition) crosses the single-dataset
+// traversal — by construction every cell renders byte-identical
+// reports, so the delta is pure partitioning overhead (or win, once
+// partitions give otherwise-idle cores contiguous ranges to scan).
+func BenchmarkPartitionedEvaluation(b *testing.B) {
+	ds := synth.Generate(synth.Config{Scale: 400, Seed: 1})
+	for _, parts := range []int{1, 2, 4, 8} {
+		split, manifest := core.Split(ds, parts)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("partitions=%d/workers=%d", parts, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					got, err := analysis.RunAllPartitioned(split, manifest, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) == 0 {
+						b.Fatal("no reports")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPartitionedGeneration compares monolithic generation with
+// partition-parallel independent generation (disjoint RNG streams, no
+// shared heap) at matching corpus scale.
+func BenchmarkPartitionedGeneration(b *testing.B) {
+	for _, parts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if parts == 1 {
+					synth.Generate(synth.Config{Scale: 400, Seed: int64(i)})
+					continue
+				}
+				synth.GeneratePartitioned(synth.Config{Scale: 400, Seed: int64(i)}, parts)
+			}
+		})
+	}
+}
+
 // BenchmarkStreamingSnapshot measures the streaming evaluation: the
 // corpus replayed through firehose + labeler sequencers, decoded from
 // frames, and accumulated with periodic full-report snapshots — the

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	bskyanalyze [-scale N] [-seed S] [-only T1,F12] [-parallel] [-workers N]
-//	bskyanalyze -follow [-snapshot-every N]
+//	bskyanalyze -partitions N [-partition-mode split|independent] [-plan]
+//	bskyanalyze -input seed=1,scale=1000 -input seed=2,scale=1000 ...
+//	bskyanalyze -follow [-snapshot-every N] [-partitions N]
 //
 // By default the evaluation runs through the single-pass engine
 // (analysis.RunAll), which shards the dataset traversal across
@@ -13,11 +15,23 @@
 // -parallel=false falls back to the legacy one-pass-per-report path;
 // both render byte-identical output.
 //
-// -follow exercises the streaming path instead: the generated corpus
-// is replayed through in-process firehose + labeler sequencers, the
-// engine consumes the multiplexed record stream without ever holding
-// the materialized dataset, and refreshed tables print as snapshots
-// arrive. The final snapshot is byte-identical to the batch output.
+// -partitions N evaluates the corpus as N partitions through the
+// two-level merge: per-partition sharded traversals, then a
+// cross-partition fold of intern tables and shard state. In the
+// default split mode the partitions are row-range views of one
+// generated corpus and the output is byte-identical to the unsplit
+// run; in independent mode the partitions are generated on disjoint
+// RNG sub-streams (synth.GeneratePartitioned), one dataset per
+// simulated repo-crawl shard. Repeatable -input flags instead evaluate
+// several independently generated corpora (e.g. different seeds) as
+// one federated corpus. -plan prints the partition-plan summary.
+//
+// -follow exercises the streaming path: the corpus is replayed through
+// in-process firehose + labeler sequencer pairs — one pair per
+// partition — the engine consumes the record streams without ever
+// holding the materialized dataset, and refreshed tables print as
+// merged stop-the-world snapshots arrive. The final snapshot is
+// byte-identical to the batch output.
 package main
 
 import (
@@ -25,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"blueskies/internal/analysis"
@@ -33,17 +48,61 @@ import (
 	"blueskies/internal/synth"
 )
 
+type inputSpec struct {
+	seed     int64
+	scale    int
+	hasSeed  bool
+	hasScale bool
+}
+
 func main() {
 	scale := flag.Int("scale", 1000, "downscaling factor vs. the paper's dataset")
 	seed := flag.Int64("seed", 2024, "generation seed")
 	only := flag.String("only", "", "comma-separated report IDs (e.g. T1,F12); empty = all")
 	parallel := flag.Bool("parallel", true, "evaluate in one sharded pass instead of per-report scans")
-	workers := flag.Int("workers", 0, "traversal workers (0 = autotuned)")
-	follow := flag.Bool("follow", false, "consume the corpus as a live record stream and print refreshed tables as snapshots arrive")
+	workers := flag.Int("workers", 0, "traversal workers per partition (0 = autotuned)")
+	follow := flag.Bool("follow", false, "consume the corpus as live record streams and print refreshed tables as snapshots arrive")
 	snapEvery := flag.Int("snapshot-every", 100_000, "records between streaming snapshots in -follow mode")
+	partitions := flag.Int("partitions", 1, "evaluate the corpus as N partitions through the two-level merge")
+	partitionMode := flag.String("partition-mode", "split",
+		"how -partitions produces partitions: 'split' (row-range views, byte-identical to the unsplit run) or 'independent' (disjoint RNG sub-streams, one dataset per simulated crawl)")
+	plan := flag.Bool("plan", false, "print the partition-plan summary")
+	var inputs []inputSpec
+	flag.Func("input", "independent corpus spec 'seed=S[,scale=C]' (repeatable); evaluates all inputs as one federated corpus", func(s string) error {
+		var spec inputSpec
+		for _, kv := range strings.Split(s, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return fmt.Errorf("bad -input field %q (want key=value)", kv)
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -input value %q: %w", kv, err)
+			}
+			switch strings.TrimSpace(k) {
+			case "seed":
+				spec.seed, spec.hasSeed = n, true
+			case "scale":
+				spec.scale, spec.hasScale = int(n), true
+			default:
+				return fmt.Errorf("unknown -input key %q", k)
+			}
+		}
+		inputs = append(inputs, spec)
+		return nil
+	})
 	flag.Parse()
+	// Fill omitted -input fields from -seed/-scale only after the whole
+	// command line has parsed: defaults must not depend on flag order.
+	for i := range inputs {
+		if !inputs[i].hasSeed {
+			inputs[i].seed = *seed
+		}
+		if !inputs[i].hasScale {
+			inputs[i].scale = *scale
+		}
+	}
 
-	ds := synth.Generate(synth.Config{Scale: *scale, Seed: *seed})
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -59,38 +118,118 @@ func main() {
 		}
 	}
 
+	parts, manifest, err := buildCorpus(inputs, *partitions, *partitionMode, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	partitioned := manifest != nil
+	if *plan {
+		// Planning query only: print the manifest summary and stop
+		// before paying for any traversal.
+		if manifest == nil {
+			manifest = core.BuildManifest(parts, parts[0].Scale, *seed, true)
+		}
+		fmt.Print(manifest.Plan())
+		return
+	}
+	if partitioned && len(manifest.Partitions) > 1 {
+		fmt.Print(manifest.Plan())
+		fmt.Println()
+	}
+
 	if *follow {
-		if err := runFollow(ds, *workers, *snapEvery, print); err != nil {
-			fmt.Fprintln(os.Stderr, "bskyanalyze:", err)
-			os.Exit(1)
+		if err := runFollow(parts, manifest, *workers, *snapEvery, print); err != nil {
+			fatal(err)
 		}
 		return
 	}
 
 	var reports []*analysis.Report
-	if *parallel {
-		reports = analysis.RunAll(ds, *workers)
-	} else {
-		reports = analysis.AllReports(ds)
+	switch {
+	case partitioned:
+		if reports, err = analysis.RunAllPartitioned(parts, manifest, *workers); err != nil {
+			fatal(err)
+		}
+	case *parallel:
+		reports = analysis.RunAll(parts[0], *workers)
+	default:
+		reports = analysis.AllReports(parts[0])
 	}
 	print(reports)
 }
 
-// runFollow replays the corpus through the event-stream stack and
-// drives the engine from the live block channel. Replay and
-// consumption run concurrently over draining sequencers, so the frame
-// backlog holds only the consumer's lag — never a second full copy of
-// the corpus.
-func runFollow(ds *core.Dataset, workers, snapEvery int, print func([]*analysis.Report)) error {
-	fire := events.NewSequencer(0, 0)
-	labeler := events.NewSequencer(0, 0)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bskyanalyze:", err)
+	os.Exit(1)
+}
+
+// buildCorpus materializes the requested corpus. The manifest is nil
+// for a plain single-dataset run (the unpartitioned fast path).
+func buildCorpus(inputs []inputSpec, partitions int, mode string, scale int, seed int64) ([]*core.Dataset, *core.Manifest, error) {
+	switch {
+	case len(inputs) > 0:
+		// Federated: independently generated corpora, partition-local
+		// indexes, rebased at merge time. Scales must agree — scale
+		// drives every scale-derived rendering (S4's title, the S9
+		// bandwidth projection), which has no meaning for a mixed-scale
+		// union.
+		for _, spec := range inputs[1:] {
+			if spec.scale != inputs[0].scale {
+				return nil, nil, fmt.Errorf("federated inputs disagree on scale (%d vs %d); regenerate at one scale", inputs[0].scale, spec.scale)
+			}
+		}
+		parts := make([]*core.Dataset, len(inputs))
+		for i, spec := range inputs {
+			parts[i] = synth.Generate(synth.Config{Scale: spec.scale, Seed: spec.seed})
+		}
+		m := core.BuildManifest(parts, inputs[0].scale, inputs[0].seed, false)
+		for i, spec := range inputs {
+			m.Partitions[i].Seed = spec.seed
+		}
+		return parts, m, nil
+	case partitions > 1 && mode == "independent":
+		parts, m := synth.GeneratePartitioned(synth.Config{Scale: scale, Seed: seed}, partitions)
+		return parts, m, nil
+	case partitions > 1 && mode == "split":
+		parts, m := core.Split(synth.Generate(synth.Config{Scale: scale, Seed: seed}), partitions)
+		m.Seed = seed
+		return parts, m, nil
+	case partitions > 1:
+		return nil, nil, fmt.Errorf("unknown -partition-mode %q (want split or independent)", mode)
+	default:
+		return []*core.Dataset{synth.Generate(synth.Config{Scale: scale, Seed: seed})}, nil, nil
+	}
+}
+
+// runFollow replays every partition through its own firehose + labeler
+// sequencer pair and drives the engine from the live block channels.
+// Replays and consumption run concurrently over draining sequencers,
+// so each partition's frame backlog holds only its consumer's lag —
+// never a second full copy of the corpus. With more than one partition
+// the engine folds the per-partition stream states through the
+// cross-partition merge, and snapshots are merged stop-the-world
+// snapshots across all partitions.
+func runFollow(parts []*core.Dataset, manifest *core.Manifest, workers, snapEvery int, print func([]*analysis.Report)) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	blocks, errs := core.DrainSequencers(ctx, fire, labeler)
-	replayErr := make(chan error, 1)
-	go func() { replayErr <- synth.Replay(ds, fire, labeler, 0) }()
-	src := &analysis.StreamSource{
-		Blocks:        blocks,
+	if manifest == nil {
+		manifest = core.BuildManifest(parts, parts[0].Scale, 0, true)
+	}
+
+	srcs := make([]analysis.Source, len(parts))
+	errChans := make([]<-chan error, len(parts))
+	replayErr := make(chan error, len(parts))
+	for k, p := range parts {
+		fire := events.NewSequencer(0, 0)
+		labeler := events.NewSequencer(0, 0)
+		blocks, errs := core.DrainSequencers(ctx, fire, labeler)
+		go func(p *core.Dataset) { replayErr <- synth.Replay(p, fire, labeler, 0) }(p)
+		srcs[k] = &analysis.StreamSource{Blocks: blocks, Base: manifest.Partitions[k].Base}
+		errChans[k] = errs
+	}
+	src := &analysis.MultiSource{
+		Sources:       srcs,
+		Manifest:      manifest,
 		SnapshotEvery: snapEvery,
 		OnSnapshot: func(records int, reports []*analysis.Report) {
 			fmt.Printf("==== snapshot after %d records ====\n\n", records)
@@ -101,12 +240,16 @@ func runFollow(ds *core.Dataset, workers, snapEvery int, print func([]*analysis.
 	if err != nil {
 		return err
 	}
-	if err := <-replayErr; err != nil {
-		return err
-	}
-	for err := range errs {
-		if err != nil {
+	for range parts {
+		if err := <-replayErr; err != nil {
 			return err
+		}
+	}
+	for _, errs := range errChans {
+		for err := range errs {
+			if err != nil {
+				return err
+			}
 		}
 	}
 	fmt.Println("==== final (end of stream) ====")

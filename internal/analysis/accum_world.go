@@ -468,9 +468,18 @@ func (s *figure7Shard) FeedGens(fs []core.FeedGen, _ int) {
 	}
 }
 
-func (figure7Acc) Merge(dst, src Shard, _ *MergeCtx) {
+func (figure7Acc) Merge(dst, src Shard, mc *MergeCtx) {
 	d, s := dst.(*figure7Shard), src.(*figure7Shard)
-	d.fgs = append(d.fgs, s.fgs...)
+	if mc == nil || mc.Users == 0 {
+		d.fgs = append(d.fgs, s.fgs...)
+		return
+	}
+	// Cross-partition merge of an independent dataset: creator indexes
+	// are partition-local and rebase into the merged user table.
+	for _, fg := range s.fgs {
+		fg.creatorIdx = mc.RemapUser(fg.creatorIdx)
+		d.fgs = append(d.fgs, fg)
+	}
 }
 
 func (figure7Acc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
@@ -755,7 +764,7 @@ func (s *figure11Shard) FeedGens(fs []core.FeedGen, _ int) {
 	}
 }
 
-func (figure11Acc) Merge(dst, src Shard, _ *MergeCtx) {
+func (figure11Acc) Merge(dst, src Shard, mc *MergeCtx) {
 	d, s := dst.(*figure11Shard), src.(*figure11Shard)
 	if s.maxDeg > d.maxDeg {
 		d.maxDeg = s.maxDeg
@@ -765,9 +774,12 @@ func (figure11Acc) Merge(dst, src Shard, _ *MergeCtx) {
 		d.outBins[b] += s.outBins[b]
 	}
 	for ci, a := range s.creators {
-		da := d.creators[ci]
+		// Partition-local creator indexes rebase into the merged user
+		// table (RemapUser is identity for worker and split merges).
+		gci := mc.RemapUser(ci)
+		da := d.creators[gci]
 		if da == nil {
-			d.creators[ci] = a
+			d.creators[gci] = &creatorAgg{likes: a.likes, count: a.count}
 			continue
 		}
 		da.likes += a.likes

@@ -196,15 +196,29 @@ type LabelChunk struct {
 	Base    int
 }
 
-// MergeCtx carries the id remappings for folding one worker's
-// label-derived state into the global id space. Remap slices are
-// indexed by the source worker's local ids.
+// MergeCtx carries the id remappings for folding one worker's — or,
+// in a partitioned run, one partition's — label-derived state into the
+// global id space. Remap slices are indexed by the source's local ids.
 type MergeCtx struct {
 	URIRemap []int32
 	ValRemap []int32
 	SrcRemap []int32 // index k remaps local extra-src id -2-k
 	NumURIs  int
 	NumVals  int
+	// Users offsets partition-local user indexes (Post.AuthorIdx /
+	// FeedGen.CreatorIdx captured in shard state) into the merged
+	// corpus index space. It is 0 for worker merges and for split
+	// partitions, whose indexes are corpus-global already; independent
+	// partition datasets carry their user base here.
+	Users int
+}
+
+// RemapUser translates a (possibly partition-local) user index.
+func (mc *MergeCtx) RemapUser(i int) int {
+	if mc == nil {
+		return i
+	}
+	return i + mc.Users
 }
 
 // RemapSrc translates a (possibly negative) source id.
@@ -305,6 +319,14 @@ func (e *Engine) Run(ds *core.Dataset) []*Report {
 	return reports
 }
 
+// RunSources traverses a set of partition sources as one corpus: each
+// partition runs level-one (its own sharded traversal and worker
+// merge), then the partition states fold through the cross-partition
+// level-two merge (MultiSource).
+func (e *Engine) RunSources(srcs ...Source) ([]*Report, error) {
+	return e.RunSource(&MultiSource{Sources: srcs})
+}
+
 // render produces all reports from merged per-accumulator state; it is
 // also the snapshot callback handed to sources.
 func (e *Engine) render(w *World, merged []Shard, t *LabelTables) []*Report {
@@ -362,6 +384,21 @@ func NewFullEngine() *Engine {
 func RunAll(ds *core.Dataset, workers int) []*Report {
 	reports := NewFullEngine().Workers(workers).Run(ds)
 	return canonicalize(reports)
+}
+
+// RunAllPartitioned computes the full evaluation over a partitioned
+// corpus (per-partition sharded traversals, two-level merge) and
+// returns the reports in canonical order. For a split corpus the
+// output is byte-identical to RunAll over the unsplit dataset at any
+// partition count and worker count; m may be nil for single-corpus
+// row-range partitions.
+func RunAllPartitioned(parts []*core.Dataset, m *core.Manifest, workers int) ([]*Report, error) {
+	src := NewPartitionedSource(parts, m)
+	reports, err := NewFullEngine().Workers(workers).RunSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return canonicalize(reports), nil
 }
 
 // Canonicalize reorders reports into the paper's canonical evaluation

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"blueskies/internal/core"
+	"blueskies/internal/events"
+	"blueskies/internal/synth"
+)
+
+// compareReports asserts two report sets render identical bytes.
+func compareReports(t *testing.T, label string, got, want []*Report) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d reports, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: report %d is %s, want %s", label, i, got[i].ID, want[i].ID)
+		}
+		if got[i].String() != want[i].String() {
+			t.Errorf("%s: report %s differs:\n--- got ---\n%s\n--- want ---\n%s",
+				label, got[i].ID, got[i].String(), want[i].String())
+		}
+	}
+}
+
+// TestPartitionedBatchParityGolden is the tentpole's batch acceptance
+// gate: RunAll over an n-way row-range split of the corpus must be
+// byte-identical to the unsplit golden for n ∈ {1,2,4,8}, at any
+// worker count.
+func TestPartitionedBatchParityGolden(t *testing.T) {
+	want := RunAll(ds, 1)
+	for _, n := range []int{1, 2, 4, 8} {
+		parts, m := core.Split(ds, n)
+		if len(parts) != n || len(m.Partitions) != n {
+			t.Fatalf("Split(%d) produced %d parts / %d manifest entries", n, len(parts), len(m.Partitions))
+		}
+		if got := m.Totals(); got != ds.Counts() {
+			t.Fatalf("n=%d: manifest totals %+v != corpus counts %+v", n, got, ds.Counts())
+		}
+		for _, workers := range []int{0, 1, 3} {
+			got, err := RunAllPartitioned(parts, m, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			compareReports(t, label("batch", n, workers), got, want)
+		}
+	}
+}
+
+func label(kind string, n, workers int) string {
+	return fmt.Sprintf("%s n=%d workers=%d", kind, n, workers)
+}
+
+// partitionStreams replays each partition through its own firehose +
+// labeler sequencer pair — one stream pair per partition — and returns
+// the per-partition StreamSources plus the error channels to drain.
+func partitionStreams(t *testing.T, parts []*core.Dataset, m *core.Manifest, blockSize int) ([]Source, []<-chan error) {
+	t.Helper()
+	var srcs []Source
+	var errChans []<-chan error
+	for k, p := range parts {
+		fire := events.NewSequencer(0, 0)
+		labeler := events.NewSequencer(0, 0)
+		if err := synth.Replay(p, fire, labeler, blockSize); err != nil {
+			t.Fatalf("replay partition %d: %v", k, err)
+		}
+		blocks, errs := core.SequencerStream(context.Background(), fire, labeler)
+		srcs = append(srcs, &StreamSource{Blocks: blocks, Base: m.Partitions[k].Base})
+		errChans = append(errChans, errs)
+	}
+	return srcs, errChans
+}
+
+// TestPartitionedStreamingParityGolden is the streaming half of the
+// acceptance gate: each partition replayed over its own firehose +
+// labeler stream pair, ingested concurrently with per-partition
+// sequence-gap tracking, must fold to the unsplit batch golden —
+// including when merged stop-the-world snapshots fire mid-run.
+func TestPartitionedStreamingParityGolden(t *testing.T) {
+	want := RunAll(ds, 1)
+	cases := []struct {
+		n, workers, snapshotEvery int
+	}{
+		{1, 1, 20_000},
+		{2, 1, 0},
+		{2, 4, 20_000},
+		{4, 1, 20_000},
+		{4, 4, 0},
+		{8, 4, 20_000},
+		{8, 1, 0},
+	}
+	for _, tc := range cases {
+		parts, m := core.Split(ds, tc.n)
+		srcs, errChans := partitionStreams(t, parts, m, 2048)
+		snapshots := 0
+		ms := &MultiSource{
+			Sources:       srcs,
+			Manifest:      m,
+			SnapshotEvery: tc.snapshotEvery,
+			OnSnapshot: func(records int, reports []*Report) {
+				snapshots++
+				if records <= 0 || len(reports) != len(canonicalOrder) {
+					t.Errorf("n=%d: bad snapshot: %d records, %d reports", tc.n, records, len(reports))
+				}
+			},
+		}
+		got, err := NewFullEngine().Workers(tc.workers).RunSource(ms)
+		if err != nil {
+			t.Fatalf("n=%d workers=%d: %v", tc.n, tc.workers, err)
+		}
+		for _, errs := range errChans {
+			drainErrs(t, errs)
+		}
+		compareReports(t, label("stream", tc.n, tc.workers), canonicalize(got), want)
+		if tc.snapshotEvery > 0 && snapshots == 0 {
+			t.Errorf("n=%d workers=%d: no merged snapshots fired", tc.n, tc.workers)
+		}
+	}
+}
+
+// TestEmptyPartitionMerge is the MergeCtx regression gate: zero-record
+// partitions — empty intern tables, no shards fed — must remap as
+// no-ops through the cross-partition fold, not panic, in any position.
+func TestEmptyPartitionMerge(t *testing.T) {
+	empty := func() *core.Dataset {
+		return &core.Dataset{Scale: ds.Scale, WindowStart: ds.WindowStart, WindowEnd: ds.WindowEnd}
+	}
+	want := RunAll(ds, 1)
+	for name, parts := range map[string][]*core.Dataset{
+		"empty-first":  {empty(), ds},
+		"empty-last":   {ds, empty()},
+		"empty-middle": {empty(), ds, empty()},
+		"all-empty":    {empty(), empty()},
+	} {
+		m := core.BuildManifest(parts, ds.Scale, 0, true)
+		got, err := RunAllPartitioned(parts, m, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "all-empty" {
+			if len(got) != len(canonicalOrder) {
+				t.Fatalf("all-empty: %d reports, want %d", len(got), len(canonicalOrder))
+			}
+			continue
+		}
+		compareReports(t, name, got, want)
+	}
+}
+
+// TestFoldTablesEmpty pins the low-level contract: nil and empty
+// tables fold as no-ops with well-defined remaps.
+func TestFoldTablesEmpty(t *testing.T) {
+	gt, mc := foldTables(nil, nil)
+	if gt == nil || len(mc.URIRemap) != 0 || len(mc.ValRemap) != 0 || len(mc.SrcRemap) != 0 {
+		t.Fatalf("foldTables(nil, nil) = %+v, %+v", gt, mc)
+	}
+	src := newLabelTables()
+	src.internURI("at://a")
+	src.internVal("porn")
+	src.internExtraSrc("did:plc:mystery")
+	gt, mc = foldTables(nil, src)
+	if len(gt.URIs) != 1 || mc.URIRemap[0] != 0 || mc.ValRemap[0] != 0 || mc.RemapSrc(-2) != -2 {
+		t.Fatalf("fold into fresh tables broke id assignment: %+v", mc)
+	}
+	gt2, mc2 := foldTables(gt, newLabelTables())
+	if gt2 != gt || len(mc2.URIRemap) != 0 {
+		t.Fatal("empty source must fold as a no-op")
+	}
+}
+
+// TestFederatedPartitionsMatchConcat checks the independent-dataset
+// path: a corpus generated as n independent partitions on disjoint RNG
+// sub-streams, evaluated through the rebasing two-level merge, must
+// match the flat evaluation of the explicitly concatenated (and
+// index-rebased) dataset byte for byte.
+func TestFederatedPartitionsMatchConcat(t *testing.T) {
+	parts, m := synth.GeneratePartitioned(synth.Config{Scale: 1000, Seed: 11}, 3)
+	concat, err := core.Concat(parts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concat.Scale = m.Scale // partitions carry Scale·n locally
+	want := RunAll(concat, 2)
+	got, err := RunAllPartitioned(parts, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "federated", got, want)
+}
+
+// TestEngineRunSources exercises the raw []Source promotion: explicit
+// partition sources with hand-set base offsets, no manifest, must
+// reproduce the flat evaluation (split views carry corpus-global
+// indexes, so no rebasing applies).
+func TestEngineRunSources(t *testing.T) {
+	parts, m := core.Split(ds, 2)
+	got, err := NewFullEngine().Workers(2).RunSources(
+		NewDatasetSourceAt(parts[0], m.Partitions[0].Base),
+		NewDatasetSourceAt(parts[1], m.Partitions[1].Base),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "RunSources", canonicalize(got), RunAll(ds, 1))
+}
+
+// TestMultiSourceRebaseNoManifest exercises the manifest-free rebase
+// switch: independent partition datasets evaluated with Rebase=true
+// must match the flat evaluation of their rebased concatenation.
+func TestMultiSourceRebaseNoManifest(t *testing.T) {
+	parts, _ := synth.GeneratePartitioned(synth.Config{Scale: 2000, Seed: 3}, 2)
+	concat, err := core.Concat(parts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &MultiSource{
+		Sources: []Source{NewDatasetSource(parts[0]), NewDatasetSource(parts[1])},
+		Rebase:  true,
+	}
+	got, err := NewFullEngine().Workers(1).RunSource(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "rebase-no-manifest", canonicalize(got), RunAll(concat, 1))
+}
+
+// TestMultiSourceLabelerConflict pins the enumeration safety check:
+// partitions that disagree on labeler order must fail loudly, not
+// silently misattribute labels.
+func TestMultiSourceLabelerConflict(t *testing.T) {
+	a := &core.Dataset{Labelers: []core.Labeler{{DID: "did:plc:a"}, {DID: "did:plc:b"}}}
+	b := &core.Dataset{Labelers: []core.Labeler{{DID: "did:plc:b"}, {DID: "did:plc:a"}}}
+	if _, err := RunAllPartitioned([]*core.Dataset{a, b}, nil, 1); err == nil {
+		t.Fatal("conflicting labeler enumerations must error")
+	}
+}

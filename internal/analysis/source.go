@@ -28,10 +28,26 @@ type Source interface {
 // workers over contiguous index ranges — the batch execution mode.
 type DatasetSource struct {
 	ds *core.Dataset
+	// base offsets every block's global start index — the partition's
+	// position in a partitioned corpus (zero for a standalone dataset),
+	// so index-dependent accumulator state (e.g. the weekly sampling of
+	// Figures 1–2) is computed against corpus positions.
+	base core.CollectionCounts
+	// maxAuto caps the autotuned worker count (0 = GOMAXPROCS). A
+	// partitioned run sets it so concurrently-traversing partitions
+	// share the machine instead of each claiming every core.
+	maxAuto int
 }
 
 // NewDatasetSource wraps a materialized dataset as a Source.
 func NewDatasetSource(ds *core.Dataset) *DatasetSource { return &DatasetSource{ds: ds} }
+
+// NewDatasetSourceAt wraps one partition of a partitioned corpus,
+// feeding record blocks with global base indexes offset by the
+// partition's manifest position.
+func NewDatasetSourceAt(ds *core.Dataset, base core.CollectionCounts) *DatasetSource {
+	return &DatasetSource{ds: ds, base: base}
+}
 
 // minRecordsPerWorker is the autotuning threshold: below it, an extra
 // traversal worker costs more in merge/remap overhead than its share
@@ -88,6 +104,9 @@ func (src *DatasetSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*W
 	w := workers
 	if w <= 0 {
 		w = autoWorkers(ds, need)
+		if src.maxAuto > 0 && w > src.maxAuto {
+			w = src.maxAuto
+		}
 	}
 	world := NewWorld(ds)
 	var didIdx map[string]int32
@@ -105,14 +124,14 @@ func (src *DatasetSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*W
 	tables := make([]*LabelTables, w)
 
 	if w == 1 {
-		tables[0] = feedRange(ds, accs, shardCol(shards, 0), 0, 1, didIdx)
+		tables[0] = feedRange(ds, src.base, accs, shardCol(shards, 0), 0, 1, didIdx)
 	} else {
 		var wg sync.WaitGroup
 		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
-				tables[wi] = feedRange(ds, accs, shardCol(shards, wi), wi, w, didIdx)
+				tables[wi] = feedRange(ds, src.base, accs, shardCol(shards, wi), wi, w, didIdx)
 			}(wi)
 		}
 		wg.Wait()
@@ -175,13 +194,31 @@ func remapTables(dst, src *LabelTables) *MergeCtx {
 	return mc
 }
 
+// foldTables folds src's intern tables into dst, returning the global
+// tables and the remapping for src's local ids. Unlike remapTables it
+// tolerates the shapes zero-record partitions produce: a nil or empty
+// src remaps as a no-op (empty remap slices — nothing holds its ids),
+// and a nil dst adopts a fresh table so later partitions still fold
+// into a well-defined global id space.
+func foldTables(dst, src *LabelTables) (*LabelTables, *MergeCtx) {
+	if dst == nil {
+		dst = newLabelTables()
+	}
+	if src == nil {
+		return dst, &MergeCtx{}
+	}
+	return dst, remapTables(dst, src)
+}
+
 // cut returns worker wi's contiguous slice bounds over n records.
 func cut(n, wi, w int) (int, int) { return n * wi / w, n * (wi + 1) / w }
 
 // feedRange streams worker wi's share of every needed collection
 // through the given shards, block by block, and returns the worker's
-// label intern tables (nil when labels are not consumed).
-func feedRange(ds *core.Dataset, accs []Accumulator, shards []Shard, wi, w int, didIdx map[string]int32) *LabelTables {
+// label intern tables (nil when labels are not consumed). off is the
+// dataset's base offset within a partitioned corpus; block base
+// indexes are global (offset + local index).
+func feedRange(ds *core.Dataset, off core.CollectionCounts, accs []Accumulator, shards []Shard, wi, w int, didIdx map[string]int32) *LabelTables {
 	need := Collection(0)
 	for _, a := range accs {
 		need |= a.Needs()
@@ -198,15 +235,15 @@ func feedRange(ds *core.Dataset, accs []Accumulator, shards []Shard, wi, w int, 
 	}
 	if need&ColUsers != 0 {
 		lo, hi := cut(len(ds.Users), wi, w)
-		dispatch(ColUsers, lo, hi, func(s Shard, b, e int) { s.Users(ds.Users[b:e], b) })
+		dispatch(ColUsers, lo, hi, func(s Shard, b, e int) { s.Users(ds.Users[b:e], off.Users+b) })
 	}
 	if need&ColPosts != 0 {
 		lo, hi := cut(len(ds.Posts), wi, w)
-		dispatch(ColPosts, lo, hi, func(s Shard, b, e int) { s.Posts(ds.Posts[b:e], b) })
+		dispatch(ColPosts, lo, hi, func(s Shard, b, e int) { s.Posts(ds.Posts[b:e], off.Posts+b) })
 	}
 	if need&ColDays != 0 {
 		lo, hi := cut(len(ds.Daily), wi, w)
-		dispatch(ColDays, lo, hi, func(s Shard, b, e int) { s.Days(ds.Daily[b:e], b) })
+		dispatch(ColDays, lo, hi, func(s Shard, b, e int) { s.Days(ds.Daily[b:e], off.Days+b) })
 	}
 	var tables *LabelTables
 	if need&ColLabels != 0 {
@@ -215,7 +252,7 @@ func feedRange(ds *core.Dataset, accs []Accumulator, shards []Shard, wi, w int, 
 		meta := make([]LabelMeta, 0, blockSize)
 		for b := lo; b < hi; b += blockSize {
 			be := min(b+blockSize, hi)
-			chunk := LabelChunk{Labels: ds.Labels[b:be], Base: b}
+			chunk := LabelChunk{Labels: ds.Labels[b:be], Base: off.Labels + b}
 			chunk.Meta = buildLabelMeta(ds.Labelers, chunk.Labels, meta[:0], tables, didIdx)
 			chunk.NumURIs = len(tables.URIs)
 			chunk.NumVals = len(tables.Vals)
@@ -228,15 +265,15 @@ func feedRange(ds *core.Dataset, accs []Accumulator, shards []Shard, wi, w int, 
 	}
 	if need&ColFeedGens != 0 {
 		lo, hi := cut(len(ds.FeedGens), wi, w)
-		dispatch(ColFeedGens, lo, hi, func(s Shard, b, e int) { s.FeedGens(ds.FeedGens[b:e], b) })
+		dispatch(ColFeedGens, lo, hi, func(s Shard, b, e int) { s.FeedGens(ds.FeedGens[b:e], off.FeedGens+b) })
 	}
 	if need&ColDomains != 0 {
 		lo, hi := cut(len(ds.Domains), wi, w)
-		dispatch(ColDomains, lo, hi, func(s Shard, b, e int) { s.Domains(ds.Domains[b:e], b) })
+		dispatch(ColDomains, lo, hi, func(s Shard, b, e int) { s.Domains(ds.Domains[b:e], off.Domains+b) })
 	}
 	if need&ColHandleUpdates != 0 {
 		lo, hi := cut(len(ds.HandleUpdates), wi, w)
-		dispatch(ColHandleUpdates, lo, hi, func(s Shard, b, e int) { s.HandleUpdates(ds.HandleUpdates[b:e], b) })
+		dispatch(ColHandleUpdates, lo, hi, func(s Shard, b, e int) { s.HandleUpdates(ds.HandleUpdates[b:e], off.HandleUpdates+b) })
 	}
 	return tables
 }

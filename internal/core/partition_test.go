@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func day(d int) time.Time { return time.Date(2024, 3, d, 0, 0, 0, 0, time.UTC) }
+
+// TestSplitBounds pins the row-range split: balanced contiguous
+// cuts, corpus facts on partition 0 only, the full labeler
+// enumeration everywhere, and zero-copy views.
+func TestSplitBounds(t *testing.T) {
+	ds := &Dataset{
+		Scale:       100,
+		WindowStart: day(1),
+		WindowEnd:   day(10),
+		Firehose:    EventCounts{Commits: 42, Identity: 7},
+		Labelers:    []Labeler{{DID: "did:plc:a"}, {DID: "did:plc:b"}},
+	}
+	for i := 0; i < 10; i++ {
+		ds.Users = append(ds.Users, User{DID: "u"})
+		ds.Daily = append(ds.Daily, DayActivity{Date: day(i + 1)})
+	}
+	for i := 0; i < 7; i++ {
+		ds.Labels = append(ds.Labels, Label{Val: "x"})
+	}
+	parts, m := Split(ds, 3)
+	if len(parts) != 3 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	users, labels := 0, 0
+	for k, p := range parts {
+		users += len(p.Users)
+		labels += len(p.Labels)
+		if len(p.Labelers) != 2 {
+			t.Fatalf("partition %d lost the labeler enumeration", k)
+		}
+		if k > 0 && p.Firehose.Total() != 0 {
+			t.Fatalf("partition %d double-counts firehose events", k)
+		}
+		if p.Scale != 100 || !p.WindowStart.Equal(day(1)) {
+			t.Fatalf("partition %d lost corpus window/scale", k)
+		}
+	}
+	if users != 10 || labels != 7 {
+		t.Fatalf("split dropped records: users=%d labels=%d", users, labels)
+	}
+	if parts[0].Firehose != ds.Firehose {
+		t.Fatal("partition 0 must carry the firehose counters")
+	}
+	// Views, not copies.
+	parts[1].Users[0].Handle = "aliased"
+	if ds.Users[len(parts[0].Users)].Handle != "aliased" {
+		t.Fatal("split partitions must alias the original arrays")
+	}
+	// Manifest windows derive from each partition's daily range.
+	if got := m.Partitions[1].WindowStart; !got.Equal(parts[1].Daily[0].Date) {
+		t.Fatalf("partition 1 window start %v", got)
+	}
+	if !strings.Contains(m.Plan(), "split (corpus-global indexes)") {
+		t.Fatalf("plan misses split mode:\n%s", m.Plan())
+	}
+}
+
+// TestMergeLabelers pins the enumeration-agreement contract.
+func TestMergeLabelers(t *testing.T) {
+	a := []Labeler{{DID: "did:plc:a", Likes: 1}, {DID: "did:plc:b"}}
+	prefix := []Labeler{{DID: "did:plc:a", Likes: 99}}
+	longer := []Labeler{{DID: "did:plc:a"}, {DID: "did:plc:b"}, {DID: "did:plc:c"}}
+	merged, err := MergeLabelers(nil, a)
+	if err != nil || len(merged) != 2 {
+		t.Fatalf("merge into empty: %v %d", err, len(merged))
+	}
+	if merged, err = MergeLabelers(merged, prefix); err != nil || len(merged) != 2 || merged[0].Likes != 1 {
+		t.Fatalf("prefix merge must keep first-seen records: %v %+v", err, merged)
+	}
+	if merged, err = MergeLabelers(merged, longer); err != nil || len(merged) != 3 {
+		t.Fatalf("extension merge: %v %d", err, len(merged))
+	}
+	if _, err = MergeLabelers(merged, []Labeler{{DID: "did:plc:z"}}); err == nil {
+		t.Fatal("conflicting enumeration order must error")
+	}
+}
+
+// TestCollectionCounts pins the bookkeeping helpers.
+func TestCollectionCounts(t *testing.T) {
+	a := CollectionCounts{Users: 1, Posts: 2, Days: 3, Labels: 4, FeedGens: 5, Domains: 6, HandleUpdates: 7}
+	if a.Total() != 28 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	var b CollectionCounts
+	b.Add(a)
+	b.Add(a)
+	if b.Users != 2 || b.HandleUpdates != 14 {
+		t.Fatalf("Add broken: %+v", b)
+	}
+}

@@ -114,14 +114,30 @@ func langActivityShare(lang string, t time.Time) float64 {
 	return 0
 }
 
+// userShards is the fixed fan-out of user generation — a constant,
+// not GOMAXPROCS, so the population is identical at any parallelism
+// level (same rule as postShards/histShards).
+const userShards = 8
+
 // genUsers populates the user population: signup dates proportional to
 // the growth curve, language assignment, and follow-graph degrees.
-func genUsers(ds *core.Dataset, rng *rand.Rand) {
+// Users are generated in userShards disjoint index ranges, each from
+// its own deterministic RNG stream (`stageUserShard0 + k`), the same
+// fan-out pattern as genPosts. didBase offsets the DID numbering so
+// independently generated partitions (GeneratePartitioned) never
+// collide on identifiers; headlineScale, when non-zero, places the
+// unique most-followed / most-blocked accounts at that (corpus)
+// scale — a partitioned generation anchors only partition 0, the same
+// uniqueness rule as genFeedGens' named feeds, and anchors are
+// corpus-unique so they must not shrink with the per-partition
+// Scale·n division.
+func genUsers(ds *core.Dataset, seed int64, sequential bool, didBase int64, headlineScale int) {
 	n := scaled(TargetUsers, ds.Scale, 500)
-	users := make([]core.User, 0, n)
+	users := make([]core.User, n)
 
 	// Signup-date sampling: weight each day by DAU (growing platforms
-	// acquire proportionally to activity).
+	// acquire proportionally to activity). The cumulative weights are
+	// RNG-free, so every shard shares them.
 	days := int(WindowEnd.Sub(LaunchDate).Hours() / 24)
 	weights := make([]float64, days)
 	var totalW float64
@@ -135,7 +151,7 @@ func genUsers(ds *core.Dataset, rng *rand.Rand) {
 		acc += w / totalW
 		cum[i] = acc
 	}
-	sampleDay := func() time.Time {
+	sampleDay := func(rng *rand.Rand) time.Time {
 		u := rng.Float64()
 		lo, hi := 0, days-1
 		for lo < hi {
@@ -150,27 +166,50 @@ func genUsers(ds *core.Dataset, rng *rand.Rand) {
 	}
 
 	maxFollowers := scaled(775_000, ds.Scale, 200) // the official account's 775K
-	for i := 0; i < n; i++ {
-		u := core.User{
-			DID:       fmt.Sprintf("did:plc:%024d", i),
-			CreatedAt: sampleDay(),
+	fill := func(shard int) {
+		rng := stageRNG(seed, stageUserShard0+uint64(shard))
+		lo, hi := n*shard/userShards, n*(shard+1)/userShards
+		for i := lo; i < hi; i++ {
+			u := core.User{
+				DID:       fmt.Sprintf("did:plc:%024d", didBase+int64(i)),
+				CreatedAt: sampleDay(rng),
+			}
+			if rng.Float64() < postedShare {
+				u.Lang = pickLang(rng)
+			}
+			// Degrees: bounded power laws; total follows scale-consistent.
+			u.Followers = powerlawInt(rng, 2.05, maxFollowers) - 1
+			u.Following = powerlawInt(rng, 1.9, 8_000) - 1
+			users[i] = u
 		}
-		if rng.Float64() < postedShare {
-			u.Lang = pickLang(rng)
+	}
+	if sequential {
+		for shard := 0; shard < userShards; shard++ {
+			fill(shard)
 		}
-		// Degrees: bounded power laws; total follows scale-consistent.
-		u.Followers = powerlawInt(rng, 2.05, maxFollowers) - 1
-		u.Following = powerlawInt(rng, 1.9, 8_000) - 1
-		users = append(users, u)
+	} else {
+		var wg sync.WaitGroup
+		for shard := 0; shard < userShards; shard++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				fill(shard)
+			}(shard)
+		}
+		wg.Wait()
 	}
 	// The most-followed accounts (official, newspapers) and the
-	// most-blocked ones (impersonators, propagandists).
-	users[0].Followers = maxFollowers
-	if n > 2 {
-		users[1].Followers = scaled(220_000, ds.Scale, 120)
-		users[2].Followers = scaled(205_000, ds.Scale, 110)
-		users[1].Blocks = scaled(15_000, ds.Scale, 20)
-		users[2].Blocks = scaled(14_500, ds.Scale, 18)
+	// most-blocked ones (impersonators, propagandists) — deterministic
+	// overrides, no RNG draws. They exist once per corpus, not once
+	// per partition, and keep their corpus-scale magnitudes.
+	if headlineScale > 0 {
+		users[0].Followers = scaled(775_000, headlineScale, 200)
+		if n > 2 {
+			users[1].Followers = scaled(220_000, headlineScale, 120)
+			users[2].Followers = scaled(205_000, headlineScale, 110)
+			users[1].Blocks = scaled(15_000, headlineScale, 20)
+			users[2].Blocks = scaled(14_500, headlineScale, 18)
+		}
 	}
 	ds.Users = users
 }

@@ -58,8 +58,12 @@ var fgVocab = map[string][]string{
 // runs 1,799.
 const maxFeedsOneAccount = 1_799
 
-// genFeedGens builds the feed generator ecosystem.
-func genFeedGens(ds *core.Dataset, rng *rand.Rand) {
+// genFeedGens builds the feed generator ecosystem. anchorScale, when
+// non-zero, places the §7.1 named feeds at that (corpus) scale; a
+// partitioned generation anchors only partition 0 so the paper's
+// named feeds stay unique — and keep their corpus-scale magnitudes —
+// in the merged corpus.
+func genFeedGens(ds *core.Dataset, rng *rand.Rand, anchorScale int) {
 	type platFeed struct {
 		platform string
 		idx      int
@@ -172,7 +176,9 @@ func genFeedGens(ds *core.Dataset, rng *rand.Rand) {
 	// Named feeds from §7.1 anchoring the extremes of Figure 10
 	// (applied after the portfolio dampening so their calibrated
 	// like counts survive).
-	anchorNamedFeeds(ds, rng, fgs)
+	if anchorScale > 0 {
+		anchorNamedFeeds(anchorScale, fgs)
+	}
 	// Small worlds can round the 0.53 % heavily-labeled population to
 	// zero; guarantee the Figure 9 population exists.
 	heavy := 0
@@ -286,7 +292,8 @@ func buildFeedGen(ds *core.Dataset, rng *rand.Rand, creator int, platform string
 // anchorNamedFeeds overwrites a few slots with the feeds the paper
 // names: personalized recommenders with huge like counts and zero
 // crawlable posts, and automatic aggregators with huge post counts.
-func anchorNamedFeeds(ds *core.Dataset, rng *rand.Rand, fgs []core.FeedGen) {
+// scale is the corpus scale — the anchors are corpus-unique.
+func anchorNamedFeeds(scale int, fgs []core.FeedGen) {
 	if len(fgs) < 8 {
 		return
 	}
@@ -299,12 +306,12 @@ func anchorNamedFeeds(ds *core.Dataset, rng *rand.Rand, fgs []core.FeedGen) {
 		desc         string
 	}
 	anchors := []anchor{
-		{"the-algorithm", true, 0, scaled(16_000, ds.Scale, 40), "en", "personalized feed based on your likes"},
-		{"whats-hot", true, 0, scaled(14_000, ds.Scale, 35), "en", "trending content from your personal network"},
-		{"4dff350a5a3e", false, scaled(420_000, ds.Scale, 900), scaled(60, ds.Scale, 3), "ja", "ラーメン 関連の投稿を自動収集"},
-		{"hebrew-feed", false, scaled(380_000, ds.Scale, 800), scaled(90, ds.Scale, 4), "en", "automatically reposts all content in Hebrew"},
-		{"blacksky", false, scaled(45_000, ds.Scale, 150), scaled(9_000, ds.Scale, 25), "en", "community curated posts from Black Bluesky"},
-		{"furry-new", false, scaled(52_000, ds.Scale, 160), scaled(8_000, ds.Scale, 22), "en", "new furry art posts community feed"},
+		{"the-algorithm", true, 0, scaled(16_000, scale, 40), "en", "personalized feed based on your likes"},
+		{"whats-hot", true, 0, scaled(14_000, scale, 35), "en", "trending content from your personal network"},
+		{"4dff350a5a3e", false, scaled(420_000, scale, 900), scaled(60, scale, 3), "ja", "ラーメン 関連の投稿を自動収集"},
+		{"hebrew-feed", false, scaled(380_000, scale, 800), scaled(90, scale, 4), "en", "automatically reposts all content in Hebrew"},
+		{"blacksky", false, scaled(45_000, scale, 150), scaled(9_000, scale, 25), "en", "community curated posts from Black Bluesky"},
+		{"furry-new", false, scaled(52_000, scale, 160), scaled(8_000, scale, 22), "en", "new furry art posts community feed"},
 	}
 	for i, a := range anchors {
 		fg := &fgs[i]
@@ -319,7 +326,6 @@ func anchorNamedFeeds(ds *core.Dataset, rng *rand.Rand, fgs []core.FeedGen) {
 		if a.posts > 0 {
 			fg.LastPost = WindowEnd.AddDate(0, 0, -1)
 		}
-		_ = rng
 	}
 }
 

@@ -82,8 +82,10 @@ const (
 
 // genIdentity assigns handles, DID methods, ownership proofs, builds
 // the registered-domain population with registrars, and the handle
-// update stream.
-func genIdentity(ds *core.Dataset, rng *rand.Rand) {
+// update stream. tag prefixes synthetic domain names so independently
+// generated partitions (one per simulated crawl) register disjoint
+// domain populations ("" for a monolithic corpus).
+func genIdentity(ds *core.Dataset, rng *rand.Rand, tag string) {
 	n := len(ds.Users)
 	altN := scaled(TargetAltHandles, ds.Scale, 80)
 	if altN > n/2 {
@@ -118,7 +120,7 @@ func genIdentity(ds *core.Dataset, rng *rand.Rand) {
 		}
 		tld := pickTLD(rng)
 		domains = append(domains, core.Domain{
-			Name:       fmt.Sprintf("domain%06d.%s", idx, tld.TLD),
+			Name:       fmt.Sprintf("%sdomain%06d.%s", tag, idx, tld.TLD),
 			CCTLD:      tld.CCTLD,
 			Subdomains: sub,
 		})

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -130,14 +131,35 @@ const (
 	shareMediaTargets   = 0.0014
 )
 
-// genModeration builds the labeler population and the label stream.
-// The labeler population, the per-labeler spec streams, and the
-// rescind pass draw serially from the stage RNG; the historic-label
-// loop — the stage's dominant cost after scaling — fans out over
-// histShards fixed sub-streams the same way genPosts does, so the
-// output is byte-identical at any parallelism level.
-func genModeration(ds *core.Dataset, seed int64, sequential bool) {
+// genLabelers generates the standalone labeler enumeration — the
+// corpus-level population a partitioned generation shares across all
+// partitions (labels are attributed by labeler index, so every
+// partition must agree on the enumeration).
+func genLabelers(rng *rand.Rand) []core.Labeler {
+	tmp := &core.Dataset{}
+	genLabelerPopulation(tmp, rng)
+	return tmp.Labelers
+}
+
+// genModeration builds the labeler population (unless one was injected
+// — a partitioned generation shares the corpus enumeration) and the
+// label stream. The labeler population, the per-labeler spec streams,
+// and the rescind pass draw serially from the stage RNG; the
+// historic-label loop — the stage's dominant cost after scaling — fans
+// out over histShards fixed sub-streams the same way genPosts does, so
+// the output is byte-identical at any parallelism level. part tags
+// this partition's synthetic historic subjects so independent
+// partitions never collide on URIs.
+func genModeration(ds *core.Dataset, seed int64, sequential bool, part int) {
 	rng := stageRNG(seed, stageModeration)
+	if len(ds.Labelers) == 0 {
+		genLabelerPopulation(ds, rng)
+	}
+	genLabels(ds, rng, seed, sequential, part)
+}
+
+// genLabelerPopulation appends the §6.1 labeler population to ds.
+func genLabelerPopulation(ds *core.Dataset, rng *rand.Rand) {
 	// Active labelers from the spec table.
 	specCount := len(labelerSpecs)
 	for i, spec := range labelerSpecs {
@@ -192,7 +214,10 @@ func genModeration(ds *core.Dataset, seed int64, sequential bool) {
 			Hosting:   "unknown",
 		})
 	}
+}
 
+// genLabels builds the label stream against ds.Labelers.
+func genLabels(ds *core.Dataset, rng *rand.Rand, seed int64, sequential bool, part int) {
 	// Label stream. Every labeler's volume shrinks by the same
 	// divisor (capped at 200 so the Table 6 tail keeps ≥3 samples),
 	// which preserves the rank ordering of Tables 3 and 6 at any
@@ -271,7 +296,7 @@ func genModeration(ds *core.Dataset, seed int64, sequential bool) {
 			created := day.Add(-secsDuration(int64(lognormal(srng, 600, 1.5))))
 			hist[i] = core.Label{
 				Src: official.DID, Val: val, Kind: core.SubjectPost,
-				URI:            fmt.Sprintf("at://did:plc:historic/app.bsky.feed.post/3h%011d", i),
+				URI:            fmt.Sprintf("at://did:plc:historic%03d/app.bsky.feed.post/3h%011d", part, i),
 				SubjectCreated: created,
 				Applied:        day,
 			}

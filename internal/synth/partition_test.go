@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"blueskies/internal/core"
+)
+
+// TestUserShardingDeterminism pins the genUsers fan-out the same way
+// the posts and historic-label shardings are pinned: the 8 fixed user
+// RNG sub-streams must emit the identical population under GOMAXPROCS
+// 1 and 8, and the parallel schedule must equal the strictly serial
+// reference path.
+func TestUserShardingDeterminism(t *testing.T) {
+	cfg := Config{Scale: 400, Seed: 5} // ~13.8K users span all 8 shards
+	seq := generateSequential(cfg)
+	par := Generate(cfg)
+	if !reflect.DeepEqual(seq.Users, par.Users) {
+		t.Fatal("sharded genUsers: parallel schedule diverges from serial reference")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(1)
+	one := Generate(cfg)
+	runtime.GOMAXPROCS(8)
+	eight := Generate(cfg)
+	if !reflect.DeepEqual(one.Users, eight.Users) {
+		t.Fatal("genUsers differs between GOMAXPROCS=1 and GOMAXPROCS=8")
+	}
+}
+
+// TestGeneratePartitionedDeterministic requires partitioned generation
+// to be byte-identical run to run and across parallelism levels: the
+// partition streams are fixed functions of (Scale, Seed, n), never of
+// scheduling.
+func TestGeneratePartitionedDeterministic(t *testing.T) {
+	cfg := Config{Scale: 1000, Seed: 7}
+	a, ma := GeneratePartitioned(cfg, 4)
+	b, mb := GeneratePartitioned(cfg, 4)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(ma, mb) {
+		t.Fatal("two partitioned generations with identical (Scale, Seed, n) differ")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(1)
+	one, _ := GeneratePartitioned(cfg, 4)
+	runtime.GOMAXPROCS(8)
+	eight, _ := GeneratePartitioned(cfg, 4)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatal("partitioned generation differs between GOMAXPROCS=1 and GOMAXPROCS=8")
+	}
+}
+
+// TestGeneratePartitionedShape pins the partition contract: shared
+// labeler enumeration, corpus-level facts on partition 0 only,
+// disjoint identifier spaces, and a manifest whose bases are prefix
+// sums in partition order.
+func TestGeneratePartitionedShape(t *testing.T) {
+	const n = 3
+	parts, m := GeneratePartitioned(Config{Scale: 1000, Seed: 11}, n)
+	if len(parts) != n || len(m.Partitions) != n {
+		t.Fatalf("%d parts, %d manifest entries, want %d", len(parts), len(m.Partitions), n)
+	}
+	if m.SharedIndex {
+		t.Fatal("independent partitions must not claim corpus-global indexes")
+	}
+	if m.Scale != 1000 || m.Seed != 11 {
+		t.Fatalf("manifest corpus facts wrong: %+v", m)
+	}
+	var base core.CollectionCounts
+	seen := map[int64]bool{}
+	for k, p := range parts {
+		if !reflect.DeepEqual(p.Labelers, parts[0].Labelers) {
+			t.Fatalf("partition %d labeler enumeration diverges", k)
+		}
+		if len(p.Users) == 0 || len(p.Posts) == 0 || len(p.Labels) == 0 {
+			t.Fatalf("partition %d is missing volume collections: %+v", k, p.Counts())
+		}
+		if k > 0 {
+			if len(p.Daily) != 0 || p.Firehose.Total() != 0 || p.NonBskyEvents != 0 {
+				t.Fatalf("partition %d carries corpus-level facts (double counting)", k)
+			}
+		} else if len(p.Daily) == 0 || p.Firehose.Total() == 0 {
+			t.Fatal("partition 0 must carry the firehose window facts")
+		}
+		if m.Partitions[k].Base != base {
+			t.Fatalf("partition %d base = %+v, want %+v", k, m.Partitions[k].Base, base)
+		}
+		base.Add(p.Counts())
+		if seen[m.Partitions[k].Seed] {
+			t.Fatalf("partition %d reuses another partition's seed", k)
+		}
+		seen[m.Partitions[k].Seed] = true
+		for _, other := range parts[:k] {
+			if p.Users[0].DID == other.Users[0].DID {
+				t.Fatalf("partition %d shares identifier space with an earlier partition", k)
+			}
+		}
+		for i := range p.Posts {
+			if a := p.Posts[i].AuthorIdx; a < 0 || a >= len(p.Users) {
+				t.Fatalf("partition %d post %d author index %d is not partition-local", k, i, a)
+			}
+		}
+	}
+	if m.Totals() != base {
+		t.Fatalf("manifest totals %+v != summed counts %+v", m.Totals(), base)
+	}
+	if plan := m.Plan(); !strings.Contains(plan, "independent") || !strings.Contains(plan, "3 partition(s)") {
+		t.Fatalf("plan summary missing partition facts:\n%s", plan)
+	}
+}
+
+// TestSplitRoundTrip pins Split/Concat as inverses: concatenating a
+// split corpus reproduces the original dataset exactly (views, no
+// copies — and SharedIndex, so no rebasing).
+func TestSplitRoundTrip(t *testing.T) {
+	ds := Generate(Config{Scale: 2000, Seed: 3})
+	for _, n := range []int{1, 3, 8} {
+		parts, m := core.Split(ds, n)
+		if !m.SharedIndex {
+			t.Fatal("split partitions carry corpus-global indexes")
+		}
+		back, err := core.Concat(parts, false)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back.Scale = ds.Scale // Concat takes scale from partition 0 (equal here)
+		if !reflect.DeepEqual(ds.Users, back.Users) || !reflect.DeepEqual(ds.Posts, back.Posts) ||
+			!reflect.DeepEqual(ds.Daily, back.Daily) || !reflect.DeepEqual(ds.Labels, back.Labels) ||
+			!reflect.DeepEqual(ds.FeedGens, back.FeedGens) || !reflect.DeepEqual(ds.Domains, back.Domains) ||
+			!reflect.DeepEqual(ds.HandleUpdates, back.HandleUpdates) ||
+			!reflect.DeepEqual(ds.Labelers, back.Labelers) || ds.Firehose != back.Firehose {
+			t.Fatalf("n=%d: Concat(Split(ds)) != ds", n)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package synth
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -89,6 +90,12 @@ const (
 	stagePostShard0 uint64 = 100
 	// stageHistShard0 + k seeds historic-label shard k.
 	stageHistShard0 uint64 = 200
+	// stageUserShard0 + k seeds user shard k.
+	stageUserShard0 uint64 = 300
+	// stagePartition0 + k derives partition k's seed for
+	// GeneratePartitioned — a whole per-partition stage space disjoint
+	// from the corpus streams and from every other partition's.
+	stagePartition0 uint64 = 1000
 )
 
 // stageRNG derives a stage's deterministic RNG stream. The golden
@@ -128,12 +135,12 @@ func generate(cfg Config, sequential bool) *core.Dataset {
 		WindowEnd:   WindowEnd,
 	}
 	if sequential {
-		genUsers(ds, stageRNG(cfg.Seed, stageUsers))
+		genUsers(ds, cfg.Seed, true, 0, cfg.Scale)
 		genActivity(ds, stageRNG(cfg.Seed, stageActivity))
 		genPosts(ds, cfg.Seed, true)
-		genIdentity(ds, stageRNG(cfg.Seed, stageIdentity))
-		genModeration(ds, cfg.Seed, true)
-		genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens))
+		genIdentity(ds, stageRNG(cfg.Seed, stageIdentity), "")
+		genModeration(ds, cfg.Seed, true, 0)
+		genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens), cfg.Scale)
 		return ds
 	}
 	var activity sync.WaitGroup
@@ -142,18 +149,115 @@ func generate(cfg Config, sequential bool) *core.Dataset {
 		defer activity.Done()
 		genActivity(ds, stageRNG(cfg.Seed, stageActivity))
 	}()
-	genUsers(ds, stageRNG(cfg.Seed, stageUsers))
+	genUsers(ds, cfg.Seed, false, 0, cfg.Scale)
 	genPosts(ds, cfg.Seed, false)
-	genIdentity(ds, stageRNG(cfg.Seed, stageIdentity))
+	genIdentity(ds, stageRNG(cfg.Seed, stageIdentity), "")
 	var tail sync.WaitGroup
 	tail.Add(1)
 	go func() {
 		defer tail.Done()
-		genModeration(ds, cfg.Seed, false)
+		genModeration(ds, cfg.Seed, false, 0)
 	}()
-	genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens))
+	genFeedGens(ds, stageRNG(cfg.Seed, stageFeedGens), cfg.Scale)
 	tail.Wait()
 	activity.Wait()
+	return ds
+}
+
+// didPartitionStride spaces partition DID numbering so independently
+// generated partitions never collide on identifiers (the 24-digit
+// did:plc numbering leaves ample room above any per-partition count).
+const didPartitionStride = 1_000_000_000_000
+
+// partitionSeed derives partition k's generation seed — a disjoint
+// per-partition stage space under the corpus seed.
+func partitionSeed(seed int64, k int) int64 {
+	return int64(uint64(seed) ^ (stagePartition0+uint64(k))*0x9E3779B97F4A7C15)
+}
+
+// GeneratePartitioned produces the corpus of Generate's calibration as
+// n independent datasets — one per simulated repo-crawl shard — on
+// disjoint RNG sub-streams, plus the manifest describing them. Unlike
+// core.Split (row-range views of one monolith), the partitions are
+// generated independently and in parallel, and the whole corpus is
+// never materialized in one heap: each partition owns its slabs and
+// can be generated, streamed, and released on its own.
+//
+// The volume targets divide across partitions (each partition runs the
+// staged generator at Scale·n), while the corpus-level facts are
+// generated once from the corpus seed and shared: every partition
+// carries the same labeler enumeration (labels are attributed by
+// labeler index, which must agree across partitions), and the firehose
+// window facts — the daily activity series and event counters — ride
+// on partition 0, so partition facts sum to corpus facts without
+// double-counting. Index-bearing record fields (Post.AuthorIdx,
+// FeedGen.CreatorIdx) are partition-local; the manifest's user bases
+// (SharedIndex=false) tell the analysis merge how to rebase them.
+//
+// Deterministic in (Scale, Seed, n) at any parallelism level; the
+// partition set is NOT byte-identical to Generate's monolith (the
+// streams are disjoint by construction), but evaluating it through the
+// two-level merge matches the flat evaluation of the concatenated
+// partitions exactly (TestFederatedPartitionsMatchConcat).
+func GeneratePartitioned(cfg Config, n int) ([]*core.Dataset, *core.Manifest) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	// Corpus-level stages on the corpus seed's streams.
+	labelers := genLabelers(stageRNG(cfg.Seed, stageModeration))
+	shared := &core.Dataset{Scale: cfg.Scale, WindowStart: WindowStart, WindowEnd: WindowEnd}
+	genActivity(shared, stageRNG(cfg.Seed, stageActivity))
+
+	parts := make([]*core.Dataset, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			parts[k] = generatePartition(cfg, n, k, labelers)
+		}(k)
+	}
+	wg.Wait()
+	parts[0].Daily = shared.Daily
+	parts[0].Firehose = shared.Firehose
+	parts[0].NonBskyEvents = shared.NonBskyEvents
+
+	m := core.BuildManifest(parts, cfg.Scale, cfg.Seed, false)
+	for k := range m.Partitions {
+		m.Partitions[k].Seed = partitionSeed(cfg.Seed, k)
+	}
+	return parts, m
+}
+
+// generatePartition runs the staged generator for one partition: the
+// usual stage DAG minus the corpus-level activity stage, on the
+// partition seed's streams, with volume targets divided by n.
+func generatePartition(cfg Config, n, k int, labelers []core.Labeler) *core.Dataset {
+	seed := partitionSeed(cfg.Seed, k)
+	ds := &core.Dataset{
+		Scale:       cfg.Scale * n,
+		WindowStart: WindowStart,
+		WindowEnd:   WindowEnd,
+		Labelers:    labelers,
+	}
+	anchorScale := 0
+	if k == 0 {
+		anchorScale = cfg.Scale // corpus-unique anchors keep corpus-scale magnitudes
+	}
+	genUsers(ds, seed, false, int64(k)*didPartitionStride, anchorScale)
+	genPosts(ds, seed, false)
+	genIdentity(ds, stageRNG(seed, stageIdentity), fmt.Sprintf("p%d-", k))
+	var tail sync.WaitGroup
+	tail.Add(1)
+	go func() {
+		defer tail.Done()
+		genModeration(ds, seed, false, k)
+	}()
+	genFeedGens(ds, stageRNG(seed, stageFeedGens), anchorScale)
+	tail.Wait()
 	return ds
 }
 
