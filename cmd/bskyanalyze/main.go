@@ -7,6 +7,8 @@
 //	bskyanalyze -partitions N [-partition-mode split|independent] [-plan]
 //	bskyanalyze -input seed=1,scale=1000 -input seed=2,scale=1000 ...
 //	bskyanalyze -follow [-snapshot-every N] [-partitions N]
+//	bskyanalyze -spill DIR [-partitions N] [-partition-mode M]
+//	bskyanalyze -corpus DIR [-plan] [-only T1] [-workers N]
 //
 // By default the evaluation runs through the single-pass engine
 // (analysis.RunAll), which shards the dataset traversal across
@@ -32,6 +34,16 @@
 // holding the materialized dataset, and refreshed tables print as
 // merged stop-the-world snapshots arrive. The final snapshot is
 // byte-identical to the batch output.
+//
+// -spill DIR writes the corpus the other flags describe to DIR as a
+// disk-backed partition store (block files + manifest.json, DESIGN.md
+// §8) instead of evaluating it; in independent mode the partitions
+// spill as they are generated, so memory stays bounded by one resident
+// partition per worker at any -partitions count. -corpus DIR evaluates
+// a previously spilled store out of core: partitions stream from disk
+// block by block through the two-level merge, byte-identical to the
+// in-memory evaluation of the same corpus. -corpus honors -plan, -only,
+// and -workers; generation flags are ignored.
 package main
 
 import (
@@ -67,6 +79,8 @@ func main() {
 	partitionMode := flag.String("partition-mode", "split",
 		"how -partitions produces partitions: 'split' (row-range views, byte-identical to the unsplit run) or 'independent' (disjoint RNG sub-streams, one dataset per simulated crawl)")
 	plan := flag.Bool("plan", false, "print the partition-plan summary")
+	spill := flag.String("spill", "", "write the corpus to this directory as a disk-backed partition store instead of evaluating it")
+	corpus := flag.String("corpus", "", "evaluate a previously spilled partition store out of core (directory with manifest.json)")
 	var inputs []inputSpec
 	flag.Func("input", "independent corpus spec 'seed=S[,scale=C]' (repeatable); evaluates all inputs as one federated corpus", func(s string) error {
 		var spec inputSpec
@@ -116,6 +130,25 @@ func main() {
 			}
 			fmt.Println(r.String())
 		}
+	}
+
+	if *spill != "" && *corpus != "" {
+		fatal(fmt.Errorf("-spill and -corpus are mutually exclusive"))
+	}
+	if *follow && (*spill != "" || *corpus != "") {
+		fatal(fmt.Errorf("-follow streams live sequencers; it does not combine with -spill/-corpus"))
+	}
+	if *corpus != "" {
+		if err := runCorpus(*corpus, *plan, *workers, print); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *spill != "" {
+		if err := runSpill(*spill, inputs, *partitions, *partitionMode, *scale, *seed, *workers); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	parts, manifest, err := buildCorpus(inputs, *partitions, *partitionMode, *scale, *seed)
@@ -199,6 +232,63 @@ func buildCorpus(inputs []inputSpec, partitions int, mode string, scale int, see
 	default:
 		return []*core.Dataset{synth.Generate(synth.Config{Scale: scale, Seed: seed})}, nil, nil
 	}
+}
+
+// runSpill writes the corpus the generation flags describe to dir as a
+// disk-backed partition store. Independent partitions spill as they
+// are generated (bounded memory: one resident partition per worker);
+// split views and federated inputs materialize first — a split is a
+// view of one monolith by construction.
+func runSpill(dir string, inputs []inputSpec, partitions int, mode string, scale int, seed int64, workers int) error {
+	var m *core.Manifest
+	// Same gate as buildCorpus: partitions == 1 means the plain
+	// monolith regardless of mode, so spilling and evaluating the same
+	// flags always describe the same corpus.
+	if len(inputs) == 0 && partitions > 1 && mode == "independent" {
+		var err error
+		if m, err = synth.GeneratePartitionedTo(synth.Config{Scale: scale, Seed: seed}, partitions, dir, workers); err != nil {
+			return err
+		}
+	} else {
+		parts, manifest, err := buildCorpus(inputs, partitions, mode, scale, seed)
+		if err != nil {
+			return err
+		}
+		if manifest == nil {
+			manifest = core.BuildManifest(parts, parts[0].Scale, seed, true)
+		}
+		if err := core.WriteCorpus(dir, parts, manifest); err != nil {
+			return err
+		}
+		m = manifest
+	}
+	fmt.Print(m.Plan())
+	fmt.Printf("spilled %d partition(s) to %s\n", len(m.Partitions), dir)
+	return nil
+}
+
+// runCorpus evaluates a previously spilled partition store out of
+// core: every partition streams from disk block by block through the
+// two-level merge, byte-identical to the in-memory evaluation.
+func runCorpus(dir string, plan bool, workers int, print func([]*analysis.Report)) error {
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		return err
+	}
+	if plan {
+		fmt.Print(c.Manifest.Plan())
+		return nil
+	}
+	if len(c.Manifest.Partitions) > 1 {
+		fmt.Print(c.Manifest.Plan())
+		fmt.Println()
+	}
+	reports, err := analysis.RunAllDisk(c, workers)
+	if err != nil {
+		return err
+	}
+	print(reports)
+	return nil
 }
 
 // runFollow replays every partition through its own firehose + labeler

@@ -2,6 +2,12 @@
 // directory, DNS, WHOIS, PDSes, Relay with Firehose, AppView — seeds
 // it with a small population, and prints the endpoints so other tools
 // (bskycrawl, firehose) can be pointed at it.
+//
+// With -spill DIR it instead runs in output mode: no network boots;
+// a calibrated synthetic corpus (-scale/-seed, -partitions shards on
+// disjoint RNG sub-streams) is generated straight into a disk-backed
+// partition store at DIR, one resident partition per worker, ready for
+// `bskyanalyze -corpus DIR` to evaluate out of core.
 package main
 
 import (
@@ -15,13 +21,29 @@ import (
 	"blueskies/internal/identity"
 	"blueskies/internal/lexicon"
 	"blueskies/internal/netsim"
+	"blueskies/internal/synth"
 )
 
 func main() {
 	pdsCount := flag.Int("pds", 2, "number of PDSes")
 	users := flag.Int("users", 10, "seed accounts")
 	posts := flag.Int("posts", 5, "posts per account")
+	spill := flag.String("spill", "", "output mode: write a synthetic corpus to this directory as a partition store and exit (no network)")
+	scale := flag.Int("scale", 1000, "corpus downscaling factor in -spill mode")
+	seed := flag.Int64("seed", 2024, "generation seed in -spill mode")
+	partitions := flag.Int("partitions", 4, "partition count in -spill mode")
 	flag.Parse()
+
+	if *spill != "" {
+		m, err := synth.GeneratePartitionedTo(synth.Config{Scale: *scale, Seed: *seed}, *partitions, *spill, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(m.Plan())
+		fmt.Printf("spilled %d partition(s) to %s\n", len(m.Partitions), *spill)
+		fmt.Printf("evaluate out of core with: bskyanalyze -corpus %s\n", *spill)
+		return
+	}
 
 	net, err := netsim.Start(netsim.Config{PDSCount: *pdsCount})
 	if err != nil {

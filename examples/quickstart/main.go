@@ -1,15 +1,21 @@
 // Quickstart: boot a complete in-process Bluesky network, create
-// accounts, post, follow, and watch the events arrive on the Firehose.
+// accounts, post, follow, and watch the events arrive on the Firehose —
+// then spill a calibrated synthetic corpus to disk as a partition
+// store and evaluate it out of core.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"blueskies/internal/analysis"
+	"blueskies/internal/core"
 	"blueskies/internal/events"
 	"blueskies/internal/lexicon"
 	"blueskies/internal/netsim"
+	"blueskies/internal/synth"
 )
 
 func main() {
@@ -72,4 +78,40 @@ func main() {
 			fmt.Printf("  seq=%d #handle %s → %s\n", e.Seq, e.DID[:20]+"…", e.Handle)
 		}
 	}
+
+	if err := spillDemo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// spillDemo spills a small calibrated corpus to disk as a partition
+// store — generation holds at most one partition per worker in
+// memory — then re-opens the store and evaluates it out of core (the
+// engine streams blocks from disk; the corpus is never materialized).
+// A function of its own so the temp-dir cleanup runs on error paths
+// too (log.Fatal would skip deferred functions).
+func spillDemo() error {
+	dir, err := os.MkdirTemp("", "blueskies-quickstart-corpus-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	manifest, err := synth.GeneratePartitionedTo(synth.Config{Scale: 8000, Seed: 7}, 2, dir, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nspilled corpus:")
+	fmt.Print(manifest.Plan())
+
+	corpus, err := core.OpenCorpus(dir)
+	if err != nil {
+		return err
+	}
+	reports, err := analysis.RunAllDisk(corpus, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nout-of-core evaluation rendered %d reports; first:\n\n", len(reports))
+	fmt.Println(reports[0].String())
+	return nil
 }

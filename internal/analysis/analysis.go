@@ -1,13 +1,3 @@
-// Package analysis computes every statistic in the paper's evaluation
-// (§4–§7) from a core.Dataset and renders the tables and figure series
-// the paper reports.
-//
-// The computation lives in per-report Accumulators driven by the
-// single-pass Engine (see engine.go): RunAll streams the dataset once
-// through every accumulator, sharded across workers. The per-table
-// functions below (Section4, Table1…Table6, Figure1…Figure12) are thin
-// wrappers that run their single accumulator sequentially, so both
-// paths render byte-identical Reports.
 package analysis
 
 import (
@@ -19,6 +9,10 @@ import (
 
 	"blueskies/internal/core"
 )
+
+// This file holds the Report rendering type, the statistics helpers,
+// and the legacy per-table entry points; see doc.go for the package
+// architecture.
 
 // Report is one rendered table or figure series.
 type Report struct {

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"blueskies/internal/core"
+)
+
+// DiskSource feeds the engine's accumulators by streaming one
+// partition's record blocks out of a disk-backed partition store
+// (core.Corpus) — the out-of-core execution mode. It reuses the
+// streaming ingestion machinery (streamIngest), so at any moment the
+// partition's residency is one decoded block plus accumulator state:
+// the dataset itself is never materialized. Composed under MultiSource
+// (NewDiskCorpusSource), an n-partition on-disk corpus evaluates
+// through the usual two-level merge with O(one partition's blocks)
+// memory per concurrently-traversing partition, and — like every other
+// source pairing — the result is byte-identical to the in-memory
+// evaluation of the same corpus.
+type DiskSource struct {
+	// Corpus is the opened store; Part the partition index within it.
+	Corpus *core.Corpus
+	Part   int
+}
+
+// NewDiskSource wraps partition k of an opened store as a Source.
+func NewDiskSource(c *core.Corpus, k int) *DiskSource {
+	return &DiskSource{Corpus: c, Part: k}
+}
+
+// Run implements Source: stream the partition's blocks through the
+// accumulator groups in file order. Blocks arrive exactly as
+// WritePartition laid them out — header + labeler announcements first,
+// then each collection in dataset order — which is the one-worker batch
+// traversal order the parity contract requires. render is ignored
+// (disk partitions snapshot only through MultiSource's coordinator,
+// like any other batch partition).
+func (src *DiskSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*World, []Shard, *LabelTables, error) {
+	base := core.CollectionCounts{}
+	if m := src.Corpus.Manifest; src.Part < len(m.Partitions) {
+		base = m.Partitions[src.Part].Base
+	}
+	pr, err := src.Corpus.OpenPartition(src.Part)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer pr.Close()
+	si := newStreamIngest(accs, workers, base)
+	for {
+		b, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			si.finish() // stop group goroutines before bailing
+			return nil, nil, nil, fmt.Errorf("analysis: partition %d: %w", src.Part, err)
+		}
+		si.apply(*b)
+	}
+	si.finish()
+	// Bind the file's contents to the manifest: the Base prefix-sum
+	// offsets every later partition's state was computed against assume
+	// exactly Records records here, so a swapped-in or stale block file
+	// must fail the run, not mis-attribute indexes silently.
+	got := core.CollectionCounts{
+		Users: si.world.Users, Posts: si.world.Posts, Days: si.world.Days,
+		Labels: si.world.Labels, FeedGens: si.world.FeedGens,
+		Domains: si.world.Domains, HandleUpdates: si.world.HandleUpdates,
+	}
+	if m := src.Corpus.Manifest; src.Part < len(m.Partitions) && got != m.Partitions[src.Part].Records {
+		return nil, nil, nil, fmt.Errorf("analysis: partition %d streamed %+v records but the manifest promises %+v: block file and manifest disagree",
+			src.Part, got, m.Partitions[src.Part].Records)
+	}
+	return si.world, si.shards, si.tables, nil
+}
+
+// NewDiskCorpusSource wraps every partition of an opened store as a
+// MultiSource: per-partition out-of-core traversals at their manifest
+// base offsets, folded through the cross-partition two-level merge
+// (with user-index rebasing when the manifest says indexes are
+// partition-local). Partitions traverse concurrently, capped at
+// GOMAXPROCS, so peak residency is O(GOMAXPROCS · one block), not
+// O(corpus).
+func NewDiskCorpusSource(c *core.Corpus) *MultiSource {
+	ms := &MultiSource{Manifest: c.Manifest}
+	for k := range c.Manifest.Partitions {
+		ms.Sources = append(ms.Sources, NewDiskSource(c, k))
+	}
+	return ms
+}
+
+// RunAllDisk computes the full evaluation over a disk-backed corpus
+// without ever materializing it, returning the reports in canonical
+// order. For a store written from a split corpus the output is
+// byte-identical to RunAll over the unsplit in-memory dataset at any
+// partition and worker count (TestDiskParityGolden).
+func RunAllDisk(c *core.Corpus, workers int) ([]*Report, error) {
+	reports, err := NewFullEngine().Workers(workers).RunSource(NewDiskCorpusSource(c))
+	if err != nil {
+		return nil, err
+	}
+	return canonicalize(reports), nil
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blueskies/internal/core"
+	"blueskies/internal/synth"
+)
+
+// TestDiskParityGolden is the tentpole's acceptance gate: RunAll over
+// a spilled n-partition corpus, streamed back block by block from
+// disk, must be byte-identical to the in-memory unsplit golden for
+// n ∈ {1,2,4,8}, at several worker counts.
+func TestDiskParityGolden(t *testing.T) {
+	want := RunAll(ds, 1)
+	for _, n := range []int{1, 2, 4, 8} {
+		parts, m := core.Split(ds, n)
+		dir := t.TempDir()
+		if err := core.WriteCorpus(dir, parts, m); err != nil {
+			t.Fatalf("n=%d: spill: %v", n, err)
+		}
+		c, err := core.OpenCorpus(dir)
+		if err != nil {
+			t.Fatalf("n=%d: open: %v", n, err)
+		}
+		for _, workers := range []int{0, 1, 3} {
+			got, err := RunAllDisk(c, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			compareReports(t, label("disk", n, workers), got, want)
+		}
+	}
+}
+
+// TestDiskIndependentParity checks the rebasing path out of core: a
+// corpus spilled during independent generation (disjoint RNG
+// sub-streams, partition-local indexes) must evaluate from disk exactly
+// as its in-memory twin does through the same two-level merge.
+func TestDiskIndependentParity(t *testing.T) {
+	cfg := synth.Config{Scale: 2000, Seed: 7}
+	parts, m := synth.GeneratePartitioned(cfg, 3)
+	want, err := RunAllPartitioned(parts, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dm, err := synth.GeneratePartitionedTo(cfg, 3, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dm.Partitions) != len(m.Partitions) {
+		t.Fatalf("spilled manifest has %d partitions, want %d", len(dm.Partitions), len(m.Partitions))
+	}
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunAllDisk(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "disk-independent", got, want)
+}
+
+// TestDiskSourceMixesWithBatch pins Source composability: a MultiSource
+// mixing one partition streamed from disk with one materialized in
+// memory must still fold to the unsplit golden — the scheduler
+// follow-up ROADMAP names (remote partition placement) depends on
+// sources of different locality merging transparently.
+func TestDiskSourceMixesWithBatch(t *testing.T) {
+	parts, m := core.Split(ds, 2)
+	dir := t.TempDir()
+	if err := core.WriteCorpus(dir, parts, m); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &MultiSource{
+		Sources: []Source{
+			NewDiskSource(c, 0),
+			NewDatasetSourceAt(parts[1], m.Partitions[1].Base),
+		},
+		Manifest: m,
+	}
+	got, err := NewFullEngine().Workers(2).RunSource(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "disk+batch", canonicalize(got), RunAll(ds, 1))
+}
+
+// TestDiskSourceManifestRecordMismatch pins the store↔manifest
+// binding: a block file whose record counts disagree with the
+// manifest's Records (a swapped-in partition from another corpus, a
+// stale file after a manual shuffle) must fail the evaluation — the
+// Base prefix-sum offsets assume exactly those counts, so proceeding
+// would silently mis-attribute every later partition's indexes.
+func TestDiskSourceManifestRecordMismatch(t *testing.T) {
+	parts, m := core.Split(ds, 2)
+	dir := t.TempDir()
+	if err := core.WriteCorpus(dir, parts, m); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1 of a 3-way split has different counts than partition
+	// 1 of the 2-way split; frame checksums and the end marker are all
+	// intact, so only the manifest cross-check can catch the swap.
+	other := t.TempDir()
+	parts3, m3 := core.Split(ds, 3)
+	if err := core.WriteCorpus(other, parts3, m3); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := os.ReadFile(filepath.Join(other, core.PartitionFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, core.PartitionFileName(1)), swapped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAllDisk(c, 1); err == nil {
+		t.Fatal("swapped partition with mismatched record counts evaluated without error")
+	}
+}
+
+// TestDiskSourceCorruptPartition checks the error path end to end: a
+// corrupt block in one partition must fail the whole evaluation with a
+// diagnostic, not render a silently thinned corpus.
+func TestDiskSourceCorruptPartition(t *testing.T) {
+	parts, m := core.Split(ds, 2)
+	dir := t.TempDir()
+	if err := core.WriteCorpus(dir, parts, m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, core.PartitionFileName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x5A
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAllDisk(c, 2); err == nil {
+		t.Fatal("corrupt partition evaluated without error")
+	}
+}

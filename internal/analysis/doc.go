@@ -1,0 +1,55 @@
+// Package analysis computes every statistic in the paper's evaluation
+// (§4–§7) and renders the tables and figure series the paper reports.
+//
+// # Architecture: Source → Accumulator → two-level merge
+//
+// The computation is organized so that one corpus traversal feeds
+// every report, wherever the corpus lives:
+//
+//	Accumulator  one report's computation: declares the collections it
+//	             consumes (Needs), allocates per-worker Shard state,
+//	             merges shards, renders Reports from merged state
+//	             (engine.go)
+//	Source       one corpus traversal: streams record blocks through
+//	             the registered accumulators and returns merged state.
+//	             Four implementations cover the execution modes —
+//	             DatasetSource   a materialized core.Dataset, sharded
+//	                             across workers over contiguous index
+//	                             ranges (source.go)
+//	             StreamSource    a live record stream (firehose +
+//	                             labeler subscriptions or a sequencer
+//	                             replay), parallel over accumulator
+//	                             groups, with stop-the-world snapshots
+//	                             (stream.go)
+//	             DiskSource      one partition of a disk-backed store,
+//	                             streamed block by block — out-of-core
+//	                             evaluation with one decoded block
+//	                             resident per partition (disk.go)
+//	             MultiSource     a set of partition Sources of any of
+//	                             the above kinds, folded through the
+//	                             two-level merge (multi.go)
+//	Engine       registers accumulators, drives a Source, renders; the
+//	             paper's full evaluation is NewFullEngine, and RunAll /
+//	             RunAllPartitioned / RunAllDisk are its entry points
+//
+// Level one of the merge is within a partition (worker shards fold in
+// worker order); level two is across partitions (intern tables remap
+// into one corpus id space, partition-local user indexes rebase by the
+// manifest's bases, shard states fold in partition order).
+//
+// # Determinism contract
+//
+// For a fixed corpus the engine produces byte-identical reports at any
+// worker count, any partition count, and from any source pairing —
+// batch, stream, or disk. The parity goldens pin it: an n-way split
+// evaluated through partitions matches the unsplit run
+// (TestPartitionedBatchParityGolden), a replayed stream matches batch
+// (TestStreamingParityGolden), and a spilled on-disk corpus matches
+// the in-memory golden (TestDiskParityGolden). The rules that make it
+// hold are described at the top of engine.go.
+//
+// The legacy per-table functions (Section4, Table1…Table6,
+// Figure1…Figure12) are thin wrappers that run their single
+// accumulator sequentially, so both paths render byte-identical
+// Reports.
+package analysis

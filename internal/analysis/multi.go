@@ -27,8 +27,11 @@ import (
 // concatenated follower-degree column in partition order.
 //
 // Batch partitions (DatasetSource) run concurrently, capped at
-// GOMAXPROCS. Stream partitions (StreamSource — one firehose/labeler
-// stream pair per partition, each with its own sequence-gap tracking)
+// GOMAXPROCS; disk partitions (DiskSource — out-of-core block streams
+// from a partition store) run under the same cap, each resident as one
+// decoded block plus accumulator state. Stream partitions
+// (StreamSource — one firehose/labeler stream pair per partition, each
+// with its own sequence-gap tracking)
 // ingest concurrently; when SnapshotEvery > 0 their ingest loops
 // coordinate merged stop-the-world snapshots: every stream pauses at a
 // block boundary, the quiescent partition states fold non-destructively
@@ -108,8 +111,8 @@ func (ms *MultiSource) Run(accs []Accumulator, workers int, render RenderFunc) (
 
 	streamWorkers := workers
 	if streamWorkers <= 0 {
-		// Each stream partition fans out over accumulator groups; share
-		// the machine instead of oversubscribing n× GOMAXPROCS.
+		// Stream and disk partitions fan out over accumulator groups;
+		// share the machine instead of oversubscribing n× GOMAXPROCS.
 		streamWorkers = max(1, runtime.GOMAXPROCS(0)/n)
 	}
 	if workers <= 0 && n > 1 {
@@ -172,7 +175,11 @@ func (ms *MultiSource) Run(accs []Accumulator, workers int, render RenderFunc) (
 			// Batch partitions are CPU-bound; cap their concurrency.
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			world, shards, tables, err := sub.Run(accs, workers, nil)
+			w := workers
+			if _, disk := sub.(*DiskSource); disk && w <= 0 {
+				w = streamWorkers // accumulator groups, not data shards
+			}
+			world, shards, tables, err := sub.Run(accs, w, nil)
 			if err != nil {
 				errs[p] = err
 				return

@@ -1,19 +1,12 @@
-// Package core implements the paper's primary contribution: the
-// measurement pipeline. It defines the dataset model — the five
-// datasets of §3 (User Identifiers, DID Documents, Repositories,
-// Firehose, Feed Generators, plus Labeling Services) — and the
-// collectors that populate them from a live network.
-//
-// Two producers fill the same model: the live Collector crawls a
-// running deployment exactly the way the paper's crawler did
-// (listRepos → DID docs → getRepo CARs → firehose → labeler streams →
-// feed crawls → DNS/WHOIS actives), and internal/synth emits the model
-// directly at scale with distributions calibrated to the paper.
 package core
 
 import (
 	"time"
 )
+
+// This file defines the materialized dataset model: the record structs
+// of the five §3 datasets and the Dataset aggregate. See doc.go for
+// how datasets compose into partitioned and disk-backed corpora.
 
 // ProofMethod is how a handle proves domain ownership (§5).
 type ProofMethod string

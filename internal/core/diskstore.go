@@ -1,0 +1,509 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"blueskies/internal/cbor"
+)
+
+// This file implements the disk-backed partition store: a corpus
+// persisted as one block file per partition plus a JSON manifest
+// sidecar, so corpora larger than memory generate, ship, and evaluate
+// partition by partition (DESIGN.md §8).
+//
+// Layout of a store directory:
+//
+//	manifest.json   versioned envelope around the core.Manifest
+//	part-00000.cbor partition 0's block file
+//	part-00001.cbor ...
+//
+// A block file is a stream of framed DAG-CBOR record blocks reusing
+// the RecordBlock wire codec (wireBlock, with labels inline — on the
+// live wire labels travel on labeler-stream frames, but a disk
+// partition is self-contained):
+//
+//	"BSKYPART"  8-byte magic
+//	uint32      format version (big-endian)
+//	frames      uint32 payload length | uint32 FNV-1a checksum | payload
+//	end frame   length 0, checksum 0
+//
+// The explicit end frame makes truncation detectable even when a file
+// is cut exactly at a frame boundary; the per-frame checksum catches
+// bit rot before the CBOR decoder sees it. Readers stream one block at
+// a time and never materialize a partition, which is what gives the
+// out-of-core evaluation its O(one block) residency per partition.
+
+// DiskFormatVersion is the current partition block-file format.
+const DiskFormatVersion = 1
+
+// DiskBlockRecords is the default number of records per on-disk block.
+const DiskBlockRecords = 4096
+
+// partitionMagic opens every partition block file.
+const partitionMagic = "BSKYPART"
+
+// ManifestFile is the name of the manifest sidecar in a store directory.
+const ManifestFile = "manifest.json"
+
+// maxBlockBytes bounds a frame's declared payload length; anything
+// larger is treated as corruption rather than attempted.
+const maxBlockBytes = 1 << 28
+
+// PartitionFileName returns the canonical block-file name of
+// partition k within a store directory.
+func PartitionFileName(k int) string { return fmt.Sprintf("part-%05d.cbor", k) }
+
+// manifestEnvelope versions the manifest sidecar. Readers require the
+// exact format string and reject versions newer than they understand;
+// adding fields to Manifest or to block maps is backward-compatible
+// (JSON and the CBOR struct decoder both ignore unknown keys), so the
+// version only bumps on incompatible layout changes.
+type manifestEnvelope struct {
+	Format   string    `json:"format"`
+	Version  int       `json:"version"`
+	Manifest *Manifest `json:"manifest"`
+}
+
+// manifestFormat identifies the sidecar's schema family.
+const manifestFormat = "blueskies/partition-store"
+
+// WriteManifest writes the manifest sidecar into dir.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(manifestEnvelope{
+		Format:   manifestFormat,
+		Version:  DiskFormatVersion,
+		Manifest: m,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encode manifest: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFile), append(data, '\n'), 0o644)
+}
+
+// ReadManifest reads and validates the manifest sidecar in dir.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var env manifestEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("core: decode manifest: %w", err)
+	}
+	if env.Format != manifestFormat {
+		return nil, fmt.Errorf("core: %s is not a partition-store manifest (format %q)", ManifestFile, env.Format)
+	}
+	if env.Version < 1 || env.Version > DiskFormatVersion {
+		return nil, fmt.Errorf("core: partition store version %d not supported (reader supports ≤ %d)", env.Version, DiskFormatVersion)
+	}
+	if env.Manifest == nil || len(env.Manifest.Partitions) == 0 {
+		return nil, fmt.Errorf("core: manifest describes no partitions")
+	}
+	return env.Manifest, nil
+}
+
+// PartitionWriter streams framed record blocks to one partition file.
+type PartitionWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// CreatePartition creates (truncating) the block file at path and
+// writes the format header.
+func CreatePartition(path string) (*PartitionWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	pw := &PartitionWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	if _, err := pw.w.WriteString(partitionMagic); err != nil {
+		pw.fail(err)
+	}
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], DiskFormatVersion)
+	if _, err := pw.w.Write(v[:]); err != nil {
+		pw.fail(err)
+	}
+	if pw.err != nil {
+		f.Close()
+		return nil, pw.err
+	}
+	return pw, nil
+}
+
+func (pw *PartitionWriter) fail(err error) {
+	if pw.err == nil {
+		pw.err = err
+	}
+}
+
+// WriteBlock appends one record block frame.
+func (pw *PartitionWriter) WriteBlock(b *RecordBlock) error {
+	if pw.err != nil {
+		return pw.err
+	}
+	payload, err := cbor.Marshal(blockToWire(b))
+	if err != nil {
+		pw.fail(fmt.Errorf("core: encode disk block: %w", err))
+		return pw.err
+	}
+	if len(payload) > maxBlockBytes {
+		pw.fail(fmt.Errorf("core: disk block of %d bytes exceeds the %d frame bound", len(payload), maxBlockBytes))
+		return pw.err
+	}
+	pw.writeFrame(payload)
+	return pw.err
+}
+
+func (pw *PartitionWriter) writeFrame(payload []byte) {
+	h := fnv.New32a()
+	h.Write(payload)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], h.Sum32())
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		pw.fail(err)
+		return
+	}
+	if _, err := pw.w.Write(payload); err != nil {
+		pw.fail(err)
+	}
+}
+
+// Close writes the end-of-partition frame and closes the file. The
+// writer must not be used afterwards.
+func (pw *PartitionWriter) Close() error {
+	if pw.err == nil {
+		var end [8]byte // length 0, checksum 0
+		if _, err := pw.w.Write(end[:]); err != nil {
+			pw.fail(err)
+		}
+	}
+	if err := pw.w.Flush(); err != nil {
+		pw.fail(err)
+	}
+	if err := pw.f.Close(); err != nil {
+		pw.fail(err)
+	}
+	return pw.err
+}
+
+// WritePartition streams ds to one block file: a header + labeler
+// announcement block first (stream consumers need the labeler DID
+// index before the first label), then each collection in dataset order,
+// blockRecords records per block (≤ 0 uses DiskBlockRecords). The
+// partition is written incrementally — no second copy of the dataset
+// is ever held.
+func WritePartition(path string, ds *Dataset, blockRecords int) error {
+	pw, err := CreatePartition(path)
+	if err != nil {
+		return err
+	}
+	if err := writeDatasetBlocks(pw, ds, blockRecords); err != nil {
+		pw.Close()
+		return err
+	}
+	return pw.Close()
+}
+
+func writeDatasetBlocks(pw *PartitionWriter, ds *Dataset, blockRecords int) error {
+	if blockRecords <= 0 {
+		blockRecords = DiskBlockRecords
+	}
+	if err := pw.WriteBlock(&RecordBlock{
+		Header: &StreamHeader{
+			Scale:         ds.Scale,
+			WindowStart:   ds.WindowStart,
+			WindowEnd:     ds.WindowEnd,
+			Firehose:      ds.Firehose,
+			NonBskyEvents: ds.NonBskyEvents,
+		},
+		Labelers: ds.Labelers,
+	}); err != nil {
+		return err
+	}
+	// One chunk loop over every collection, in canonical dataset order —
+	// the collection list lives here and nowhere else, so adding a
+	// collection to Dataset means adding exactly one row.
+	collections := []struct {
+		n     int
+		block func(lo, hi int) *RecordBlock
+	}{
+		{len(ds.Users), func(lo, hi int) *RecordBlock { return &RecordBlock{Users: ds.Users[lo:hi]} }},
+		{len(ds.Posts), func(lo, hi int) *RecordBlock { return &RecordBlock{Posts: ds.Posts[lo:hi]} }},
+		{len(ds.Daily), func(lo, hi int) *RecordBlock { return &RecordBlock{Days: ds.Daily[lo:hi]} }},
+		{len(ds.Labels), func(lo, hi int) *RecordBlock { return &RecordBlock{Labels: ds.Labels[lo:hi]} }},
+		{len(ds.FeedGens), func(lo, hi int) *RecordBlock { return &RecordBlock{FeedGens: ds.FeedGens[lo:hi]} }},
+		{len(ds.Domains), func(lo, hi int) *RecordBlock { return &RecordBlock{Domains: ds.Domains[lo:hi]} }},
+		{len(ds.HandleUpdates), func(lo, hi int) *RecordBlock { return &RecordBlock{HandleUpdates: ds.HandleUpdates[lo:hi]} }},
+	}
+	for _, col := range collections {
+		for lo := 0; lo < col.n; lo += blockRecords {
+			if err := pw.WriteBlock(col.block(lo, min(lo+blockRecords, col.n))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionReader streams record blocks back out of one block file.
+type PartitionReader struct {
+	r      *bufio.Reader
+	closer io.Closer
+}
+
+// NewPartitionReader wraps an already-open block stream, validating the
+// format header. OpenPartition is the file-path convenience.
+func NewPartitionReader(r io.Reader) (*PartitionReader, error) {
+	pr := &PartitionReader{r: bufio.NewReaderSize(r, 1<<16)}
+	magic := make([]byte, len(partitionMagic))
+	if _, err := io.ReadFull(pr.r, magic); err != nil {
+		return nil, fmt.Errorf("core: partition header: %w", noEOF(err))
+	}
+	if string(magic) != partitionMagic {
+		return nil, fmt.Errorf("core: not a partition block file (magic %q)", magic)
+	}
+	var v [4]byte
+	if _, err := io.ReadFull(pr.r, v[:]); err != nil {
+		return nil, fmt.Errorf("core: partition header: %w", noEOF(err))
+	}
+	if ver := binary.BigEndian.Uint32(v[:]); ver < 1 || ver > DiskFormatVersion {
+		return nil, fmt.Errorf("core: partition format version %d not supported (reader supports ≤ %d)", ver, DiskFormatVersion)
+	}
+	return pr, nil
+}
+
+// OpenPartition opens the block file at path.
+func OpenPartition(path string) (*PartitionReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := NewPartitionReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	pr.closer = f
+	return pr, nil
+}
+
+// noEOF promotes a bare io.EOF to io.ErrUnexpectedEOF: inside a frame
+// or header, running out of bytes is truncation, not a clean end.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next returns the next record block, or io.EOF after the
+// end-of-partition frame. A file that ends without the end frame
+// surfaces io.ErrUnexpectedEOF (truncation); a checksum mismatch or an
+// undecodable payload surfaces as an error, never a panic.
+func (pr *PartitionReader) Next() (*RecordBlock, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: partition frame header: %w", noEOF(err))
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	sum := binary.BigEndian.Uint32(hdr[4:])
+	if length == 0 {
+		if sum != 0 {
+			return nil, fmt.Errorf("core: corrupt end-of-partition frame (checksum %#x)", sum)
+		}
+		// Clean end. Anything after it is not ours to consume: a valid
+		// writer stops here, so trailing bytes mean a mangled file.
+		if _, err := pr.r.ReadByte(); err == nil {
+			return nil, fmt.Errorf("core: trailing data after end-of-partition frame")
+		}
+		return nil, io.EOF
+	}
+	if length > maxBlockBytes {
+		return nil, fmt.Errorf("core: frame declares %d bytes (bound %d): corrupt length", length, maxBlockBytes)
+	}
+	// Copy via a growing buffer rather than pre-allocating `length`
+	// bytes: a corrupt length then fails on missing data, not on a
+	// giant allocation.
+	payload, err := readFull(pr.r, int(length))
+	if err != nil {
+		return nil, fmt.Errorf("core: partition frame payload: %w", err)
+	}
+	h := fnv.New32a()
+	h.Write(payload)
+	if h.Sum32() != sum {
+		return nil, fmt.Errorf("core: block checksum mismatch (frame %#x, payload %#x): corrupt block", sum, h.Sum32())
+	}
+	var wb wireBlock
+	if err := cbor.Unmarshal(payload, &wb); err != nil {
+		return nil, fmt.Errorf("core: decode disk block: %w", err)
+	}
+	return blockFromWire(&wb), nil
+}
+
+// readFull reads exactly n bytes, growing the buffer chunk by chunk so
+// a lying length prefix cannot force an n-sized allocation up front.
+func readFull(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		step := min(n-len(buf), chunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, noEOF(err)
+		}
+	}
+	return buf, nil
+}
+
+// Close releases the underlying file (a no-op for byte readers).
+func (pr *PartitionReader) Close() error {
+	if pr.closer != nil {
+		return pr.closer.Close()
+	}
+	return nil
+}
+
+// ClearStore removes a previous store's artifacts from dir — the
+// manifest sidecar first, then every part-*.cbor block file — so a
+// re-spill into the same directory can never mix two corpora: without
+// it, stale partitions beyond the new count would survive (failing
+// OpenCorpus's cross-check at best, silently blending corpora after a
+// partial overwrite at worst). Removing the manifest before the block
+// files means a spill interrupted midway leaves no manifest behind,
+// and OpenCorpus fails loudly instead of reading a half-written store.
+// Non-store files in dir are left untouched; a missing dir is a no-op.
+func ClearStore(dir string) error {
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "part-*.cbor"))
+	if err != nil {
+		return err
+	}
+	for _, path := range stale {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCorpus persists a partitioned corpus as a store directory: one
+// block file per partition plus the manifest sidecar, replacing any
+// store previously written there (ClearStore). m may be nil for
+// single-corpus row-range partitions (a SharedIndex manifest is
+// derived). Partitions are written sequentially; for bounded-memory
+// generation straight to disk see synth.GeneratePartitionedTo, which
+// never materializes more than one partition per worker.
+func WriteCorpus(dir string, parts []*Dataset, m *Manifest) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("core: refusing to write an empty corpus")
+	}
+	if m == nil {
+		m = BuildManifest(parts, parts[0].Scale, 0, true)
+	}
+	if len(m.Partitions) != len(parts) {
+		return fmt.Errorf("core: manifest describes %d partitions, corpus has %d", len(m.Partitions), len(parts))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := ClearStore(dir); err != nil {
+		return err
+	}
+	for k, p := range parts {
+		if err := WritePartition(filepath.Join(dir, PartitionFileName(k)), p, 0); err != nil {
+			return fmt.Errorf("core: write partition %d: %w", k, err)
+		}
+	}
+	return WriteManifest(dir, m)
+}
+
+// Corpus is an opened disk-backed partition store: the parsed manifest
+// plus the directory its block files live in. Partitions are opened
+// lazily, one reader at a time, so holding a Corpus costs only the
+// manifest.
+type Corpus struct {
+	Dir      string
+	Manifest *Manifest
+}
+
+// OpenCorpus opens a store directory: parses the manifest sidecar and
+// cross-checks it against the block files actually present — a missing
+// partition file or a stray extra one is a manifest/partition count
+// mismatch and fails here, before any traversal starts.
+func OpenCorpus(dir string) (*Corpus, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for k := range m.Partitions {
+		if _, err := os.Stat(filepath.Join(dir, PartitionFileName(k))); err != nil {
+			return nil, fmt.Errorf("core: manifest lists %d partitions but partition %d is missing: %w", len(m.Partitions), k, err)
+		}
+	}
+	extra, err := filepath.Glob(filepath.Join(dir, "part-*.cbor"))
+	if err != nil {
+		return nil, err
+	}
+	if len(extra) != len(m.Partitions) {
+		return nil, fmt.Errorf("core: manifest lists %d partitions but %d block files present", len(m.Partitions), len(extra))
+	}
+	return &Corpus{Dir: dir, Manifest: m}, nil
+}
+
+// OpenPartition opens partition k's block reader.
+func (c *Corpus) OpenPartition(k int) (*PartitionReader, error) {
+	if k < 0 || k >= len(c.Manifest.Partitions) {
+		return nil, fmt.Errorf("core: partition %d out of range (corpus has %d)", k, len(c.Manifest.Partitions))
+	}
+	return OpenPartition(filepath.Join(c.Dir, PartitionFileName(k)))
+}
+
+// ReadPartition materializes partition k as a Dataset — the convenience
+// inverse of WritePartition for tools and tests; the out-of-core
+// evaluation path (analysis.DiskSource) streams blocks instead.
+func (c *Corpus) ReadPartition(k int) (*Dataset, error) {
+	pr, err := c.OpenPartition(k)
+	if err != nil {
+		return nil, err
+	}
+	defer pr.Close()
+	ds := &Dataset{}
+	for {
+		b, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return ds, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", k, err)
+		}
+		if h := b.Header; h != nil {
+			ds.Scale = h.Scale
+			ds.WindowStart = h.WindowStart
+			ds.WindowEnd = h.WindowEnd
+			ds.Firehose = h.Firehose
+			ds.NonBskyEvents = h.NonBskyEvents
+		}
+		ds.Labelers = append(ds.Labelers, b.Labelers...)
+		ds.Users = append(ds.Users, b.Users...)
+		ds.Posts = append(ds.Posts, b.Posts...)
+		ds.Daily = append(ds.Daily, b.Days...)
+		ds.Labels = append(ds.Labels, b.Labels...)
+		ds.FeedGens = append(ds.FeedGens, b.FeedGens...)
+		ds.Domains = append(ds.Domains, b.Domains...)
+		ds.HandleUpdates = append(ds.HandleUpdates, b.HandleUpdates...)
+	}
+}

@@ -179,29 +179,52 @@ func Split(ds *Dataset, n int) ([]*Dataset, *Manifest) {
 // when a partition holds no daily series.
 func BuildManifest(parts []*Dataset, scale int, seed int64, shared bool) *Manifest {
 	m := &Manifest{Scale: scale, Seed: seed, SharedIndex: shared}
-	var base CollectionCounts
 	for k, p := range parts {
-		info := PartitionInfo{
-			Index:       k,
-			WindowStart: p.WindowStart,
-			WindowEnd:   p.WindowEnd,
-			Base:        base,
-			Records:     p.Counts(),
-		}
-		if len(p.Daily) > 0 {
-			info.WindowStart = p.Daily[0].Date
-			info.WindowEnd = p.Daily[len(p.Daily)-1].Date
-		}
-		m.Partitions = append(m.Partitions, info)
-		base.Add(info.Records)
-		if m.WindowStart.IsZero() || (!p.WindowStart.IsZero() && p.WindowStart.Before(m.WindowStart)) {
-			m.WindowStart = p.WindowStart
-		}
-		if p.WindowEnd.After(m.WindowEnd) {
-			m.WindowEnd = p.WindowEnd
-		}
+		m.AddPartition(p.PartitionInfo(k), p.WindowStart, p.WindowEnd)
 	}
 	return m
+}
+
+// PartitionInfo snapshots what a manifest records about this dataset
+// as partition k: its record counts and its daily-series time window,
+// falling back to the dataset window when no daily series is present.
+// Producers that release datasets after writing them (the disk spill)
+// take this snapshot first and fold the snapshots with
+// Manifest.AddPartition — the same two steps BuildManifest runs over a
+// materialized set, so both paths assemble identical manifests.
+func (d *Dataset) PartitionInfo(k int) PartitionInfo {
+	info := PartitionInfo{
+		Index:       k,
+		WindowStart: d.WindowStart,
+		WindowEnd:   d.WindowEnd,
+		Records:     d.Counts(),
+	}
+	if len(d.Daily) > 0 {
+		info.WindowStart = d.Daily[0].Date
+		info.WindowEnd = d.Daily[len(d.Daily)-1].Date
+	}
+	return info
+}
+
+// AddPartition appends one partition snapshot in partition order:
+// assigns its base offsets (the prefix sum over the partitions already
+// added) and widens the corpus window by the partition dataset's
+// window.
+func (m *Manifest) AddPartition(info PartitionInfo, windowStart, windowEnd time.Time) {
+	var base CollectionCounts
+	if n := len(m.Partitions); n > 0 {
+		last := &m.Partitions[n-1]
+		base = last.Base
+		base.Add(last.Records)
+	}
+	info.Base = base
+	m.Partitions = append(m.Partitions, info)
+	if m.WindowStart.IsZero() || (!windowStart.IsZero() && windowStart.Before(m.WindowStart)) {
+		m.WindowStart = windowStart
+	}
+	if windowEnd.After(m.WindowEnd) {
+		m.WindowEnd = windowEnd
+	}
 }
 
 // MergeLabelers folds one partition's labeler enumeration into the

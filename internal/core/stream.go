@@ -150,6 +150,21 @@ type wireHandleUpdate struct {
 	TimeNS    int64  `cbor:"time,omitempty"`
 }
 
+// wireLabel is the disk-block representation of a label. On the live
+// wire labels travel on labeler-stream frames (events.Labels) instead;
+// the disk store keeps each partition self-contained in one file, so
+// its blocks carry labels inline.
+type wireLabel struct {
+	Src       string `cbor:"src"`
+	URI       string `cbor:"uri,omitempty"`
+	Val       string `cbor:"val,omitempty"`
+	Neg       bool   `cbor:"neg,omitempty"`
+	Kind      string `cbor:"kind,omitempty"`
+	AppliedNS int64  `cbor:"applied,omitempty"`
+	SubjectNS int64  `cbor:"subject,omitempty"`
+	Fresh     bool   `cbor:"fresh,omitempty"`
+}
+
 type wireLabeler struct {
 	DID         string   `cbor:"did"`
 	Name        string   `cbor:"name,omitempty"`
@@ -176,14 +191,17 @@ type wireHeader struct {
 	NonBskyEvents int64 `cbor:"nonBsky,omitempty"`
 }
 
-// wireBlock is the #sim.block body: one RecordBlock minus labels,
-// which travel on the protocol's own labeler stream frames.
+// wireBlock is the encoded form of one RecordBlock. Two carriers use
+// it: #sim.block stream frames (minus labels, which travel on the
+// protocol's own labeler stream frames — BlockEvent enforces that) and
+// the disk partition store, whose blocks carry labels inline.
 type wireBlock struct {
 	Header        *wireHeader        `cbor:"header,omitempty"`
 	Labelers      []wireLabeler      `cbor:"labelers,omitempty"`
 	Users         []wireUser         `cbor:"users,omitempty"`
 	Posts         []wirePost         `cbor:"posts,omitempty"`
 	Days          []wireDay          `cbor:"days,omitempty"`
+	Labels        []wireLabel        `cbor:"labels,omitempty"`
 	FeedGens      []wireFeedGen      `cbor:"feedGens,omitempty"`
 	Domains       []wireDomain       `cbor:"domains,omitempty"`
 	HandleUpdates []wireHandleUpdate `cbor:"handleUpdates,omitempty"`
@@ -200,11 +218,22 @@ func BlockEvent(b *RecordBlock) (*events.Sim, error) {
 	if len(b.Labels) > 0 {
 		return nil, fmt.Errorf("core: labels travel on labeler stream frames, not sim blocks")
 	}
-	wb := wireBlock{
+	body, err := cbor.Marshal(blockToWire(b))
+	if err != nil {
+		return nil, fmt.Errorf("core: encode sim block: %w", err)
+	}
+	return &events.Sim{Kind: simKindBlock, Body: body}, nil
+}
+
+// blockToWire converts a RecordBlock (labels included) to its encoded
+// form — shared by the stream frame codec and the disk partition store.
+func blockToWire(b *RecordBlock) *wireBlock {
+	wb := &wireBlock{
 		Labelers:      make([]wireLabeler, 0, len(b.Labelers)),
 		Users:         make([]wireUser, 0, len(b.Users)),
 		Posts:         make([]wirePost, 0, len(b.Posts)),
 		Days:          make([]wireDay, 0, len(b.Days)),
+		Labels:        make([]wireLabel, 0, len(b.Labels)),
 		FeedGens:      make([]wireFeedGen, 0, len(b.FeedGens)),
 		Domains:       make([]wireDomain, 0, len(b.Domains)),
 		HandleUpdates: make([]wireHandleUpdate, 0, len(b.HandleUpdates)),
@@ -250,6 +279,12 @@ func BlockEvent(b *RecordBlock) (*events.Sim, error) {
 			ActiveByLang: d.ActiveByLang,
 		})
 	}
+	for _, l := range b.Labels {
+		wb.Labels = append(wb.Labels, wireLabel{
+			Src: l.Src, URI: l.URI, Val: l.Val, Neg: l.Neg, Kind: string(l.Kind),
+			AppliedNS: nsOf(l.Applied), SubjectNS: nsOf(l.SubjectCreated), Fresh: l.FreshSubject,
+		})
+	}
 	for _, fg := range b.FeedGens {
 		wb.FeedGens = append(wb.FeedGens, wireFeedGen{
 			URI: fg.URI, CreatorIdx: fg.CreatorIdx, Platform: fg.Platform,
@@ -270,11 +305,7 @@ func BlockEvent(b *RecordBlock) (*events.Sim, error) {
 			DID: h.DID, NewHandle: h.NewHandle, TimeNS: nsOf(h.Time),
 		})
 	}
-	body, err := cbor.Marshal(wb)
-	if err != nil {
-		return nil, fmt.Errorf("core: encode sim block: %w", err)
-	}
-	return &events.Sim{Kind: simKindBlock, Body: body}, nil
+	return wb
 }
 
 // EOFEvent returns the end-of-stream marker a replay emits after its
@@ -336,6 +367,15 @@ func DecodeStreamEvent(ev any) (block *RecordBlock, eof bool, err error) {
 		var wb wireBlock
 		if err := cbor.Unmarshal(e.Body, &wb); err != nil {
 			return nil, false, fmt.Errorf("core: decode sim block: %w", err)
+		}
+		if len(wb.Labels) > 0 {
+			// Mirror BlockEvent's sender-side rule structurally: on the
+			// live wire labels travel only on labeler stream frames,
+			// behind the enumerate-before-consume gate. Inline labels
+			// are a disk-store affordance (PartitionReader.Next), never
+			// a stream one — a frame carrying them would bypass the
+			// gate and the per-partition label bases.
+			return nil, false, fmt.Errorf("core: sim block carries inline labels; labels travel on labeler stream frames")
 		}
 		return blockFromWire(&wb), false, nil
 	case *events.Labels:
@@ -405,6 +445,12 @@ func blockFromWire(wb *wireBlock) *RecordBlock {
 			Date: timeOf(d.DateNS), ActiveUsers: d.ActiveUsers, Posts: d.Posts,
 			Likes: d.Likes, Reposts: d.Reposts, Follows: d.Follows, Blocks: d.Blocks,
 			ActiveByLang: d.ActiveByLang,
+		})
+	}
+	for _, l := range wb.Labels {
+		b.Labels = append(b.Labels, Label{
+			Src: l.Src, URI: l.URI, Val: l.Val, Neg: l.Neg, Kind: SubjectKind(l.Kind),
+			Applied: timeOf(l.AppliedNS), SubjectCreated: timeOf(l.SubjectNS), FreshSubject: l.Fresh,
 		})
 	}
 	for _, fg := range wb.FeedGens {

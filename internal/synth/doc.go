@@ -1,0 +1,47 @@
+// Package synth generates synthetic Bluesky measurement corpora whose
+// distributions are calibrated to every number reported in the paper:
+// platform growth, language communities, handle concentration,
+// registrar shares, the labeler ecosystem with its reaction-time
+// regimes, and the feed generator economy (see DESIGN.md §2 for the
+// full target list).
+//
+// # Determinism
+//
+// Generation is deterministic in (Scale, Seed) at any parallelism
+// level. Scale divides the paper's absolute counts (1:1000 for tests,
+// 1:400 for benches); structural small-N populations — labelers,
+// FGaaS platforms, top registrars — keep their absolute sizes because
+// the paper's tables are about their identities, not their magnitude.
+// Each generation stage draws from its own RNG stream
+// (seed ⊕ stage·φ64), and the heavy stages fan out over fixed 8-way
+// sub-streams, so stages run concurrently while the output stays
+// byte-for-byte reproducible (DESIGN.md §3).
+//
+// # Producers, smallest to largest
+//
+//	Generate            one materialized core.Dataset — the reference
+//	                    corpus every parity golden compares against
+//	GeneratePartitioned n independent datasets on disjoint per-partition
+//	                    RNG sub-streams (seed ⊕ (1000+k)·φ64), one per
+//	                    simulated repo-crawl shard, plus the
+//	                    core.Manifest describing them; volume targets
+//	                    divide by n, corpus-level facts (labeler
+//	                    enumeration, activity/firehose series) are
+//	                    generated once and shared
+//	GeneratePartitionedTo  the same corpus spilled straight to a
+//	                    disk-backed partition store: each partition is
+//	                    generated, written, and released before its
+//	                    worker takes the next, so memory stays bounded
+//	                    by one resident partition per worker at any n —
+//	                    generation for corpora larger than RAM
+//	Replay              a dataset played through in-process firehose +
+//	                    labeler sequencers as record-block frames, for
+//	                    streaming consumers (bskyanalyze -follow)
+//
+// The partition set is not byte-identical to Generate's monolith (the
+// RNG streams are disjoint by construction), but evaluating it through
+// the analysis two-level merge matches the flat evaluation of the
+// concatenated partitions exactly, and the spilled store is
+// record-identical to the in-memory partition set
+// (TestSpillMatchesInMemory).
+package synth

@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"blueskies/internal/core"
+)
+
+// TestSpillMatchesInMemory pins the spill contract: the store
+// GeneratePartitionedTo writes is record-identical to the partition set
+// GeneratePartitioned returns — same datasets, same manifest — at any
+// worker count (the spill order must not leak into the content).
+func TestSpillMatchesInMemory(t *testing.T) {
+	cfg := Config{Scale: 2000, Seed: 5}
+	const n = 3
+	parts, m := GeneratePartitioned(cfg, n)
+	for _, workers := range []int{1, 2, n + 2} {
+		dir := t.TempDir()
+		dm, err := GeneratePartitionedTo(cfg, n, dir, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(dm, m) {
+			t.Errorf("workers=%d: spilled manifest drifted:\n got %+v\nwant %+v", workers, dm, m)
+		}
+		c, err := core.OpenCorpus(dir)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(c.Manifest, dm) {
+			t.Errorf("workers=%d: manifest sidecar drifted", workers)
+		}
+		for k := range parts {
+			got, err := c.ReadPartition(k)
+			if err != nil {
+				t.Fatalf("workers=%d partition %d: %v", workers, k, err)
+			}
+			if got.Counts() != parts[k].Counts() {
+				t.Fatalf("workers=%d partition %d: counts %+v != %+v",
+					workers, k, got.Counts(), parts[k].Counts())
+			}
+			if !reflect.DeepEqual(got, parts[k]) {
+				t.Errorf("workers=%d partition %d: records drifted from in-memory generation", workers, k)
+			}
+		}
+	}
+}

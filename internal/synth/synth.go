@@ -1,15 +1,3 @@
-// Package synth generates synthetic Bluesky measurement datasets whose
-// distributions are calibrated to every number reported in the paper:
-// platform growth, language communities, handle concentration,
-// registrar shares, the labeler ecosystem with its reaction-time
-// regimes, and the feed generator economy (see DESIGN.md for the full
-// target list).
-//
-// Generation is deterministic in (Scale, Seed). Scale divides the
-// paper's absolute counts (1:1000 for tests, 1:400 for benches);
-// structural small-N populations — labelers, FGaaS platforms, top
-// registrars — keep their absolute sizes because the paper's tables
-// are about their identities, not their magnitude.
 package synth
 
 import (
@@ -20,6 +8,10 @@ import (
 
 	"blueskies/internal/core"
 )
+
+// This file holds the calibration targets, the stage/RNG-stream
+// conventions, and the top-level generators; see doc.go for the
+// package architecture.
 
 // Config parameterizes dataset generation.
 type Config struct {
