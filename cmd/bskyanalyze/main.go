@@ -9,6 +9,8 @@
 //	bskyanalyze -follow [-snapshot-every N] [-partitions N]
 //	bskyanalyze -spill DIR [-partitions N] [-partition-mode M]
 //	bskyanalyze -corpus DIR [-plan] [-only T1] [-workers N]
+//	bskyanalyze -corpus DIR -workers-at host:port,... [-ship-blocks]
+//	bskyanalyze -corpus DIR -workers-at loopback[:N]
 //
 // By default the evaluation runs through the single-pass engine
 // (analysis.RunAll), which shards the dataset traversal across
@@ -44,6 +46,19 @@
 // block by block through the two-level merge, byte-identical to the
 // in-memory evaluation of the same corpus. -corpus honors -plan, -only,
 // and -workers; generation flags are ignored.
+//
+// -workers-at HOSTS schedules the store's partitions onto remote
+// bskyworker daemons (comma-separated host:port list): each partition's
+// level-one merge runs on a worker, the serialized shard state ships
+// back, and the level-two fold happens locally — byte-identical to the
+// local -corpus run. -ship-blocks streams each partition's block frames
+// inside the request (for workers that cannot reach the store path);
+// otherwise workers open the store directory themselves. A worker that
+// dies mid-run is retried on the others and, failing that, its
+// partitions fall back to the local out-of-core traversal.
+// "-workers-at loopback" (or loopback:N) runs N in-process workers
+// through the full wire codec — the single-machine proof of the remote
+// path.
 package main
 
 import (
@@ -57,6 +72,7 @@ import (
 	"blueskies/internal/analysis"
 	"blueskies/internal/core"
 	"blueskies/internal/events"
+	"blueskies/internal/sched"
 	"blueskies/internal/synth"
 )
 
@@ -81,6 +97,8 @@ func main() {
 	plan := flag.Bool("plan", false, "print the partition-plan summary")
 	spill := flag.String("spill", "", "write the corpus to this directory as a disk-backed partition store instead of evaluating it")
 	corpus := flag.String("corpus", "", "evaluate a previously spilled partition store out of core (directory with manifest.json)")
+	workersAt := flag.String("workers-at", "", "schedule -corpus partitions onto bskyworker daemons (comma-separated host:port list, or 'loopback[:N]' for in-process workers)")
+	shipBlocks := flag.Bool("ship-blocks", false, "stream partition block frames to remote workers instead of sending a store reference")
 	var inputs []inputSpec
 	flag.Func("input", "independent corpus spec 'seed=S[,scale=C]' (repeatable); evaluates all inputs as one federated corpus", func(s string) error {
 		var spec inputSpec
@@ -138,8 +156,11 @@ func main() {
 	if *follow && (*spill != "" || *corpus != "") {
 		fatal(fmt.Errorf("-follow streams live sequencers; it does not combine with -spill/-corpus"))
 	}
+	if *workersAt != "" && *corpus == "" {
+		fatal(fmt.Errorf("-workers-at schedules a spilled store; combine it with -corpus DIR"))
+	}
 	if *corpus != "" {
-		if err := runCorpus(*corpus, *plan, *workers, print); err != nil {
+		if err := runCorpus(*corpus, *plan, *workers, *workersAt, *shipBlocks, print); err != nil {
 			fatal(err)
 		}
 		return
@@ -269,8 +290,11 @@ func runSpill(dir string, inputs []inputSpec, partitions int, mode string, scale
 
 // runCorpus evaluates a previously spilled partition store out of
 // core: every partition streams from disk block by block through the
-// two-level merge, byte-identical to the in-memory evaluation.
-func runCorpus(dir string, plan bool, workers int, print func([]*analysis.Report)) error {
+// two-level merge, byte-identical to the in-memory evaluation. With
+// workersAt set, the partitions are placed on evaluation workers
+// instead (level-one merges run remotely, shard state folds locally) —
+// same output, by the remote-parity contract.
+func runCorpus(dir string, plan bool, workers int, workersAt string, shipBlocks bool, print func([]*analysis.Report)) error {
 	c, err := core.OpenCorpus(dir)
 	if err != nil {
 		return err
@@ -283,12 +307,56 @@ func runCorpus(dir string, plan bool, workers int, print func([]*analysis.Report
 		fmt.Print(c.Manifest.Plan())
 		fmt.Println()
 	}
-	reports, err := analysis.RunAllDisk(c, workers)
-	if err != nil {
+	var reports []*analysis.Report
+	if workersAt != "" {
+		pool, err := buildWorkers(workersAt)
+		if err != nil {
+			return err
+		}
+		s := sched.New(c, pool...)
+		s.ShipBlocks = shipBlocks
+		reports, err = s.RunAll(workers)
+		if err != nil {
+			return err
+		}
+	} else if reports, err = analysis.RunAllDisk(c, workers); err != nil {
 		return err
 	}
 	print(reports)
 	return nil
+}
+
+// buildWorkers parses -workers-at: "loopback[:N]" spawns N in-process
+// workers (default 2) running the full wire codec; anything else is a
+// comma-separated list of bskyworker addresses.
+func buildWorkers(spec string) ([]sched.Worker, error) {
+	if rest, ok := strings.CutPrefix(spec, "loopback"); ok {
+		n := 2
+		if cnt, ok := strings.CutPrefix(rest, ":"); ok {
+			v, err := strconv.Atoi(cnt)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad -workers-at %q (want loopback[:N])", spec)
+			}
+			n = v
+		} else if rest != "" {
+			return nil, fmt.Errorf("bad -workers-at %q (want loopback[:N] or host:port,...)", spec)
+		}
+		pool := make([]sched.Worker, 0, n)
+		for i := 0; i < n; i++ {
+			pool = append(pool, &sched.Loopback{Server: &sched.Server{}, Label: fmt.Sprintf("loopback-%d", i)})
+		}
+		return pool, nil
+	}
+	var pool []sched.Worker
+	for _, addr := range strings.Split(spec, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			pool = append(pool, sched.Dial(addr))
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("-workers-at %q names no workers", spec)
+	}
+	return pool, nil
 }
 
 // runFollow replays every partition through its own firehose + labeler

@@ -1,0 +1,56 @@
+// bskyworker serves partition evaluations to remote schedulers
+// (DESIGN.md §9): it receives a partition — a store reference it can
+// open locally, or the partition's framed block bytes shipped inline —
+// runs the paper's full evaluation engine over it as one level-one
+// sharded traversal, and returns the serialized shard state for the
+// scheduler's level-two fold.
+//
+// Usage:
+//
+//	bskyworker [-listen :8737] [-store-root DIR] [-workers N]
+//
+// -store-root restricts store-reference requests to directories under
+// DIR; without it any local store path is served. -workers fixes the
+// traversal worker count per evaluation (0 = autotuned per request).
+//
+// Pair it with the scheduler side:
+//
+//	bskyanalyze -spill /corpora/c1 -partitions 4
+//	bskyworker -listen :8737 -store-root /corpora &
+//	bskyworker -listen :8738 -store-root /corpora &
+//	bskyanalyze -corpus /corpora/c1 -workers-at 127.0.0.1:8737,127.0.0.1:8738
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"blueskies/internal/sched"
+)
+
+func main() {
+	listen := flag.String("listen", ":8737", "address to serve the worker XRPC API on")
+	storeRoot := flag.String("store-root", "", "restrict store-reference requests to stores under this directory (empty = any local path)")
+	workers := flag.Int("workers", 0, "traversal workers per evaluation (0 = autotuned)")
+	flag.Parse()
+
+	root := *storeRoot
+	if root != "" {
+		abs, err := filepath.Abs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bskyworker:", err)
+			os.Exit(1)
+		}
+		root = abs
+	}
+	srv := &sched.Server{StoreRoot: root, Workers: *workers}
+	log.Printf("bskyworker: serving %s on %s (store root %q)", sched.NSIDEvalPartition, *listen, root)
+	if err := http.ListenAndServe(*listen, srv.Mux()); err != nil {
+		fmt.Fprintln(os.Stderr, "bskyworker:", err)
+		os.Exit(1)
+	}
+}

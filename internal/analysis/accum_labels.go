@@ -691,3 +691,338 @@ func (s *figure6Shard) valueRows(t *LabelTables) []ValueReaction {
 func (figure6Acc) Render(_ *World, sh Shard, t *LabelTables) []*Report {
 	return []*Report{renderFigure6(sh.(*figure6Shard).valueRows(t))}
 }
+
+// ---- shard-state codecs (the wire forms of DESIGN.md §9) ----
+//
+// Label shards carry interned ids, so their decoders validate every id
+// against the partition state's own intern-table sizes (StateBounds):
+// the level-two fold indexes MergeCtx remap slices by these ids, and a
+// hostile or stale state must error at decode, not index out of range
+// mid-fold.
+
+type wirePairState struct {
+	URI   int32 `cbor:"u"`
+	Val   int32 `cbor:"v"`
+	Src   int32 `cbor:"s,omitempty"`
+	Multi bool  `cbor:"m,omitempty"`
+}
+
+type wireSection6 struct {
+	AppliedSeen []bool          `cbor:"seen,omitempty"`
+	FirstSrc    []int32         `cbor:"firstSrc,omitempty"`
+	MultiSrc    []bool          `cbor:"multiSrc,omitempty"`
+	Labeled     int64           `cbor:"labeled,omitempty"`
+	Multi       int64           `cbor:"multi,omitempty"`
+	Pairs       []wirePairState `cbor:"pairs,omitempty"`
+}
+
+func (section6Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*section6Shard)
+	w := &wireSection6{
+		AppliedSeen: trimBool(s.appliedSeen), FirstSrc: s.firstSrc, MultiSrc: s.multiSrc,
+		Labeled: int64(s.labeled), Multi: int64(s.multi),
+	}
+	// Trim the unseen tail (canonical form: by-id lengths depend on the
+	// worker-merge pattern, not on state); the columns stay paired.
+	n := len(w.FirstSrc)
+	for n > 0 && w.FirstSrc[n-1] == unseenSrc {
+		n--
+	}
+	w.FirstSrc, w.MultiSrc = w.FirstSrc[:n], w.MultiSrc[:n]
+	for k, p := range s.pairs {
+		w.Pairs = append(w.Pairs, wirePairState{
+			URI: int32(k >> 32), Val: int32(k & 0xffffffff), Src: p.firstSrc, Multi: p.multi,
+		})
+	}
+	sort.Slice(w.Pairs, func(i, j int) bool {
+		if w.Pairs[i].URI != w.Pairs[j].URI {
+			return w.Pairs[i].URI < w.Pairs[j].URI
+		}
+		return w.Pairs[i].Val < w.Pairs[j].Val
+	})
+	return marshalState(w)
+}
+
+func (section6Acc) UnmarshalShard(data []byte, b StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireSection6](data)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("applied-value", len(w.AppliedSeen), b.Vals); err != nil {
+		return nil, err
+	}
+	if err := checkLen("first-src", len(w.FirstSrc), b.URIs); err != nil {
+		return nil, err
+	}
+	if len(w.MultiSrc) != len(w.FirstSrc) {
+		return nil, fmt.Errorf("multi-src column of %d rows against %d first-src rows", len(w.MultiSrc), len(w.FirstSrc))
+	}
+	for _, fs := range w.FirstSrc {
+		if fs == unseenSrc {
+			continue
+		}
+		if err := b.checkSrc(fs); err != nil {
+			return nil, err
+		}
+	}
+	s := &section6Shard{
+		appliedSeen: w.AppliedSeen, firstSrc: w.FirstSrc, multiSrc: w.MultiSrc,
+		labeled: int(w.Labeled), multi: int(w.Multi),
+		pairs: make(map[int64]*pairState, len(w.Pairs)),
+	}
+	for _, p := range w.Pairs {
+		if err := checkID("URI", p.URI, b.URIs); err != nil {
+			return nil, err
+		}
+		if err := checkID("value", p.Val, b.Vals); err != nil {
+			return nil, err
+		}
+		if err := b.checkSrc(p.Src); err != nil {
+			return nil, err
+		}
+		s.pairs[pairKey(p.URI, p.Val)] = &pairState{firstSrc: p.Src, multi: p.Multi}
+	}
+	return s, nil
+}
+
+type wireTable3 struct {
+	Counts []int64 `cbor:"counts,omitempty"`
+}
+
+func (table3Acc) MarshalShard(sh Shard) ([]byte, error) {
+	return marshalState(&wireTable3{Counts: trimI64(sh.(*table3Shard).counts)})
+}
+
+func (table3Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireTable3](data)
+	if err != nil {
+		return nil, err
+	}
+	return &table3Shard{counts: w.Counts}, nil
+}
+
+type wireTable4 struct {
+	KindMask []byte    `cbor:"mask,omitempty"`
+	Objects  []int64   `cbor:"objects,omitempty"`
+	Values   [][]int64 `cbor:"values,omitempty"`
+}
+
+func (table4Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*table4Shard)
+	mask := s.kindMask
+	for len(mask) > 0 && mask[len(mask)-1] == 0 {
+		mask = mask[:len(mask)-1]
+	}
+	w := &wireTable4{KindMask: mask, Objects: s.objects[:], Values: make([][]int64, 4)}
+	for k := range s.values {
+		w.Values[k] = trimI64(s.values[k])
+	}
+	return marshalState(w)
+}
+
+func (table4Acc) UnmarshalShard(data []byte, b StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireTable4](data)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("kind-mask", len(w.KindMask), b.URIs); err != nil {
+		return nil, err
+	}
+	if len(w.Objects) != 4 || len(w.Values) != 4 {
+		return nil, fmt.Errorf("%d object and %d value rows, want 4 subject kinds", len(w.Objects), len(w.Values))
+	}
+	s := &table4Shard{kindMask: w.KindMask}
+	for k := 0; k < 4; k++ {
+		if err := checkLen("value-count", len(w.Values[k]), b.Vals); err != nil {
+			return nil, err
+		}
+		s.objects[k] = w.Objects[k]
+		s.values[k] = w.Values[k]
+	}
+	return s, nil
+}
+
+type wireMonth struct {
+	Month     int32 `cbor:"m"`
+	Bluesky   int64 `cbor:"b,omitempty"`
+	Community int64 `cbor:"c,omitempty"`
+}
+
+type wireFigure4 struct {
+	Months []wireMonth `cbor:"months,omitempty"`
+}
+
+func (figure4Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure4Shard)
+	w := &wireFigure4{Months: make([]wireMonth, 0, len(s.byMonth))}
+	for idx, b := range s.byMonth {
+		w.Months = append(w.Months, wireMonth{Month: idx, Bluesky: int64(b[0]), Community: int64(b[1])})
+	}
+	sort.Slice(w.Months, func(i, j int) bool { return w.Months[i].Month < w.Months[j].Month })
+	return marshalState(w)
+}
+
+func (figure4Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure4](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &figure4Shard{byMonth: make(map[int32]*[2]int, len(w.Months))}
+	for _, m := range w.Months {
+		s.byMonth[m.Month] = &[2]int{int(m.Bluesky), int(m.Community)}
+	}
+	return s, nil
+}
+
+type wireLabAgg struct {
+	Total  int64     `cbor:"t,omitempty"`
+	Values []int64   `cbor:"v,omitempty"`
+	RTs    []float64 `cbor:"rts,omitempty"`
+}
+
+type wireExtraAgg struct {
+	ID  int32      `cbor:"id"`
+	Agg wireLabAgg `cbor:"agg"`
+}
+
+type wireReaction struct {
+	PerLab []wireLabAgg   `cbor:"perLab,omitempty"`
+	Extra  []wireExtraAgg `cbor:"extra,omitempty"`
+	Total  int64          `cbor:"total,omitempty"`
+}
+
+func labAggToWire(a *labAgg) wireLabAgg {
+	return wireLabAgg{Total: int64(a.total), Values: trimI64(a.values), RTs: a.rts}
+}
+
+func labAggFromWire(w *wireLabAgg, b StateBounds) (labAgg, error) {
+	if err := checkLen("value-count", len(w.Values), b.Vals); err != nil {
+		return labAgg{}, err
+	}
+	return labAgg{total: int(w.Total), values: w.Values, rts: w.RTs}, nil
+}
+
+func (reactionAcc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*reactionShard)
+	perLab := s.perLab
+	for len(perLab) > 0 && perLab[len(perLab)-1].total == 0 {
+		perLab = perLab[:len(perLab)-1]
+	}
+	w := &wireReaction{Total: s.total, PerLab: make([]wireLabAgg, 0, len(perLab))}
+	for i := range perLab {
+		w.PerLab = append(w.PerLab, labAggToWire(&perLab[i]))
+	}
+	for id, agg := range s.extra {
+		w.Extra = append(w.Extra, wireExtraAgg{ID: id, Agg: labAggToWire(agg)})
+	}
+	sort.Slice(w.Extra, func(i, j int) bool { return w.Extra[i].ID > w.Extra[j].ID })
+	return marshalState(w)
+}
+
+func (reactionAcc) UnmarshalShard(data []byte, b StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireReaction](data)
+	if err != nil {
+		return nil, err
+	}
+	// Per-labeler aggregates resolve their names through World.Labelers
+	// at render; an aggregate beyond the announced population cannot
+	// have arisen from a real traversal.
+	if err := checkLen("per-labeler aggregate", len(w.PerLab), b.Labelers); err != nil {
+		return nil, err
+	}
+	s := &reactionShard{total: w.Total, perLab: make([]labAgg, 0, len(w.PerLab))}
+	for i := range w.PerLab {
+		agg, err := labAggFromWire(&w.PerLab[i], b)
+		if err != nil {
+			return nil, err
+		}
+		s.perLab = append(s.perLab, agg)
+	}
+	for i := range w.Extra {
+		id := w.Extra[i].ID
+		// Extra aggregates resolve their DID through ExtraSrcs at render;
+		// only strictly-negative in-table ids may appear here.
+		if id >= -1 {
+			return nil, fmt.Errorf("extra-source aggregate carries non-extra id %d", id)
+		}
+		if err := b.checkSrc(id); err != nil {
+			return nil, err
+		}
+		agg, err := labAggFromWire(&w.Extra[i].Agg, b)
+		if err != nil {
+			return nil, err
+		}
+		if s.extra == nil {
+			s.extra = make(map[int32]*labAgg, len(w.Extra))
+		}
+		cp := agg
+		s.extra[id] = &cp
+	}
+	return s, nil
+}
+
+type wireValAgg struct {
+	Present  bool      `cbor:"p,omitempty"`
+	Official bool      `cbor:"o,omitempty"`
+	Objects  int64     `cbor:"n,omitempty"`
+	RTs      []float64 `cbor:"rts,omitempty"`
+}
+
+type wireFigure6 struct {
+	PerVal []wireValAgg    `cbor:"perVal,omitempty"`
+	Seen   []wirePairState `cbor:"seen,omitempty"`
+}
+
+func (figure6Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure6Shard)
+	perVal := s.perVal
+	for n := len(perVal); n > 0; n-- {
+		if a := &perVal[n-1]; a.present || a.objects != 0 || len(a.rts) != 0 {
+			break
+		}
+		perVal = perVal[:n-1]
+	}
+	w := &wireFigure6{PerVal: make([]wireValAgg, 0, len(perVal))}
+	for i := range perVal {
+		a := &perVal[i]
+		w.PerVal = append(w.PerVal, wireValAgg{Present: a.present, Official: a.official, Objects: int64(a.objects), RTs: a.rts})
+	}
+	for k := range s.seen {
+		w.Seen = append(w.Seen, wirePairState{URI: int32(k >> 32), Val: int32(k & 0xffffffff)})
+	}
+	sort.Slice(w.Seen, func(i, j int) bool {
+		if w.Seen[i].URI != w.Seen[j].URI {
+			return w.Seen[i].URI < w.Seen[j].URI
+		}
+		return w.Seen[i].Val < w.Seen[j].Val
+	})
+	return marshalState(w)
+}
+
+func (figure6Acc) UnmarshalShard(data []byte, b StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure6](data)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("per-value aggregate", len(w.PerVal), b.Vals); err != nil {
+		return nil, err
+	}
+	s := &figure6Shard{
+		perVal: make([]valAgg, 0, len(w.PerVal)),
+		seen:   make(map[int64]struct{}, len(w.Seen)),
+	}
+	for i := range w.PerVal {
+		a := &w.PerVal[i]
+		s.perVal = append(s.perVal, valAgg{present: a.Present, official: a.Official, objects: int(a.Objects), rts: a.RTs})
+	}
+	for _, p := range w.Seen {
+		if err := checkID("URI", p.URI, b.URIs); err != nil {
+			return nil, err
+		}
+		if err := checkID("value", p.Val, b.Vals); err != nil {
+			return nil, err
+		}
+		s.seen[pairKey(p.URI, p.Val)] = struct{}{}
+	}
+	return s, nil
+}

@@ -116,6 +116,37 @@ func (postLangAcc) Render(w *World, sh Shard, _ *LabelTables) []*Report {
 	return []*Report{r}
 }
 
+// ---- shard-state codec (the wire form of DESIGN.md §9) ----
+
+type wireLangAgg struct {
+	Posts   int64 `cbor:"p,omitempty"`
+	Media   int64 `cbor:"m,omitempty"`
+	AltText int64 `cbor:"a,omitempty"`
+	Likes   int64 `cbor:"l,omitempty"`
+	Reposts int64 `cbor:"r,omitempty"`
+}
+
+func (postLangAcc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*postLangShard)
+	w := make(map[string]wireLangAgg, len(s.byLang))
+	for lang, a := range s.byLang {
+		w[lang] = wireLangAgg{Posts: a.posts, Media: a.media, AltText: a.altText, Likes: a.likes, Reposts: a.reposts}
+	}
+	return marshalState(w)
+}
+
+func (postLangAcc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[map[string]wireLangAgg](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &postLangShard{byLang: make(map[string]*langPostAgg, len(*w))}
+	for lang, a := range *w {
+		s.byLang[lang] = &langPostAgg{posts: a.Posts, media: a.Media, altText: a.AltText, likes: a.Likes, reposts: a.Reposts}
+	}
+	return s, nil
+}
+
 // Section4Posts renders the per-language post volume and alt-text
 // coverage report.
 func Section4Posts(ds *core.Dataset) *Report { return runOne(ds, newPostLangAcc())[0] }

@@ -943,6 +943,400 @@ func (discussionAcc) Render(w *World, _ Shard, _ *LabelTables) []*Report {
 	return []*Report{r}
 }
 
+// ---- shard-state codecs (the wire forms of DESIGN.md §9) ----
+//
+// Each accumulator serializes its level-one-merged shard so a remote
+// worker can ship it home for the level-two fold. Slices keep their
+// order (some renders stable-sort, so order is state); maps with
+// non-string keys travel as key-sorted pair slices, which also makes
+// the encoding deterministic. Decoders validate table-indexed ids
+// against StateBounds — see Accumulator.UnmarshalShard.
+
+type wireSection4 struct {
+	Posts   int64 `cbor:"p,omitempty"`
+	Likes   int64 `cbor:"l,omitempty"`
+	Reposts int64 `cbor:"r,omitempty"`
+	Follows int64 `cbor:"f,omitempty"`
+	Blocks  int64 `cbor:"b,omitempty"`
+}
+
+func (section4Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*section4Shard)
+	return marshalState(&wireSection4{s.posts, s.likes, s.reposts, s.follows, s.blocks})
+}
+
+func (section4Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireSection4](data)
+	if err != nil {
+		return nil, err
+	}
+	return &section4Shard{posts: w.Posts, likes: w.Likes, reposts: w.Reposts, follows: w.Follows, blocks: w.Blocks}, nil
+}
+
+type wireSection5 struct {
+	Bsky   int64             `cbor:"bsky,omitempty"`
+	Alt    int64             `cbor:"alt,omitempty"`
+	DIDWeb int64             `cbor:"didWeb,omitempty"`
+	TXT    int64             `cbor:"txt,omitempty"`
+	WK     int64             `cbor:"wk,omitempty"`
+	Tranco int64             `cbor:"tranco,omitempty"`
+	DIDs   []string          `cbor:"dids,omitempty"`
+	Final  map[string]string `cbor:"final,omitempty"`
+}
+
+func (section5Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*section5Shard)
+	w := &wireSection5{
+		Bsky: int64(s.bsky), Alt: int64(s.alt), DIDWeb: int64(s.didWeb),
+		TXT: int64(s.txt), WK: int64(s.wk), Tranco: int64(s.tranco),
+		Final: s.final,
+	}
+	for did := range s.dids {
+		w.DIDs = append(w.DIDs, did)
+	}
+	sort.Strings(w.DIDs)
+	return marshalState(w)
+}
+
+func (section5Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireSection5](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &section5Shard{
+		bsky: int(w.Bsky), alt: int(w.Alt), didWeb: int(w.DIDWeb),
+		txt: int(w.TXT), wk: int(w.WK), tranco: int(w.Tranco),
+		dids: make(map[string]bool, len(w.DIDs)), final: w.Final,
+	}
+	if s.final == nil {
+		s.final = map[string]string{}
+	}
+	for _, did := range w.DIDs {
+		s.dids[did] = true
+	}
+	return s, nil
+}
+
+func (table1Acc) MarshalShard(Shard) ([]byte, error)                { return nil, nil }
+func (table1Acc) UnmarshalShard([]byte, StateBounds) (Shard, error) { return NopShard{}, nil }
+
+type wireRegistrar struct {
+	ID    int64  `cbor:"id"`
+	Name  string `cbor:"name,omitempty"`
+	Count int64  `cbor:"n,omitempty"`
+}
+
+type wireTable2 struct {
+	WithID int64           `cbor:"withID,omitempty"`
+	Rows   []wireRegistrar `cbor:"rows,omitempty"`
+}
+
+func (table2Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*table2Shard)
+	w := &wireTable2{WithID: int64(s.withID)}
+	for id, row := range s.counts {
+		w.Rows = append(w.Rows, wireRegistrar{ID: int64(id), Name: row.Name, Count: int64(row.Count)})
+	}
+	sort.Slice(w.Rows, func(i, j int) bool { return w.Rows[i].ID < w.Rows[j].ID })
+	return marshalState(w)
+}
+
+func (table2Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireTable2](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &table2Shard{counts: make(map[int]*RegistrarRow, len(w.Rows)), withID: int(w.WithID)}
+	for _, r := range w.Rows {
+		s.counts[int(r.ID)] = &RegistrarRow{IANAID: int(r.ID), Name: r.Name, Count: int(r.Count)}
+	}
+	return s, nil
+}
+
+func (table5Acc) MarshalShard(sh Shard) ([]byte, error) {
+	return marshalState(sh.(*table5Shard).feeds)
+}
+
+func (table5Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[map[string]int](data)
+	if err != nil {
+		return nil, err
+	}
+	if *w == nil {
+		*w = map[string]int{}
+	}
+	return &table5Shard{feeds: *w}, nil
+}
+
+type wireWeekly struct {
+	Rows [][]string `cbor:"rows,omitempty"`
+}
+
+func marshalWeekly(sh Shard) ([]byte, error) {
+	return marshalState(&wireWeekly{Rows: sh.(*weeklyShard).rows})
+}
+
+func unmarshalWeekly(data []byte, langs []string) (Shard, error) {
+	w, err := unmarshalState[wireWeekly](data)
+	if err != nil {
+		return nil, err
+	}
+	return &weeklyShard{langs: langs, rows: w.Rows}, nil
+}
+
+func (figure1Acc) MarshalShard(sh Shard) ([]byte, error) { return marshalWeekly(sh) }
+func (figure1Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	return unmarshalWeekly(data, nil)
+}
+
+func (figure2Acc) MarshalShard(sh Shard) ([]byte, error) { return marshalWeekly(sh) }
+func (figure2Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	return unmarshalWeekly(data, figure2Langs)
+}
+
+type wireFigure3 struct {
+	Doms []core.Domain `cbor:"doms,omitempty"`
+}
+
+func (figure3Acc) MarshalShard(sh Shard) ([]byte, error) {
+	return marshalState(&wireFigure3{Doms: sh.(*figure3Shard).doms})
+}
+
+func (figure3Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure3](data)
+	if err != nil {
+		return nil, err
+	}
+	return &figure3Shard{doms: w.Doms}, nil
+}
+
+type wireFGGrowth struct {
+	CreatedNS int64 `cbor:"c,omitempty"`
+	Likes     int64 `cbor:"l,omitempty"`
+	Creator   int64 `cbor:"u,omitempty"`
+}
+
+type wireFigure7 struct {
+	FGs []wireFGGrowth `cbor:"fgs,omitempty"`
+}
+
+func (figure7Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure7Shard)
+	w := &wireFigure7{FGs: make([]wireFGGrowth, 0, len(s.fgs))}
+	for _, fg := range s.fgs {
+		var ns int64
+		if !fg.created.IsZero() {
+			ns = fg.created.UnixNano()
+		}
+		w.FGs = append(w.FGs, wireFGGrowth{CreatedNS: ns, Likes: int64(fg.likes), Creator: int64(fg.creatorIdx)})
+	}
+	return marshalState(w)
+}
+
+func (figure7Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure7](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &figure7Shard{fgs: make([]fgGrowth, 0, len(w.FGs))}
+	for _, fg := range w.FGs {
+		if fg.Creator < 0 {
+			return nil, fmt.Errorf("negative creator index %d", fg.Creator)
+		}
+		var created time.Time
+		if fg.CreatedNS != 0 {
+			created = time.Unix(0, fg.CreatedNS).UTC()
+		}
+		s.fgs = append(s.fgs, fgGrowth{created: created, likes: int(fg.Likes), creatorIdx: int(fg.Creator)})
+	}
+	return s, nil
+}
+
+func (figure8Acc) MarshalShard(sh Shard) ([]byte, error) {
+	return marshalState(sh.(*figure8Shard).counts)
+}
+
+func (figure8Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[map[string]int](data)
+	if err != nil {
+		return nil, err
+	}
+	if *w == nil {
+		*w = map[string]int{}
+	}
+	return &figure8Shard{counts: *w}, nil
+}
+
+type wireFigure9 struct {
+	Some   int64          `cbor:"some,omitempty"`
+	Heavy  int64          `cbor:"heavy,omitempty"`
+	Counts map[string]int `cbor:"counts,omitempty"`
+}
+
+func (figure9Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure9Shard)
+	return marshalState(&wireFigure9{Some: int64(s.some), Heavy: int64(s.heavy), Counts: s.counts})
+}
+
+func (figure9Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure9](data)
+	if err != nil {
+		return nil, err
+	}
+	if w.Counts == nil {
+		w.Counts = map[string]int{}
+	}
+	return &figure9Shard{counts: w.Counts, some: int(w.Some), heavy: int(w.Heavy)}, nil
+}
+
+type wireBinCount struct {
+	Posts string `cbor:"p,omitempty"`
+	Likes string `cbor:"l,omitempty"`
+	N     int64  `cbor:"n,omitempty"`
+}
+
+type wireFigure10 struct {
+	Bins  []wireBinCount `cbor:"bins,omitempty"`
+	Notes []string       `cbor:"notes,omitempty"`
+}
+
+func (figure10Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure10Shard)
+	w := &wireFigure10{Notes: s.notes}
+	for k, n := range s.counts {
+		w.Bins = append(w.Bins, wireBinCount{Posts: k[0], Likes: k[1], N: int64(n)})
+	}
+	sort.Slice(w.Bins, func(i, j int) bool {
+		if w.Bins[i].Posts != w.Bins[j].Posts {
+			return w.Bins[i].Posts < w.Bins[j].Posts
+		}
+		return w.Bins[i].Likes < w.Bins[j].Likes
+	})
+	return marshalState(w)
+}
+
+func (figure10Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure10](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &figure10Shard{counts: make(map[[2]string]int, len(w.Bins)), notes: w.Notes}
+	for _, b := range w.Bins {
+		s.counts[[2]string{b.Posts, b.Likes}] += int(b.N)
+	}
+	return s, nil
+}
+
+// maxWireDegree bounds a deserialized maxDeg: bins() derives the bin
+// list from it, so an absurd degree must fail decode instead of
+// driving the render loop into overflow.
+const maxWireDegree = 1 << 40
+
+type wireCreator struct {
+	Idx   int64 `cbor:"i"`
+	Likes int64 `cbor:"l,omitempty"`
+	Count int64 `cbor:"n,omitempty"`
+}
+
+type wireFigure11 struct {
+	InBins   []int64       `cbor:"in,omitempty"`
+	OutBins  []int64       `cbor:"out,omitempty"`
+	MaxDeg   int64         `cbor:"maxDeg,omitempty"`
+	Creators []wireCreator `cbor:"creators,omitempty"`
+}
+
+func (figure11Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure11Shard)
+	w := &wireFigure11{
+		InBins:  make([]int64, maxLogBins),
+		OutBins: make([]int64, maxLogBins),
+		MaxDeg:  int64(s.maxDeg),
+	}
+	for b := 0; b < maxLogBins; b++ {
+		w.InBins[b] = int64(s.inBins[b])
+		w.OutBins[b] = int64(s.outBins[b])
+	}
+	for ci, a := range s.creators {
+		w.Creators = append(w.Creators, wireCreator{Idx: int64(ci), Likes: a.likes, Count: a.count})
+	}
+	sort.Slice(w.Creators, func(i, j int) bool { return w.Creators[i].Idx < w.Creators[j].Idx })
+	return marshalState(w)
+}
+
+func (figure11Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure11](data)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.InBins) > maxLogBins || len(w.OutBins) > maxLogBins {
+		return nil, fmt.Errorf("%d/%d degree bins exceed the %d bound", len(w.InBins), len(w.OutBins), maxLogBins)
+	}
+	if w.MaxDeg < 0 || w.MaxDeg > maxWireDegree {
+		return nil, fmt.Errorf("max degree %d outside [0, %d]", w.MaxDeg, int64(maxWireDegree))
+	}
+	s := &figure11Shard{maxDeg: int(w.MaxDeg), creators: make(map[int]*creatorAgg, len(w.Creators))}
+	if s.maxDeg < 1 {
+		s.maxDeg = 1
+	}
+	copy64 := func(dst *[maxLogBins]int, src []int64) {
+		for b := range src {
+			dst[b] = int(src[b])
+		}
+	}
+	copy64(&s.inBins, w.InBins)
+	copy64(&s.outBins, w.OutBins)
+	for _, c := range w.Creators {
+		if c.Idx < 0 {
+			return nil, fmt.Errorf("negative creator index %d", c.Idx)
+		}
+		s.creators[int(c.Idx)] = &creatorAgg{likes: c.Likes, count: c.Count}
+	}
+	return s, nil
+}
+
+type wireProvider struct {
+	Feeds int64 `cbor:"f,omitempty"`
+	Posts int64 `cbor:"p,omitempty"`
+	Likes int64 `cbor:"l,omitempty"`
+}
+
+type wireFigure12 struct {
+	TotFeeds int64                   `cbor:"feeds,omitempty"`
+	TotPosts int64                   `cbor:"posts,omitempty"`
+	TotLikes int64                   `cbor:"likes,omitempty"`
+	Agg      map[string]wireProvider `cbor:"agg,omitempty"`
+}
+
+func (figure12Acc) MarshalShard(sh Shard) ([]byte, error) {
+	s := sh.(*figure12Shard)
+	w := &wireFigure12{
+		TotFeeds: int64(s.totFeeds), TotPosts: int64(s.totPosts), TotLikes: int64(s.totLikes),
+		Agg: make(map[string]wireProvider, len(s.agg)),
+	}
+	for name, p := range s.agg {
+		w.Agg[name] = wireProvider{Feeds: int64(p.Feeds), Posts: int64(p.PostsTotal), Likes: int64(p.LikesTotal)}
+	}
+	return marshalState(w)
+}
+
+func (figure12Acc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) {
+	w, err := unmarshalState[wireFigure12](data)
+	if err != nil {
+		return nil, err
+	}
+	s := &figure12Shard{
+		agg:      make(map[string]*ProviderShare, len(w.Agg)),
+		totFeeds: int(w.TotFeeds), totPosts: int(w.TotPosts), totLikes: int(w.TotLikes),
+	}
+	for name, p := range w.Agg {
+		s.agg[name] = &ProviderShare{Name: name, Feeds: int(p.Feeds), PostsTotal: int(p.Posts), LikesTotal: int(p.Likes)}
+	}
+	return s, nil
+}
+
+func (discussionAcc) MarshalShard(Shard) ([]byte, error)                { return nil, nil }
+func (discussionAcc) UnmarshalShard([]byte, StateBounds) (Shard, error) { return NopShard{}, nil }
+
 // renderTable5 joins the static FGaaS feature matrix with per-platform
 // feed counts.
 func renderTable5(feeds map[string]int) *Report {

@@ -39,15 +39,46 @@ func NewDiskSource(c *core.Corpus, k int) *DiskSource {
 // like any other batch partition).
 func (src *DiskSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*World, []Shard, *LabelTables, error) {
 	base := core.CollectionCounts{}
+	var records *core.CollectionCounts
 	if m := src.Corpus.Manifest; src.Part < len(m.Partitions) {
 		base = m.Partitions[src.Part].Base
+		records = &m.Partitions[src.Part].Records
 	}
-	pr, err := src.Corpus.OpenPartition(src.Part)
+	rs := &ReaderSource{
+		Open:    func() (*core.PartitionReader, error) { return src.Corpus.OpenPartition(src.Part) },
+		Base:    base,
+		Records: records,
+		Name:    fmt.Sprintf("partition %d", src.Part),
+	}
+	return rs.Run(accs, workers, nil)
+}
+
+// ReaderSource streams record blocks out of any partition block reader
+// — an opened store partition (DiskSource delegates here) or block
+// frames shipped over the wire (the remote worker's streamed-blocks
+// mode). Residency is one decoded block plus accumulator state.
+type ReaderSource struct {
+	// Open yields the block reader; the source closes it after the run.
+	Open func() (*core.PartitionReader, error)
+	// Base is the partition's per-collection offset in the corpus.
+	Base core.CollectionCounts
+	// Records, when set, is the record count the blocks must deliver
+	// exactly — the manifest's promise the Base prefix sums were
+	// computed against. A mismatch fails the run: proceeding would
+	// silently mis-attribute every later partition's indexes.
+	Records *core.CollectionCounts
+	// Name labels errors ("partition 3", "streamed blocks").
+	Name string
+}
+
+// Run implements Source with the one-worker-order block traversal.
+func (src *ReaderSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*World, []Shard, *LabelTables, error) {
+	pr, err := src.Open()
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	defer pr.Close()
-	si := newStreamIngest(accs, workers, base)
+	si := newStreamIngest(accs, workers, src.Base)
 	for {
 		b, err := pr.Next()
 		if errors.Is(err, io.EOF) {
@@ -55,23 +86,16 @@ func (src *DiskSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*Worl
 		}
 		if err != nil {
 			si.finish() // stop group goroutines before bailing
-			return nil, nil, nil, fmt.Errorf("analysis: partition %d: %w", src.Part, err)
+			return nil, nil, nil, fmt.Errorf("analysis: %s: %w", src.Name, err)
 		}
 		si.apply(*b)
 	}
 	si.finish()
-	// Bind the file's contents to the manifest: the Base prefix-sum
-	// offsets every later partition's state was computed against assume
-	// exactly Records records here, so a swapped-in or stale block file
-	// must fail the run, not mis-attribute indexes silently.
-	got := core.CollectionCounts{
-		Users: si.world.Users, Posts: si.world.Posts, Days: si.world.Days,
-		Labels: si.world.Labels, FeedGens: si.world.FeedGens,
-		Domains: si.world.Domains, HandleUpdates: si.world.HandleUpdates,
-	}
-	if m := src.Corpus.Manifest; src.Part < len(m.Partitions) && got != m.Partitions[src.Part].Records {
-		return nil, nil, nil, fmt.Errorf("analysis: partition %d streamed %+v records but the manifest promises %+v: block file and manifest disagree",
-			src.Part, got, m.Partitions[src.Part].Records)
+	if src.Records != nil {
+		if got := si.world.Counts(); got != *src.Records {
+			return nil, nil, nil, fmt.Errorf("analysis: %s streamed %+v records but the manifest promises %+v: block file and manifest disagree",
+				src.Name, got, *src.Records)
+		}
 	}
 	return si.world, si.shards, si.tables, nil
 }

@@ -24,7 +24,16 @@
 //	             DiskSource      one partition of a disk-backed store,
 //	                             streamed block by block — out-of-core
 //	                             evaluation with one decoded block
-//	                             resident per partition (disk.go)
+//	                             resident per partition (disk.go);
+//	                             ReaderSource is its transport-agnostic
+//	                             core (any block reader, e.g. frames
+//	                             shipped over the wire)
+//	             StateSource     one partition's deserialized level-one
+//	                             state — the remote execution mode: a
+//	                             worker runs the traversal elsewhere
+//	                             and ships MarshalPartitionState bytes
+//	                             home for the fold (state.go,
+//	                             internal/sched)
 //	             MultiSource     a set of partition Sources of any of
 //	                             the above kinds, folded through the
 //	                             two-level merge (multi.go)
@@ -35,7 +44,11 @@
 // Level one of the merge is within a partition (worker shards fold in
 // worker order); level two is across partitions (intern tables remap
 // into one corpus id space, partition-local user indexes rebase by the
-// manifest's bases, shard states fold in partition order).
+// manifest's bases, shard states fold in partition order). Between the
+// two levels sits the snapshot layer: every Accumulator serializes its
+// level-one-merged shard (MarshalShard/UnmarshalShard, DESIGN.md §9),
+// so the fold consumes wire state from a remote worker exactly as it
+// consumes in-process state.
 //
 // # Determinism contract
 //

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"time"
 
 	"blueskies/internal/core"
@@ -11,9 +12,8 @@ import (
 // (~25 independent passes); the Engine registers one Accumulator per
 // report, streams each record block of a Source through every
 // registered accumulator exactly once, and renders from the merged
-// state. Two Sources exist: DatasetSource shards a materialized
-// core.Dataset across workers (source.go), and StreamSource consumes a
-// live record stream and renders periodic snapshots (stream.go).
+// state. The Source implementations (batch, stream, disk, remote
+// state, multi-partition) are enumerated in doc.go.
 //
 // Determinism contract: for a fixed corpus the engine produces
 // byte-identical reports at any worker count, from either source.
@@ -256,6 +256,27 @@ func (NopShard) FeedGens([]core.FeedGen, int)           {}
 func (NopShard) Domains([]core.Domain, int)             {}
 func (NopShard) HandleUpdates([]core.HandleUpdate, int) {}
 
+// StateBounds carries the intern-table sizes of the partition state a
+// shard travels with. UnmarshalShard validates every table-indexed id
+// in the decoded state against them, so hostile or stale wire bytes
+// can never index out of range during the level-two fold.
+type StateBounds struct {
+	URIs      int // len(LabelTables.URIs)
+	Vals      int // len(LabelTables.Vals)
+	ExtraSrcs int // len(LabelTables.ExtraSrcs)
+	Labelers  int // len(World.Labelers) of the same partition state
+}
+
+// checkSrc validates a LabelMeta-style source id: labeler indexes and
+// the -1 sentinel pass through; extra-source ids must resolve inside
+// the partition's ExtraSrcs table.
+func (b StateBounds) checkSrc(id int32) error {
+	if id < -1 && int(-2-id) >= b.ExtraSrcs {
+		return fmt.Errorf("analysis: source id %d outside the %d-entry extra-src table", id, b.ExtraSrcs)
+	}
+	return nil
+}
+
 // Accumulator computes one (occasionally several) of the paper's
 // reports from a streamed corpus traversal.
 type Accumulator interface {
@@ -277,6 +298,16 @@ type Accumulator interface {
 	// not mutate s: streaming snapshots render the same shard again as
 	// more records arrive.
 	Render(w *World, s Shard, t *LabelTables) []*Report
+	// MarshalShard serializes a level-one-merged shard as DAG-CBOR —
+	// the wire form a remote worker returns for the level-two fold.
+	// The encoding is deterministic: identical state yields identical
+	// bytes. Stateless accumulators return nil.
+	MarshalShard(s Shard) ([]byte, error)
+	// UnmarshalShard reconstructs a shard from MarshalShard bytes. The
+	// result must behave exactly like the in-process shard under Merge
+	// and Render; every table-indexed id is validated against b so the
+	// fold can trust decoded state as far as memory safety goes.
+	UnmarshalShard(data []byte, b StateBounds) (Shard, error)
 }
 
 // blockSize bounds the records handed to each accumulator per call so

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"blueskies/internal/core"
 )
@@ -100,14 +101,22 @@ func (st *partState) resolve() (*World, []Shard, *LabelTables) {
 	return st.world, st.shards, st.tables
 }
 
-// Run implements Source over the partition set.
+// Run implements Source over the partition set. A partition that
+// errors aborts the whole run with that error as soon as it surfaces —
+// without waiting for the remaining partitions (a run must never hang
+// on a healthy-but-endless stream because a sibling died, and no
+// partial tables are ever rendered). Abandoned partitions finish in
+// the background: their goroutines drain harmlessly into the discarded
+// state slots, and mid-run snapshots are suppressed once the run is
+// aborting. Callers that own live stream channels should close them
+// (cancel the feeding context) after an error return.
 func (ms *MultiSource) Run(accs []Accumulator, workers int, render RenderFunc) (*World, []Shard, *LabelTables, error) {
 	n := len(ms.Sources)
 	if n == 0 {
 		return ms.fold(accs, nil)
 	}
 	states := make([]*partState, n)
-	errs := make([]error, n)
+	var failed atomic.Bool
 
 	streamWorkers := workers
 	if streamWorkers <= 0 {
@@ -132,6 +141,9 @@ func (ms *MultiSource) Run(accs []Accumulator, workers int, render RenderFunc) (
 			every: ms.SnapshotEvery,
 			pause: make(chan struct{}),
 			snapshot: func(sts []*partState) {
+				if failed.Load() {
+					return // the run is aborting; render nothing partial
+				}
 				world, merged, tables, err := ms.fold(accs, sts)
 				if err != nil {
 					return // enumeration conflicts surface at the final fold
@@ -154,34 +166,45 @@ func (ms *MultiSource) Run(accs []Accumulator, workers int, render RenderFunc) (
 	}
 
 	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	var wg sync.WaitGroup
+	done := make(chan error, n)
 	for p, sub := range ms.Sources {
-		wg.Add(1)
 		go func(p int, sub Source) {
-			defer wg.Done()
 			if src, ok := sub.(*StreamSource); ok {
 				if coord != nil {
 					runCoordinatedStream(src, states[p].si, coord)
+					done <- nil
 					return
 				}
 				world, shards, tables, err := src.Run(accs, streamWorkers, nil)
 				if err != nil {
-					errs[p] = err
+					done <- err
 					return
 				}
 				states[p] = &partState{world: world, shards: shards, tables: tables}
+				done <- nil
 				return
 			}
 			// Batch partitions are CPU-bound; cap their concurrency.
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			// Offloaded partitions (remote workers) skip the cap: their
+			// traversal burns another machine's cores, and gating them
+			// here would bound fleet fan-out at local GOMAXPROCS.
+			if o, ok := sub.(OffloadedSource); !ok || !o.Offloaded() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			if failed.Load() {
+				// The run is already aborting; don't start a traversal
+				// whose state the fold will never consume.
+				done <- nil
+				return
+			}
 			w := workers
 			if _, disk := sub.(*DiskSource); disk && w <= 0 {
 				w = streamWorkers // accumulator groups, not data shards
 			}
 			world, shards, tables, err := sub.Run(accs, w, nil)
 			if err != nil {
-				errs[p] = err
+				done <- err
 				return
 			}
 			st := &partState{world: world, shards: shards, tables: tables}
@@ -190,11 +213,12 @@ func (ms *MultiSource) Run(accs []Accumulator, workers int, render RenderFunc) (
 			} else {
 				states[p] = st
 			}
+			done <- nil
 		}(p, sub)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			failed.Store(true)
 			return nil, nil, nil, err
 		}
 	}

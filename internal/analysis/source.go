@@ -24,6 +24,17 @@ type Source interface {
 	Run(accs []Accumulator, workers int, render RenderFunc) (*World, []Shard, *LabelTables, error)
 }
 
+// OffloadedSource marks a Source whose Run performs its traversal on
+// another machine (a remote worker). MultiSource runs such partitions
+// without claiming a local CPU slot, so remote fan-out is bounded by
+// the fleet size, not by the scheduler's GOMAXPROCS.
+type OffloadedSource interface {
+	Source
+	// Offloaded reports whether this run's heavy lifting happens
+	// elsewhere.
+	Offloaded() bool
+}
+
 // DatasetSource traverses a materialized core.Dataset, sharded across
 // workers over contiguous index ranges — the batch execution mode.
 type DatasetSource struct {

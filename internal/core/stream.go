@@ -308,6 +308,24 @@ func blockToWire(b *RecordBlock) *wireBlock {
 	return wb
 }
 
+// MarshalBlock encodes a RecordBlock to its canonical wire bytes — the
+// same encoding the disk-store frames and #sim.block events carry.
+// Exported for carriers outside this package that need to ship dataset
+// records losslessly (the remote-evaluation shard state embeds a
+// header + labeler block this way).
+func MarshalBlock(b *RecordBlock) ([]byte, error) {
+	return cbor.Marshal(blockToWire(b))
+}
+
+// UnmarshalBlock decodes MarshalBlock's wire bytes.
+func UnmarshalBlock(data []byte) (*RecordBlock, error) {
+	var wb wireBlock
+	if err := cbor.Unmarshal(data, &wb); err != nil {
+		return nil, fmt.Errorf("core: decode record block: %w", err)
+	}
+	return blockFromWire(&wb), nil
+}
+
 // EOFEvent returns the end-of-stream marker a replay emits after its
 // last record frame.
 func EOFEvent() *events.Sim { return &events.Sim{Kind: simKindEOF} }

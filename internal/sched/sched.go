@@ -1,0 +1,313 @@
+// Package sched places the partitions of a disk-backed corpus onto
+// evaluation workers and folds their shard state into one report set —
+// the remote-evaluation layer of DESIGN.md §9.
+//
+// The manifest is the placement unit and the partition store the
+// shipping form: each partition is handed to a worker (in-process
+// Loopback, or a cmd/bskyworker daemon over the XRPC transport) either
+// as a store reference the worker opens locally or as its framed
+// block-file bytes shipped inline. The worker runs the engine's
+// level-one sharded traversal and returns serialized shard state
+// (analysis.MarshalPartitionState); the scheduler decodes it into a
+// Source, so partitions evaluated remotely compose under
+// analysis.MultiSource exactly like disk, batch, and stream partitions
+// — and the folded output is byte-identical to the local out-of-core
+// run at any worker count.
+//
+// Failure handling: a worker that errors (dead endpoint, rejected
+// request, undecodable or mismatched state) is marked unhealthy and
+// skipped for the rest of the run; its partition retries on the
+// remaining workers and, when every worker has failed it, falls back
+// to the local out-of-core traversal (analysis.DiskSource semantics) —
+// so killing a worker mid-run degrades throughput, never correctness.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blueskies/internal/analysis"
+	"blueskies/internal/cbor"
+	"blueskies/internal/core"
+	"blueskies/internal/xrpc"
+)
+
+// Worker evaluates one partition per call: it receives an encoded
+// EvalRequest and returns the partition's serialized shard state.
+type Worker interface {
+	// Name labels the worker in errors and logs.
+	Name() string
+	// Eval runs one partition evaluation.
+	Eval(ctx context.Context, req []byte) ([]byte, error)
+}
+
+// DialTimeout bounds one remote partition evaluation end to end.
+const DialTimeout = 10 * time.Minute
+
+// xrpcWorker speaks the worker protocol over HTTP.
+type xrpcWorker struct {
+	name string
+	c    *xrpc.Client
+}
+
+// Dial returns a Worker for a bskyworker daemon at addr
+// ("host:port" or a full http:// base URL).
+func Dial(addr string) Worker {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := xrpc.NewClient(base)
+	c.HTTPClient.Timeout = DialTimeout
+	return &xrpcWorker{name: addr, c: c}
+}
+
+func (w *xrpcWorker) Name() string { return w.name }
+
+func (w *xrpcWorker) Eval(ctx context.Context, req []byte) ([]byte, error) {
+	return w.c.ProcedureRaw(ctx, NSIDEvalPartition, nil, ContentTypeCBOR, req)
+}
+
+// Scheduler places a corpus' partitions onto workers. Construct with
+// New; one Scheduler drives one evaluation run's placement (health
+// marks are per-run state).
+type Scheduler struct {
+	// Corpus is the opened local store: the source of shipped blocks,
+	// the authority on placement (manifest bases and record counts),
+	// and the fallback execution site.
+	Corpus *core.Corpus
+	// Workers are the placement targets, tried round-robin by
+	// partition index.
+	Workers []Worker
+	// ShipBlocks streams each partition's framed block bytes inside the
+	// request instead of sending a store reference — required when
+	// workers cannot reach the store path.
+	ShipBlocks bool
+	// EvalWorkers fixes the traversal worker count per remote
+	// evaluation (0 = inherit the run's worker setting).
+	EvalWorkers int
+	// NoFallback disables the local out-of-core fallback; a partition
+	// every worker failed then fails the run.
+	NoFallback bool
+	// Logf receives placement diagnostics — a worker being retired, a
+	// partition degrading to local evaluation. nil logs via log.Printf:
+	// a silently-degraded distributed run must not look like a healthy
+	// one. Set to a no-op to silence.
+	Logf func(format string, args ...any)
+
+	// shipLimit overrides MaxShipBytes (tests); 0 = MaxShipBytes.
+	shipLimit int
+
+	initOnce  sync.Once
+	unhealthy []atomic.Bool
+	// slots bounds in-flight partition evaluations to the worker count:
+	// remote partitions skip MultiSource's local CPU cap (Offloaded),
+	// so without this a ship-blocks run would hold every partition's
+	// block bytes in memory at once and flood each worker with
+	// unbounded concurrent evaluations. Local fallbacks hold a slot
+	// too, keeping total concurrency bounded even with the fleet gone.
+	slots chan struct{}
+}
+
+// init sizes the per-run placement state; lazy so a Scheduler built as
+// a struct literal (every configuration field is exported) behaves
+// exactly like one from New.
+func (s *Scheduler) init() {
+	s.initOnce.Do(func() {
+		if s.unhealthy == nil {
+			s.unhealthy = make([]atomic.Bool, len(s.Workers))
+		}
+		if s.slots == nil {
+			s.slots = make(chan struct{}, max(1, len(s.Workers)))
+		}
+	})
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// New builds a scheduler over an opened store and its workers.
+func New(c *core.Corpus, workers ...Worker) *Scheduler {
+	return &Scheduler{Corpus: c, Workers: workers}
+}
+
+// Sources wraps every partition of the corpus as a RemoteSource, in
+// manifest order — the placement input to analysis.MultiSource.
+func (s *Scheduler) Sources() []analysis.Source {
+	out := make([]analysis.Source, 0, len(s.Corpus.Manifest.Partitions))
+	for k := range s.Corpus.Manifest.Partitions {
+		out = append(out, &RemoteSource{sched: s, part: k})
+	}
+	return out
+}
+
+// RunAll evaluates the whole corpus through the scheduler and returns
+// the reports in canonical order — the remote counterpart of
+// analysis.RunAllDisk, byte-identical to it by the parity contract.
+func (s *Scheduler) RunAll(workers int) ([]*analysis.Report, error) {
+	ms := &analysis.MultiSource{Sources: s.Sources(), Manifest: s.Corpus.Manifest}
+	reports, err := analysis.NewFullEngine().Workers(workers).RunSource(ms)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Canonicalize(reports), nil
+}
+
+// markUnhealthy retires worker wi for the rest of the run, reporting
+// whether this call was the one that flipped it (concurrent partitions
+// can discover the same dead worker; only the first logs).
+func (s *Scheduler) markUnhealthy(wi int) bool {
+	return wi < len(s.unhealthy) && s.unhealthy[wi].CompareAndSwap(false, true)
+}
+
+func (s *Scheduler) isHealthy(wi int) bool {
+	return wi < len(s.unhealthy) && !s.unhealthy[wi].Load()
+}
+
+// anyHealthy reports whether at least one worker is still placeable.
+func (s *Scheduler) anyHealthy() bool {
+	for wi := range s.Workers {
+		if s.isHealthy(wi) {
+			return true
+		}
+	}
+	return false
+}
+
+// maxShip is the effective ship-size bound.
+func (s *Scheduler) maxShip() int {
+	if s.shipLimit > 0 {
+		return s.shipLimit
+	}
+	return MaxShipBytes
+}
+
+// request builds the encoded EvalRequest for partition part.
+func (s *Scheduler) request(part int, accs []analysis.Accumulator, workers int) ([]byte, error) {
+	info := &s.Corpus.Manifest.Partitions[part]
+	evalWorkers := s.EvalWorkers
+	if evalWorkers <= 0 {
+		evalWorkers = workers
+	}
+	req := &EvalRequest{
+		Version: ProtocolVersion,
+		Accs:    analysis.Fingerprint(accs),
+		Base:    info.Base,
+		Records: &info.Records,
+		Workers: evalWorkers,
+	}
+	if s.ShipBlocks {
+		blocks, err := ReadPartitionBlocks(s.Corpus, part)
+		if err != nil {
+			return nil, fmt.Errorf("sched: read partition %d blocks: %w", part, err)
+		}
+		req.Blocks = blocks
+	} else {
+		req.Store = s.Corpus.Dir
+		req.Partition = part
+	}
+	return cbor.Marshal(req)
+}
+
+// evalPartition places one partition: round-robin from its home
+// worker, skipping workers already marked unhealthy, marking every
+// worker that fails it, and falling back to the local out-of-core
+// traversal once no worker remains. State returned by a worker is
+// decoded and cross-checked against the manifest's record counts — a
+// worker returning plausible-but-wrong state is treated exactly like a
+// dead one.
+func (s *Scheduler) evalPartition(part int, accs []analysis.Accumulator, workers int) (*analysis.World, []analysis.Shard, *analysis.LabelTables, error) {
+	s.init()
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	var attempts []string
+	// Don't pay for the request — in ShipBlocks mode the whole block
+	// file read and encoded — when no worker is left to send it to.
+	if n := len(s.Workers); n > 0 && s.anyHealthy() {
+		req, err := s.request(part, accs, workers)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if limit := s.maxShip(); s.ShipBlocks && len(req) > limit {
+			// A partition too big to ship is this partition's problem,
+			// not the fleet's: every worker would reject the body, and
+			// retiring them all would degrade the rest of the run too.
+			if s.NoFallback {
+				return nil, nil, nil, fmt.Errorf("sched: partition %d request of %d bytes exceeds the %d-byte ship bound", part, len(req), limit)
+			}
+			s.logf("sched: partition %d request (%d bytes) exceeds the %d-byte ship bound; evaluating locally", part, len(req), limit)
+			return analysis.NewDiskSource(s.Corpus, part).Run(accs, workers, nil)
+		}
+		info := &s.Corpus.Manifest.Partitions[part]
+		retire := func(wi int, msg string) {
+			if s.markUnhealthy(wi) {
+				s.logf("sched: retiring worker %s after partition %d: %s", s.Workers[wi].Name(), part, msg)
+			}
+			attempts = append(attempts, fmt.Sprintf("%s: %s", s.Workers[wi].Name(), msg))
+		}
+		for attempt := 0; attempt < n; attempt++ {
+			wi := (part + attempt) % n
+			if !s.isHealthy(wi) {
+				continue
+			}
+			w := s.Workers[wi]
+			state, err := w.Eval(context.Background(), req)
+			if err != nil {
+				retire(wi, err.Error())
+				continue
+			}
+			world, shards, tables, err := analysis.UnmarshalPartitionState(accs, state)
+			if err != nil {
+				retire(wi, err.Error())
+				continue
+			}
+			if got := world.Counts(); got != info.Records {
+				retire(wi, fmt.Sprintf("returned %+v records but the manifest promises %+v", got, info.Records))
+				continue
+			}
+			return world, shards, tables, nil
+		}
+	}
+	if s.NoFallback {
+		return nil, nil, nil, fmt.Errorf("sched: partition %d failed on every worker: %s", part, strings.Join(attempts, "; "))
+	}
+	// Every worker is gone (or none were configured): evaluate the
+	// partition locally, out of core, exactly as RunAllDisk would.
+	s.logf("sched: partition %d degrading to local out-of-core evaluation (no healthy workers)", part)
+	return analysis.NewDiskSource(s.Corpus, part).Run(accs, workers, nil)
+}
+
+// RemoteSource is one partition placed through the scheduler. It
+// implements analysis.Source, so remote partitions mix with disk,
+// batch, and stream partitions under one MultiSource — the locality of
+// a partition is invisible above the Source interface.
+type RemoteSource struct {
+	sched *Scheduler
+	part  int
+}
+
+// NewRemoteSource wraps one partition of the scheduler's corpus.
+func NewRemoteSource(s *Scheduler, part int) *RemoteSource {
+	return &RemoteSource{sched: s, part: part}
+}
+
+// Run implements analysis.Source.
+func (r *RemoteSource) Run(accs []analysis.Accumulator, workers int, _ analysis.RenderFunc) (*analysis.World, []analysis.Shard, *analysis.LabelTables, error) {
+	return r.sched.evalPartition(r.part, accs, workers)
+}
+
+// Offloaded implements analysis.OffloadedSource: the traversal runs on
+// a worker, so MultiSource must not spend a local CPU slot waiting on
+// it. (The local fallback after total worker loss does burn local CPU
+// without a slot — acceptable in an already-degraded run.)
+func (r *RemoteSource) Offloaded() bool { return true }

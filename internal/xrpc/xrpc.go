@@ -65,11 +65,20 @@ type Raw struct {
 	Data        []byte
 }
 
+// defaultMaxBody bounds procedure input bodies unless the Mux raises
+// the limit.
+const defaultMaxBody = 16 << 20
+
 // Mux routes /xrpc/<nsid> requests to registered handlers.
 type Mux struct {
 	queries    map[string]Handler
 	procedures map[string]Handler
 	streams    map[string]http.HandlerFunc
+
+	// MaxBodyBytes bounds procedure input bodies (0 = 16 MiB). Services
+	// that accept bulk payloads — the partition-evaluation worker
+	// receives whole block files — raise it explicitly.
+	MaxBodyBytes int64
 }
 
 // NewMux creates an empty router.
@@ -118,10 +127,20 @@ func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	var input []byte
 	if r.Method == http.MethodPost && r.Body != nil {
+		maxBody := m.MaxBodyBytes
+		if maxBody <= 0 {
+			maxBody = defaultMaxBody
+		}
 		var err error
-		input, err = io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		// Read one byte past the limit so an oversized body errors
+		// instead of being silently truncated mid-payload.
+		input, err = io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 		if err != nil {
 			writeError(w, ErrInvalidRequest("read body: %v", err))
+			return
+		}
+		if int64(len(input)) > maxBody {
+			writeError(w, ErrInvalidRequest("input body exceeds %d bytes", maxBody))
 			return
 		}
 	}
@@ -202,19 +221,7 @@ func (c *Client) QueryBytes(ctx context.Context, nsid string, params url.Values)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp.StatusCode, body)
-	}
-	return body, nil
+	return c.doRaw(req)
 }
 
 // Procedure performs a POST call with a JSON input body.
@@ -237,18 +244,45 @@ func (c *Client) Procedure(ctx context.Context, nsid string, params url.Values, 
 	return c.do(req, out)
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// ProcedureRaw performs a POST call with a non-JSON input body (e.g.
+// DAG-CBOR) and returns the raw response body. Error envelopes still
+// decode as structured *Error values.
+func (c *Client) ProcedureRaw(ctx context.Context, nsid string, params url.Values, contentType string, input []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint(nsid, params), bytes.NewReader(input))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.doRaw(req)
+}
+
+// maxResponseBytes caps any response body read by the client.
+const maxResponseBytes = 256 << 20
+
+// doRaw executes a request and returns the raw response body, decoding
+// error envelopes on non-200 statuses.
+func (c *Client) doRaw(req *http.Request) ([]byte, error) {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp.StatusCode, body)
+		return nil, decodeError(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	body, err := c.doRaw(req)
+	if err != nil {
+		return err
 	}
 	if out == nil {
 		return nil
