@@ -1,0 +1,25 @@
+// bskylint is the repo's determinism vettool: a go vet -vettool
+// multichecker over the analyzers in internal/lint (maporder,
+// walltime, cborwire, shardcodec). It machine-checks the invariant
+// every scaling layer rests on — byte-identical output across worker
+// counts, partitions, disk spills, and remote schedules — at vet
+// time instead of waiting for a parity golden to fail.
+//
+// Usage:
+//
+//	go build -o /tmp/bskylint ./cmd/bskylint
+//	go vet -vettool=/tmp/bskylint ./...
+//
+// Run a single analyzer with its enable flag:
+//
+//	go vet -vettool=/tmp/bskylint -maporder ./internal/analysis/
+//
+// See DESIGN.md §10 for what each analyzer enforces and how audited
+// sites suppress a finding (//lint:<name> <justification>).
+package main
+
+import "blueskies/internal/lint"
+
+func main() {
+	lint.Main(lint.Analyzers()...)
+}

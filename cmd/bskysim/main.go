@@ -24,13 +24,21 @@ import (
 	"blueskies/internal/synth"
 )
 
+// seedPost builds the deterministic record for user i's post j,
+// stamped from the seeded clock — never from the wall clock, so a
+// -seed run commits byte-identical records on every invocation
+// (TestSeededRecordsDeterministic).
+func seedPost(handle identity.Handle, j int, clock func() time.Time) map[string]any {
+	return lexicon.NewPost(fmt.Sprintf("post %d from %s", j, handle), []string{"en"}, clock())
+}
+
 func main() {
 	pdsCount := flag.Int("pds", 2, "number of PDSes")
 	users := flag.Int("users", 10, "seed accounts")
 	posts := flag.Int("posts", 5, "posts per account")
 	spill := flag.String("spill", "", "output mode: write a synthetic corpus to this directory as a partition store and exit (no network)")
 	scale := flag.Int("scale", 1000, "corpus downscaling factor in -spill mode")
-	seed := flag.Int64("seed", 2024, "generation seed in -spill mode")
+	seed := flag.Int64("seed", 2024, "generation seed (-spill corpus bytes and network-mode record timestamps)")
 	partitions := flag.Int("partitions", 4, "partition count in -spill mode")
 	flag.Parse()
 
@@ -51,6 +59,7 @@ func main() {
 	}
 	defer net.Close()
 
+	clock := synth.SeededClock(*seed)
 	for i := 0; i < *users; i++ {
 		handle := identity.Handle(fmt.Sprintf("user%03d.bsky.social", i))
 		acct, err := net.CreateUser(i, handle)
@@ -59,7 +68,7 @@ func main() {
 		}
 		for j := 0; j < *posts; j++ {
 			if _, err := net.PDSes[i%*pdsCount].CreateRecord(acct.DID, lexicon.Post, "",
-				lexicon.NewPost(fmt.Sprintf("post %d from %s", j, handle), []string{"en"}, time.Now())); err != nil {
+				seedPost(handle, j, clock)); err != nil {
 				log.Fatal(err)
 			}
 		}

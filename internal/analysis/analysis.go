@@ -246,6 +246,7 @@ func topKVs(out []KV, k int) []KV {
 
 func topK(m map[string]int, k int) []KV {
 	kvs := make([]KV, 0, len(m))
+	//lint:ordered topKVs totally orders kvs (count desc, key asc) before truncation
 	for key, c := range m {
 		kvs = append(kvs, KV{key, c})
 	}

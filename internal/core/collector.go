@@ -99,9 +99,9 @@ func (c *Collector) CollectFirehose(n int, timeout time.Duration) (EventCounts, 
 	}
 	defer sub.Close()
 	var counts EventCounts
-	deadline := time.Now().Add(timeout)
-	for i := 0; i < n && time.Now().Before(deadline); i++ {
-		ev, err := sub.NextTimeout(time.Until(deadline))
+	deadline := time.Now().Add(timeout)                     //lint:walltime live-network collection deadline, not corpus bytes
+	for i := 0; i < n && time.Now().Before(deadline); i++ { //lint:walltime live-network collection deadline, not corpus bytes
+		ev, err := sub.NextTimeout(time.Until(deadline)) //lint:walltime live-network collection deadline, not corpus bytes
 		if err != nil {
 			break
 		}
@@ -123,7 +123,7 @@ func (c *Collector) CollectFirehose(n int, timeout time.Duration) (EventCounts, 
 // backfill) until expected labels arrive or the timeout elapses.
 func (c *Collector) CollectLabels(expected int, timeout time.Duration) ([]events.Label, error) {
 	var out []events.Label
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //lint:walltime live-network collection deadline, not corpus bytes
 	for _, endpoint := range c.LabelerURLs {
 		sub, err := events.Subscribe(endpoint, "com.atproto.label.subscribeLabels", 0)
 		if err != nil {
@@ -131,7 +131,7 @@ func (c *Collector) CollectLabels(expected int, timeout time.Duration) ([]events
 			// unreachable labeler is data, not an error.
 			continue
 		}
-		for len(out) < expected && time.Now().Before(deadline) {
+		for len(out) < expected && time.Now().Before(deadline) { //lint:walltime live-network collection deadline, not corpus bytes
 			ev, err := sub.NextTimeout(200 * time.Millisecond)
 			if err != nil {
 				break
@@ -336,7 +336,7 @@ func (c *Collector) ScanWHOIS(domains []string) ([]whois.Record, error) {
 // Snapshot runs the full pipeline against a live network and builds a
 // Dataset: the live-protocol reproduction mode.
 func (c *Collector) Snapshot(ctx context.Context, window time.Duration) (*Dataset, error) {
-	ds := &Dataset{Scale: 1, WindowStart: time.Now().Add(-window), WindowEnd: time.Now()}
+	ds := &Dataset{Scale: 1, WindowStart: time.Now().Add(-window), WindowEnd: time.Now()} //lint:walltime live crawl window: this dataset is a wall-clock snapshot by definition
 	listings, err := c.ListIdentifiers(ctx)
 	if err != nil {
 		return nil, err

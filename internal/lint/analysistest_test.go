@@ -1,0 +1,180 @@
+package lint
+
+// A minimal analogue of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<import-path>/ and carry
+// `// want "regexp"` comments on the lines where a diagnostic is
+// expected (several regexps on one line mean several diagnostics).
+// The harness type-checks the fixture with a recursive importer —
+// sibling fixture packages first, the standard library compiled from
+// source second — runs one analyzer, and diffs reported positions
+// against the annotations both ways.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runFixture runs analyzer over the fixture package at
+// testdata/src/<pkgPath> and checks diagnostics against its want
+// annotations.
+func runFixture(t *testing.T, analyzer *Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		fset: fset,
+		root: filepath.Join("testdata", "src"),
+		pkgs: make(map[string]*fixturePkg),
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+	fp, err := im.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var got []Diagnostic
+	pass := &Pass{
+		Analyzer:  analyzer,
+		Fset:      fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		Report:    func(d Diagnostic) { got = append(got, d) },
+	}
+	if err := analyzer.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", analyzer.Name, pkgPath, err)
+	}
+
+	wants := collectWants(t, fset, fp.files)
+	for _, d := range got {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+		} else {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, re := range wants[key] {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, re)
+		}
+	}
+}
+
+func matchWant(res []*regexp.Regexp, msg string) int {
+	for i, re := range res {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// wantRE extracts the quoted regexps of a `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants maps "file:line" to the expected-diagnostic regexps
+// annotated on that line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureImporter type-checks fixture packages from testdata/src,
+// memoizing results, and defers everything else to the stdlib source
+// importer. All fixture packages in one run share a types.Info so a
+// stub package's objects resolve across fixture boundaries.
+type fixtureImporter struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*fixturePkg
+	std  types.Importer
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		fp, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *fixtureImporter) load(path string) (*fixturePkg, error) {
+	if fp, ok := im.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", path)
+	}
+	info := newTypesInfo()
+	tc := &types.Config{Importer: im}
+	pkg, err := tc.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	im.pkgs[path] = fp
+	return fp, nil
+}

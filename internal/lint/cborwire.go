@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CBORWire flags handing a value whose type contains a reachable
+// non-string-keyed Go map to the DAG-CBOR encoder in determinism-
+// critical packages. Wire forms in those packages must be byte-
+// deterministic so shard states can be content-addressed, cached,
+// and diffed (DESIGN.md §9): maps with non-string keys travel as
+// key-sorted pair slices, never as Go maps — the encoder cannot
+// represent them (DAG-CBOR map keys are strings; internal/cbor
+// rejects anything else at runtime), so a map-typed wire field is a
+// guaranteed marshal error the parity tests only hit if the field is
+// ever non-empty. String-keyed maps are canonically key-sorted by
+// the encoder and stay legal.
+//
+// Protocol packages (pds, repo, lexicon) marshal map[string]any
+// records as AT Proto requires; they are not determinism-critical
+// and are out of scope.
+var CBORWire = &Analyzer{
+	Name: "cborwire",
+	Doc: "flag marshaling a non-string-keyed Go map (directly or via a struct field) into a " +
+		"DAG-CBOR wire form in determinism-critical packages; use key-sorted pair slices " +
+		"per DESIGN.md §9, or audit with //lint:cborwire",
+	Run: runCBORWire,
+}
+
+// cborPackage is the repo's DAG-CBOR codec; its Marshal entry points
+// define "the wire".
+const cborPackage = "blueskies/internal/cbor"
+
+var cborMarshalFuncs = map[string]bool{"Marshal": true, "MustMarshal": true}
+
+func runCBORWire(pass *Pass) error {
+	if !Critical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.funcFor(call)
+			if fn == nil || pathOf(fn) != cborPackage || !cborMarshalFuncs[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 || pass.testFile(call.Pos()) || pass.Suppressed(call.Pos(), "cborwire") {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			if path := mapPath(tv.Type, nil); path != "" {
+				pass.Reportf(call.Pos(), "cbor.%s of a wire form containing a non-string-keyed Go map (%s) in determinism-critical package %s: use a key-sorted pair slice per DESIGN.md §9, or audit with //lint:cborwire", fn.Name(), path, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mapPath walks t through pointers, slices, arrays, map values, and
+// struct fields looking for a non-string-keyed map type, and returns
+// a human-readable path to the first one found ("" if none). seen
+// guards named-type cycles.
+func mapPath(t types.Type, seen map[*types.Named]bool) string {
+	switch t := t.(type) {
+	case *types.Map:
+		if b, ok := t.Key().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			return t.String()
+		}
+		return mapPath(t.Elem(), seen) // string keys: encoder sorts canonically
+	case *types.Pointer:
+		return mapPath(t.Elem(), seen)
+	case *types.Slice:
+		return mapPath(t.Elem(), seen)
+	case *types.Array:
+		return mapPath(t.Elem(), seen)
+	case *types.Named:
+		if seen[t] {
+			return ""
+		}
+		if seen == nil {
+			seen = make(map[*types.Named]bool)
+		}
+		seen[t] = true
+		if inner := mapPath(t.Underlying(), seen); inner != "" {
+			return t.Obj().Name() + ": " + inner
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if inner := mapPath(f.Type(), seen); inner != "" {
+				return "field " + f.Name() + ": " + inner
+			}
+		}
+	}
+	return ""
+}

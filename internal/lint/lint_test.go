@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestMapOrderFixture(t *testing.T) { runFixture(t, MapOrder, "blueskies/internal/core") }
+
+func TestWallTimeFixture(t *testing.T) { runFixture(t, WallTime, "blueskies/internal/synth") }
+
+func TestCBORWireFixture(t *testing.T) { runFixture(t, CBORWire, "blueskies/internal/sched") }
+
+func TestShardCodecFixture(t *testing.T) { runFixture(t, ShardCodec, "blueskies/internal/analysis") }
+
+// TestNonCriticalPackageClean pins the scoping rule: the same
+// patterns the analyzers flag in determinism-critical packages are
+// legal everywhere else.
+func TestNonCriticalPackageClean(t *testing.T) {
+	for _, a := range Analyzers() {
+		runFixture(t, a, "other")
+	}
+}
+
+// TestVettoolProtocol builds cmd/bskylint and drives it through a
+// real `go vet -vettool` run over this package, pinning the
+// unitchecker protocol (-V=full, -flags, .cfg units) against the
+// installed toolchain.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "bskylint")
+	build := exec.Command(goTool, "build", "-o", bin, "blueskies/cmd/bskylint")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building bskylint: %v\n%s", err, out)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./internal/lint/")
+	vet.Dir = moduleRoot(t)
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over a clean package failed: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/lint → module root
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` over a Go map in determinism-critical
+// packages when the loop body does something order-sensitive:
+// appends to a slice that outlives the loop, writes to an encoder or
+// stream, or sends on a channel. Map iteration order is randomized
+// per run, so any of those leaks nondeterminism straight into bytes
+// that must be identical across workers, partitions, and machines.
+//
+// Two shapes stay legal without annotation:
+//   - commutative folds (sums, max, writes into another map) — no
+//     order-sensitive operation, so the loop never matches;
+//   - the collect-then-sort idiom: every slice appended to inside the
+//     loop is passed to a sort.*/slices.Sort* call later in the same
+//     function.
+//
+// Everything else needs an audited `//lint:ordered <why>` comment on
+// the loop (or the line above) — e.g. when the sort happens in the
+// caller, or the consumer is genuinely order-insensitive.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive iteration over maps in determinism-critical packages; " +
+		"sort the collected keys/values or audit the site with //lint:ordered",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !Critical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.testFile(fd.Pos()) {
+				continue
+			}
+			checkFuncMapOrder(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncMapOrder(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Suppressed(rng.Pos(), "ordered") {
+			return true
+		}
+		appended, other := orderSensitiveOps(pass, rng)
+		if other != "" {
+			pass.Reportf(rng.Pos(), "map iteration %s in determinism-critical package %s: iteration order is randomized; iterate a sorted key slice or audit with //lint:ordered", other, pass.Pkg.Path())
+			return true
+		}
+		for obj, pos := range appended {
+			if !sortedAfter(pass, fd, rng, obj) {
+				pass.Reportf(pos, "map iteration appends to %q without a later sort in this function: iteration order is randomized; sort %q before use or audit with //lint:ordered", obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// orderSensitiveOps scans a map-range body. It returns the set of
+// outer-scope slice variables the body appends to (repairable by a
+// later sort), and a description of the first unrepairable
+// order-sensitive operation (encoder/stream write or channel send),
+// "" if none.
+func orderSensitiveOps(pass *Pass, rng *ast.RangeStmt) (map[*types.Var]token.Pos, string) {
+	appended := make(map[*types.Var]token.Pos)
+	var other string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if other == "" {
+				other = "sends on a channel"
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if v := outerVar(pass, rng, n.Lhs[i]); v != nil {
+					if _, seen := appended[v]; !seen {
+						appended[v] = n.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if other == "" {
+				if desc := streamWriteCall(pass, n); desc != "" {
+					other = desc
+				}
+			}
+		}
+		return true
+	})
+	return appended, other
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outerVar resolves expr to a variable declared outside the range
+// statement, or nil. A slice declared inside the loop body is
+// per-iteration state; its element order cannot depend on map order.
+func outerVar(pass *Pass, rng *ast.RangeStmt, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v == nil {
+		return nil
+	}
+	if v.Pos() >= rng.Pos() && v.Pos() < rng.End() {
+		return nil
+	}
+	return v
+}
+
+// streamWriters are method/function names whose calls commit bytes or
+// values in call order: once emitted, a later sort cannot repair the
+// sequence.
+var streamWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeBlock": true, "Marshal": true, "MustMarshal": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+// streamWriteCall describes call if it is an order-committing
+// write/encode, "" otherwise.
+func streamWriteCall(pass *Pass, call *ast.CallExpr) string {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return ""
+	}
+	if !streamWriters[name] {
+		return ""
+	}
+	return "calls " + name + " (order-committing write)"
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or
+// slices.Sort* call positioned after the range statement in fd. The
+// check is positional, not flow-sensitive: collect-then-sort is a
+// straight-line idiom here, and a sort on any later path is the
+// author signalling they know the slice arrives unordered.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return !found
+		}
+		fn := pass.funcFor(call)
+		path := pathOf(fn)
+		if !(path == "sort" || (path == "slices" && strings.HasPrefix(fn.Name(), "Sort"))) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if v, ok := pass.TypesInfo.ObjectOf(identOf(arg)).(*types.Var); ok && v == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// identOf unwraps expr to its base identifier (through parens and
+// unary &), or nil.
+func identOf(expr ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.UnaryExpr:
+		return identOf(e.X)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardCodec checks every implementation of the package-scope
+// `Accumulator` interface (internal/analysis) for a sound shard
+// codec:
+//
+//  1. UnmarshalShard must engage with its StateBounds parameter.
+//     Either the bounds are used — directly (b.checkSrc, index
+//     comparisons) or by forwarding to a validation helper — or the
+//     parameter is explicitly blanked (`_ StateBounds`), the audited
+//     statement that the wire form carries no interned ids. A named-
+//     but-unused bounds parameter is the dangerous middle: the
+//     signature promises validation the body never performs, and a
+//     hostile or stale shard can out-index the level-two fold.
+//
+//  2. The type must be registered in NewFullEngine, the accumulator
+//     registry that RunAll, the snapshot layer, and the codec
+//     round-trip golden test (TestStateRoundTripGolden) all fold
+//     through. An implementation outside the registry ships a codec
+//     no golden ever exercises.
+//
+// The analyzer keys on the package defining an `Accumulator`
+// interface with an UnmarshalShard method, so it is inert everywhere
+// but internal/analysis (and its fixtures).
+var ShardCodec = &Analyzer{
+	Name: "shardcodec",
+	Doc: "check Accumulator shard codecs: UnmarshalShard must use or explicitly blank its " +
+		"StateBounds, and every implementation must be registered in NewFullEngine " +
+		"(the registry the codec round-trip golden folds through)",
+	Run: runShardCodec,
+}
+
+func runShardCodec(pass *Pass) error {
+	iface := accumulatorInterface(pass.Pkg)
+	if iface == nil {
+		return nil
+	}
+	impls := accumulatorImpls(pass, iface)
+	if len(impls) == 0 {
+		return nil
+	}
+	checkBoundsUse(pass, impls)
+	checkRegistration(pass, impls)
+	return nil
+}
+
+// accumulatorInterface returns the package-scope Accumulator
+// interface if it declares an UnmarshalShard method, else nil.
+func accumulatorInterface(pkg *types.Package) *types.Interface {
+	obj := pkg.Scope().Lookup("Accumulator")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "UnmarshalShard" {
+			return iface
+		}
+	}
+	return nil
+}
+
+// accumulatorImpls collects the named types in the package that
+// implement iface, excluding test-file declarations (test doubles
+// are not wire types).
+func accumulatorImpls(pass *Pass, iface *types.Interface) []*types.Named {
+	var impls []*types.Named
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if pass.testFile(tn.Pos()) {
+			continue
+		}
+		impls = append(impls, named)
+	}
+	return impls
+}
+
+// checkBoundsUse flags UnmarshalShard methods whose StateBounds
+// parameter is named but never read.
+func checkBoundsUse(pass *Pass, impls []*types.Named) {
+	decls := methodDecls(pass, "UnmarshalShard")
+	for _, named := range impls {
+		fd := decls[named.Obj()]
+		if fd == nil || fd.Body == nil || len(fd.Type.Params.List) < 2 {
+			continue
+		}
+		boundsField := fd.Type.Params.List[len(fd.Type.Params.List)-1]
+		for _, name := range boundsField.Names {
+			if name.Name == "_" {
+				continue // audited: this wire form carries no interned ids
+			}
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj == nil || usesObject(pass, fd.Body, obj) {
+				continue
+			}
+			pass.Reportf(fd.Pos(), "%s.UnmarshalShard names its StateBounds parameter %q but never validates against it: check every interned id it decodes, or blank the parameter to assert the wire form carries none", named.Obj().Name(), name.Name)
+		}
+	}
+}
+
+// methodDecls indexes the unit's FuncDecls named name by receiver
+// base type.
+func methodDecls(pass *Pass, name string) map[*types.TypeName]*ast.FuncDecl {
+	decls := make(map[*types.TypeName]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if tn := receiverTypeName(pass, fd.Recv.List[0].Type); tn != nil {
+				decls[tn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// receiverTypeName resolves a method receiver type expression to its
+// named type's TypeName.
+func receiverTypeName(pass *Pass, expr ast.Expr) *types.TypeName {
+	t := pass.TypesInfo.TypeOf(expr)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// usesObject reports whether body contains a use of obj.
+func usesObject(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkRegistration flags implementations never constructed by
+// NewFullEngine or the constructors it calls. Units without a
+// NewFullEngine declaration (they see only a slice of the package)
+// skip the check.
+func checkRegistration(pass *Pass, impls []*types.Named) {
+	registry := lookupFuncDecl(pass, "NewFullEngine")
+	if registry == nil {
+		return
+	}
+	constructed := make(map[*types.TypeName]bool)
+	scanConstructed(pass, registry.Body, constructed)
+	for _, callee := range calleeDecls(pass, registry.Body) {
+		scanConstructed(pass, callee.Body, constructed)
+	}
+	for _, named := range impls {
+		if !constructed[named.Obj()] {
+			pass.Reportf(named.Obj().Pos(), "%s implements Accumulator but is not registered in NewFullEngine: the codec round-trip golden (TestStateRoundTripGolden) never exercises its MarshalShard/UnmarshalShard pair", named.Obj().Name())
+		}
+	}
+}
+
+// lookupFuncDecl finds the package-level function declaration named
+// name in the unit's files.
+func lookupFuncDecl(pass *Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// calleeDecls resolves the package-level functions called within
+// body to their declarations in this unit.
+func calleeDecls(pass *Pass, body *ast.BlockStmt) []*ast.FuncDecl {
+	index := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					index[fn] = fd
+				}
+			}
+		}
+	}
+	var decls []*ast.FuncDecl
+	seen := make(map[*ast.FuncDecl]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fd := index[pass.funcFor(call)]; fd != nil && !seen[fd] {
+			seen[fd] = true
+			decls = append(decls, fd)
+		}
+		return true
+	})
+	return decls
+}
+
+// scanConstructed records the named types whose composite literals
+// appear in body.
+func scanConstructed(pass *Pass, body *ast.BlockStmt, out map[*types.TypeName]bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(cl)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			out[named.Obj()] = true
+		}
+		return true
+	})
+}

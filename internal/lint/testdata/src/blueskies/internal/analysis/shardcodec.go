@@ -1,0 +1,71 @@
+// Fixture for the shardcodec analyzer: a miniature of
+// internal/analysis — the Accumulator interface, a registry
+// (NewFullEngine), and implementations with sound, blanked, lazy,
+// and unregistered shard codecs.
+package analysis
+
+type Shard interface{ Merge(Shard) }
+
+type StateBounds struct{ URIs, Vals int }
+
+type World struct{}
+
+type Accumulator interface {
+	NewShard(w *World) Shard
+	MarshalShard(s Shard) ([]byte, error)
+	UnmarshalShard(data []byte, b StateBounds) (Shard, error)
+}
+
+type goodShard struct{ IDs []int }
+
+func (s *goodShard) Merge(Shard) {}
+
+// goodAcc validates decoded ids against its bounds: clean.
+type goodAcc struct{}
+
+func newGoodAcc() Accumulator { return goodAcc{} }
+
+func (goodAcc) NewShard(*World) Shard              { return &goodShard{} }
+func (goodAcc) MarshalShard(Shard) ([]byte, error) { return nil, nil }
+func (goodAcc) UnmarshalShard(data []byte, b StateBounds) (Shard, error) {
+	if len(data) > b.URIs {
+		return nil, nil
+	}
+	return &goodShard{}, nil
+}
+
+// blankAcc decodes no interned ids and blanks its bounds — the
+// audited stateless form: clean.
+type blankAcc struct{}
+
+func newBlankAcc() Accumulator { return blankAcc{} }
+
+func (blankAcc) NewShard(*World) Shard                             { return &goodShard{} }
+func (blankAcc) MarshalShard(Shard) ([]byte, error)                { return nil, nil }
+func (blankAcc) UnmarshalShard([]byte, StateBounds) (Shard, error) { return &goodShard{}, nil }
+
+// lazyAcc promises validation in its signature and never performs it.
+type lazyAcc struct{}
+
+func newLazyAcc() Accumulator { return lazyAcc{} }
+
+func (lazyAcc) NewShard(*World) Shard              { return &goodShard{} }
+func (lazyAcc) MarshalShard(Shard) ([]byte, error) { return nil, nil }
+func (lazyAcc) UnmarshalShard(data []byte, b StateBounds) (Shard, error) { // want "names its StateBounds parameter \"b\" but never validates"
+	return &goodShard{}, nil
+}
+
+// strayAcc ships a codec no golden test ever folds through.
+type strayAcc struct{} // want "strayAcc implements Accumulator but is not registered in NewFullEngine"
+
+func (strayAcc) NewShard(*World) Shard                                    { return &goodShard{} }
+func (strayAcc) MarshalShard(Shard) ([]byte, error)                       { return nil, nil }
+func (strayAcc) UnmarshalShard(data []byte, _ StateBounds) (Shard, error) { return &goodShard{}, nil }
+
+type Engine struct{ accs []Accumulator }
+
+func NewEngine(accs ...Accumulator) *Engine { return &Engine{accs: accs} }
+
+func NewFullEngine() *Engine {
+	return NewEngine(newGoodAcc(), newBlankAcc(), newLazyAcc())
+}

@@ -1,0 +1,85 @@
+// Fixture for the maporder analyzer: this package path is
+// determinism-critical, so order-sensitive map iteration must be
+// sorted or audited.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted leaks map order into a returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to \"keys\" without a later sort"
+	}
+	return keys
+}
+
+// collectSorted is the canonical collect-then-sort idiom: clean.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectAudited documents that its caller sorts: clean.
+func collectAudited(m map[string]int) []string {
+	var keys []string
+	//lint:ordered the only caller sorts before rendering
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sum is a commutative fold: clean.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// leak sends map entries into a channel in iteration order.
+func leak(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+// render commits bytes in iteration order; no later sort can repair
+// the stream.
+func render(m map[string]int, sb *strings.Builder) {
+	for k, v := range m { // want "order-committing write"
+		fmt.Fprintf(sb, "%s=%d\n", k, v)
+	}
+}
+
+// perEntry appends only to a loop-local slice and writes into a
+// keyed map: both order-insensitive, clean.
+func perEntry(m map[string][]int, extra int) map[string]int {
+	out := make(map[string]int)
+	for k, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		local = append(local, extra)
+		out[k] = len(local)
+	}
+	return out
+}
+
+// sliceRange is not a map iteration: clean.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Fixture for the cborwire analyzer: this package path is
+// determinism-critical, so DAG-CBOR wire forms must not contain
+// non-string-keyed Go maps (key-sorted pair slices per DESIGN.md §9;
+// string-keyed maps are canonically sorted by the encoder and stay
+// legal).
+package sched
+
+import "blueskies/internal/cbor"
+
+type wireBad struct {
+	Counts map[int]int
+}
+
+type pair struct{ K, V int }
+
+type wireGood struct {
+	Counts []pair
+}
+
+type inner struct{ M map[int64]bool }
+
+type outer struct{ Items []inner }
+
+func encodeBad(w wireBad) ([]byte, error) { return cbor.Marshal(w) } // want "field Counts"
+
+func encodeMap(m map[int]string) []byte { return cbor.MustMarshal(m) } // want "cbor.MustMarshal of a wire form containing a non-string-keyed Go map"
+
+func encodeNested(o outer) ([]byte, error) { return cbor.Marshal(o) } // want "field Items"
+
+// encodeGood carries its pairs key-sorted: clean.
+func encodeGood(w wireGood) ([]byte, error) { return cbor.Marshal(w) }
+
+// encodeStringKeys is legal: the encoder canonically sorts string
+// map keys, so the bytes are deterministic.
+func encodeStringKeys(m map[string]int) []byte { return cbor.MustMarshal(m) }
+
+// encodeNestedStringKeys is legal through a struct field too.
+type wireLangs struct {
+	ActiveByLang map[string]int
+}
+
+func encodeNestedStringKeys(w wireLangs) ([]byte, error) { return cbor.Marshal(w) }
+
+// encodeAudited documents why a non-string-keyed map is acceptable
+// here: clean.
+func encodeAudited(m map[int]string) []byte {
+	//lint:cborwire never crosses a machine boundary; debug dump only
+	return cbor.MustMarshal(m)
+}

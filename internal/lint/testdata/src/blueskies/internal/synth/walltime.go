@@ -1,0 +1,37 @@
+// Fixture for the walltime analyzer: this package path is
+// determinism-critical, so wall-clock reads and global math/rand are
+// banned in favor of injected clocks and seeded generators.
+package synth
+
+import (
+	"math/rand"
+	"time"
+)
+
+type clocked struct {
+	clock func() time.Time
+}
+
+// stamp uses the injected-Clock pattern: clean.
+func stamp(c clocked) time.Time { return c.clock() }
+
+func wall() time.Time { return time.Now() } // want "time.Now in determinism-critical"
+
+func age(t time.Time) time.Duration { return time.Since(t) } // want "time.Since in determinism-critical"
+
+func wait(deadline time.Time) time.Duration { return time.Until(deadline) } // want "time.Until in determinism-critical"
+
+func draw() int { return rand.Intn(10) } // want "global math/rand.Intn in determinism-critical"
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle in determinism-critical"
+}
+
+// seeded draws from an explicit seeded source: clean.
+func seeded(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(10) }
+
+// audited documents a genuine wall-clock need: clean.
+func audited() time.Time {
+	//lint:walltime live-network deadline; never feeds corpus bytes
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Fixture shared by every analyzer: this package is not
+// determinism-critical and defines no Accumulator interface, so none
+// of the patterns below may produce a diagnostic.
+package other
+
+import (
+	"math/rand"
+	"time"
+
+	"blueskies/internal/cbor"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func wall() time.Time { return time.Now() }
+
+func draw() int { return rand.Intn(10) }
+
+func encodeMap(m map[string]int) []byte { return cbor.MustMarshal(m) }

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallTime forbids wall-clock reads and unseeded randomness in
+// determinism-critical packages. A `-seed` run that consults
+// time.Now (directly, or via time.Since/time.Until) or the global
+// math/rand state produces different bytes on every invocation —
+// exactly the class of bug the parity goldens only catch after the
+// fact. Sim and protocol packages take the injected-Clock route
+// instead (see internal/labeler.Config.Clock); genuinely wall-clock
+// sites (live-network collection deadlines) carry an audited
+// //lint:walltime comment.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Until and unseeded math/rand in determinism-critical packages; " +
+		"inject a Clock (or a seeded *rand.Rand) instead, or audit the site with //lint:walltime",
+	Run: runWallTime,
+}
+
+// wallClockFuncs are the package time functions that read the wall
+// clock. time.Since and time.Until are Now in disguise — flagging
+// only Now invites `d := time.Until(deadline)` regressions.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallTime(pass *Pass) error {
+	if !Critical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.funcFor(call)
+			if fn == nil || pass.testFile(call.Pos()) {
+				return true
+			}
+			switch path := pathOf(fn); {
+			case path == "time" && wallClockFuncs[fn.Name()]:
+				if !pass.Suppressed(call.Pos(), "walltime") {
+					pass.Reportf(call.Pos(), "time.%s in determinism-critical package %s: inject a Clock (seeded, monotonic) or audit with //lint:walltime", fn.Name(), pass.Pkg.Path())
+				}
+			case (path == "math/rand" || path == "math/rand/v2") && unseededRandFunc(fn.Name()):
+				if !pass.Suppressed(call.Pos(), "walltime") {
+					pass.Reportf(call.Pos(), "global %s.%s in determinism-critical package %s: draw from a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead", path, fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unseededRandFunc reports whether name is a package-level math/rand
+// function that draws from the process-global (randomly seeded)
+// source. The New* constructors are the seeding path itself and stay
+// legal; everything else at package scope is the global source.
+func unseededRandFunc(name string) bool {
+	return !strings.HasPrefix(name, "New")
+}

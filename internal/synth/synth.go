@@ -97,6 +97,25 @@ func stageRNG(seed int64, stage uint64) *rand.Rand {
 	return rand.New(rand.NewSource(int64(uint64(seed) ^ stage*0x9E3779B97F4A7C15)))
 }
 
+// SeededClock returns a deterministic record clock for seeding
+// simulated deployments (bskysim's network mode): readings start at a
+// seed-derived offset inside the paper's collection window and
+// advance one second per call. Two runs with the same seed stamp
+// byte-identical timestamps; different seeds land at different window
+// offsets. This is the injected-Clock counterpart to the calibrated
+// generation path — record producers outside synth must never reach
+// for time.Now (the walltime analyzer enforces it in
+// determinism-critical packages).
+func SeededClock(seed int64) func() time.Time {
+	windowSecs := uint64(WindowEnd.Sub(WindowStart) / time.Second)
+	t := WindowStart.Add(time.Duration(uint64(seed)*0x9E3779B97F4A7C15%windowSecs) * time.Second)
+	return func() time.Time {
+		now := t
+		t = t.Add(time.Second)
+		return now
+	}
+}
+
 // Generate produces the full dataset, running the generation stages
 // concurrently along their dependency order:
 //
