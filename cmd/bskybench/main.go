@@ -1,0 +1,250 @@
+// bskybench measures the repo's disk and wire hot paths — block
+// decode, collector ingest, shipped partition bytes — at every disk
+// format and writes one BENCH_<date>.json trajectory point. CI runs
+// it on each push and uploads the JSON as an artifact, so the decode
+// throughput and shipped-bytes trajectory is machine-readable across
+// the project's history; a baseline point is checked in at the repo
+// root.
+//
+// Usage:
+//
+//	bskybench [-scale N] [-seed S] [-reps R] [-out FILE]
+//
+// Each measure runs R times (default 5); the JSON records the best
+// wall time (ns_op), derived throughput (mb_per_s, records_per_s),
+// the encoded byte volume (bytes), and the peak heap growth over a
+// GC'd baseline (peak_heap_mb). -out defaults to BENCH_<date>.json in
+// the working directory.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"blueskies/internal/analysis"
+	"blueskies/internal/core"
+	"blueskies/internal/synth"
+)
+
+// Result is one measure's trajectory point. Fields are omitted where
+// a measure has no meaningful value for them.
+type Result struct {
+	Name        string  `json:"name"`
+	NsOp        int64   `json:"ns_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	RecordsPerS float64 `json:"records_per_s,omitempty"`
+	Bytes       int     `json:"bytes,omitempty"`
+	PeakHeapMB  float64 `json:"peak_heap_mb,omitempty"`
+}
+
+// Trajectory is the file's top-level shape.
+type Trajectory struct {
+	Date    string   `json:"date"`
+	Go      string   `json:"go"`
+	Scale   int      `json:"scale"`
+	Seed    int64    `json:"seed"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bskybench: ")
+	scale := flag.Int("scale", 2000, "synthetic corpus scale")
+	seed := flag.Int64("seed", 1, "synthetic corpus seed")
+	reps := flag.Int("reps", 5, "repetitions per measure (best time wins)")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	ds := synth.Generate(synth.Config{Scale: *scale, Seed: *seed})
+	parts, m := core.Split(ds, 1)
+	records := ds.Counts().Total()
+	info := m.Partitions[0]
+
+	tmp, err := os.MkdirTemp("", "bskybench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var results []Result
+	for _, version := range []int{1, core.DiskFormatVersion} {
+		dir := filepath.Join(tmp, fmt.Sprintf("v%d", version))
+		if err := core.WriteCorpusVersion(dir, parts, m, version); err != nil {
+			log.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, core.PartitionFileName(0)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mb := float64(len(data)) / (1 << 20)
+
+		nsOp, peak := measure(*reps, func() { drain(data, records) })
+		results = append(results, Result{
+			Name:       fmt.Sprintf("decode/v%d", version),
+			NsOp:       nsOp,
+			MBPerS:     mb / (float64(nsOp) / 1e9),
+			Bytes:      len(data),
+			PeakHeapMB: peak,
+		})
+
+		nsOp, peak = measure(*reps, func() { ingest(data, info, records) })
+		results = append(results, Result{
+			Name:        fmt.Sprintf("ingest/v%d", version),
+			NsOp:        nsOp,
+			RecordsPerS: float64(records) / (float64(nsOp) / 1e9),
+			Bytes:       len(data),
+			PeakHeapMB:  peak,
+		})
+
+		// The partition file is the shipped form (sched.ReadPartitionBlocks
+		// sends it verbatim), so its size is the per-partition wire cost.
+		results = append(results, Result{
+			Name:  fmt.Sprintf("ship-bytes/v%d", version),
+			Bytes: len(data),
+		})
+	}
+
+	now := time.Now()
+	tr := &Trajectory{
+		Date:    now.Format("2006-01-02"),
+		Go:      runtime.Version(),
+		Scale:   *scale,
+		Seed:    *seed,
+		Results: results,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", tr.Date)
+	}
+	enc, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		line := fmt.Sprintf("%-14s", r.Name)
+		if r.NsOp > 0 {
+			line += fmt.Sprintf("  %12d ns/op", r.NsOp)
+		}
+		if r.MBPerS > 0 {
+			line += fmt.Sprintf("  %8.2f MB/s", r.MBPerS)
+		}
+		if r.RecordsPerS > 0 {
+			line += fmt.Sprintf("  %10.0f records/s", r.RecordsPerS)
+		}
+		if r.Bytes > 0 {
+			line += fmt.Sprintf("  %9d bytes", r.Bytes)
+		}
+		if r.PeakHeapMB > 0 {
+			line += fmt.Sprintf("  %7.1f peak-heap-MB", r.PeakHeapMB)
+		}
+		fmt.Println(line)
+	}
+	log.Printf("wrote %s", path)
+}
+
+// drain decodes every block of one partition's framed bytes and
+// cross-checks the record count — the raw decode path, no analysis.
+func drain(data []byte, want int) {
+	pr, err := core.NewPartitionReader(bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := 0
+	for {
+		blk, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		got += len(blk.Users) + len(blk.Posts) + len(blk.Days) +
+			len(blk.Labels) + len(blk.FeedGens) + len(blk.Domains) + len(blk.HandleUpdates)
+	}
+	if got != want {
+		log.Fatalf("decoded %d records, want %d", got, want)
+	}
+}
+
+// ingest runs the full engine's level-one traversal over the framed
+// bytes — decode plus accumulation, the collector's steady state.
+func ingest(data []byte, info core.PartitionInfo, want int) {
+	src := &analysis.ReaderSource{
+		Open: func() (*core.PartitionReader, error) {
+			return core.NewPartitionReader(bytes.NewReader(data))
+		},
+		Base:    info.Base,
+		Records: &info.Records,
+		Name:    "bskybench blocks",
+	}
+	world, _, _, err := analysis.NewFullEngine().RunLevelOne(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := world.Counts().Total(); got != want {
+		log.Fatalf("ingested %d records, want %d", got, want)
+	}
+}
+
+// measure runs fn reps times and returns the best wall time plus the
+// largest peak heap growth observed across repetitions.
+func measure(reps int, fn func()) (nsOp int64, peakMB float64) {
+	best := int64(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		p, d := peakHeapDuring(fn)
+		best = min(best, d.Nanoseconds())
+		peakMB = max(peakMB, p)
+	}
+	return best, peakMB
+}
+
+// peakHeapDuring GCs to a baseline, times fn under a HeapAlloc
+// sampler, and returns the peak growth over the baseline in MB plus
+// the wall time — the same residency-ceiling measure the repo's
+// disk benchmarks report.
+func peakHeapDuring(fn func()) (float64, time.Duration) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Uint64
+	peak.Store(base.HeapAlloc)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				for {
+					old := peak.Load()
+					if ms.HeapAlloc <= old || peak.CompareAndSwap(old, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	return float64(peak.Load()-base.HeapAlloc) / (1 << 20), elapsed
+}

@@ -1,0 +1,924 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// This file implements the v2 columnar block encoding (DESIGN.md §11).
+// A v1 disk frame carries one row-oriented CBOR map per record; decode
+// cost — map-key dispatch plus one small allocation per record — is
+// what dominates the out-of-core and ship-blocks hot paths. The v2
+// encoding turns a RecordBlock into per-column arrays instead:
+//
+//	byte    codec tag (blockCodecColumnar)
+//	uvarint dictionary entry count
+//	entries uvarint length | bytes, id = position (first-use order)
+//	byte    header presence (0 or 1), then the header scalars
+//	per collection: uvarint row count, then whole columns in
+//	    struct-field order
+//
+// Column encodings:
+//
+//   - low-cardinality strings (PDS labels, langs, label vals/srcs,
+//     platforms, registrars …) are dictionary ids — the same interning
+//     discipline as the engine's URI/Val/Src tables, applied on the
+//     wire: each distinct string is decoded exactly once per block;
+//   - unique strings (DIDs, URIs, handles, names) are inline
+//     length-prefixed bytes;
+//   - timestamps and index-like ints (AuthorIdx, CreatorIdx) are
+//     zigzag-varint deltas against the previous row — generated
+//     corpora are time-sorted, so deltas are small;
+//   - other ints are zigzag varints, booleans pack 8-per-byte into
+//     bitsets, float64s are raw big-endian bits.
+//
+// Determinism: dictionary ids are assigned in first-use order and map
+// columns (ActiveByLang) sort their keys, so encoding is a pure
+// function of the block — byte-identical across runs, which the spill
+// goldens rely on.
+//
+// Hostile-input discipline mirrors the cbor decoder: every count is
+// bounded by the bytes that remain (a row/entry always costs at least
+// its per-row floor), dictionary ids are range-checked, and the
+// decoder fails loudly on trailing bytes — a lying count can never
+// force a large allocation or a panic.
+
+// colEnc accumulates the column body and the string dictionary.
+type colEnc struct {
+	body []byte
+	ids  map[string]uint64
+	dict []string
+}
+
+func (e *colEnc) uv(v uint64) { e.body = binary.AppendUvarint(e.body, v) }
+func (e *colEnc) sv(v int64)  { e.body = binary.AppendVarint(e.body, v) }
+
+// str writes an inline length-prefixed string (unique-string columns).
+func (e *colEnc) str(s string) {
+	e.uv(uint64(len(s)))
+	e.body = append(e.body, s...)
+}
+
+// dictStr writes s as a dictionary id, interning on first use.
+func (e *colEnc) dictStr(s string) {
+	id, ok := e.ids[s]
+	if !ok {
+		id = uint64(len(e.dict))
+		e.ids[s] = id
+		e.dict = append(e.dict, s)
+	}
+	e.uv(id)
+}
+
+func (e *colEnc) f64(v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	e.body = append(e.body, b[:]...)
+}
+
+// times delta-encodes a timestamp column (UnixNano, zero time = 0).
+func (e *colEnc) times(n int, at func(int) time.Time) {
+	var prev int64
+	for i := 0; i < n; i++ {
+		v := nsOf(at(i))
+		e.sv(v - prev)
+		prev = v
+	}
+}
+
+// deltas delta-encodes an int column (sequence-like indexes).
+func (e *colEnc) deltas(n int, at func(int) int) {
+	var prev int64
+	for i := 0; i < n; i++ {
+		v := int64(at(i))
+		e.sv(v - prev)
+		prev = v
+	}
+}
+
+// bits packs a bool column into a bitset, 8 rows per byte, LSB first.
+func (e *colEnc) bits(n int, at func(int) bool) {
+	for base := 0; base < n; base += 8 {
+		var bb byte
+		for j := 0; j < 8 && base+j < n; j++ {
+			if at(base + j) {
+				bb |= 1 << uint(j)
+			}
+		}
+		e.body = append(e.body, bb)
+	}
+}
+
+// encodeColumnarBlock encodes b as a tagged v2 columnar payload — the
+// bytes a v2 disk frame, #sim.block event, or MarshalBlock carries.
+func encodeColumnarBlock(b *RecordBlock) []byte {
+	e := &colEnc{ids: make(map[string]uint64, 64)}
+	e.header(b.Header)
+	e.labelers(b.Labelers)
+	e.users(b.Users)
+	e.posts(b.Posts)
+	e.days(b.Days)
+	e.labels(b.Labels)
+	e.feedGens(b.FeedGens)
+	e.domains(b.Domains)
+	e.handleUpdates(b.HandleUpdates)
+
+	dictBytes := 0
+	for _, s := range e.dict {
+		dictBytes += binary.MaxVarintLen64 + len(s)
+	}
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+dictBytes+len(e.body))
+	out = append(out, blockCodecColumnar)
+	out = binary.AppendUvarint(out, uint64(len(e.dict)))
+	for _, s := range e.dict {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return append(out, e.body...)
+}
+
+func (e *colEnc) header(h *StreamHeader) {
+	if h == nil {
+		e.body = append(e.body, 0)
+		return
+	}
+	e.body = append(e.body, 1)
+	e.sv(int64(h.Scale))
+	e.sv(nsOf(h.WindowStart))
+	e.sv(nsOf(h.WindowEnd))
+	e.sv(h.Firehose.Commits)
+	e.sv(h.Firehose.Identity)
+	e.sv(h.Firehose.Handle)
+	e.sv(h.Firehose.Tombstone)
+	e.sv(h.NonBskyEvents)
+}
+
+func (e *colEnc) labelers(ls []Labeler) {
+	e.uv(uint64(len(ls)))
+	if len(ls) == 0 {
+		return
+	}
+	for i := range ls {
+		e.str(ls[i].DID)
+	}
+	for i := range ls {
+		e.str(ls[i].Name)
+	}
+	e.bits(len(ls), func(i int) bool { return ls[i].Official })
+	for i := range ls {
+		e.uv(uint64(len(ls[i].Values)))
+		for _, v := range ls[i].Values {
+			e.dictStr(v)
+		}
+	}
+	e.times(len(ls), func(i int) time.Time { return ls[i].Announced })
+	e.bits(len(ls), func(i int) bool { return ls[i].Functional })
+	e.bits(len(ls), func(i int) bool { return ls[i].Active })
+	for i := range ls {
+		e.dictStr(ls[i].Hosting)
+	}
+	e.bits(len(ls), func(i int) bool { return ls[i].Automated })
+	for i := range ls {
+		e.sv(int64(ls[i].Likes))
+	}
+	for i := range ls {
+		e.str(ls[i].Operator)
+	}
+	for i := range ls {
+		e.str(ls[i].About)
+	}
+}
+
+func (e *colEnc) users(us []User) {
+	e.uv(uint64(len(us)))
+	if len(us) == 0 {
+		return
+	}
+	for i := range us {
+		e.str(us[i].DID)
+	}
+	for i := range us {
+		e.str(us[i].Handle)
+	}
+	for i := range us {
+		e.dictStr(us[i].DIDMethod)
+	}
+	for i := range us {
+		e.dictStr(us[i].PDS)
+	}
+	for i := range us {
+		e.dictStr(string(us[i].Proof))
+	}
+	e.times(len(us), func(i int) time.Time { return us[i].CreatedAt })
+	for i := range us {
+		e.dictStr(us[i].Lang)
+	}
+	for i := range us {
+		e.sv(int64(us[i].Followers))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Following))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Posts))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Likes))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Reposts))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Blocks))
+	}
+	e.bits(len(us), func(i int) bool { return us[i].Deleted })
+}
+
+func (e *colEnc) posts(ps []Post) {
+	e.uv(uint64(len(ps)))
+	if len(ps) == 0 {
+		return
+	}
+	for i := range ps {
+		e.str(ps[i].URI)
+	}
+	e.deltas(len(ps), func(i int) int { return ps[i].AuthorIdx })
+	for i := range ps {
+		e.dictStr(ps[i].Lang)
+	}
+	e.times(len(ps), func(i int) time.Time { return ps[i].CreatedAt })
+	for i := range ps {
+		e.sv(int64(ps[i].Likes))
+	}
+	for i := range ps {
+		e.sv(int64(ps[i].Reposts))
+	}
+	e.bits(len(ps), func(i int) bool { return ps[i].HasMedia })
+	e.bits(len(ps), func(i int) bool { return ps[i].AltText })
+}
+
+func (e *colEnc) days(ds []DayActivity) {
+	e.uv(uint64(len(ds)))
+	if len(ds) == 0 {
+		return
+	}
+	e.times(len(ds), func(i int) time.Time { return ds[i].Date })
+	for i := range ds {
+		e.sv(int64(ds[i].ActiveUsers))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Posts))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Likes))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Reposts))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Follows))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Blocks))
+	}
+	for i := range ds {
+		m := ds[i].ActiveByLang
+		e.uv(uint64(len(m)))
+		if len(m) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e.dictStr(k)
+			e.sv(int64(m[k]))
+		}
+	}
+}
+
+func (e *colEnc) labels(ls []Label) {
+	e.uv(uint64(len(ls)))
+	if len(ls) == 0 {
+		return
+	}
+	for i := range ls {
+		e.dictStr(ls[i].Src)
+	}
+	for i := range ls {
+		e.str(ls[i].URI)
+	}
+	for i := range ls {
+		e.dictStr(ls[i].Val)
+	}
+	e.bits(len(ls), func(i int) bool { return ls[i].Neg })
+	for i := range ls {
+		e.dictStr(string(ls[i].Kind))
+	}
+	e.times(len(ls), func(i int) time.Time { return ls[i].Applied })
+	e.times(len(ls), func(i int) time.Time { return ls[i].SubjectCreated })
+	e.bits(len(ls), func(i int) bool { return ls[i].FreshSubject })
+}
+
+func (e *colEnc) feedGens(fs []FeedGen) {
+	e.uv(uint64(len(fs)))
+	if len(fs) == 0 {
+		return
+	}
+	for i := range fs {
+		e.str(fs[i].URI)
+	}
+	e.deltas(len(fs), func(i int) int { return fs[i].CreatorIdx })
+	for i := range fs {
+		e.dictStr(fs[i].Platform)
+	}
+	for i := range fs {
+		e.str(fs[i].DisplayName)
+	}
+	for i := range fs {
+		e.str(fs[i].Description)
+	}
+	for i := range fs {
+		e.dictStr(fs[i].Lang)
+	}
+	e.times(len(fs), func(i int) time.Time { return fs[i].CreatedAt })
+	for i := range fs {
+		e.sv(int64(fs[i].Likes))
+	}
+	for i := range fs {
+		e.sv(int64(fs[i].Posts))
+	}
+	e.times(len(fs), func(i int) time.Time { return fs[i].LastPost })
+	e.bits(len(fs), func(i int) bool { return fs[i].Reachable })
+	e.bits(len(fs), func(i int) bool { return fs[i].Personalized })
+	for i := range fs {
+		e.f64(fs[i].LabeledShare)
+	}
+	for i := range fs {
+		e.dictStr(fs[i].TopLabel)
+	}
+}
+
+func (e *colEnc) domains(ds []Domain) {
+	e.uv(uint64(len(ds)))
+	if len(ds) == 0 {
+		return
+	}
+	for i := range ds {
+		e.str(ds[i].Name)
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].IANAID))
+	}
+	for i := range ds {
+		e.dictStr(ds[i].RegistrarName)
+	}
+	e.bits(len(ds), func(i int) bool { return ds[i].CCTLD })
+	for i := range ds {
+		e.sv(int64(ds[i].TrancoRank))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Subdomains))
+	}
+}
+
+func (e *colEnc) handleUpdates(hs []HandleUpdate) {
+	e.uv(uint64(len(hs)))
+	if len(hs) == 0 {
+		return
+	}
+	for i := range hs {
+		e.str(hs[i].DID)
+	}
+	for i := range hs {
+		e.str(hs[i].NewHandle)
+	}
+	e.times(len(hs), func(i int) time.Time { return hs[i].Time })
+}
+
+// Per-row byte floors for count bounding: a valid row always costs at
+// least one byte per varint/string column (plus the fixed float bytes),
+// so count ≤ remaining/floor. Bitset bytes are excluded — the floor
+// only needs to be a lower bound.
+const (
+	minRowLabeler      = 8
+	minRowUser         = 13
+	minRowPost         = 6
+	minRowDay          = 8
+	minRowLabel        = 6
+	minRowFeedGen      = 20 // 12 varint/string columns + 8 raw float bytes
+	minRowDomain       = 5
+	minRowHandleUpdate = 3
+	minDictEntry       = 1
+	minMapEntry        = 2
+)
+
+// colDec decodes a columnar payload with a sticky error: after the
+// first failure every read returns a zero value and the final error is
+// surfaced once, so per-column loops never need inline error plumbing.
+type colDec struct {
+	data []byte
+	pos  int
+	dict []string
+	err  error
+}
+
+func (d *colDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: columnar block: "+format, args...)
+	}
+}
+
+func (d *colDec) remaining() int { return len(d.data) - d.pos }
+
+func (d *colDec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *colDec) sv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a row/entry count and bounds it by the bytes remaining:
+// every counted item costs at least minBytes, so a count the input
+// cannot back is corruption, detected before any allocation.
+func (d *colDec) count(minBytes int) int {
+	v := d.uv()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(d.remaining())/uint64(minBytes) {
+		d.fail("count %d exceeds the %d bytes remaining", v, d.remaining())
+		return 0
+	}
+	return int(v)
+}
+
+// take consumes n raw bytes.
+func (d *colDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > d.remaining() {
+		d.fail("need %d bytes at offset %d, have %d", n, d.pos, d.remaining())
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *colDec) str() string {
+	n := d.count(1)
+	return string(d.take(n))
+}
+
+func (d *colDec) dictStr() string {
+	id := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if id >= uint64(len(d.dict)) {
+		d.fail("dictionary id %d out of range (%d entries)", id, len(d.dict))
+		return ""
+	}
+	return d.dict[id]
+}
+
+func (d *colDec) f64() float64 {
+	b := d.take(8)
+	if d.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// bitset reads back a bool column; get stays in bounds even after a
+// decode failure (a zero-filled set is substituted).
+type bitset []byte
+
+func (bs bitset) get(i int) bool { return bs[i>>3]&(1<<uint(i&7)) != 0 }
+
+func (d *colDec) bits(n int) bitset {
+	nb := (n + 7) / 8
+	b := d.take(nb)
+	if b == nil {
+		return make(bitset, nb)
+	}
+	return bitset(b)
+}
+
+// decodeColumnarBlock decodes a v2 columnar payload (tag byte already
+// stripped) into a RecordBlock.
+func decodeColumnarBlock(data []byte) (*RecordBlock, error) {
+	d := &colDec{data: data}
+	if n := d.count(minDictEntry); n > 0 {
+		d.dict = make([]string, n)
+		for i := range d.dict {
+			d.dict[i] = d.str()
+		}
+	}
+	b := &RecordBlock{}
+	b.Header = d.header()
+	b.Labelers = d.labelersCol()
+	b.Users = d.usersCol()
+	b.Posts = d.postsCol()
+	b.Days = d.daysCol()
+	b.Labels = d.labelsCol()
+	b.FeedGens = d.feedGensCol()
+	b.Domains = d.domainsCol()
+	b.HandleUpdates = d.handleUpdatesCol()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("core: columnar block: %d trailing bytes", len(d.data)-d.pos)
+	}
+	return b, nil
+}
+
+func (d *colDec) header() *StreamHeader {
+	p := d.take(1)
+	if d.err != nil || p[0] == 0 {
+		return nil
+	}
+	if p[0] != 1 {
+		d.fail("header presence byte %#x", p[0])
+		return nil
+	}
+	h := &StreamHeader{}
+	h.Scale = int(d.sv())
+	h.WindowStart = timeOf(d.sv())
+	h.WindowEnd = timeOf(d.sv())
+	h.Firehose.Commits = d.sv()
+	h.Firehose.Identity = d.sv()
+	h.Firehose.Handle = d.sv()
+	h.Firehose.Tombstone = d.sv()
+	h.NonBskyEvents = d.sv()
+	return h
+}
+
+func (d *colDec) labelersCol() []Labeler {
+	n := d.count(minRowLabeler)
+	if n == 0 {
+		return nil
+	}
+	ls := make([]Labeler, n)
+	for i := range ls {
+		ls[i].DID = d.str()
+	}
+	for i := range ls {
+		ls[i].Name = d.str()
+	}
+	bs := d.bits(n)
+	for i := range ls {
+		ls[i].Official = bs.get(i)
+	}
+	for i := range ls {
+		if vn := d.count(1); vn > 0 {
+			ls[i].Values = make([]string, vn)
+			for j := range ls[i].Values {
+				ls[i].Values[j] = d.dictStr()
+			}
+		}
+	}
+	var prev int64
+	for i := range ls {
+		prev += d.sv()
+		ls[i].Announced = timeOf(prev)
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].Functional = bs.get(i)
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].Active = bs.get(i)
+	}
+	for i := range ls {
+		ls[i].Hosting = d.dictStr()
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].Automated = bs.get(i)
+	}
+	for i := range ls {
+		ls[i].Likes = int(d.sv())
+	}
+	for i := range ls {
+		ls[i].Operator = d.str()
+	}
+	for i := range ls {
+		ls[i].About = d.str()
+	}
+	return ls
+}
+
+func (d *colDec) usersCol() []User {
+	n := d.count(minRowUser)
+	if n == 0 {
+		return nil
+	}
+	us := make([]User, n)
+	for i := range us {
+		us[i].DID = d.str()
+	}
+	for i := range us {
+		us[i].Handle = d.str()
+	}
+	for i := range us {
+		us[i].DIDMethod = d.dictStr()
+	}
+	for i := range us {
+		us[i].PDS = d.dictStr()
+	}
+	for i := range us {
+		us[i].Proof = ProofMethod(d.dictStr())
+	}
+	var prev int64
+	for i := range us {
+		prev += d.sv()
+		us[i].CreatedAt = timeOf(prev)
+	}
+	for i := range us {
+		us[i].Lang = d.dictStr()
+	}
+	for i := range us {
+		us[i].Followers = int(d.sv())
+	}
+	for i := range us {
+		us[i].Following = int(d.sv())
+	}
+	for i := range us {
+		us[i].Posts = int(d.sv())
+	}
+	for i := range us {
+		us[i].Likes = int(d.sv())
+	}
+	for i := range us {
+		us[i].Reposts = int(d.sv())
+	}
+	for i := range us {
+		us[i].Blocks = int(d.sv())
+	}
+	bs := d.bits(n)
+	for i := range us {
+		us[i].Deleted = bs.get(i)
+	}
+	return us
+}
+
+func (d *colDec) postsCol() []Post {
+	n := d.count(minRowPost)
+	if n == 0 {
+		return nil
+	}
+	ps := make([]Post, n)
+	for i := range ps {
+		ps[i].URI = d.str()
+	}
+	var prev int64
+	for i := range ps {
+		prev += d.sv()
+		ps[i].AuthorIdx = int(prev)
+	}
+	for i := range ps {
+		ps[i].Lang = d.dictStr()
+	}
+	prev = 0
+	for i := range ps {
+		prev += d.sv()
+		ps[i].CreatedAt = timeOf(prev)
+	}
+	for i := range ps {
+		ps[i].Likes = int(d.sv())
+	}
+	for i := range ps {
+		ps[i].Reposts = int(d.sv())
+	}
+	bs := d.bits(n)
+	for i := range ps {
+		ps[i].HasMedia = bs.get(i)
+	}
+	bs = d.bits(n)
+	for i := range ps {
+		ps[i].AltText = bs.get(i)
+	}
+	return ps
+}
+
+func (d *colDec) daysCol() []DayActivity {
+	n := d.count(minRowDay)
+	if n == 0 {
+		return nil
+	}
+	ds := make([]DayActivity, n)
+	var prev int64
+	for i := range ds {
+		prev += d.sv()
+		ds[i].Date = timeOf(prev)
+	}
+	for i := range ds {
+		ds[i].ActiveUsers = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Posts = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Likes = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Reposts = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Follows = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Blocks = int(d.sv())
+	}
+	for i := range ds {
+		cnt := d.count(minMapEntry)
+		if cnt == 0 {
+			continue
+		}
+		m := make(map[string]int, cnt)
+		for j := 0; j < cnt; j++ {
+			k := d.dictStr()
+			m[k] = int(d.sv())
+		}
+		if d.err != nil {
+			return nil
+		}
+		ds[i].ActiveByLang = m
+	}
+	return ds
+}
+
+func (d *colDec) labelsCol() []Label {
+	n := d.count(minRowLabel)
+	if n == 0 {
+		return nil
+	}
+	ls := make([]Label, n)
+	for i := range ls {
+		ls[i].Src = d.dictStr()
+	}
+	for i := range ls {
+		ls[i].URI = d.str()
+	}
+	for i := range ls {
+		ls[i].Val = d.dictStr()
+	}
+	bs := d.bits(n)
+	for i := range ls {
+		ls[i].Neg = bs.get(i)
+	}
+	for i := range ls {
+		ls[i].Kind = SubjectKind(d.dictStr())
+	}
+	var prev int64
+	for i := range ls {
+		prev += d.sv()
+		ls[i].Applied = timeOf(prev)
+	}
+	prev = 0
+	for i := range ls {
+		prev += d.sv()
+		ls[i].SubjectCreated = timeOf(prev)
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].FreshSubject = bs.get(i)
+	}
+	return ls
+}
+
+func (d *colDec) feedGensCol() []FeedGen {
+	n := d.count(minRowFeedGen)
+	if n == 0 {
+		return nil
+	}
+	fs := make([]FeedGen, n)
+	for i := range fs {
+		fs[i].URI = d.str()
+	}
+	var prev int64
+	for i := range fs {
+		prev += d.sv()
+		fs[i].CreatorIdx = int(prev)
+	}
+	for i := range fs {
+		fs[i].Platform = d.dictStr()
+	}
+	for i := range fs {
+		fs[i].DisplayName = d.str()
+	}
+	for i := range fs {
+		fs[i].Description = d.str()
+	}
+	for i := range fs {
+		fs[i].Lang = d.dictStr()
+	}
+	prev = 0
+	for i := range fs {
+		prev += d.sv()
+		fs[i].CreatedAt = timeOf(prev)
+	}
+	for i := range fs {
+		fs[i].Likes = int(d.sv())
+	}
+	for i := range fs {
+		fs[i].Posts = int(d.sv())
+	}
+	prev = 0
+	for i := range fs {
+		prev += d.sv()
+		fs[i].LastPost = timeOf(prev)
+	}
+	bs := d.bits(n)
+	for i := range fs {
+		fs[i].Reachable = bs.get(i)
+	}
+	bs = d.bits(n)
+	for i := range fs {
+		fs[i].Personalized = bs.get(i)
+	}
+	for i := range fs {
+		fs[i].LabeledShare = d.f64()
+	}
+	for i := range fs {
+		fs[i].TopLabel = d.dictStr()
+	}
+	return fs
+}
+
+func (d *colDec) domainsCol() []Domain {
+	n := d.count(minRowDomain)
+	if n == 0 {
+		return nil
+	}
+	ds := make([]Domain, n)
+	for i := range ds {
+		ds[i].Name = d.str()
+	}
+	for i := range ds {
+		ds[i].IANAID = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].RegistrarName = d.dictStr()
+	}
+	bs := d.bits(n)
+	for i := range ds {
+		ds[i].CCTLD = bs.get(i)
+	}
+	for i := range ds {
+		ds[i].TrancoRank = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Subdomains = int(d.sv())
+	}
+	return ds
+}
+
+func (d *colDec) handleUpdatesCol() []HandleUpdate {
+	n := d.count(minRowHandleUpdate)
+	if n == 0 {
+		return nil
+	}
+	hs := make([]HandleUpdate, n)
+	for i := range hs {
+		hs[i].DID = d.str()
+	}
+	for i := range hs {
+		hs[i].NewHandle = d.str()
+	}
+	var prev int64
+	for i := range hs {
+		prev += d.sv()
+		hs[i].Time = timeOf(prev)
+	}
+	return hs
+}

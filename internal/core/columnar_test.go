@@ -1,0 +1,361 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// -update regenerates the checked-in golden v1 store under testdata/.
+var updateGolden = flag.Bool("update", false, "regenerate golden testdata stores")
+
+// columnarTestBlock builds one RecordBlock exercising every collection
+// and field class the columnar codec carries, including the header.
+func columnarTestBlock() *RecordBlock {
+	ds := diskTestDataset()
+	return &RecordBlock{
+		Header: &StreamHeader{
+			Scale:         ds.Scale,
+			WindowStart:   ds.WindowStart,
+			WindowEnd:     ds.WindowEnd,
+			Firehose:      ds.Firehose,
+			NonBskyEvents: ds.NonBskyEvents,
+		},
+		Labelers:      ds.Labelers,
+		Users:         ds.Users,
+		Posts:         ds.Posts,
+		Days:          ds.Daily,
+		Labels:        ds.Labels,
+		FeedGens:      ds.FeedGens,
+		Domains:       ds.Domains,
+		HandleUpdates: ds.HandleUpdates,
+	}
+}
+
+// TestColumnarRoundTrip pins the lossless contract of the v2 codec at
+// the single-block level, including the degenerate blocks the disk
+// writer emits (header-only, one collection at a time, empty).
+func TestColumnarRoundTrip(t *testing.T) {
+	full := columnarTestBlock()
+	blocks := []*RecordBlock{
+		full,
+		{},
+		{Header: full.Header, Labelers: full.Labelers},
+		{Users: full.Users},
+		{Posts: full.Posts},
+		{Days: full.Days},
+		{Labels: full.Labels},
+		{FeedGens: full.FeedGens},
+		{Domains: full.Domains},
+		{HandleUpdates: full.HandleUpdates},
+	}
+	for i, b := range blocks {
+		enc, err := MarshalBlockVersion(b, 2)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		got, err := UnmarshalBlock(enc)
+		if err != nil {
+			t.Fatalf("block %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Errorf("block %d drifted through the columnar codec:\n got %+v\nwant %+v", i, got, b)
+		}
+	}
+}
+
+// TestColumnarV1ParityNormalization pins that the v1 and v2 codecs
+// normalize identically (empty slices/maps decode as nil on both), so
+// switching store versions can never shift a DeepEqual-based golden.
+func TestColumnarV1ParityNormalization(t *testing.T) {
+	b := &RecordBlock{
+		Users: []User{{DID: "did:plc:x"}},
+		Days:  []DayActivity{{Date: time.Date(2024, 3, 10, 0, 0, 0, 0, time.UTC), ActiveByLang: map[string]int{}}},
+		Labelers: []Labeler{
+			{DID: "did:plc:l", Values: []string{}},
+		},
+	}
+	v1, err := MarshalBlockVersion(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := MarshalBlockVersion(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := UnmarshalBlock(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := UnmarshalBlock(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("v1 and v2 normalize differently:\n v1 %+v\n v2 %+v", d1, d2)
+	}
+}
+
+// TestColumnarDeterminism pins byte-identical encoding across calls —
+// the property the spill-store byte-compare goldens stand on.
+func TestColumnarDeterminism(t *testing.T) {
+	b := columnarTestBlock()
+	first := encodeColumnarBlock(b)
+	for i := 0; i < 8; i++ {
+		if !bytes.Equal(first, encodeColumnarBlock(b)) {
+			t.Fatalf("encoding of the same block drifted on call %d", i)
+		}
+	}
+}
+
+// TestColumnarSmallerThanCBOR pins the size win on a realistic
+// repetitive block: dictionary interning plus delta/varint packing
+// must beat the row-CBOR map encoding by a wide margin, not scrape by.
+func TestColumnarSmallerThanCBOR(t *testing.T) {
+	base := time.Date(2024, 3, 10, 0, 0, 0, 0, time.UTC)
+	var users []User
+	for i := 0; i < 2000; i++ {
+		users = append(users, User{
+			DID:       fmt.Sprintf("did:plc:user%06d", i),
+			Handle:    fmt.Sprintf("user%06d.bsky.social", i),
+			DIDMethod: "plc",
+			PDS:       fmt.Sprintf("pds%d", i%8),
+			Proof:     ProofManaged,
+			CreatedAt: base.Add(time.Duration(i) * time.Second),
+			Lang:      []string{"en", "pt", "ja", "de"}[i%4],
+			Followers: i % 100, Following: i % 50, Posts: i % 30,
+		})
+	}
+	b := &RecordBlock{Users: users}
+	v1, err := MarshalBlockVersion(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := MarshalBlockVersion(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2)*2 > len(v1) {
+		t.Errorf("columnar encoding is %d bytes vs %d CBOR — expected at least a 2× size win", len(v2), len(v1))
+	}
+}
+
+// TestUnmarshalBlockDispatch pins the codec-tag dispatch: bare v1
+// CBOR, tagged CBOR, and columnar payloads all decode; unknown tags
+// and empty input fail loudly.
+func TestUnmarshalBlockDispatch(t *testing.T) {
+	b := columnarTestBlock()
+	v1, err := MarshalBlockVersion(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, enc := range map[string][]byte{
+		"bare v1 CBOR": v1,
+		"tagged CBOR":  append([]byte{blockCodecCBOR}, v1...),
+		"columnar":     encodeColumnarBlock(b),
+	} {
+		got, err := UnmarshalBlock(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Errorf("%s: decoded block drifted", name)
+		}
+	}
+	if _, err := UnmarshalBlock(nil); err == nil {
+		t.Error("empty block accepted")
+	}
+	if _, err := UnmarshalBlock([]byte{0x7f, 0x00}); err == nil {
+		t.Error("unknown codec tag accepted")
+	}
+	if _, err := MarshalBlockVersion(b, 3); err == nil {
+		t.Error("future block format version accepted by the writer")
+	}
+}
+
+// TestSimulatedV1ReaderRejectsV2 pins the downgrade story from the old
+// reader's side: a binary built when DiskFormatVersion was 1 applies
+// exactly the version gate newPartitionReaderMax(r, 1) applies, so a
+// v2 file must fail its header check with an error naming the version
+// — never be misparsed.
+func TestSimulatedV1ReaderRejectsV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "part.cbor")
+	if err := WritePartition(path, diskTestDataset(), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = newPartitionReaderMax(bytes.NewReader(data), 1)
+	if err == nil {
+		t.Fatal("a v1-era reader accepted a v2 block file")
+	}
+	if !strings.Contains(err.Error(), "version 2") {
+		t.Errorf("rejection does not name the offending version: %v", err)
+	}
+	// The same bytes open fine with the current gate.
+	if _, err := NewPartitionReader(bytes.NewReader(data)); err != nil {
+		t.Fatalf("current reader rejected its own file: %v", err)
+	}
+}
+
+// TestTranscodePartitionBlocks pins the scheduler's per-worker
+// downgrade: v2 block bytes transcode to a valid v1 file carrying the
+// same records in the same order, and back.
+func TestTranscodePartitionBlocks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "part.cbor")
+	if err := WritePartition(path, diskTestDataset(), 3); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := TranscodePartitionBlocks(v2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll := func(data []byte, wantVersion int) []*RecordBlock {
+		t.Helper()
+		pr, err := NewPartitionReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Version() != wantVersion {
+			t.Fatalf("transcoded file is v%d, want v%d", pr.Version(), wantVersion)
+		}
+		var blocks []*RecordBlock
+		for {
+			b, err := pr.Next()
+			if err != nil {
+				return blocks
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	want := readAll(v2, 2)
+	got := readAll(v1, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("v1 transcode drifted from the v2 original")
+	}
+	back, err := TranscodePartitionBlocks(v1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, v2) {
+		t.Errorf("v1→v2 transcode is not byte-identical to the original v2 file")
+	}
+	same, err := TranscodePartitionBlocks(v2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, v2) {
+		t.Errorf("same-version transcode rewrote the bytes")
+	}
+}
+
+// TestMixedVersionStoreRejected pins the blended re-spill gate: a
+// store whose manifest and block files disagree on the format version
+// must fail OpenCorpus loudly, never blend.
+func TestMixedVersionStoreRejected(t *testing.T) {
+	dir := t.TempDir()
+	parts, m := Split(diskTestDataset(), 2)
+	if err := WriteCorpusVersion(dir, parts, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatalf("clean v1 store rejected: %v", err)
+	}
+	if c.Version != 1 {
+		t.Fatalf("v1 store opened as v%d", c.Version)
+	}
+	// A stray v2 re-spill of one partition over the v1 store.
+	if err := WritePartitionVersion(filepath.Join(dir, PartitionFileName(0)), parts[0], 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenCorpus(dir)
+	if err == nil {
+		t.Fatal("mixed-version store opened")
+	}
+	if !strings.Contains(err.Error(), "mixed-version") {
+		t.Errorf("mixed-version error is not loud about the cause: %v", err)
+	}
+	// A full re-spill at v2 replaces everything and opens clean.
+	if err := WriteCorpus(dir, parts, m); err != nil {
+		t.Fatal(err)
+	}
+	c, err = OpenCorpus(dir)
+	if err != nil {
+		t.Fatalf("full v2 re-spill over a v1 store does not open: %v", err)
+	}
+	if c.Version != DiskFormatVersion {
+		t.Fatalf("re-spilled store is v%d, want v%d", c.Version, DiskFormatVersion)
+	}
+}
+
+// TestGoldenV1Store reads the checked-in v1 store (written by a v1
+// writer and frozen as testdata) with the current reader — the
+// cross-version compatibility promise in its strongest form, immune to
+// accidental co-evolution of writer and reader. Regenerate with
+// `go test ./internal/core/ -run TestGoldenV1Store -update`.
+func TestGoldenV1Store(t *testing.T) {
+	dir := filepath.Join("testdata", "v1-store")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCorpusVersion(dir, []*Dataset{diskTestDataset()}, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", dir)
+	}
+	c, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatalf("golden v1 store does not open: %v", err)
+	}
+	if c.Version != 1 {
+		t.Fatalf("golden store is v%d, want v1", c.Version)
+	}
+	got, err := c.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := diskTestDataset(); !reflect.DeepEqual(got, want) {
+		t.Errorf("golden v1 store decoded with drift:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestColumnarHostileBytes complements TestPartitionReaderHostileBytes
+// below the framing layer: random mutations of a valid columnar
+// payload hit the decoder directly (no checksum shielding it), and
+// must produce errors or valid blocks — never panics or runaway
+// allocations.
+func TestColumnarHostileBytes(t *testing.T) {
+	valid := encodeColumnarBlock(columnarTestBlock())[1:] // strip tag
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < 4000; i++ {
+		var mut []byte
+		switch i % 3 {
+		case 0:
+			mut = append([]byte(nil), valid...)
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1:
+			mut = valid[:rng.Intn(len(valid))]
+		case 2:
+			mut = make([]byte, rng.Intn(256))
+			rng.Read(mut)
+		}
+		_, _ = decodeColumnarBlock(mut)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -25,24 +26,39 @@ import (
 //	part-00000.cbor partition 0's block file
 //	part-00001.cbor ...
 //
-// A block file is a stream of framed DAG-CBOR record blocks reusing
-// the RecordBlock wire codec (wireBlock, with labels inline — on the
-// live wire labels travel on labeler-stream frames, but a disk
-// partition is self-contained):
+// A block file is a stream of framed record blocks carrying labels
+// inline — on the live wire labels travel on labeler-stream frames,
+// but a disk partition is self-contained:
 //
 //	"BSKYPART"  8-byte magic
 //	uint32      format version (big-endian)
 //	frames      uint32 payload length | uint32 FNV-1a checksum | payload
 //	end frame   length 0, checksum 0
 //
+// Version 1 frames carry a bare row-oriented DAG-CBOR wireBlock map.
+// Version 2 frames start with a one-byte codec tag followed by the
+// payload — blockCodecColumnar for the columnar encoding
+// (columnar.go), blockCodecCBOR for a tagged CBOR wireBlock — so a
+// reader dispatches per frame and a future v3 can mix codecs within
+// one file. The tag space can never collide with bare CBOR: a CBOR
+// map's first byte is ≥ 0xa0.
+//
 // The explicit end frame makes truncation detectable even when a file
 // is cut exactly at a frame boundary; the per-frame checksum catches
-// bit rot before the CBOR decoder sees it. Readers stream one block at
-// a time and never materialize a partition, which is what gives the
+// bit rot before the block decoder sees it. Readers stream one block
+// at a time and never materialize a partition, which is what gives the
 // out-of-core evaluation its O(one block) residency per partition.
 
 // DiskFormatVersion is the current partition block-file format.
-const DiskFormatVersion = 1
+// Version 2 adds the per-frame codec tag and the columnar block
+// encoding; writers default to it, readers accept every version ≤ it.
+const DiskFormatVersion = 2
+
+// Per-frame codec tags (format version ≥ 2).
+const (
+	blockCodecCBOR     = 0x01 // tagged row-oriented CBOR wireBlock
+	blockCodecColumnar = 0x02 // columnar encoding (columnar.go)
+)
 
 // DiskBlockRecords is the default number of records per on-disk block.
 const DiskBlockRecords = 4096
@@ -75,11 +91,22 @@ type manifestEnvelope struct {
 // manifestFormat identifies the sidecar's schema family.
 const manifestFormat = "blueskies/partition-store"
 
-// WriteManifest writes the manifest sidecar into dir.
+// WriteManifest writes the manifest sidecar into dir at the current
+// store version.
 func WriteManifest(dir string, m *Manifest) error {
+	return WriteManifestVersion(dir, m, DiskFormatVersion)
+}
+
+// WriteManifestVersion writes the manifest sidecar stamped with an
+// explicit store version — the version every block file in dir must
+// have been written at (OpenCorpus cross-checks them).
+func WriteManifestVersion(dir string, m *Manifest, version int) error {
+	if version < 1 || version > DiskFormatVersion {
+		return fmt.Errorf("core: cannot write a v%d store (writer supports 1–%d)", version, DiskFormatVersion)
+	}
 	data, err := json.MarshalIndent(manifestEnvelope{
 		Format:   manifestFormat,
-		Version:  DiskFormatVersion,
+		Version:  version,
 		Manifest: m,
 	}, "", "  ")
 	if err != nil {
@@ -90,55 +117,89 @@ func WriteManifest(dir string, m *Manifest) error {
 
 // ReadManifest reads and validates the manifest sidecar in dir.
 func ReadManifest(dir string) (*Manifest, error) {
+	m, _, err := ReadManifestVersion(dir)
+	return m, err
+}
+
+// ReadManifestVersion reads the manifest sidecar plus the store
+// version its envelope declares.
+func ReadManifestVersion(dir string) (*Manifest, int, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var env manifestEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("core: decode manifest: %w", err)
+		return nil, 0, fmt.Errorf("core: decode manifest: %w", err)
 	}
 	if env.Format != manifestFormat {
-		return nil, fmt.Errorf("core: %s is not a partition-store manifest (format %q)", ManifestFile, env.Format)
+		return nil, 0, fmt.Errorf("core: %s is not a partition-store manifest (format %q)", ManifestFile, env.Format)
 	}
 	if env.Version < 1 || env.Version > DiskFormatVersion {
-		return nil, fmt.Errorf("core: partition store version %d not supported (reader supports ≤ %d)", env.Version, DiskFormatVersion)
+		return nil, 0, fmt.Errorf("core: partition store version %d not supported (reader supports ≤ %d)", env.Version, DiskFormatVersion)
 	}
 	if env.Manifest == nil || len(env.Manifest.Partitions) == 0 {
-		return nil, fmt.Errorf("core: manifest describes no partitions")
+		return nil, 0, fmt.Errorf("core: manifest describes no partitions")
 	}
-	return env.Manifest, nil
+	return env.Manifest, env.Version, nil
 }
 
-// PartitionWriter streams framed record blocks to one partition file.
+// PartitionWriter streams framed record blocks to one partition file
+// (or any byte sink), encoding each block at the writer's format
+// version.
 type PartitionWriter struct {
-	f   *os.File
-	w   *bufio.Writer
-	err error
+	w       *bufio.Writer
+	closer  io.Closer
+	version int
+	err     error
 }
 
 // CreatePartition creates (truncating) the block file at path and
-// writes the format header.
+// writes the format header at the current version.
 func CreatePartition(path string) (*PartitionWriter, error) {
+	return CreatePartitionVersion(path, DiskFormatVersion)
+}
+
+// CreatePartitionVersion is CreatePartition at an explicit format
+// version — how v1 stores are still produced for old readers.
+func CreatePartitionVersion(path string, version int) (*PartitionWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	pw := &PartitionWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	pw, err := NewPartitionWriter(f, version)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	pw.closer = f
+	return pw, nil
+}
+
+// NewPartitionWriter wraps an already-open byte sink, writing the
+// format header. CreatePartition is the file-path convenience; Close
+// only closes sinks opened by this package.
+func NewPartitionWriter(w io.Writer, version int) (*PartitionWriter, error) {
+	if version < 1 || version > DiskFormatVersion {
+		return nil, fmt.Errorf("core: cannot write partition format v%d (writer supports 1–%d)", version, DiskFormatVersion)
+	}
+	pw := &PartitionWriter{w: bufio.NewWriterSize(w, 1<<16), version: version}
 	if _, err := pw.w.WriteString(partitionMagic); err != nil {
 		pw.fail(err)
 	}
 	var v [4]byte
-	binary.BigEndian.PutUint32(v[:], DiskFormatVersion)
+	binary.BigEndian.PutUint32(v[:], uint32(version))
 	if _, err := pw.w.Write(v[:]); err != nil {
 		pw.fail(err)
 	}
 	if pw.err != nil {
-		f.Close()
 		return nil, pw.err
 	}
 	return pw, nil
 }
+
+// Version returns the format version the writer encodes at.
+func (pw *PartitionWriter) Version() int { return pw.version }
 
 func (pw *PartitionWriter) fail(err error) {
 	if pw.err == nil {
@@ -146,12 +207,14 @@ func (pw *PartitionWriter) fail(err error) {
 	}
 }
 
-// WriteBlock appends one record block frame.
+// WriteBlock appends one record block frame, encoded at the writer's
+// format version: v1 frames carry a bare CBOR wireBlock, v2 frames a
+// codec-tagged columnar payload.
 func (pw *PartitionWriter) WriteBlock(b *RecordBlock) error {
 	if pw.err != nil {
 		return pw.err
 	}
-	payload, err := cbor.Marshal(blockToWire(b))
+	payload, err := MarshalBlockVersion(b, pw.version)
 	if err != nil {
 		pw.fail(fmt.Errorf("core: encode disk block: %w", err))
 		return pw.err
@@ -179,8 +242,9 @@ func (pw *PartitionWriter) writeFrame(payload []byte) {
 	}
 }
 
-// Close writes the end-of-partition frame and closes the file. The
-// writer must not be used afterwards.
+// Close writes the end-of-partition frame, flushes, and closes the
+// file if this package opened it. The writer must not be used
+// afterwards.
 func (pw *PartitionWriter) Close() error {
 	if pw.err == nil {
 		var end [8]byte // length 0, checksum 0
@@ -191,8 +255,10 @@ func (pw *PartitionWriter) Close() error {
 	if err := pw.w.Flush(); err != nil {
 		pw.fail(err)
 	}
-	if err := pw.f.Close(); err != nil {
-		pw.fail(err)
+	if pw.closer != nil {
+		if err := pw.closer.Close(); err != nil {
+			pw.fail(err)
+		}
 	}
 	return pw.err
 }
@@ -204,7 +270,13 @@ func (pw *PartitionWriter) Close() error {
 // partition is written incrementally — no second copy of the dataset
 // is ever held.
 func WritePartition(path string, ds *Dataset, blockRecords int) error {
-	pw, err := CreatePartition(path)
+	return WritePartitionVersion(path, ds, blockRecords, DiskFormatVersion)
+}
+
+// WritePartitionVersion is WritePartition at an explicit format
+// version.
+func WritePartitionVersion(path string, ds *Dataset, blockRecords, version int) error {
+	pw, err := CreatePartitionVersion(path, version)
 	if err != nil {
 		return err
 	}
@@ -256,15 +328,25 @@ func writeDatasetBlocks(pw *PartitionWriter, ds *Dataset, blockRecords int) erro
 	return nil
 }
 
-// PartitionReader streams record blocks back out of one block file.
+// PartitionReader streams record blocks back out of one block file,
+// dispatching each frame on the file's format version.
 type PartitionReader struct {
-	r      *bufio.Reader
-	closer io.Closer
+	r       *bufio.Reader
+	closer  io.Closer
+	version int
 }
 
 // NewPartitionReader wraps an already-open block stream, validating the
 // format header. OpenPartition is the file-path convenience.
 func NewPartitionReader(r io.Reader) (*PartitionReader, error) {
+	return newPartitionReaderMax(r, DiskFormatVersion)
+}
+
+// newPartitionReaderMax caps the accepted format version — the exact
+// gate a reader built before version maxVersion+1 applies, kept
+// callable so compat tests can prove a v1-era reader rejects v2 files
+// loudly instead of misreading them.
+func newPartitionReaderMax(r io.Reader, maxVersion int) (*PartitionReader, error) {
 	pr := &PartitionReader{r: bufio.NewReaderSize(r, 1<<16)}
 	magic := make([]byte, len(partitionMagic))
 	if _, err := io.ReadFull(pr.r, magic); err != nil {
@@ -277,11 +359,16 @@ func NewPartitionReader(r io.Reader) (*PartitionReader, error) {
 	if _, err := io.ReadFull(pr.r, v[:]); err != nil {
 		return nil, fmt.Errorf("core: partition header: %w", noEOF(err))
 	}
-	if ver := binary.BigEndian.Uint32(v[:]); ver < 1 || ver > DiskFormatVersion {
-		return nil, fmt.Errorf("core: partition format version %d not supported (reader supports ≤ %d)", ver, DiskFormatVersion)
+	ver := binary.BigEndian.Uint32(v[:])
+	if ver < 1 || int64(ver) > int64(maxVersion) {
+		return nil, fmt.Errorf("core: partition format version %d not supported (reader supports ≤ %d)", ver, maxVersion)
 	}
+	pr.version = int(ver)
 	return pr, nil
 }
+
+// Version returns the format version declared by the file header.
+func (pr *PartitionReader) Version() int { return pr.version }
 
 // OpenPartition opens the block file at path.
 func OpenPartition(path string) (*PartitionReader, error) {
@@ -344,11 +431,39 @@ func (pr *PartitionReader) Next() (*RecordBlock, error) {
 	if h.Sum32() != sum {
 		return nil, fmt.Errorf("core: block checksum mismatch (frame %#x, payload %#x): corrupt block", sum, h.Sum32())
 	}
-	var wb wireBlock
-	if err := cbor.Unmarshal(payload, &wb); err != nil {
-		return nil, fmt.Errorf("core: decode disk block: %w", err)
+	return pr.decodeFrame(payload)
+}
+
+// decodeFrame decodes one checksummed frame payload per the file's
+// format version: v1 payloads are bare CBOR wireBlocks, v2 payloads
+// start with a codec tag.
+func (pr *PartitionReader) decodeFrame(payload []byte) (*RecordBlock, error) {
+	if pr.version < 2 {
+		var wb wireBlock
+		if err := cbor.Unmarshal(payload, &wb); err != nil {
+			return nil, fmt.Errorf("core: decode disk block: %w", err)
+		}
+		return blockFromWire(&wb), nil
 	}
-	return blockFromWire(&wb), nil
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("core: empty v2 frame payload")
+	}
+	switch payload[0] {
+	case blockCodecColumnar:
+		b, err := decodeColumnarBlock(payload[1:])
+		if err != nil {
+			return nil, fmt.Errorf("core: decode disk block: %w", err)
+		}
+		return b, nil
+	case blockCodecCBOR:
+		var wb wireBlock
+		if err := cbor.Unmarshal(payload[1:], &wb); err != nil {
+			return nil, fmt.Errorf("core: decode disk block: %w", err)
+		}
+		return blockFromWire(&wb), nil
+	default:
+		return nil, fmt.Errorf("core: v2 frame carries unknown block codec %#x", payload[0])
+	}
 }
 
 // readFull reads exactly n bytes, growing the buffer chunk by chunk so
@@ -408,6 +523,12 @@ func ClearStore(dir string) error {
 // generation straight to disk see synth.GeneratePartitionedTo, which
 // never materializes more than one partition per worker.
 func WriteCorpus(dir string, parts []*Dataset, m *Manifest) error {
+	return WriteCorpusVersion(dir, parts, m, DiskFormatVersion)
+}
+
+// WriteCorpusVersion is WriteCorpus at an explicit store version —
+// every block file and the manifest envelope are stamped with it.
+func WriteCorpusVersion(dir string, parts []*Dataset, m *Manifest, version int) error {
 	if len(parts) == 0 {
 		return fmt.Errorf("core: refusing to write an empty corpus")
 	}
@@ -424,11 +545,11 @@ func WriteCorpus(dir string, parts []*Dataset, m *Manifest) error {
 		return err
 	}
 	for k, p := range parts {
-		if err := WritePartition(filepath.Join(dir, PartitionFileName(k)), p, 0); err != nil {
+		if err := WritePartitionVersion(filepath.Join(dir, PartitionFileName(k)), p, 0, version); err != nil {
 			return fmt.Errorf("core: write partition %d: %w", k, err)
 		}
 	}
-	return WriteManifest(dir, m)
+	return WriteManifestVersion(dir, m, version)
 }
 
 // Corpus is an opened disk-backed partition store: the parsed manifest
@@ -438,20 +559,46 @@ func WriteCorpus(dir string, parts []*Dataset, m *Manifest) error {
 type Corpus struct {
 	Dir      string
 	Manifest *Manifest
+	// Version is the store's block-file format version, from the
+	// manifest envelope and cross-checked against every file header.
+	Version int
+}
+
+// ReadPartitionFileVersion reads the format version from a block
+// file's 12-byte header without opening a block reader.
+func ReadPartitionFileVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(partitionMagic)+4)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, fmt.Errorf("core: partition header: %w", noEOF(err))
+	}
+	if string(hdr[:len(partitionMagic)]) != partitionMagic {
+		return 0, fmt.Errorf("core: not a partition block file (magic %q)", hdr[:len(partitionMagic)])
+	}
+	return int(binary.BigEndian.Uint32(hdr[len(partitionMagic):])), nil
 }
 
 // OpenCorpus opens a store directory: parses the manifest sidecar and
 // cross-checks it against the block files actually present — a missing
-// partition file or a stray extra one is a manifest/partition count
-// mismatch and fails here, before any traversal starts.
+// partition file, a stray extra one, or a block file whose header
+// version disagrees with the manifest envelope (a blended re-spill)
+// all fail here, before any traversal starts.
 func OpenCorpus(dir string) (*Corpus, error) {
-	m, err := ReadManifest(dir)
+	m, version, err := ReadManifestVersion(dir)
 	if err != nil {
 		return nil, err
 	}
 	for k := range m.Partitions {
-		if _, err := os.Stat(filepath.Join(dir, PartitionFileName(k))); err != nil {
-			return nil, fmt.Errorf("core: manifest lists %d partitions but partition %d is missing: %w", len(m.Partitions), k, err)
+		fv, err := ReadPartitionFileVersion(filepath.Join(dir, PartitionFileName(k)))
+		if err != nil {
+			return nil, fmt.Errorf("core: manifest lists %d partitions but partition %d is unreadable: %w", len(m.Partitions), k, err)
+		}
+		if fv != version {
+			return nil, fmt.Errorf("core: mixed-version store: partition %d is format v%d but the manifest says v%d — re-spill the whole directory", k, fv, version)
 		}
 	}
 	extra, err := filepath.Glob(filepath.Join(dir, "part-*.cbor"))
@@ -461,7 +608,7 @@ func OpenCorpus(dir string) (*Corpus, error) {
 	if len(extra) != len(m.Partitions) {
 		return nil, fmt.Errorf("core: manifest lists %d partitions but %d block files present", len(m.Partitions), len(extra))
 	}
-	return &Corpus{Dir: dir, Manifest: m}, nil
+	return &Corpus{Dir: dir, Manifest: m, Version: version}, nil
 }
 
 // OpenPartition opens partition k's block reader.
@@ -470,6 +617,44 @@ func (c *Corpus) OpenPartition(k int) (*PartitionReader, error) {
 		return nil, fmt.Errorf("core: partition %d out of range (corpus has %d)", k, len(c.Manifest.Partitions))
 	}
 	return OpenPartition(filepath.Join(c.Dir, PartitionFileName(k)))
+}
+
+// TranscodePartitionBlocks re-frames an in-memory partition block file
+// at a different format version — the scheduler's per-worker downgrade
+// when a ship-blocks peer only speaks older formats. Every frame is
+// decoded and re-encoded; record content and order are preserved
+// exactly, so an evaluation over the transcoded bytes stays
+// byte-identical to one over the original.
+func TranscodePartitionBlocks(data []byte, version int) ([]byte, error) {
+	pr, err := NewPartitionReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if pr.Version() == version {
+		return data, nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(data))
+	pw, err := NewPartitionWriter(&buf, version)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := pw.WriteBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := pw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // ReadPartition materializes partition k as a Dataset — the convenience

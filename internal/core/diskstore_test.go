@@ -370,40 +370,43 @@ func drainPartition(pr *PartitionReader) error {
 // a valid partition file, plus pure noise, must all produce errors or
 // clean EOFs — never a panic and never a runaway allocation.
 func TestPartitionReaderHostileBytes(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "part.cbor")
-	if err := WritePartition(path, diskTestDataset(), 2); err != nil {
-		t.Fatal(err)
-	}
-	valid, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(20240501))
-	for i := 0; i < 4000; i++ {
-		var mut []byte
-		switch i % 4 {
-		case 0: // byte flips
-			mut = append([]byte(nil), valid...)
-			for j := 0; j < 1+rng.Intn(8); j++ {
-				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
-			}
-		case 1: // truncation
-			mut = valid[:rng.Intn(len(valid))]
-		case 2: // splice two random windows
-			a, b := rng.Intn(len(valid)), rng.Intn(len(valid))
-			mut = append(append([]byte(nil), valid[:a]...), valid[b:]...)
-		case 3: // noise with a valid header
-			mut = make([]byte, rng.Intn(512))
-			rng.Read(mut)
-			if i%8 == 3 {
-				mut = append([]byte(partitionMagic+"\x00\x00\x00\x01"), mut...)
-			}
+	for _, version := range []int{1, DiskFormatVersion} {
+		path := filepath.Join(t.TempDir(), "part.cbor")
+		if err := WritePartitionVersion(path, diskTestDataset(), 2, version); err != nil {
+			t.Fatal(err)
 		}
-		pr, err := NewPartitionReader(bytes.NewReader(mut))
+		valid, err := os.ReadFile(path)
 		if err != nil {
-			continue
+			t.Fatal(err)
 		}
-		_ = drainPartition(pr) // errors are expected; panics fail the test
+		versionHeader := append([]byte(partitionMagic), 0, 0, 0, byte(version))
+		rng := rand.New(rand.NewSource(20240501))
+		for i := 0; i < 4000; i++ {
+			var mut []byte
+			switch i % 4 {
+			case 0: // byte flips
+				mut = append([]byte(nil), valid...)
+				for j := 0; j < 1+rng.Intn(8); j++ {
+					mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+				}
+			case 1: // truncation
+				mut = valid[:rng.Intn(len(valid))]
+			case 2: // splice two random windows
+				a, b := rng.Intn(len(valid)), rng.Intn(len(valid))
+				mut = append(append([]byte(nil), valid[:a]...), valid[b:]...)
+			case 3: // noise with a valid header
+				mut = make([]byte, rng.Intn(512))
+				rng.Read(mut)
+				if i%8 == 3 {
+					mut = append(append([]byte(nil), versionHeader...), mut...)
+				}
+			}
+			pr, err := NewPartitionReader(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			_ = drainPartition(pr) // errors are expected; panics fail the test
+		}
 	}
 }
 
@@ -411,17 +414,20 @@ func TestPartitionReaderHostileBytes(t *testing.T) {
 // must always return (blocks, error) — never panic, never spin — for
 // any input, seeded with a valid partition file and its mutations.
 func FuzzPartitionReader(f *testing.F) {
-	path := filepath.Join(f.TempDir(), "part.cbor")
-	if err := WritePartition(path, diskTestDataset(), 2); err != nil {
-		f.Fatal(err)
+	for _, version := range []int{1, DiskFormatVersion} {
+		path := filepath.Join(f.TempDir(), "part.cbor")
+		if err := WritePartitionVersion(path, diskTestDataset(), 2, version); err != nil {
+			f.Fatal(err)
+		}
+		valid, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
 	}
-	valid, err := os.ReadFile(path)
-	if err != nil {
-		f.Fatal(err)
-	}
-	f.Add(valid)
-	f.Add(valid[:len(valid)/2])
 	f.Add([]byte(partitionMagic + "\x00\x00\x00\x01"))
+	f.Add([]byte(partitionMagic + "\x00\x00\x00\x02"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pr, err := NewPartitionReader(bytes.NewReader(data))

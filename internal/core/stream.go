@@ -79,6 +79,7 @@ func timeOf(ns int64) time.Time {
 	return time.Unix(0, ns).UTC()
 }
 
+//wire:v1 fields=14
 type wireUser struct {
 	DID       string `cbor:"did"`
 	Handle    string `cbor:"handle,omitempty"`
@@ -96,6 +97,7 @@ type wireUser struct {
 	Deleted   bool   `cbor:"deleted,omitempty"`
 }
 
+//wire:v1 fields=8
 type wirePost struct {
 	URI       string `cbor:"uri"`
 	AuthorIdx int    `cbor:"author,omitempty"`
@@ -107,6 +109,7 @@ type wirePost struct {
 	AltText   bool   `cbor:"alt,omitempty"`
 }
 
+//wire:v1 fields=8
 type wireDay struct {
 	DateNS       int64          `cbor:"date"`
 	ActiveUsers  int            `cbor:"active,omitempty"`
@@ -118,6 +121,7 @@ type wireDay struct {
 	ActiveByLang map[string]int `cbor:"byLang,omitempty"`
 }
 
+//wire:v1 fields=14
 type wireFeedGen struct {
 	URI          string  `cbor:"uri"`
 	CreatorIdx   int     `cbor:"creator,omitempty"`
@@ -135,6 +139,7 @@ type wireFeedGen struct {
 	TopLabel     string  `cbor:"topLabel,omitempty"`
 }
 
+//wire:v1 fields=6
 type wireDomain struct {
 	Name          string `cbor:"name"`
 	IANAID        int    `cbor:"ianaID,omitempty"`
@@ -144,6 +149,7 @@ type wireDomain struct {
 	Subdomains    int    `cbor:"subdomains,omitempty"`
 }
 
+//wire:v1 fields=3
 type wireHandleUpdate struct {
 	DID       string `cbor:"did"`
 	NewHandle string `cbor:"handle,omitempty"`
@@ -154,6 +160,8 @@ type wireHandleUpdate struct {
 // wire labels travel on labeler-stream frames (events.Labels) instead;
 // the disk store keeps each partition self-contained in one file, so
 // its blocks carry labels inline.
+//
+//wire:v1 fields=8
 type wireLabel struct {
 	Src       string `cbor:"src"`
 	URI       string `cbor:"uri,omitempty"`
@@ -165,6 +173,7 @@ type wireLabel struct {
 	Fresh     bool   `cbor:"fresh,omitempty"`
 }
 
+//wire:v1 fields=12
 type wireLabeler struct {
 	DID         string   `cbor:"did"`
 	Name        string   `cbor:"name,omitempty"`
@@ -180,6 +189,7 @@ type wireLabeler struct {
 	About       string   `cbor:"about,omitempty"`
 }
 
+//wire:v1 fields=8
 type wireHeader struct {
 	Scale         int   `cbor:"scale,omitempty"`
 	WindowStartNS int64 `cbor:"windowStart,omitempty"`
@@ -195,6 +205,8 @@ type wireHeader struct {
 // it: #sim.block stream frames (minus labels, which travel on the
 // protocol's own labeler stream frames — BlockEvent enforces that) and
 // the disk partition store, whose blocks carry labels inline.
+//
+//wire:v1 fields=9
 type wireBlock struct {
 	Header        *wireHeader        `cbor:"header,omitempty"`
 	Labelers      []wireLabeler      `cbor:"labelers,omitempty"`
@@ -218,7 +230,7 @@ func BlockEvent(b *RecordBlock) (*events.Sim, error) {
 	if len(b.Labels) > 0 {
 		return nil, fmt.Errorf("core: labels travel on labeler stream frames, not sim blocks")
 	}
-	body, err := cbor.Marshal(blockToWire(b))
+	body, err := MarshalBlock(b)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode sim block: %w", err)
 	}
@@ -312,18 +324,56 @@ func blockToWire(b *RecordBlock) *wireBlock {
 // same encoding the disk-store frames and #sim.block events carry.
 // Exported for carriers outside this package that need to ship dataset
 // records losslessly (the remote-evaluation shard state embeds a
-// header + labeler block this way).
+// header + labeler block this way). It encodes at the current format
+// version; use MarshalBlockVersion to downgrade for older peers.
 func MarshalBlock(b *RecordBlock) ([]byte, error) {
-	return cbor.Marshal(blockToWire(b))
+	return MarshalBlockVersion(b, DiskFormatVersion)
 }
 
-// UnmarshalBlock decodes MarshalBlock's wire bytes.
-func UnmarshalBlock(data []byte) (*RecordBlock, error) {
-	var wb wireBlock
-	if err := cbor.Unmarshal(data, &wb); err != nil {
-		return nil, fmt.Errorf("core: decode record block: %w", err)
+// MarshalBlockVersion encodes a RecordBlock at an explicit block
+// format version: 1 is the bare row-oriented CBOR wireBlock (what
+// every pre-v2 peer decodes), 2 the codec-tagged columnar encoding.
+func MarshalBlockVersion(b *RecordBlock, version int) ([]byte, error) {
+	switch version {
+	case 1:
+		return cbor.Marshal(blockToWire(b))
+	case 2:
+		return encodeColumnarBlock(b), nil
+	default:
+		return nil, fmt.Errorf("core: cannot encode block format v%d (writer supports 1–%d)", version, DiskFormatVersion)
 	}
-	return blockFromWire(&wb), nil
+}
+
+// UnmarshalBlock decodes MarshalBlock's wire bytes at any supported
+// version, dispatching on the leading byte: a v2 payload starts with
+// its codec tag, while a bare v1 CBOR map's first byte is ≥ 0xa0
+// (major type 5), so the spaces cannot collide.
+func UnmarshalBlock(data []byte) (*RecordBlock, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty record block")
+	}
+	switch {
+	case data[0] == blockCodecColumnar:
+		b, err := decodeColumnarBlock(data[1:])
+		if err != nil {
+			return nil, fmt.Errorf("core: decode record block: %w", err)
+		}
+		return b, nil
+	case data[0] == blockCodecCBOR:
+		var wb wireBlock
+		if err := cbor.Unmarshal(data[1:], &wb); err != nil {
+			return nil, fmt.Errorf("core: decode record block: %w", err)
+		}
+		return blockFromWire(&wb), nil
+	case data[0]>>5 == 5: // bare CBOR map: the legacy v1 encoding
+		var wb wireBlock
+		if err := cbor.Unmarshal(data, &wb); err != nil {
+			return nil, fmt.Errorf("core: decode record block: %w", err)
+		}
+		return blockFromWire(&wb), nil
+	default:
+		return nil, fmt.Errorf("core: record block carries unknown codec tag %#x", data[0])
+	}
 }
 
 // EOFEvent returns the end-of-stream marker a replay emits after its
@@ -382,11 +432,11 @@ func DecodeStreamEvent(ev any) (block *RecordBlock, eof bool, err error) {
 		if e.Kind != simKindBlock {
 			return nil, false, fmt.Errorf("core: unknown sim frame kind %q", e.Kind)
 		}
-		var wb wireBlock
-		if err := cbor.Unmarshal(e.Body, &wb); err != nil {
+		b, err := UnmarshalBlock(e.Body)
+		if err != nil {
 			return nil, false, fmt.Errorf("core: decode sim block: %w", err)
 		}
-		if len(wb.Labels) > 0 {
+		if len(b.Labels) > 0 {
 			// Mirror BlockEvent's sender-side rule structurally: on the
 			// live wire labels travel only on labeler stream frames,
 			// behind the enumerate-before-consume gate. Inline labels
@@ -395,7 +445,7 @@ func DecodeStreamEvent(ev any) (block *RecordBlock, eof bool, err error) {
 			// gate and the per-partition label bases.
 			return nil, false, fmt.Errorf("core: sim block carries inline labels; labels travel on labeler stream frames")
 		}
-		return blockFromWire(&wb), false, nil
+		return b, false, nil
 	case *events.Labels:
 		b := &RecordBlock{Labels: make([]Label, 0, len(e.Labels))}
 		for i := range e.Labels {

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// FrameGate flags wire-struct changes that aren't accompanied by a
+// version gate. It fires only in packages that declare a
+// DiskFormatVersion constant (the block-format authority — today
+// internal/core): there, every `wire*` struct must carry a
+// `//wire:v<N> fields=<M>` directive in its doc comment, where N is
+// the first block format that encodes the struct (1 ≤ N ≤
+// DiskFormatVersion) and M is the struct's field count. Adding a wire
+// struct without the directive, tagging it with a format the package
+// doesn't declare yet, or changing a struct's shape without touching
+// its directive all trip the analyzer — so a wire change cannot land
+// without the author (and the reviewer) confronting the format
+// version that gates it and the decode dispatch that must learn it.
+var FrameGate = &Analyzer{
+	Name: "framegate",
+	Doc: "flag wire structs in block-format packages (those declaring DiskFormatVersion) that lack " +
+		"a current //wire:v<N> fields=<M> directive; wire-shape changes must update the directive " +
+		"and, when the encoding changes, the format version and its decode dispatch arm",
+	Run: runFrameGate,
+}
+
+// wireDirectiveRE matches one version-gate directive line.
+var wireDirectiveRE = regexp.MustCompile(`^//wire:v(\d+) fields=(\d+)$`)
+
+func runFrameGate(pass *Pass) error {
+	formatVersion, ok := diskFormatVersion(pass.Pkg)
+	if !ok {
+		return nil // not a block-format package
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !strings.HasPrefix(ts.Name.Name, "wire") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if pass.testFile(ts.Pos()) || pass.Suppressed(ts.Pos(), "framegate") {
+					continue
+				}
+				checkWireStruct(pass, formatVersion, gd, ts, st)
+			}
+		}
+	}
+	return nil
+}
+
+// diskFormatVersion reads the package's DiskFormatVersion integer
+// constant, reporting ok=false when the package doesn't declare one.
+func diskFormatVersion(pkg *types.Package) (int, bool) {
+	c, ok := pkg.Scope().Lookup("DiskFormatVersion").(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	if !ok {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// checkWireStruct validates one wire struct's directive against the
+// struct's shape and the package's declared format version.
+func checkWireStruct(pass *Pass, formatVersion int, gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType) {
+	name := ts.Name.Name
+	taggedVersion, taggedFields, found := wireDirective(gd, ts)
+	if !found {
+		pass.Reportf(ts.Pos(), "wire struct %s has no //wire:v<N> fields=<M> directive; every block-format wire struct must declare the format version that gates it and its field count (DESIGN.md §11), or audit with //lint:framegate", name)
+		return
+	}
+	if taggedVersion < 1 || taggedVersion > formatVersion {
+		pass.Reportf(ts.Pos(), "wire struct %s is tagged //wire:v%d but the package declares DiskFormatVersion = %d; bump DiskFormatVersion and add the decode dispatch arm before tagging a new format", name, taggedVersion, formatVersion)
+		return
+	}
+	if n := fieldCount(st); n != taggedFields {
+		pass.Reportf(ts.Pos(), "wire struct %s declares fields=%d but has %d fields; a wire-shape change must update the directive — and the format version plus its decode dispatch arm when the encoding changes", name, taggedFields, n)
+	}
+}
+
+// wireDirective extracts the //wire:v<N> fields=<M> line from the
+// type's doc comment (the TypeSpec's own doc in grouped declarations,
+// the GenDecl's otherwise).
+func wireDirective(gd *ast.GenDecl, ts *ast.TypeSpec) (version, fields int, found bool) {
+	for _, doc := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			m := wireDirectiveRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			v, err1 := strconv.Atoi(m[1])
+			f, err2 := strconv.Atoi(m[2])
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			return v, f, true
+		}
+	}
+	return 0, 0, false
+}
+
+// fieldCount counts a struct's fields the way the wire codecs see
+// them: each declared name is one field, an embedded field counts as
+// one.
+func fieldCount(st *ast.StructType) int {
+	n := 0
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			n++
+			continue
+		}
+		n += len(f.Names)
+	}
+	return n
+}

@@ -24,6 +24,11 @@
 //	             uses (or explicitly blanks) its StateBounds, and the
 //	             type is registered in NewFullEngine, the registry the
 //	             codec round-trip golden test folds through.
+//	framegate  — every wire struct in a block-format package (one
+//	             declaring DiskFormatVersion) carries a current
+//	             //wire:v<N> fields=<M> directive, so wire-shape
+//	             changes can't land without confronting the format
+//	             version and decode dispatch that gate them (§11).
 //
 // Suppression: a site the team has audited carries a
 // `//lint:<name> <justification>` comment on its own line or the line
@@ -77,7 +82,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Analyzers returns the full blueskies analyzer suite in stable
 // order. cmd/bskylint registers exactly this set.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, CBORWire, ShardCodec}
+	return []*Analyzer{MapOrder, WallTime, CBORWire, ShardCodec, FrameGate}
 }
 
 // criticalPackages are the packages whose output must be byte-

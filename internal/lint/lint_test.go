@@ -15,6 +15,8 @@ func TestCBORWireFixture(t *testing.T) { runFixture(t, CBORWire, "blueskies/inte
 
 func TestShardCodecFixture(t *testing.T) { runFixture(t, ShardCodec, "blueskies/internal/analysis") }
 
+func TestFrameGateFixture(t *testing.T) { runFixture(t, FrameGate, "framegate") }
+
 // TestNonCriticalPackageClean pins the scoping rule: the same
 // patterns the analyzers flag in determinism-critical packages are
 // legal everywhere else.

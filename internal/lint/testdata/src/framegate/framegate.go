@@ -1,0 +1,69 @@
+// Fixture for the framegate analyzer: this package declares
+// DiskFormatVersion, so it is a block-format package and every wire
+// struct must carry a current //wire:v<N> fields=<M> directive.
+package framegate
+
+// DiskFormatVersion makes this fixture a block-format package.
+const DiskFormatVersion = 2
+
+// wireTagged is gated correctly: directive present, version within
+// the declared range, field count matching.
+//
+//wire:v1 fields=3
+type wireTagged struct {
+	A string
+	B int64
+	C []byte
+}
+
+// wireGrouped checks grouped declarations: the directive attaches to
+// the TypeSpec's own doc.
+type (
+	//wire:v2 fields=2
+	wireGrouped struct {
+		X, Y int
+	}
+)
+
+type wireUntagged struct { // want "wire struct wireUntagged has no //wire:v<N> fields=<M> directive"
+	A string
+}
+
+// wireFuture is tagged with a format the package doesn't declare yet.
+//
+//wire:v3 fields=1
+type wireFuture struct { // want "tagged //wire:v3 but the package declares DiskFormatVersion = 2"
+	A string
+}
+
+// wireStale grew a field without its directive moving.
+//
+//wire:v1 fields=2
+type wireStale struct { // want "declares fields=2 but has 3 fields"
+	A string
+	B int64
+	C bool
+}
+
+// wireMultiName counts each declared name, like the codecs do.
+//
+//wire:v1 fields=4
+type wireMultiName struct {
+	A, B int
+	C, D string
+}
+
+// wireAudited is muted by the audited-site escape hatch.
+//
+//lint:framegate scaffolding for a format still behind a flag
+type wireAudited struct {
+	A string
+}
+
+// notWire is out of scope: only wire* structs are gated.
+type notWire struct {
+	M map[int]int
+}
+
+// wireAlias is not a struct, so the gate doesn't apply.
+type wireAlias = wireTagged

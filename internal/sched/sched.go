@@ -46,6 +46,14 @@ type Worker interface {
 	Eval(ctx context.Context, req []byte) ([]byte, error)
 }
 
+// FormatsWorker is the optional Worker capability that reports which
+// partition block-file formats the worker reads. Workers that don't
+// implement it — or whose query fails — are treated as format-1-only,
+// which is always safe: every build reads format 1.
+type FormatsWorker interface {
+	BlockFormats(ctx context.Context) ([]int, error)
+}
+
 // DialTimeout bounds one remote partition evaluation end to end.
 const DialTimeout = 10 * time.Minute
 
@@ -71,6 +79,20 @@ func (w *xrpcWorker) Name() string { return w.name }
 
 func (w *xrpcWorker) Eval(ctx context.Context, req []byte) ([]byte, error) {
 	return w.c.ProcedureRaw(ctx, NSIDEvalPartition, nil, ContentTypeCBOR, req)
+}
+
+// BlockFormats implements FormatsWorker by asking the daemon's
+// describe query. A pre-v2 daemon answers without a formats field;
+// that means it predates the columnar codec and reads only format 1.
+func (w *xrpcWorker) BlockFormats(ctx context.Context) ([]int, error) {
+	var dr DescribeResponse
+	if err := w.c.Query(ctx, NSIDDescribe, nil, &dr); err != nil {
+		return nil, err
+	}
+	if len(dr.Formats) == 0 {
+		return []int{1}, nil
+	}
+	return dr.Formats, nil
 }
 
 // Scheduler places a corpus' partitions onto workers. Construct with
@@ -105,6 +127,12 @@ type Scheduler struct {
 
 	initOnce  sync.Once
 	unhealthy []atomic.Bool
+	// formats caches each worker's highest readable block format,
+	// resolved lazily through FormatsWorker (0 = not yet queried). A
+	// worker pinned at a lower format than the store gets its shipped
+	// blocks transcoded down; in store-reference mode it is retired,
+	// since the store bytes can't be rewritten per worker.
+	formats []atomic.Int32
 	// slots bounds in-flight partition evaluations to the worker count:
 	// remote partitions skip MultiSource's local CPU cap (Offloaded),
 	// so without this a ship-blocks run would hold every partition's
@@ -121,6 +149,9 @@ func (s *Scheduler) init() {
 	s.initOnce.Do(func() {
 		if s.unhealthy == nil {
 			s.unhealthy = make([]atomic.Bool, len(s.Workers))
+		}
+		if s.formats == nil {
+			s.formats = make([]atomic.Int32, len(s.Workers))
 		}
 		if s.slots == nil {
 			s.slots = make(chan struct{}, max(1, len(s.Workers)))
@@ -192,19 +223,53 @@ func (s *Scheduler) maxShip() int {
 	return MaxShipBytes
 }
 
-// request builds the encoded EvalRequest for partition part.
-func (s *Scheduler) request(part int, accs []analysis.Accumulator, workers int) ([]byte, error) {
+// storeFormat is the corpus' block format (manifest-declared; stores
+// written before versioned manifests count as format 1).
+func (s *Scheduler) storeFormat() int {
+	if s.Corpus.Version < 1 {
+		return 1
+	}
+	return s.Corpus.Version
+}
+
+// workerFormat resolves — and caches for the run — worker wi's highest
+// readable block format, clamped to what this build can produce. A
+// failed query pins the worker at format 1: wasteful (its shipped
+// blocks get transcoded down) but never wrong.
+func (s *Scheduler) workerFormat(ctx context.Context, wi int) int {
+	if v := s.formats[wi].Load(); v > 0 {
+		return int(v)
+	}
+	maxF := 1
+	if fw, ok := s.Workers[wi].(FormatsWorker); ok {
+		if fs, err := fw.BlockFormats(ctx); err == nil {
+			for _, f := range fs {
+				if f > maxF && f <= core.DiskFormatVersion {
+					maxF = f
+				}
+			}
+		}
+	}
+	s.formats[wi].Store(int32(maxF))
+	return maxF
+}
+
+// request builds the EvalRequest for partition part, carrying the
+// store's native block bytes when shipping. Per-worker downgrades
+// rewrite Blocks afterwards; the rest of the request is shared.
+func (s *Scheduler) request(part int, accs []analysis.Accumulator, workers int) (*EvalRequest, error) {
 	info := &s.Corpus.Manifest.Partitions[part]
 	evalWorkers := s.EvalWorkers
 	if evalWorkers <= 0 {
 		evalWorkers = workers
 	}
 	req := &EvalRequest{
-		Version: ProtocolVersion,
-		Accs:    analysis.Fingerprint(accs),
-		Base:    info.Base,
-		Records: &info.Records,
-		Workers: evalWorkers,
+		Version:   ProtocolVersion,
+		Accs:      analysis.Fingerprint(accs),
+		Base:      info.Base,
+		Records:   &info.Records,
+		Workers:   evalWorkers,
+		MaxFormat: core.DiskFormatVersion,
 	}
 	if s.ShipBlocks {
 		blocks, err := ReadPartitionBlocks(s.Corpus, part)
@@ -216,7 +281,7 @@ func (s *Scheduler) request(part int, accs []analysis.Accumulator, workers int) 
 		req.Store = s.Corpus.Dir
 		req.Partition = part
 	}
-	return cbor.Marshal(req)
+	return req, nil
 }
 
 // evalPartition places one partition: round-robin from its home
@@ -238,14 +303,42 @@ func (s *Scheduler) evalPartition(part int, accs []analysis.Accumulator, workers
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if limit := s.maxShip(); s.ShipBlocks && len(req) > limit {
+		// encoded caches the marshaled request per shipped block format:
+		// the store's native format, plus one transcoded downgrade per
+		// older format some live worker is pinned at.
+		encoded := make(map[int][]byte)
+		encodeFor := func(format int) ([]byte, error) {
+			if b, ok := encoded[format]; ok {
+				return b, nil
+			}
+			r := *req
+			if s.ShipBlocks && format < s.storeFormat() {
+				blocks, terr := core.TranscodePartitionBlocks(req.Blocks, format)
+				if terr != nil {
+					return nil, fmt.Errorf("sched: transcode partition %d blocks to format v%d: %w", part, format, terr)
+				}
+				r.Blocks = blocks
+			}
+			b, merr := cbor.Marshal(&r)
+			if merr != nil {
+				return nil, merr
+			}
+			encoded[format] = b
+			return b, nil
+		}
+		native, err := encodeFor(s.storeFormat())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		limit := s.maxShip()
+		if s.ShipBlocks && len(native) > limit {
 			// A partition too big to ship is this partition's problem,
 			// not the fleet's: every worker would reject the body, and
 			// retiring them all would degrade the rest of the run too.
 			if s.NoFallback {
-				return nil, nil, nil, fmt.Errorf("sched: partition %d request of %d bytes exceeds the %d-byte ship bound", part, len(req), limit)
+				return nil, nil, nil, fmt.Errorf("sched: partition %d request of %d bytes exceeds the %d-byte ship bound", part, len(native), limit)
 			}
-			s.logf("sched: partition %d request (%d bytes) exceeds the %d-byte ship bound; evaluating locally", part, len(req), limit)
+			s.logf("sched: partition %d request (%d bytes) exceeds the %d-byte ship bound; evaluating locally", part, len(native), limit)
 			return analysis.NewDiskSource(s.Corpus, part).Run(accs, workers, nil)
 		}
 		info := &s.Corpus.Manifest.Partitions[part]
@@ -261,7 +354,26 @@ func (s *Scheduler) evalPartition(part int, accs []analysis.Accumulator, workers
 				continue
 			}
 			w := s.Workers[wi]
-			state, err := w.Eval(context.Background(), req)
+			wf := s.workerFormat(context.Background(), wi)
+			if !s.ShipBlocks && s.storeFormat() > wf {
+				// The worker would open the store and fail on every block
+				// file; the store bytes can't be rewritten per worker, so
+				// the worker is out for the run.
+				retire(wi, fmt.Sprintf("store is block format v%d but the worker reads ≤ v%d", s.storeFormat(), wf))
+				continue
+			}
+			body := native
+			if s.ShipBlocks && wf < s.storeFormat() {
+				body, err = encodeFor(wf)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				if len(body) > limit {
+					retire(wi, fmt.Sprintf("downgraded format-v%d request of %d bytes exceeds the %d-byte ship bound", wf, len(body), limit))
+					continue
+				}
+			}
+			state, err := w.Eval(context.Background(), body)
 			if err != nil {
 				retire(wi, err.Error())
 				continue

@@ -47,6 +47,17 @@ const ProtocolVersion = 1
 // worker-side request body limit.
 const MaxShipBytes = 256 << 20
 
+// SupportedBlockFormats lists the partition block-file format versions
+// this build reads and writes, ascending — what describe advertises
+// so schedulers can downgrade shipped blocks per worker.
+func SupportedBlockFormats() []int {
+	out := make([]int, 0, core.DiskFormatVersion)
+	for v := 1; v <= core.DiskFormatVersion; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
 // EvalRequest is the evalPartition input: which partition to evaluate,
 // where its blocks live, and the corpus placement the level-two fold
 // assumes. Exactly one of Store (a partition store directory the
@@ -65,12 +76,21 @@ type EvalRequest struct {
 	Records *core.CollectionCounts `cbor:"records,omitempty"`
 	// Workers is the traversal worker count (0 = the server's default).
 	Workers int `cbor:"workers,omitempty"`
+	// MaxFormat is the highest block format version the scheduler
+	// decodes; the worker encodes the returned state's embedded world
+	// block at min(MaxFormat, its own max). 0 (a pre-v2 scheduler that
+	// never sends the field) means format 1.
+	MaxFormat int `cbor:"maxFormat,omitempty"`
 }
 
 // DescribeResponse is the describe query output.
 type DescribeResponse struct {
 	Evals     int64  `json:"evals"`
 	StoreRoot string `json:"storeRoot,omitempty"`
+	// Formats lists the block format versions this worker reads,
+	// ascending. Absent on pre-v2 workers, which a scheduler must
+	// treat as format-1-only.
+	Formats []int `json:"formats,omitempty"`
 }
 
 // Server evaluates partitions for remote schedulers. The evaluation is
@@ -96,7 +116,7 @@ func (s *Server) Mux() *xrpc.Mux {
 	m := xrpc.NewMux()
 	m.MaxBodyBytes = MaxShipBytes
 	m.Query(NSIDDescribe, func(context.Context, url.Values, []byte) (any, error) {
-		return &DescribeResponse{Evals: s.Evals(), StoreRoot: s.StoreRoot}, nil
+		return &DescribeResponse{Evals: s.Evals(), StoreRoot: s.StoreRoot, Formats: SupportedBlockFormats()}, nil
 	})
 	m.Procedure(NSIDEvalPartition, func(_ context.Context, _ url.Values, input []byte) (any, error) {
 		state, err := s.EvalPartition(input)
@@ -131,7 +151,14 @@ func (s *Server) EvalPartition(input []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	state, err := eng.Snapshot(src)
+	blockFormat := req.MaxFormat
+	if blockFormat < 1 {
+		blockFormat = 1 // pre-v2 schedulers never send the field
+	}
+	if blockFormat > core.DiskFormatVersion {
+		blockFormat = core.DiskFormatVersion
+	}
+	state, err := eng.SnapshotFormat(src, blockFormat)
 	if err != nil {
 		return nil, xrpc.ErrInternal("evaluate partition: %v", err)
 	}
@@ -222,6 +249,12 @@ func (l *Loopback) Name() string {
 // Eval implements Worker.
 func (l *Loopback) Eval(_ context.Context, req []byte) ([]byte, error) {
 	return l.Server.EvalPartition(req)
+}
+
+// BlockFormats implements FormatsWorker: an in-process worker reads
+// every format this build does.
+func (l *Loopback) BlockFormats(context.Context) ([]int, error) {
+	return SupportedBlockFormats(), nil
 }
 
 // ReadPartitionBlocks reads partition k's framed block-file bytes from
