@@ -99,6 +99,8 @@ func main() {
 	corpus := flag.String("corpus", "", "evaluate a previously spilled partition store out of core (directory with manifest.json)")
 	workersAt := flag.String("workers-at", "", "schedule -corpus partitions onto bskyworker daemons (comma-separated host:port list, or 'loopback[:N]' for in-process workers)")
 	shipBlocks := flag.Bool("ship-blocks", false, "stream partition block frames to remote workers instead of sending a store reference")
+	noSpeculate := flag.Bool("no-speculate", false, "disable speculative re-execution of straggling partitions on idle workers")
+	splitFactor := flag.Float64("split-factor", 0, "split partitions whose record count exceeds this multiple of the median into sub-ranges (0 = default 4.0, negative = never split)")
 	var inputs []inputSpec
 	flag.Func("input", "independent corpus spec 'seed=S[,scale=C]' (repeatable); evaluates all inputs as one federated corpus", func(s string) error {
 		var spec inputSpec
@@ -160,7 +162,8 @@ func main() {
 		fatal(fmt.Errorf("-workers-at schedules a spilled store; combine it with -corpus DIR"))
 	}
 	if *corpus != "" {
-		if err := runCorpus(*corpus, *plan, *workers, *workersAt, *shipBlocks, print); err != nil {
+		opts := schedOpts{shipBlocks: *shipBlocks, noSpeculate: *noSpeculate, splitFactor: *splitFactor}
+		if err := runCorpus(*corpus, *plan, *workers, *workersAt, opts, print); err != nil {
 			fatal(err)
 		}
 		return
@@ -294,7 +297,14 @@ func runSpill(dir string, inputs []inputSpec, partitions int, mode string, scale
 // workersAt set, the partitions are placed on evaluation workers
 // instead (level-one merges run remotely, shard state folds locally) —
 // same output, by the remote-parity contract.
-func runCorpus(dir string, plan bool, workers int, workersAt string, shipBlocks bool, print func([]*analysis.Report)) error {
+// schedOpts carries the elastic-scheduler knobs from the command line.
+type schedOpts struct {
+	shipBlocks  bool
+	noSpeculate bool
+	splitFactor float64
+}
+
+func runCorpus(dir string, plan bool, workers int, workersAt string, opts schedOpts, print func([]*analysis.Report)) error {
 	c, err := core.OpenCorpus(dir)
 	if err != nil {
 		return err
@@ -314,11 +324,14 @@ func runCorpus(dir string, plan bool, workers int, workersAt string, shipBlocks 
 			return err
 		}
 		s := sched.New(c, pool...)
-		s.ShipBlocks = shipBlocks
+		s.ShipBlocks = opts.shipBlocks
+		s.NoSpeculate = opts.noSpeculate
+		s.SplitFactor = opts.splitFactor
 		reports, err = s.RunAll(workers)
 		if err != nil {
 			return err
 		}
+		fmt.Fprintln(os.Stderr, "sched:", s.Stats.Summary())
 	} else if reports, err = analysis.RunAllDisk(c, workers); err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,11 +29,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"blueskies/internal/analysis"
 	"blueskies/internal/core"
+	"blueskies/internal/sched"
 	"blueskies/internal/synth"
 )
 
@@ -45,6 +48,12 @@ type Result struct {
 	RecordsPerS float64 `json:"records_per_s,omitempty"`
 	Bytes       int     `json:"bytes,omitempty"`
 	PeakHeapMB  float64 `json:"peak_heap_mb,omitempty"`
+	// Elastic-scheduler counters (remote/* measures only).
+	ShippedBytes int64 `json:"shipped_bytes,omitempty"`
+	Steals       int64 `json:"steals,omitempty"`
+	Speculations int64 `json:"speculations,omitempty"`
+	SpecWins     int64 `json:"spec_wins,omitempty"`
+	CacheHits    int64 `json:"cache_hits,omitempty"`
 }
 
 // Trajectory is the file's top-level shape.
@@ -114,6 +123,8 @@ func main() {
 		})
 	}
 
+	results = append(results, remoteMeasures(ds, tmp)...)
+
 	now := time.Now()
 	tr := &Trajectory{
 		Date:    now.Format("2006-01-02"),
@@ -150,9 +161,118 @@ func main() {
 		if r.PeakHeapMB > 0 {
 			line += fmt.Sprintf("  %7.1f peak-heap-MB", r.PeakHeapMB)
 		}
+		if r.ShippedBytes > 0 || strings.HasPrefix(r.Name, "remote/") {
+			line += fmt.Sprintf("  %9d shipped-bytes", r.ShippedBytes)
+		}
+		if r.Steals > 0 {
+			line += fmt.Sprintf("  %d steals", r.Steals)
+		}
+		if r.Speculations > 0 {
+			line += fmt.Sprintf("  %d speculations (%d won)", r.Speculations, r.SpecWins)
+		}
+		if r.CacheHits > 0 {
+			line += fmt.Sprintf("  %d cache-hits", r.CacheHits)
+		}
 		fmt.Println(line)
 	}
 	log.Printf("wrote %s", path)
+}
+
+// remoteMeasures runs the elastic scheduler (DESIGN.md §12) over a
+// four-partition spill of the corpus and records one trajectory point
+// per scheduling regime:
+//
+//	remote/cold            ship-blocks run against empty worker caches
+//	remote/warm-cache      identical re-run over the same workers; the
+//	                       content-addressed caches should absorb ~all
+//	                       payload bytes (target: <1% of cold)
+//	remote/straggler       one worker 10× slower than the cold run;
+//	                       speculation re-executes its stuck units
+//	remote/straggler-nospec  the same straggler with speculation off —
+//	                       the contrast shows what speculation saves
+//
+// Remote measures run once (not best-of-R): the warm point depends on
+// cache state the cold point creates, and the straggler points are
+// dominated by an injected delay, not scheduler jitter.
+func remoteMeasures(ds *core.Dataset, tmp string) []Result {
+	dir := filepath.Join(tmp, "remote")
+	parts, m := core.Split(ds, 4)
+	if err := core.WriteCorpus(dir, parts, m); err != nil {
+		log.Fatal(err)
+	}
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	newCache := func() *sched.BlockCache {
+		bc, err := sched.NewBlockCache("", 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return bc
+	}
+	pool := []sched.Worker{
+		&sched.Loopback{Server: &sched.Server{Cache: newCache()}, Label: "w0"},
+		&sched.Loopback{Server: &sched.Server{Cache: newCache()}, Label: "w1"},
+	}
+	run := func(name string, s *sched.Scheduler) (Result, time.Duration) {
+		s.ShipBlocks = true
+		start := time.Now()
+		if _, err := s.RunAll(0); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		wall := time.Since(start)
+		return Result{
+			Name:         name,
+			NsOp:         wall.Nanoseconds(),
+			ShippedBytes: s.Stats.ShippedBytes.Load(),
+			Steals:       s.Stats.Steals.Load(),
+			Speculations: s.Stats.Speculations.Load(),
+			SpecWins:     s.Stats.SpecWins.Load(),
+			CacheHits:    s.Stats.CacheHits.Load(),
+		}, wall
+	}
+
+	cold, coldWall := run("remote/cold", sched.New(c, pool...))
+	warm, _ := run("remote/warm-cache", sched.New(c, pool...))
+	if cold.ShippedBytes > 0 && warm.ShippedBytes*100 >= cold.ShippedBytes {
+		log.Printf("WARNING: warm-cache run shipped %d of %d cold bytes (>= 1%%)", warm.ShippedBytes, cold.ShippedBytes)
+	}
+
+	// A straggler 10× slower than the whole cold run, bounded so the
+	// no-speculation contrast point stays affordable.
+	delay := min(max(10*coldWall, 500*time.Millisecond), 3*time.Second)
+	newStragglerPool := func() []sched.Worker {
+		return []sched.Worker{
+			&sched.Loopback{Server: &sched.Server{}, Label: "w0"},
+			&slowWorker{Loopback: &sched.Loopback{Server: &sched.Server{}, Label: "w1-slow"}, delay: delay},
+		}
+	}
+	spec, _ := run("remote/straggler", sched.New(c, newStragglerPool()...))
+	nos := sched.New(c, newStragglerPool()...)
+	nos.NoSpeculate = true
+	nospec, _ := run("remote/straggler-nospec", nos)
+
+	return []Result{cold, warm, spec, nospec}
+}
+
+// slowWorker delays every evaluation — the injected straggler. The
+// sleep honors cancellation so a superseded speculative duplicate
+// releases the scheduler's drain immediately, as a real transport
+// would when the losing RPC is torn down.
+type slowWorker struct {
+	*sched.Loopback
+	delay time.Duration
+}
+
+func (w *slowWorker) Eval(ctx context.Context, body []byte) ([]byte, error) {
+	select {
+	case <-time.After(w.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return w.Loopback.Eval(ctx, body)
 }
 
 // drain decodes every block of one partition's framed bytes and

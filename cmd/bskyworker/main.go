@@ -8,10 +8,17 @@
 // Usage:
 //
 //	bskyworker [-listen :8737] [-store-root DIR] [-workers N]
+//	          [-cache-dir DIR] [-cache-max-bytes N]
 //
 // -store-root restricts store-reference requests to directories under
 // DIR; without it any local store path is served. -workers fixes the
 // traversal worker count per evaluation (0 = autotuned per request).
+// -cache-dir enables the content-addressed block cache (DESIGN.md §12):
+// shipped partition blocks are kept on disk keyed by manifest
+// fingerprint, and the describe response advertises the held keys so a
+// warm re-run of the same corpus ships ~zero payload bytes.
+// -cache-max-bytes caps the cache; least-recently-used entries are
+// evicted past the cap.
 //
 // Pair it with the scheduler side:
 //
@@ -36,6 +43,8 @@ func main() {
 	listen := flag.String("listen", ":8737", "address to serve the worker XRPC API on")
 	storeRoot := flag.String("store-root", "", "restrict store-reference requests to stores under this directory (empty = any local path)")
 	workers := flag.Int("workers", 0, "traversal workers per evaluation (0 = autotuned)")
+	cacheDir := flag.String("cache-dir", "", "directory for the content-addressed block cache (empty = caching off)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "block cache size cap in bytes (0 = default)")
 	flag.Parse()
 
 	root := *storeRoot
@@ -48,6 +57,15 @@ func main() {
 		root = abs
 	}
 	srv := &sched.Server{StoreRoot: root, Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := sched.NewBlockCache(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bskyworker:", err)
+			os.Exit(1)
+		}
+		srv.Cache = cache
+		log.Printf("bskyworker: block cache at %s (%d keys warm)", *cacheDir, len(cache.Keys()))
+	}
 	log.Printf("bskyworker: serving %s on %s (store root %q)", sched.NSIDEvalPartition, *listen, root)
 	if err := http.ListenAndServe(*listen, srv.Mux()); err != nil {
 		fmt.Fprintln(os.Stderr, "bskyworker:", err)

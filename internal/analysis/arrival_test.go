@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blueskies/internal/core"
+)
+
+// TestMergeCommutativityArrivalOrder pins the invariant the elastic
+// scheduler leans on: partition states may *arrive* in any order —
+// steals, speculation, and worker death make completion order
+// arbitrary — as long as the fold slots each state by its partition
+// index and runs in manifest order. Seeded shuffles of the
+// decode/arrival order over RestoreState must render reports
+// byte-identical to the flat golden for n ∈ {2,4,8}.
+func TestMergeCommutativityArrivalOrder(t *testing.T) {
+	want := RunAll(ds, 1)
+	for _, n := range []int{2, 4, 8} {
+		parts, m := core.Split(ds, n)
+		states := snapshotPartitions(t, parts, m, 2)
+		for _, seed := range []int64{1, 7, 99} {
+			arrival := rand.New(rand.NewSource(seed)).Perm(n)
+			// Decode in shuffled arrival order, slot by partition index —
+			// exactly what the scheduler does when worker k+1 finishes
+			// before worker k.
+			eng := NewFullEngine()
+			srcs := make([]Source, n)
+			for _, k := range arrival {
+				src, err := eng.RestoreState(states[k])
+				if err != nil {
+					t.Fatalf("n=%d seed=%d: restore partition %d: %v", n, seed, k, err)
+				}
+				srcs[k] = src
+			}
+			ms := &MultiSource{Sources: srcs, Manifest: m}
+			got, err := NewFullEngine().RunSource(ms)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			compareReports(t, fmt.Sprintf("arrival-order n=%d seed=%d", n, seed), canonicalize(got), want)
+		}
+	}
+}

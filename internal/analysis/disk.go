@@ -67,6 +67,11 @@ type ReaderSource struct {
 	// computed against. A mismatch fails the run: proceeding would
 	// silently mis-attribute every later partition's indexes.
 	Records *core.CollectionCounts
+	// Clip, when set, restricts the traversal to one contiguous
+	// per-collection row sub-range of the blocks — the scheduler's
+	// dynamic partition splitting. Base and Records then describe the
+	// clipped sub-range, not the whole block stream.
+	Clip *core.RowRange
 	// Name labels errors ("partition 3", "streamed blocks").
 	Name string
 }
@@ -79,6 +84,10 @@ func (src *ReaderSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*Wo
 	}
 	defer pr.Close()
 	si := newStreamIngest(accs, workers, src.Base)
+	var clip *core.RowClipper
+	if src.Clip != nil {
+		clip = core.NewRowClipper(*src.Clip)
+	}
 	for {
 		b, err := pr.Next()
 		if errors.Is(err, io.EOF) {
@@ -87,6 +96,9 @@ func (src *ReaderSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*Wo
 		if err != nil {
 			si.finish() // stop group goroutines before bailing
 			return nil, nil, nil, fmt.Errorf("analysis: %s: %w", src.Name, err)
+		}
+		if clip != nil {
+			b = clip.Clip(b)
 		}
 		si.apply(*b)
 	}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// This file adds the two placement primitives the elastic scheduler
+// (internal/sched) builds on:
+//
+//   - Manifest.Fingerprint — a content-addressed corpus identity, the
+//     first component of worker-side block-cache keys. Two stores
+//     spilled from the same corpus configuration fingerprint equal, so
+//     a re-run over an unchanged corpus finds its blocks already
+//     cached on the workers.
+//
+//   - SubPartitionInfos + RowRange/RowClipper — deterministic
+//     contiguous sub-ranges of one partition's rows, computed with the
+//     same balanced partitionCut formula Split uses. A skewed
+//     partition evaluates as n sub-range traversals whose level-one
+//     states fold back into exactly the unsplit partition state (the
+//     PR 3 split-parity property, applied one level down).
+
+// Fingerprint is a deterministic content-address for the corpus the
+// manifest describes: the generation parameters, the window, and every
+// partition's placement (seed, window, base offsets, record counts).
+// It deliberately hashes the manifest — the store's identity authority
+// — rather than the block bytes, so fingerprinting is O(partitions)
+// and a store can be fingerprinted without reading it; two manifests
+// collide only if they describe byte-identical generation inputs.
+func (m *Manifest) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "m1|scale=%d|seed=%d|window=%d..%d|shared=%v|parts=%d",
+		m.Scale, m.Seed, m.WindowStart.UnixNano(), m.WindowEnd.UnixNano(),
+		m.SharedIndex, len(m.Partitions))
+	for i := range m.Partitions {
+		p := &m.Partitions[i]
+		fmt.Fprintf(&sb, "|p%d:%d:%d..%d:%+v:%+v",
+			p.Index, p.Seed, p.WindowStart.UnixNano(), p.WindowEnd.UnixNano(),
+			p.Base, p.Records)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:12])
+}
+
+// SubPartitionInfos cuts one partition's rows into n contiguous
+// sub-ranges, per collection, with the balanced formula partition and
+// worker boundaries already use — so the cut points are a pure
+// function of (record counts, n) and every scheduler computes the same
+// split. Each sub-range's Base is corpus-global (the parent's base
+// plus the local offset): the level-one traversal of a sub-range then
+// assigns exactly the indexes the unsplit traversal would.
+func SubPartitionInfos(info PartitionInfo, n int) []PartitionInfo {
+	if n < 1 {
+		n = 1
+	}
+	subs := make([]PartitionInfo, n)
+	for j := 0; j < n; j++ {
+		sub := PartitionInfo{
+			Index:       info.Index,
+			Seed:        info.Seed,
+			WindowStart: info.WindowStart,
+			WindowEnd:   info.WindowEnd,
+		}
+		cut := func(count, base int) (int, int) {
+			lo, hi := partitionCut(count, j, n)
+			return base + lo, hi - lo
+		}
+		sub.Base.Users, sub.Records.Users = cut(info.Records.Users, info.Base.Users)
+		sub.Base.Posts, sub.Records.Posts = cut(info.Records.Posts, info.Base.Posts)
+		sub.Base.Days, sub.Records.Days = cut(info.Records.Days, info.Base.Days)
+		sub.Base.Labels, sub.Records.Labels = cut(info.Records.Labels, info.Base.Labels)
+		sub.Base.FeedGens, sub.Records.FeedGens = cut(info.Records.FeedGens, info.Base.FeedGens)
+		sub.Base.Domains, sub.Records.Domains = cut(info.Records.Domains, info.Base.Domains)
+		sub.Base.HandleUpdates, sub.Records.HandleUpdates = cut(info.Records.HandleUpdates, info.Base.HandleUpdates)
+		subs[j] = sub
+	}
+	return subs
+}
+
+// RowRange selects one contiguous per-collection row sub-range of a
+// partition's block stream: skip the first Skip rows of each
+// collection, keep the next Take. Facts reports whether the range
+// carries the partition's corpus-level facts (header firehose counters
+// and non-Bluesky event counts — sub-range 0 only, so clipped
+// sub-ranges sum to the partition instead of double-counting).
+type RowRange struct {
+	Skip  CollectionCounts `cbor:"skip"`
+	Take  CollectionCounts `cbor:"take"`
+	Facts bool             `cbor:"facts,omitempty"`
+}
+
+// SubRowRange derives the RowRange that clips a parent partition's
+// blocks down to one of its SubPartitionInfos sub-ranges.
+func SubRowRange(parent, sub PartitionInfo, first bool) RowRange {
+	skip := sub.Base
+	skip.Users -= parent.Base.Users
+	skip.Posts -= parent.Base.Posts
+	skip.Days -= parent.Base.Days
+	skip.Labels -= parent.Base.Labels
+	skip.FeedGens -= parent.Base.FeedGens
+	skip.Domains -= parent.Base.Domains
+	skip.HandleUpdates -= parent.Base.HandleUpdates
+	return RowRange{Skip: skip, Take: sub.Records, Facts: first}
+}
+
+// RowClipper applies one RowRange to a block stream, block by block.
+// It is stateful — construct one per traversal with NewRowClipper.
+type RowClipper struct {
+	skip, take CollectionCounts
+	facts      bool
+}
+
+// NewRowClipper starts a clip over one block stream.
+func NewRowClipper(r RowRange) *RowClipper {
+	return &RowClipper{skip: r.Skip, take: r.Take, facts: r.Facts}
+}
+
+// clipRows drops skipped rows and truncates past the take budget,
+// updating both counters.
+func clipRows[T any](rows []T, skip, take *int) []T {
+	if *skip >= len(rows) {
+		*skip -= len(rows)
+		return nil
+	}
+	rows = rows[*skip:]
+	*skip = 0
+	if len(rows) > *take {
+		rows = rows[:*take]
+	}
+	*take -= len(rows)
+	return rows
+}
+
+// Clip returns b restricted to the clipper's remaining range: a
+// shallow copy with each collection re-sliced. Headers and labeler
+// announcements always pass through (every sub-range needs the scale,
+// window, and labeler enumeration); a non-Facts range zeroes the
+// header's firehose and non-Bluesky counters so corpus-level facts
+// ride on exactly one sub-range.
+func (c *RowClipper) Clip(b *RecordBlock) *RecordBlock {
+	out := *b
+	if out.Header != nil && !c.facts {
+		h := *out.Header
+		h.Firehose = EventCounts{}
+		h.NonBskyEvents = 0
+		out.Header = &h
+	}
+	out.Users = clipRows(out.Users, &c.skip.Users, &c.take.Users)
+	out.Posts = clipRows(out.Posts, &c.skip.Posts, &c.take.Posts)
+	out.Days = clipRows(out.Days, &c.skip.Days, &c.take.Days)
+	out.Labels = clipRows(out.Labels, &c.skip.Labels, &c.take.Labels)
+	out.FeedGens = clipRows(out.FeedGens, &c.skip.FeedGens, &c.take.FeedGens)
+	out.Domains = clipRows(out.Domains, &c.skip.Domains, &c.take.Domains)
+	out.HandleUpdates = clipRows(out.HandleUpdates, &c.skip.HandleUpdates, &c.take.HandleUpdates)
+	return &out
+}

@@ -14,12 +14,28 @@
 // — and the folded output is byte-identical to the local out-of-core
 // run at any worker count.
 //
+// Placement is elastic (elastic.go): evaluation units sit in one
+// deterministically-ordered pull queue that every healthy worker
+// claims from, so a fast worker drains a slow worker's backlog (work
+// stealing) instead of idling behind a static round-robin assignment.
+// Idle workers speculatively re-execute straggling in-flight units —
+// the first valid result wins, and a late duplicate is cross-checked
+// byte-for-byte against it. Partitions whose record totals are far
+// above the median split into contiguous sub-ranges that evaluate
+// independently and fold back into the unsplit partition state. In
+// ship-blocks mode workers keep a content-addressed BlockCache of
+// shipped payloads (cache.go) keyed by manifest fingerprint, so a
+// warm re-run sends key references instead of block bytes, and the
+// scheduler prefetches the next unit's blocks into the worker's cache
+// while the current evaluation runs.
+//
 // Failure handling: a worker that errors (dead endpoint, rejected
 // request, undecodable or mismatched state) is marked unhealthy and
-// skipped for the rest of the run; its partition retries on the
-// remaining workers and, when every worker has failed it, falls back
-// to the local out-of-core traversal (analysis.DiskSource semantics) —
-// so killing a worker mid-run degrades throughput, never correctness.
+// skipped for the rest of the run; its units requeue for the
+// remaining workers and, when every worker has failed one, it falls
+// back to the local out-of-core traversal (analysis.DiskSource
+// semantics) — so killing a worker mid-run degrades throughput, never
+// correctness.
 package sched
 
 import (
@@ -52,6 +68,25 @@ type Worker interface {
 // which is always safe: every build reads format 1.
 type FormatsWorker interface {
 	BlockFormats(ctx context.Context) ([]int, error)
+}
+
+// CacheInfo reports a worker's block-cache capability: whether it
+// keeps one, which CacheKey values it already holds, and how many
+// payload bytes they cover.
+type CacheInfo struct {
+	Enabled bool
+	Keys    []string
+	Bytes   int64
+}
+
+// CacheWorker is the optional Worker capability for content-addressed
+// block caching: the scheduler reads the cache state once per run
+// (CacheInfo) and pushes upcoming units' payloads ahead of their claim
+// (PutBlocks — the prefetch path). Workers without it always receive
+// inline block bytes, which is always correct, just never warm.
+type CacheWorker interface {
+	CacheInfo(ctx context.Context) (CacheInfo, error)
+	PutBlocks(ctx context.Context, key string, blocks []byte) error
 }
 
 // DialTimeout bounds one remote partition evaluation end to end.
@@ -95,6 +130,27 @@ func (w *xrpcWorker) BlockFormats(ctx context.Context) ([]int, error) {
 	return dr.Formats, nil
 }
 
+// CacheInfo implements CacheWorker via the describe query; a daemon
+// without a cache (or predating one) answers with Enabled false.
+func (w *xrpcWorker) CacheInfo(ctx context.Context) (CacheInfo, error) {
+	var dr DescribeResponse
+	if err := w.c.Query(ctx, NSIDDescribe, nil, &dr); err != nil {
+		return CacheInfo{}, err
+	}
+	return CacheInfo{Enabled: dr.CacheEnabled, Keys: dr.Cached, Bytes: dr.CacheBytes}, nil
+}
+
+// PutBlocks implements CacheWorker: push one payload into the daemon's
+// cache ahead of the evaluation that will reference it.
+func (w *xrpcWorker) PutBlocks(ctx context.Context, key string, blocks []byte) error {
+	body, err := cbor.Marshal(&PutBlocksRequest{Version: ProtocolVersion, Key: key, Blocks: blocks})
+	if err != nil {
+		return err
+	}
+	_, err = w.c.ProcedureRaw(ctx, NSIDPutBlocks, nil, ContentTypeCBOR, body)
+	return err
+}
+
 // Scheduler places a corpus' partitions onto workers. Construct with
 // New; one Scheduler drives one evaluation run's placement (health
 // marks are per-run state).
@@ -122,6 +178,28 @@ type Scheduler struct {
 	// one. Set to a no-op to silence.
 	Logf func(format string, args ...any)
 
+	// SpeculateAfter is how long a unit may stay in flight before an
+	// idle worker re-executes it speculatively. 0 picks a threshold
+	// automatically (3× the mean completed evaluation, floored so fast
+	// fleets never speculate on healthy evals); negative disables
+	// speculation, as does NoSpeculate.
+	SpeculateAfter time.Duration
+	// NoSpeculate disables speculative re-execution of stragglers.
+	NoSpeculate bool
+	// SplitFactor is the skew threshold for dynamic partition
+	// splitting: a partition whose record total exceeds this multiple
+	// of the median partition evaluates as contiguous sub-ranges. 0
+	// means DefaultSplitFactor; negative disables splitting.
+	SplitFactor float64
+	// NoPrefetch disables pushing the next unit's block payload into a
+	// worker's cache while its current evaluation runs.
+	NoPrefetch bool
+	// PrefetchBytes bounds one prefetched payload (0 = the ship bound).
+	PrefetchBytes int
+
+	// Stats counts this run's placement events; read after RunAll.
+	Stats RunStats
+
 	// shipLimit overrides MaxShipBytes (tests); 0 = MaxShipBytes.
 	shipLimit int
 
@@ -133,13 +211,41 @@ type Scheduler struct {
 	// blocks transcoded down; in store-reference mode it is retired,
 	// since the store bytes can't be rewritten per worker.
 	formats []atomic.Int32
-	// slots bounds in-flight partition evaluations to the worker count:
-	// remote partitions skip MultiSource's local CPU cap (Offloaded),
-	// so without this a ship-blocks run would hold every partition's
-	// block bytes in memory at once and flood each worker with
-	// unbounded concurrent evaluations. Local fallbacks hold a slot
-	// too, keeping total concurrency bounded even with the fleet gone.
-	slots chan struct{}
+	// run is the elastic placement state, created by the first
+	// partition registration; one Scheduler drives one run.
+	runMu sync.Mutex
+	run   *elasticRun
+}
+
+// RunStats counts one run's placement events. All fields are atomic:
+// read them with Load (or format the lot with Summary) after the run.
+type RunStats struct {
+	// Evals counts remote evaluations accepted; LocalEvals counts
+	// units evaluated by the local out-of-core fallback.
+	Evals, LocalEvals atomic.Int64
+	// Steals counts units claimed by a worker other than their home;
+	// Speculations counts speculative duplicate launches, SpecWins how
+	// many finished first, SpecDuplicates how many late duplicates
+	// were cross-checked against an accepted result.
+	Steals, Speculations, SpecWins, SpecDuplicates atomic.Int64
+	// Splits counts partitions that evaluated as sub-ranges.
+	Splits atomic.Int64
+	// CacheHits counts evaluations served from a worker's block cache
+	// (no payload shipped); CacheMisses counts key references the
+	// worker could not serve (the payload re-shipped inline);
+	// Prefetches counts payloads pushed ahead of their claim.
+	CacheHits, CacheMisses, Prefetches atomic.Int64
+	// ShippedBytes totals block payload bytes actually sent (inline
+	// ships plus prefetch pushes; cache-hit evaluations add nothing).
+	ShippedBytes atomic.Int64
+}
+
+// Summary renders the counters on one line.
+func (st *RunStats) Summary() string {
+	return fmt.Sprintf("evals=%d local=%d steals=%d speculations=%d spec-wins=%d spec-dups=%d splits=%d cache-hits=%d cache-misses=%d prefetches=%d shipped-bytes=%d",
+		st.Evals.Load(), st.LocalEvals.Load(), st.Steals.Load(), st.Speculations.Load(),
+		st.SpecWins.Load(), st.SpecDuplicates.Load(), st.Splits.Load(),
+		st.CacheHits.Load(), st.CacheMisses.Load(), st.Prefetches.Load(), st.ShippedBytes.Load())
 }
 
 // init sizes the per-run placement state; lazy so a Scheduler built as
@@ -153,9 +259,6 @@ func (s *Scheduler) init() {
 		if s.formats == nil {
 			s.formats = make([]atomic.Int32, len(s.Workers))
 		}
-		if s.slots == nil {
-			s.slots = make(chan struct{}, max(1, len(s.Workers)))
-		}
 	})
 }
 
@@ -165,6 +268,17 @@ func (s *Scheduler) logf(format string, args ...any) {
 		return
 	}
 	log.Printf(format, args...)
+}
+
+// event is the one structured diagnostics emitter: every placement
+// event logs as `sched: event=<kind> worker=<name> unit=<part.sub>`
+// plus a reason, so log consumers match on fields instead of prose.
+func (s *Scheduler) event(kind, worker string, id unitID, format string, args ...any) {
+	unit := "-"
+	if id.part >= 0 {
+		unit = id.String()
+	}
+	s.logf("sched: event=%s worker=%s unit=%s: %s", kind, worker, unit, fmt.Sprintf(format, args...))
 }
 
 // New builds a scheduler over an opened store and its workers.
@@ -191,6 +305,17 @@ func (s *Scheduler) RunAll(workers int) ([]*analysis.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every partition has resolved, but a speculative duplicate may
+	// still be in flight: its cross-check must happen before results
+	// leave the scheduler, so a divergence can still fail the run.
+	s.runMu.Lock()
+	r := s.run
+	s.runMu.Unlock()
+	if r != nil {
+		if err := r.drain(); err != nil {
+			return nil, err
+		}
+	}
 	return analysis.Canonicalize(reports), nil
 }
 
@@ -203,16 +328,6 @@ func (s *Scheduler) markUnhealthy(wi int) bool {
 
 func (s *Scheduler) isHealthy(wi int) bool {
 	return wi < len(s.unhealthy) && !s.unhealthy[wi].Load()
-}
-
-// anyHealthy reports whether at least one worker is still placeable.
-func (s *Scheduler) anyHealthy() bool {
-	for wi := range s.Workers {
-		if s.isHealthy(wi) {
-			return true
-		}
-	}
-	return false
 }
 
 // maxShip is the effective ship-size bound.
@@ -254,149 +369,20 @@ func (s *Scheduler) workerFormat(ctx context.Context, wi int) int {
 	return maxF
 }
 
-// request builds the EvalRequest for partition part, carrying the
-// store's native block bytes when shipping. Per-worker downgrades
-// rewrite Blocks afterwards; the rest of the request is shared.
-func (s *Scheduler) request(part int, accs []analysis.Accumulator, workers int) (*EvalRequest, error) {
-	info := &s.Corpus.Manifest.Partitions[part]
-	evalWorkers := s.EvalWorkers
-	if evalWorkers <= 0 {
-		evalWorkers = workers
-	}
-	req := &EvalRequest{
-		Version:   ProtocolVersion,
-		Accs:      analysis.Fingerprint(accs),
-		Base:      info.Base,
-		Records:   &info.Records,
-		Workers:   evalWorkers,
-		MaxFormat: core.DiskFormatVersion,
-	}
-	if s.ShipBlocks {
-		blocks, err := ReadPartitionBlocks(s.Corpus, part)
-		if err != nil {
-			return nil, fmt.Errorf("sched: read partition %d blocks: %w", part, err)
-		}
-		req.Blocks = blocks
-	} else {
-		req.Store = s.Corpus.Dir
-		req.Partition = part
-	}
-	return req, nil
-}
-
-// evalPartition places one partition: round-robin from its home
-// worker, skipping workers already marked unhealthy, marking every
-// worker that fails it, and falling back to the local out-of-core
-// traversal once no worker remains. State returned by a worker is
-// decoded and cross-checked against the manifest's record counts — a
-// worker returning plausible-but-wrong state is treated exactly like a
-// dead one.
+// evalPartition places one partition through the run's elastic
+// machinery (elastic.go): its units join the shared pull queue and
+// the call blocks until every one resolves. The first registration
+// creates the run; the accumulator set and worker count are run-wide
+// (every partition of one MultiSource evaluation shares them).
 func (s *Scheduler) evalPartition(part int, accs []analysis.Accumulator, workers int) (*analysis.World, []analysis.Shard, *analysis.LabelTables, error) {
 	s.init()
-	s.slots <- struct{}{}
-	defer func() { <-s.slots }()
-	var attempts []string
-	// Don't pay for the request — in ShipBlocks mode the whole block
-	// file read and encoded — when no worker is left to send it to.
-	if n := len(s.Workers); n > 0 && s.anyHealthy() {
-		req, err := s.request(part, accs, workers)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		// encoded caches the marshaled request per shipped block format:
-		// the store's native format, plus one transcoded downgrade per
-		// older format some live worker is pinned at.
-		encoded := make(map[int][]byte)
-		encodeFor := func(format int) ([]byte, error) {
-			if b, ok := encoded[format]; ok {
-				return b, nil
-			}
-			r := *req
-			if s.ShipBlocks && format < s.storeFormat() {
-				blocks, terr := core.TranscodePartitionBlocks(req.Blocks, format)
-				if terr != nil {
-					return nil, fmt.Errorf("sched: transcode partition %d blocks to format v%d: %w", part, format, terr)
-				}
-				r.Blocks = blocks
-			}
-			b, merr := cbor.Marshal(&r)
-			if merr != nil {
-				return nil, merr
-			}
-			encoded[format] = b
-			return b, nil
-		}
-		native, err := encodeFor(s.storeFormat())
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		limit := s.maxShip()
-		if s.ShipBlocks && len(native) > limit {
-			// A partition too big to ship is this partition's problem,
-			// not the fleet's: every worker would reject the body, and
-			// retiring them all would degrade the rest of the run too.
-			if s.NoFallback {
-				return nil, nil, nil, fmt.Errorf("sched: partition %d request of %d bytes exceeds the %d-byte ship bound", part, len(native), limit)
-			}
-			s.logf("sched: partition %d request (%d bytes) exceeds the %d-byte ship bound; evaluating locally", part, len(native), limit)
-			return analysis.NewDiskSource(s.Corpus, part).Run(accs, workers, nil)
-		}
-		info := &s.Corpus.Manifest.Partitions[part]
-		retire := func(wi int, msg string) {
-			if s.markUnhealthy(wi) {
-				s.logf("sched: retiring worker %s after partition %d: %s", s.Workers[wi].Name(), part, msg)
-			}
-			attempts = append(attempts, fmt.Sprintf("%s: %s", s.Workers[wi].Name(), msg))
-		}
-		for attempt := 0; attempt < n; attempt++ {
-			wi := (part + attempt) % n
-			if !s.isHealthy(wi) {
-				continue
-			}
-			w := s.Workers[wi]
-			wf := s.workerFormat(context.Background(), wi)
-			if !s.ShipBlocks && s.storeFormat() > wf {
-				// The worker would open the store and fail on every block
-				// file; the store bytes can't be rewritten per worker, so
-				// the worker is out for the run.
-				retire(wi, fmt.Sprintf("store is block format v%d but the worker reads ≤ v%d", s.storeFormat(), wf))
-				continue
-			}
-			body := native
-			if s.ShipBlocks && wf < s.storeFormat() {
-				body, err = encodeFor(wf)
-				if err != nil {
-					return nil, nil, nil, err
-				}
-				if len(body) > limit {
-					retire(wi, fmt.Sprintf("downgraded format-v%d request of %d bytes exceeds the %d-byte ship bound", wf, len(body), limit))
-					continue
-				}
-			}
-			state, err := w.Eval(context.Background(), body)
-			if err != nil {
-				retire(wi, err.Error())
-				continue
-			}
-			world, shards, tables, err := analysis.UnmarshalPartitionState(accs, state)
-			if err != nil {
-				retire(wi, err.Error())
-				continue
-			}
-			if got := world.Counts(); got != info.Records {
-				retire(wi, fmt.Sprintf("returned %+v records but the manifest promises %+v", got, info.Records))
-				continue
-			}
-			return world, shards, tables, nil
-		}
+	s.runMu.Lock()
+	if s.run == nil {
+		s.run = newElasticRun(s, accs, workers)
 	}
-	if s.NoFallback {
-		return nil, nil, nil, fmt.Errorf("sched: partition %d failed on every worker: %s", part, strings.Join(attempts, "; "))
-	}
-	// Every worker is gone (or none were configured): evaluate the
-	// partition locally, out of core, exactly as RunAllDisk would.
-	s.logf("sched: partition %d degrading to local out-of-core evaluation (no healthy workers)", part)
-	return analysis.NewDiskSource(s.Corpus, part).Run(accs, workers, nil)
+	r := s.run
+	s.runMu.Unlock()
+	return r.evalPartition(part)
 }
 
 // RemoteSource is one partition placed through the scheduler. It

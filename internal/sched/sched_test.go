@@ -105,8 +105,10 @@ func TestRemoteParityHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareToGolden(t, "remote-http", got)
-	if w0.Evals()+w1.Evals() != 4 {
-		t.Fatalf("workers served %d+%d evaluations, want 4", w0.Evals(), w1.Evals())
+	// At least one evaluation per partition; speculation may add
+	// byte-identical duplicates under scheduler jitter.
+	if w0.Evals()+w1.Evals() < 4 {
+		t.Fatalf("workers served %d+%d evaluations, want ≥ 4", w0.Evals(), w1.Evals())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -33,7 +34,17 @@ const (
 	// NSIDEvalPartition is the partition-evaluation procedure: CBOR
 	// EvalRequest in, CBOR partition state (analysis.StateVersion) out.
 	NSIDEvalPartition = "blueskies.worker.evalPartition"
+	// NSIDPutBlocks pushes one partition's block payload into the
+	// worker's content-addressed cache ahead of evaluation — the
+	// prefetch half of the elastic scheduler.
+	NSIDPutBlocks = "blueskies.worker.putBlocks"
 )
+
+// CacheMissName is the xrpc error name a worker answers with when an
+// evaluation references a cache key it cannot serve (never cached,
+// evicted, or failed verification). Schedulers match on the name and
+// re-ship the bytes inline — a cache miss retires no one.
+const CacheMissName = "CacheMiss"
 
 // ContentTypeCBOR labels the protocol's request and response bodies.
 const ContentTypeCBOR = "application/cbor"
@@ -81,6 +92,32 @@ type EvalRequest struct {
 	// block at min(MaxFormat, its own max). 0 (a pre-v2 scheduler that
 	// never sends the field) means format 1.
 	MaxFormat int `cbor:"maxFormat,omitempty"`
+	// CacheKey names the partition payload in the worker's block cache
+	// (CacheKey function: manifest fingerprint + partition + format).
+	// With inline Blocks it asks the worker to cache them after use;
+	// alone — no Blocks, no Store — it asks the worker to evaluate
+	// straight from its cache, answering CacheMissName when it can't.
+	CacheKey string `cbor:"cacheKey,omitempty"`
+	// Range, when set, restricts the evaluation to one contiguous
+	// per-collection row sub-range of the partition's blocks (dynamic
+	// partition splitting). Base and Records then describe the
+	// sub-range. Workers predating the field would evaluate the whole
+	// partition — and fail the Records cross-check, loudly.
+	Range *core.RowRange `cbor:"range,omitempty"`
+}
+
+// PutBlocksRequest is the putBlocks input: one partition's framed
+// block payload and the content address to store it under.
+type PutBlocksRequest struct {
+	Version int    `cbor:"v"`
+	Key     string `cbor:"key"`
+	Blocks  []byte `cbor:"blocks"`
+}
+
+// PutBlocksResponse acknowledges a stored payload.
+type PutBlocksResponse struct {
+	Stored     bool  `json:"stored"`
+	CacheBytes int64 `json:"cacheBytes"`
 }
 
 // DescribeResponse is the describe query output.
@@ -91,6 +128,14 @@ type DescribeResponse struct {
 	// ascending. Absent on pre-v2 workers, which a scheduler must
 	// treat as format-1-only.
 	Formats []int `json:"formats,omitempty"`
+	// CacheEnabled reports whether the worker runs a block cache
+	// (accepts putBlocks and CacheKey-only evaluations).
+	CacheEnabled bool `json:"cacheEnabled,omitempty"`
+	// Cached lists the cache's content-address keys, sorted — how a
+	// scheduler learns which partitions it can skip shipping.
+	Cached []string `json:"cached,omitempty"`
+	// CacheBytes is the cache's current payload volume.
+	CacheBytes int64 `json:"cacheBytes,omitempty"`
 }
 
 // Server evaluates partitions for remote schedulers. The evaluation is
@@ -103,6 +148,12 @@ type Server struct {
 	// Workers is the per-evaluation traversal worker count requests
 	// inherit when they don't set their own (0 = autotune).
 	Workers int
+	// Cache, when set, is the worker's content-addressed block cache:
+	// shipped payloads carrying a CacheKey are stored after use,
+	// putBlocks prefetches are accepted, describe advertises the
+	// cached keys, and CacheKey-only requests evaluate without any
+	// bytes on the wire.
+	Cache *BlockCache
 
 	evals atomic.Int64
 }
@@ -116,7 +167,7 @@ func (s *Server) Mux() *xrpc.Mux {
 	m := xrpc.NewMux()
 	m.MaxBodyBytes = MaxShipBytes
 	m.Query(NSIDDescribe, func(context.Context, url.Values, []byte) (any, error) {
-		return &DescribeResponse{Evals: s.Evals(), StoreRoot: s.StoreRoot, Formats: SupportedBlockFormats()}, nil
+		return s.Describe(), nil
 	})
 	m.Procedure(NSIDEvalPartition, func(_ context.Context, _ url.Values, input []byte) (any, error) {
 		state, err := s.EvalPartition(input)
@@ -125,7 +176,54 @@ func (s *Server) Mux() *xrpc.Mux {
 		}
 		return xrpc.Raw{ContentType: ContentTypeCBOR, Data: state}, nil
 	})
+	m.Procedure(NSIDPutBlocks, func(_ context.Context, _ url.Values, input []byte) (any, error) {
+		return s.PutBlocks(input)
+	})
 	return m
+}
+
+// Describe assembles the describe query's answer.
+func (s *Server) Describe() *DescribeResponse {
+	dr := &DescribeResponse{Evals: s.Evals(), StoreRoot: s.StoreRoot, Formats: SupportedBlockFormats()}
+	if s.Cache != nil {
+		dr.CacheEnabled = true
+		dr.Cached = s.Cache.Keys()
+		dr.CacheBytes = s.Cache.Bytes()
+	}
+	return dr
+}
+
+// PutBlocks stores one prefetched partition payload in the cache. The
+// payload's frame header is validated (magic + a known format version)
+// before storing — the cache never holds bytes that could not have
+// come from a partition store; the per-frame checksums are verified at
+// evaluation time like any shipped payload.
+func (s *Server) PutBlocks(input []byte) (*PutBlocksResponse, error) {
+	if s.Cache == nil {
+		return nil, xrpc.ErrInvalidRequest("worker runs no block cache")
+	}
+	var req PutBlocksRequest
+	if err := cbor.Unmarshal(input, &req); err != nil {
+		return nil, xrpc.ErrInvalidRequest("decode putBlocks request: %v", err)
+	}
+	if req.Version < 1 || req.Version > ProtocolVersion {
+		return nil, xrpc.ErrInvalidRequest("protocol version %d not supported (worker speaks ≤ %d)", req.Version, ProtocolVersion)
+	}
+	if req.Key == "" {
+		return nil, xrpc.ErrInvalidRequest("putBlocks without a cache key")
+	}
+	if len(req.Blocks) == 0 {
+		return nil, xrpc.ErrInvalidRequest("putBlocks without block bytes")
+	}
+	if pr, err := core.NewPartitionReader(bytes.NewReader(req.Blocks)); err != nil {
+		return nil, xrpc.ErrInvalidRequest("payload is not a partition block file: %v", err)
+	} else {
+		pr.Close()
+	}
+	if err := s.Cache.Put(req.Key, req.Blocks); err != nil {
+		return nil, xrpc.ErrInternal("cache store: %v", err)
+	}
+	return &PutBlocksResponse{Stored: true, CacheBytes: s.Cache.Bytes()}, nil
 }
 
 // EvalPartition decodes one EvalRequest, runs the level-one traversal,
@@ -162,6 +260,13 @@ func (s *Server) EvalPartition(input []byte) ([]byte, error) {
 	if err != nil {
 		return nil, xrpc.ErrInternal("evaluate partition: %v", err)
 	}
+	if s.Cache != nil && req.CacheKey != "" && len(req.Blocks) > 0 {
+		// Cache only after the traversal proved every frame decodes:
+		// the cache never holds a payload that failed evaluation. A
+		// full cache or dead disk is the scheduler's loss, not an
+		// evaluation failure — the state is already computed.
+		_ = s.Cache.Put(req.CacheKey, req.Blocks)
+	}
 	s.evals.Add(1)
 	return state, nil
 }
@@ -171,6 +276,8 @@ func (s *Server) source(req *EvalRequest) (analysis.Source, error) {
 	switch {
 	case len(req.Blocks) > 0 && req.Store != "":
 		return nil, xrpc.ErrInvalidRequest("request carries both a store reference and inline blocks")
+	case req.Store != "" && req.CacheKey != "":
+		return nil, xrpc.ErrInvalidRequest("request carries both a store reference and a cache key")
 	case len(req.Blocks) > 0:
 		return &analysis.ReaderSource{
 			Open: func() (*core.PartitionReader, error) {
@@ -178,6 +285,7 @@ func (s *Server) source(req *EvalRequest) (analysis.Source, error) {
 			},
 			Base:    req.Base,
 			Records: req.Records,
+			Clip:    req.Range,
 			Name:    "streamed blocks",
 		}, nil
 	case req.Store != "":
@@ -196,10 +304,31 @@ func (s *Server) source(req *EvalRequest) (analysis.Source, error) {
 			Open:    func() (*core.PartitionReader, error) { return c.OpenPartition(part) },
 			Base:    req.Base,
 			Records: req.Records,
+			Clip:    req.Range,
 			Name:    fmt.Sprintf("partition %d of %s", part, req.Store),
 		}, nil
+	case req.CacheKey != "":
+		if s.Cache == nil {
+			return nil, xrpc.ErrNamed(http.StatusNotFound, CacheMissName, "worker runs no block cache")
+		}
+		blocks, err := s.Cache.Get(req.CacheKey)
+		if err != nil {
+			// Miss and corruption both answer CacheMissName: either way
+			// the scheduler must ship the bytes again. Corruption is
+			// named in the message so the degrade is loud in logs.
+			return nil, xrpc.ErrNamed(http.StatusNotFound, CacheMissName, "cache cannot serve %s: %v", req.CacheKey, err)
+		}
+		return &analysis.ReaderSource{
+			Open: func() (*core.PartitionReader, error) {
+				return core.NewPartitionReader(bytes.NewReader(blocks))
+			},
+			Base:    req.Base,
+			Records: req.Records,
+			Clip:    req.Range,
+			Name:    fmt.Sprintf("cached blocks %s", req.CacheKey),
+		}, nil
 	default:
-		return nil, xrpc.ErrInvalidRequest("request carries neither a store reference nor inline blocks")
+		return nil, xrpc.ErrInvalidRequest("request carries neither a store reference, inline blocks, nor a cache key")
 	}
 }
 
@@ -255,6 +384,23 @@ func (l *Loopback) Eval(_ context.Context, req []byte) ([]byte, error) {
 // every format this build does.
 func (l *Loopback) BlockFormats(context.Context) ([]int, error) {
 	return SupportedBlockFormats(), nil
+}
+
+// CacheInfo implements CacheWorker straight off the server's cache.
+func (l *Loopback) CacheInfo(context.Context) (CacheInfo, error) {
+	dr := l.Server.Describe()
+	return CacheInfo{Enabled: dr.CacheEnabled, Keys: dr.Cached, Bytes: dr.CacheBytes}, nil
+}
+
+// PutBlocks implements CacheWorker through the same handler the
+// daemon serves, wire codec included.
+func (l *Loopback) PutBlocks(_ context.Context, key string, blocks []byte) error {
+	body, err := cbor.Marshal(&PutBlocksRequest{Version: ProtocolVersion, Key: key, Blocks: blocks})
+	if err != nil {
+		return err
+	}
+	_, err = l.Server.PutBlocks(body)
+	return err
 }
 
 // ReadPartitionBlocks reads partition k's framed block-file bytes from

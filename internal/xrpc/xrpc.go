@@ -47,6 +47,14 @@ func ErrInternal(format string, args ...any) *Error {
 	return &Error{Status: http.StatusInternalServerError, Name: "InternalError", Message: fmt.Sprintf(format, args...)}
 }
 
+// ErrNamed builds an error under a caller-chosen name. The name
+// round-trips through the wire envelope (decode restores it), so
+// protocols can define distinguishable conditions — a client matches
+// on AsError(...).Name instead of parsing messages.
+func ErrNamed(status int, name, format string, args ...any) *Error {
+	return &Error{Status: status, Name: name, Message: fmt.Sprintf(format, args...)}
+}
+
 // AsError extracts an *Error from err, if present.
 func AsError(err error) (*Error, bool) {
 	var xe *Error
