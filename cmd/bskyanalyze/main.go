@@ -11,6 +11,7 @@
 //	bskyanalyze -corpus DIR [-plan] [-only T1] [-workers N]
 //	bskyanalyze -corpus DIR -workers-at host:port,... [-ship-blocks]
 //	bskyanalyze -corpus DIR -workers-at loopback[:N]
+//	bskyanalyze -scenario NAME | -scenario list
 //
 // By default the evaluation runs through the single-pass engine
 // (analysis.RunAll), which shards the dataset traversal across
@@ -59,6 +60,12 @@
 // "-workers-at loopback" (or loopback:N) runs N in-process workers
 // through the full wire codec — the single-machine proof of the remote
 // path.
+//
+// -scenario NAME runs one registered fault-injection scenario
+// (internal/scenario) end-to-end — baseline evaluation, deterministic
+// transform, faulted stream replay — judges its assertion (exit 1 on
+// failure), and prints the transformed corpus's tables. -scenario list
+// prints the registry.
 package main
 
 import (
@@ -72,6 +79,7 @@ import (
 	"blueskies/internal/analysis"
 	"blueskies/internal/core"
 	"blueskies/internal/events"
+	"blueskies/internal/scenario"
 	"blueskies/internal/sched"
 	"blueskies/internal/synth"
 )
@@ -101,6 +109,7 @@ func main() {
 	shipBlocks := flag.Bool("ship-blocks", false, "stream partition block frames to remote workers instead of sending a store reference")
 	noSpeculate := flag.Bool("no-speculate", false, "disable speculative re-execution of straggling partitions on idle workers")
 	splitFactor := flag.Float64("split-factor", 0, "split partitions whose record count exceeds this multiple of the median into sub-ranges (0 = default 4.0, negative = never split)")
+	scenarioName := flag.String("scenario", "", "run a named fault-injection scenario end-to-end and judge its assertion ('list' prints the registry)")
 	var inputs []inputSpec
 	flag.Func("input", "independent corpus spec 'seed=S[,scale=C]' (repeatable); evaluates all inputs as one federated corpus", func(s string) error {
 		var spec inputSpec
@@ -152,6 +161,12 @@ func main() {
 		}
 	}
 
+	if *scenarioName != "" {
+		if err := runScenario(*scenarioName, *workers, print); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *spill != "" && *corpus != "" {
 		fatal(fmt.Errorf("-spill and -corpus are mutually exclusive"))
 	}
@@ -218,6 +233,40 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bskyanalyze:", err)
 	os.Exit(1)
+}
+
+// runScenario runs one registered fault-injection scenario end-to-end
+// (baseline, transformed golden batch, faulted stream replay), judges
+// its assertion, and prints the transformed corpus's tables. A failed
+// assertion is a command failure — the smoke gate CI relies on.
+func runScenario(name string, workers int, print func([]*analysis.Report)) error {
+	if name == "list" {
+		for _, s := range scenario.All() {
+			fmt.Printf("%-16s %-14s %s\n", s.Name, s.Class, s.Description)
+		}
+		return nil
+	}
+	s, ok := scenario.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try -scenario list)", name)
+	}
+	fmt.Printf("scenario %s (%s): %s\n", s.Name, s.Class, s.Description)
+	r, err := scenario.Run(s, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d records in %d firehose + %d labeler frames; backlog high-water %d, final %d\n",
+		r.Records(), r.FireFrames, r.LabelFrames, r.BacklogHighWater, r.FinalBacklog)
+	if r.StreamErr != nil {
+		fmt.Println("stream run failed loudly:", r.StreamErr)
+	}
+	if err := s.Assert(r); err != nil {
+		return fmt.Errorf("assertion FAILED: %w", err)
+	}
+	fmt.Println("assertion passed")
+	fmt.Println()
+	print(r.Batch)
+	return nil
 }
 
 // buildCorpus materializes the requested corpus. The manifest is nil

@@ -9,12 +9,20 @@
 // Usage:
 //
 //	bskybench [-scale N] [-seed S] [-reps R] [-out FILE]
+//	bskybench -scenario NAME,... | -scenario all [-out FILE]
 //
 // Each measure runs R times (default 5); the JSON records the best
 // wall time (ns_op), derived throughput (mb_per_s, records_per_s),
 // the encoded byte volume (bytes), and the peak heap growth over a
 // GC'd baseline (peak_heap_mb). -out defaults to BENCH_<date>.json in
 // the working directory.
+//
+// With -scenario, the named stress scenarios (internal/scenario) are
+// the workload instead: each runs end to end — generate, transform,
+// batch golden, faulted streaming replay, assertion — and contributes
+// one scenario/<name> trajectory point (records/s, peak heap, and the
+// stream-backlog high-water mark). A failed assertion aborts the
+// benchmark with a nonzero exit, so CI can use it as a smoke gate.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 
 	"blueskies/internal/analysis"
 	"blueskies/internal/core"
+	"blueskies/internal/scenario"
 	"blueskies/internal/sched"
 	"blueskies/internal/synth"
 )
@@ -54,6 +63,10 @@ type Result struct {
 	Speculations int64 `json:"speculations,omitempty"`
 	SpecWins     int64 `json:"spec_wins,omitempty"`
 	CacheHits    int64 `json:"cache_hits,omitempty"`
+	// Stream-backpressure high-water mark (scenario/* measures only):
+	// the peak combined frame count the sequencers retained during the
+	// faulted replay.
+	BacklogHighWater int `json:"backlog_high_water,omitempty"`
 }
 
 // Trajectory is the file's top-level shape.
@@ -72,58 +85,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic corpus seed")
 	reps := flag.Int("reps", 5, "repetitions per measure (best time wins)")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	scenarios := flag.String("scenario", "", "comma-separated stress scenarios to measure instead of the disk/wire suite ('all' = every registered scenario)")
 	flag.Parse()
 
-	ds := synth.Generate(synth.Config{Scale: *scale, Seed: *seed})
-	parts, m := core.Split(ds, 1)
-	records := ds.Counts().Total()
-	info := m.Partitions[0]
-
-	tmp, err := os.MkdirTemp("", "bskybench")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(tmp)
-
 	var results []Result
-	for _, version := range []int{1, core.DiskFormatVersion} {
-		dir := filepath.Join(tmp, fmt.Sprintf("v%d", version))
-		if err := core.WriteCorpusVersion(dir, parts, m, version); err != nil {
-			log.Fatal(err)
-		}
-		data, err := os.ReadFile(filepath.Join(dir, core.PartitionFileName(0)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		mb := float64(len(data)) / (1 << 20)
-
-		nsOp, peak := measure(*reps, func() { drain(data, records) })
-		results = append(results, Result{
-			Name:       fmt.Sprintf("decode/v%d", version),
-			NsOp:       nsOp,
-			MBPerS:     mb / (float64(nsOp) / 1e9),
-			Bytes:      len(data),
-			PeakHeapMB: peak,
-		})
-
-		nsOp, peak = measure(*reps, func() { ingest(data, info, records) })
-		results = append(results, Result{
-			Name:        fmt.Sprintf("ingest/v%d", version),
-			NsOp:        nsOp,
-			RecordsPerS: float64(records) / (float64(nsOp) / 1e9),
-			Bytes:       len(data),
-			PeakHeapMB:  peak,
-		})
-
-		// The partition file is the shipped form (sched.ReadPartitionBlocks
-		// sends it verbatim), so its size is the per-partition wire cost.
-		results = append(results, Result{
-			Name:  fmt.Sprintf("ship-bytes/v%d", version),
-			Bytes: len(data),
-		})
+	if *scenarios != "" {
+		results = scenarioMeasures(*scenarios)
+	} else {
+		results = defaultMeasures(*scale, *seed, *reps)
 	}
-
-	results = append(results, remoteMeasures(ds, tmp)...)
 
 	now := time.Now()
 	tr := &Trajectory{
@@ -173,9 +143,116 @@ func main() {
 		if r.CacheHits > 0 {
 			line += fmt.Sprintf("  %d cache-hits", r.CacheHits)
 		}
+		if r.BacklogHighWater > 0 {
+			line += fmt.Sprintf("  %d backlog-high-water", r.BacklogHighWater)
+		}
 		fmt.Println(line)
 	}
 	log.Printf("wrote %s", path)
+}
+
+// defaultMeasures runs the disk and wire suite — decode, ingest,
+// ship-bytes at each format version, then the elastic-scheduler
+// regimes — over one generated corpus.
+func defaultMeasures(scaleN int, seedN int64, repsN int) []Result {
+	ds := synth.Generate(synth.Config{Scale: scaleN, Seed: seedN})
+	parts, m := core.Split(ds, 1)
+	records := ds.Counts().Total()
+	info := m.Partitions[0]
+
+	tmp, err := os.MkdirTemp("", "bskybench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var results []Result
+	for _, version := range []int{1, core.DiskFormatVersion} {
+		dir := filepath.Join(tmp, fmt.Sprintf("v%d", version))
+		if err := core.WriteCorpusVersion(dir, parts, m, version); err != nil {
+			log.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, core.PartitionFileName(0)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mb := float64(len(data)) / (1 << 20)
+
+		nsOp, peak := measure(repsN, func() { drain(data, records) })
+		results = append(results, Result{
+			Name:       fmt.Sprintf("decode/v%d", version),
+			NsOp:       nsOp,
+			MBPerS:     mb / (float64(nsOp) / 1e9),
+			Bytes:      len(data),
+			PeakHeapMB: peak,
+		})
+
+		nsOp, peak = measure(repsN, func() { ingest(data, info, records) })
+		results = append(results, Result{
+			Name:        fmt.Sprintf("ingest/v%d", version),
+			NsOp:        nsOp,
+			RecordsPerS: float64(records) / (float64(nsOp) / 1e9),
+			Bytes:       len(data),
+			PeakHeapMB:  peak,
+		})
+
+		// The partition file is the shipped form (sched.ReadPartitionBlocks
+		// sends it verbatim), so its size is the per-partition wire cost.
+		results = append(results, Result{
+			Name:  fmt.Sprintf("ship-bytes/v%d", version),
+			Bytes: len(data),
+		})
+	}
+
+	return append(results, remoteMeasures(ds, tmp)...)
+}
+
+// scenarioMeasures runs each named stress scenario end to end under
+// the heap sampler and turns it into one trajectory point. Any
+// infrastructure error or failed scenario assertion is fatal — the
+// measure doubles as CI's scenario smoke gate. Scenario runs are
+// single-shot (not best-of-R): each run regenerates and replays its
+// whole corpus, so the wall time is workload-dominated.
+func scenarioMeasures(spec string) []Result {
+	var list []*scenario.Scenario
+	if spec == "all" {
+		list = scenario.All()
+	} else {
+		for _, name := range strings.Split(spec, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			s, ok := scenario.Get(name)
+			if !ok {
+				log.Fatalf("unknown scenario %q (known: %v)", name, scenario.Names())
+			}
+			list = append(list, s)
+		}
+	}
+	if len(list) == 0 {
+		log.Fatal("-scenario matched no scenarios")
+	}
+	var results []Result
+	for _, s := range list {
+		var r *scenario.Result
+		var runErr error
+		peak, wall := peakHeapDuring(func() { r, runErr = scenario.Run(s, 0) })
+		if runErr != nil {
+			log.Fatalf("scenario %s: %v", s.Name, runErr)
+		}
+		if err := s.Assert(r); err != nil {
+			log.Fatalf("scenario %s: assertion FAILED: %v", s.Name, err)
+		}
+		results = append(results, Result{
+			Name:             "scenario/" + s.Name,
+			NsOp:             wall.Nanoseconds(),
+			RecordsPerS:      float64(r.Records()) / wall.Seconds(),
+			PeakHeapMB:       peak,
+			BacklogHighWater: r.BacklogHighWater,
+		})
+	}
+	return results
 }
 
 // remoteMeasures runs the elastic scheduler (DESIGN.md §12) over a

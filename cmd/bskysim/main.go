@@ -8,6 +8,11 @@
 // disjoint RNG sub-streams) is generated straight into a disk-backed
 // partition store at DIR, one resident partition per worker, ready for
 // `bskyanalyze -corpus DIR` to evaluate out of core.
+//
+// -spill DIR -scenario NAME spills a registered stress scenario's
+// transformed corpus instead (internal/scenario): the scenario's own
+// seeded config and deterministic transform, split into its partition
+// count — the workload generator for scheduler and bench runs.
 package main
 
 import (
@@ -18,9 +23,11 @@ import (
 	"os/signal"
 	"time"
 
+	"blueskies/internal/core"
 	"blueskies/internal/identity"
 	"blueskies/internal/lexicon"
 	"blueskies/internal/netsim"
+	"blueskies/internal/scenario"
 	"blueskies/internal/synth"
 )
 
@@ -40,10 +47,24 @@ func main() {
 	scale := flag.Int("scale", 1000, "corpus downscaling factor in -spill mode")
 	seed := flag.Int64("seed", 2024, "generation seed (-spill corpus bytes and network-mode record timestamps)")
 	partitions := flag.Int("partitions", 4, "partition count in -spill mode")
+	scenarioName := flag.String("scenario", "", "with -spill: write a registered stress scenario's transformed corpus instead of a plain synth corpus")
 	flag.Parse()
 
+	if *scenarioName != "" && *spill == "" {
+		log.Fatal("-scenario spills a scenario corpus; combine it with -spill DIR")
+	}
 	if *spill != "" {
-		m, err := synth.GeneratePartitionedTo(synth.Config{Scale: *scale, Seed: *seed}, *partitions, *spill, 0)
+		var m *core.Manifest
+		var err error
+		if *scenarioName != "" {
+			s, ok := scenario.Get(*scenarioName)
+			if !ok {
+				log.Fatalf("unknown scenario %q (known: %v)", *scenarioName, scenario.Names())
+			}
+			m, err = s.Spill(*spill)
+		} else {
+			m, err = synth.GeneratePartitionedTo(synth.Config{Scale: *scale, Seed: *seed}, *partitions, *spill, 0)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,36 +2,45 @@
 // its DID, records, and social graph — the account-portability
 // property the paper's §5 identity analysis is about. The PLC
 // directory is updated so resolvers find the new endpoint.
+//
+// The network size, mover handle, and seed come from
+// scenario.MigrationSpec — the same configuration the migration-wave
+// stress scenario scales into a mass wave, so this walkthrough and the
+// registry cannot drift apart.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
+	"blueskies/internal/identity"
 	"blueskies/internal/lexicon"
 	"blueskies/internal/netsim"
 	"blueskies/internal/plc"
+	"blueskies/internal/scenario"
+	"blueskies/internal/synth"
 )
 
 func main() {
-	net, err := netsim.Start(netsim.Config{PDSCount: 2})
+	spec := scenario.MigrationSpec()
+	clock := synth.SeededClock(spec.Seed)
+	net, err := netsim.Start(netsim.Config{PDSCount: spec.PDSCount, Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer net.Close()
 	src, dst := net.PDSes[0], net.PDSes[1]
 
-	mover, err := net.CreateUser(0, "mover.bsky.social")
+	mover, err := net.CreateUser(0, identity.Handle(spec.MoverHandle))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if _, err := src.CreateRecord(mover.DID, lexicon.Post, "",
-		lexicon.NewPost("posting before I migrate", nil, time.Now())); err != nil {
+		lexicon.NewPost("posting before I migrate", nil, clock())); err != nil {
 		log.Fatal(err)
 	}
 	if _, err := src.CreateRecord(mover.DID, lexicon.Follow, "",
-		lexicon.NewFollow("did:plc:abcdefghijklmnopqrstuvwx", time.Now())); err != nil {
+		lexicon.NewFollow("did:plc:abcdefghijklmnopqrstuvwx", clock())); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("account on source PDS:", src.URL())

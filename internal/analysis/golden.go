@@ -1,0 +1,59 @@
+package analysis
+
+import "strings"
+
+// Scenario golden plumbing: the fault-injection harness
+// (internal/scenario) compares whole report sets byte-for-byte against
+// unfaulted goldens and names the tables that shifted. These helpers
+// keep that comparison in one place so every caller renders and diffs
+// reports identically.
+
+// RenderText renders a report set to one string — the byte-identity
+// currency of the parity tests and the scenario harness. Reports are
+// rendered in slice order, separated by a blank line.
+func RenderText(reports []*Report) string {
+	var sb strings.Builder
+	for i, r := range reports {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(r.String())
+	}
+	return sb.String()
+}
+
+// ReportByID returns the first report with the given ID, or nil.
+func ReportByID(reports []*Report, id string) *Report {
+	for _, r := range reports {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// DiffReports compares two report sets pairwise by ID and returns the
+// IDs whose rendered text differs, including IDs present on only one
+// side. Order is deterministic: a's IDs in a's order, then b-only IDs
+// in b's order.
+func DiffReports(a, b []*Report) []string {
+	byID := make(map[string]*Report, len(b))
+	for _, r := range b {
+		byID[r.ID] = r
+	}
+	inA := make(map[string]bool, len(a))
+	var diff []string
+	for _, ra := range a {
+		inA[ra.ID] = true
+		rb := byID[ra.ID]
+		if rb == nil || ra.String() != rb.String() {
+			diff = append(diff, ra.ID)
+		}
+	}
+	for _, rb := range b {
+		if !inA[rb.ID] {
+			diff = append(diff, rb.ID)
+		}
+	}
+	return diff
+}

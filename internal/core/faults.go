@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"blueskies/internal/events"
+)
+
+// StreamGapError is the typed loud failure a sequencer-stream consumer
+// reports when the delivered sequence numbers skip: the sequencer
+// dropped frames past this consumer, and a measurement stream that
+// silently thins its corpus corrupts every downstream statistic.
+// Callers distinguish it from infrastructure errors with errors.As.
+type StreamGapError struct {
+	Lost int64 // frames missing between From and To
+	From int64 // last delivered sequence number
+	To   int64 // first sequence number seen after the gap
+}
+
+func (e *StreamGapError) Error() string {
+	return fmt.Sprintf("core: stream lost %d frames (seq %d → %d): consumer outpaced by sequencer fan-out", e.Lost, e.From, e.To)
+}
+
+// FaultAction is one kind of injectable stream fault.
+type FaultAction int
+
+const (
+	// FaultDrop discards the frame before delivery without advancing
+	// the consumer's sequence cursor, so the next delivered frame trips
+	// the gap detector (a relay that lost frames mid-stream). A drop at
+	// seq 1 slips under the detector — gap detection needs a delivered
+	// predecessor — and a drop of the final end-of-stream marker stalls
+	// the consumer forever; schedules should target interior frames.
+	FaultDrop FaultAction = iota
+	// FaultDuplicate delivers the frame normally, then replays it once
+	// (a relay reconnect re-serving its backfill window). The replayed
+	// copy exercises the consumer's dedup branch, so output bytes are
+	// unchanged by construction.
+	FaultDuplicate
+	// FaultStall pauses the consumer for Stall before processing the
+	// frame (a labeler outage, a consumer GC pause). The sequencer
+	// backlog absorbs the outage window and delivery resumes from the
+	// cursor, so only timing and backlog high-water move — never bytes.
+	FaultStall
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultStall:
+		return "stall"
+	}
+	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// StreamFault is one deterministic fault: when the consumer of stream
+// Stream (index into the sequencer list handed to the faulted stream
+// constructors) reaches sequence number Seq, Action fires.
+type StreamFault struct {
+	Stream int
+	Seq    int64
+	Action FaultAction
+	// Stall is the pause length for FaultStall (ignored otherwise).
+	Stall time.Duration
+}
+
+// FaultSchedule indexes the faults of one faulted stream run. At most
+// one fault per (stream, seq); later entries overwrite earlier ones.
+// It is immutable after construction and consulted by point lookup
+// only, so a schedule never perturbs iteration order or timing of the
+// unfaulted frames — the determinism contract scenarios rely on.
+type FaultSchedule struct {
+	byStream map[int]map[int64]StreamFault
+	n        int
+}
+
+// NewFaultSchedule builds a schedule from its faults.
+func NewFaultSchedule(faults ...StreamFault) *FaultSchedule {
+	fs := &FaultSchedule{byStream: make(map[int]map[int64]StreamFault)}
+	for _, f := range faults {
+		m := fs.byStream[f.Stream]
+		if m == nil {
+			m = make(map[int64]StreamFault)
+			fs.byStream[f.Stream] = m
+		}
+		if _, dup := m[f.Seq]; !dup {
+			fs.n++
+		}
+		m[f.Seq] = f
+	}
+	return fs
+}
+
+// Len reports the number of scheduled faults.
+func (fs *FaultSchedule) Len() int {
+	if fs == nil {
+		return 0
+	}
+	return fs.n
+}
+
+func (fs *FaultSchedule) lookup(stream int, seq int64) (StreamFault, bool) {
+	if fs == nil {
+		return StreamFault{}, false
+	}
+	f, ok := fs.byStream[stream][seq]
+	return f, ok
+}
+
+// streamFaults binds a schedule to one stream index so the per-frame
+// hot path is a single map lookup. A nil receiver means unfaulted.
+type streamFaults struct {
+	fs     *FaultSchedule
+	stream int
+}
+
+func (sf *streamFaults) lookup(seq int64) (StreamFault, bool) {
+	if sf == nil {
+		return StreamFault{}, false
+	}
+	return sf.fs.lookup(sf.stream, seq)
+}
+
+// SequencerStreamFaulted is SequencerStream with a fault schedule
+// injected into the consumer side: stream i in the schedule addresses
+// seqs[i]. A nil schedule behaves exactly like SequencerStream.
+func SequencerStreamFaulted(ctx context.Context, fs *FaultSchedule, seqs ...*events.Sequencer) (<-chan RecordBlock, <-chan error) {
+	return sequencerStreamFaulted(ctx, false, fs, seqs)
+}
+
+// DrainSequencersFaulted is DrainSequencers with a fault schedule
+// injected into the consumer side: stream i in the schedule addresses
+// seqs[i]. A nil schedule behaves exactly like DrainSequencers.
+func DrainSequencersFaulted(ctx context.Context, fs *FaultSchedule, seqs ...*events.Sequencer) (<-chan RecordBlock, <-chan error) {
+	return sequencerStreamFaulted(ctx, true, fs, seqs)
+}

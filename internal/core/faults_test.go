@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"blueskies/internal/events"
+)
+
+// TestFaultScheduleLookup pins the schedule's construction rules:
+// point lookup only, later entries overwrite earlier ones at the same
+// (stream, seq), and both the nil schedule and the nil per-stream
+// binding behave as "unfaulted" rather than panicking.
+func TestFaultScheduleLookup(t *testing.T) {
+	fs := NewFaultSchedule(
+		StreamFault{Stream: 0, Seq: 3, Action: FaultDrop},
+		StreamFault{Stream: 1, Seq: 3, Action: FaultStall, Stall: time.Millisecond},
+		StreamFault{Stream: 0, Seq: 3, Action: FaultDuplicate}, // overwrites the drop
+	)
+	if fs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (overwrite must not double-count)", fs.Len())
+	}
+	if f, ok := fs.lookup(0, 3); !ok || f.Action != FaultDuplicate {
+		t.Fatalf("lookup(0,3) = %+v ok=%v, want the overwriting duplicate", f, ok)
+	}
+	if f, ok := fs.lookup(1, 3); !ok || f.Action != FaultStall || f.Stall != time.Millisecond {
+		t.Fatalf("lookup(1,3) = %+v ok=%v, want the stall", f, ok)
+	}
+	if _, ok := fs.lookup(0, 4); ok {
+		t.Fatal("lookup(0,4) matched an unscheduled fault")
+	}
+	var nilFS *FaultSchedule
+	if nilFS.Len() != 0 {
+		t.Fatal("nil schedule Len != 0")
+	}
+	if _, ok := nilFS.lookup(0, 1); ok {
+		t.Fatal("nil schedule produced a fault")
+	}
+	var nilSF *streamFaults
+	if _, ok := nilSF.lookup(1); ok {
+		t.Fatal("nil stream binding produced a fault")
+	}
+	for want, a := range map[string]FaultAction{"drop": FaultDrop, "duplicate": FaultDuplicate, "stall": FaultStall} {
+		if a.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+// faultedDrain replays ds through DrainSequencersFaulted under fs and
+// returns the consumed record counts plus the first stream error.
+func faultedDrain(t *testing.T, ds *Dataset, fs *FaultSchedule) (users, labels int, err error) {
+	t.Helper()
+	fire := events.NewSequencer(0, 0)
+	labeler := events.NewSequencer(0, 0)
+	blocks, errs := DrainSequencersFaulted(context.Background(), fs, fire, labeler)
+	replayErr := make(chan error, 1)
+	go func() { replayErr <- replayDataset(ds, fire, labeler) }()
+	for b := range blocks {
+		users += len(b.Users)
+		labels += len(b.Labels)
+	}
+	if rerr := <-replayErr; rerr != nil {
+		t.Fatal(rerr)
+	}
+	for e := range errs {
+		if err == nil {
+			err = e
+		}
+	}
+	return users, labels, err
+}
+
+// TestDrainSequencersFaulted pins each fault's observable consequence
+// on a real drain run: duplicates and stalls leave the consumed corpus
+// intact (the dedup branch and the backlog absorb them), while a drop
+// of an interior frame surfaces as a typed StreamGapError — never as a
+// silently thinned corpus.
+func TestDrainSequencersFaulted(t *testing.T) {
+	mkDS := func() *Dataset {
+		ds := &Dataset{Scale: 1}
+		for i := 0; i < 2000; i++ {
+			ds.Users = append(ds.Users, User{DID: "did:plc:u"})
+			ds.Labels = append(ds.Labels, Label{Src: "did:plc:l", URI: "did:plc:u", Val: "x"})
+		}
+		return ds
+	}
+	// Unfaulted baseline: nil schedule must behave like DrainSequencers.
+	users, labels, err := faultedDrain(t, mkDS(), nil)
+	if err != nil || users != 2000 || labels != 2000 {
+		t.Fatalf("nil schedule: users=%d labels=%d err=%v", users, labels, err)
+	}
+	// Duplicate + stall on interior frames: same bytes, no error.
+	fs := NewFaultSchedule(
+		StreamFault{Stream: 0, Seq: 3, Action: FaultDuplicate},
+		StreamFault{Stream: 1, Seq: 2, Action: FaultStall, Stall: 5 * time.Millisecond},
+	)
+	users, labels, err = faultedDrain(t, mkDS(), fs)
+	if err != nil || users != 2000 || labels != 2000 {
+		t.Fatalf("duplicate+stall: users=%d labels=%d err=%v", users, labels, err)
+	}
+	// Drop of an interior firehose frame: the next delivery trips the
+	// gap detector and the error carries the gap's exact shape.
+	users, _, err = faultedDrain(t, mkDS(), NewFaultSchedule(
+		StreamFault{Stream: 0, Seq: 4, Action: FaultDrop},
+	))
+	if err == nil {
+		t.Fatal("dropped frame did not surface a stream error")
+	}
+	var gap *StreamGapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("drop error %v is not a *StreamGapError", err)
+	}
+	if gap.Lost != 1 || gap.From != 3 || gap.To != 5 {
+		t.Fatalf("gap = %+v, want Lost 1, From 3, To 5", gap)
+	}
+	if users >= 2000 {
+		t.Fatalf("consumed %d users despite a dropped interior frame", users)
+	}
+}

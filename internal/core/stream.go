@@ -607,13 +607,21 @@ func DrainSequencers(ctx context.Context, seqs ...*events.Sequencer) (<-chan Rec
 }
 
 func sequencerStream(ctx context.Context, drain bool, seqs []*events.Sequencer) (<-chan RecordBlock, <-chan error) {
+	return sequencerStreamFaulted(ctx, drain, nil, seqs)
+}
+
+func sequencerStreamFaulted(ctx context.Context, drain bool, fs *FaultSchedule, seqs []*events.Sequencer) (<-chan RecordBlock, <-chan error) {
 	out := make(chan RecordBlock, 8)
 	errs := make(chan error, len(seqs))
 	gate := newStreamGate()
 	var wg sync.WaitGroup
 	for i, seq := range seqs {
 		wg.Add(1)
-		go func(seq *events.Sequencer, primary bool) {
+		var faults *streamFaults
+		if fs != nil {
+			faults = &streamFaults{fs: fs, stream: i}
+		}
+		go func(seq *events.Sequencer, primary bool, faults *streamFaults) {
 			defer wg.Done()
 			if primary {
 				defer gate.abort()
@@ -628,10 +636,10 @@ func sequencerStream(ctx context.Context, drain bool, seqs []*events.Sequencer) 
 					gate.open()
 				}
 			}
-			if err := consumeSequencer(ctx, seq, drain, &lastSeq, out, onForward); err != nil {
+			if err := consumeSequencer(ctx, seq, drain, &lastSeq, out, onForward, faults); err != nil {
 				errs <- err
 			}
-		}(seq, i == 0)
+		}(seq, i == 0, faults)
 	}
 	go func() {
 		wg.Wait()
@@ -645,12 +653,17 @@ func sequencerStream(ctx context.Context, drain bool, seqs []*events.Sequencer) 
 // stream. In drain mode frames are pulled from the backlog in chunks
 // and trimmed once processed; otherwise the retained backlog is
 // replayed and live frames followed via the subscription channel.
-func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, lastSeq *int64, out chan<- RecordBlock, onForward func()) error {
+// The drain cursor is tracked separately from the gap detector's
+// lastSeq: a frame a fault drops must still advance the pull position
+// (and be trimmed), or Backfill would re-serve it forever, while
+// lastSeq must stay put so the gap is detected on the next delivery.
+func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, lastSeq *int64, out chan<- RecordBlock, onForward func(), faults *streamFaults) error {
 	if drain {
 		live, cancel := seq.Subscribe(1) // wake-up signal only
 		defer cancel()
+		cursor := *lastSeq
 		for {
-			frames, _ := seq.Backfill(*lastSeq)
+			frames, _ := seq.Backfill(cursor)
 			if len(frames) == 0 {
 				select {
 				case <-ctx.Done():
@@ -663,8 +676,11 @@ func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, la
 				}
 			}
 			for _, f := range frames {
-				done, err := forwardFrame(ctx, f, lastSeq, out, onForward)
-				seq.TrimTo(*lastSeq)
+				s, done, err := forwardFrame(ctx, f, lastSeq, out, onForward, faults)
+				if s > cursor {
+					cursor = s
+				}
+				seq.TrimTo(cursor)
 				if err != nil || done {
 					return err
 				}
@@ -675,7 +691,7 @@ func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, la
 	defer cancel()
 	frames, _ := seq.Backfill(0)
 	for _, f := range frames {
-		done, err := forwardFrame(ctx, f, lastSeq, out, onForward)
+		_, done, err := forwardFrame(ctx, f, lastSeq, out, onForward, faults)
 		if err != nil || done {
 			return err
 		}
@@ -688,7 +704,7 @@ func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, la
 			if !ok {
 				return nil
 			}
-			done, err := forwardFrame(ctx, f, lastSeq, out, onForward)
+			_, done, err := forwardFrame(ctx, f, lastSeq, out, onForward, faults)
 			if err != nil || done {
 				return err
 			}
@@ -699,38 +715,58 @@ func consumeSequencer(ctx context.Context, seq *events.Sequencer, drain bool, la
 // forwardFrame decodes one frame and sends its block, skipping
 // duplicates of the backfill; onForward fires after each delivered
 // block. A sequence gap after the first frame means the sequencer
-// dropped frames past this consumer — an error, since a measurement
-// stream that silently thins its corpus corrupts every downstream
-// statistic. done reports end-of-stream (marker seen or ctx canceled).
-func forwardFrame(ctx context.Context, frame []byte, lastSeq *int64, out chan<- RecordBlock, onForward func()) (done bool, err error) {
+// dropped frames past this consumer — a typed *StreamGapError, since a
+// measurement stream that silently thins its corpus corrupts every
+// downstream statistic. seq is the frame's decoded sequence number (-1
+// when unsequenced) even when the frame is skipped or faulted; done
+// reports end-of-stream (marker seen or ctx canceled).
+func forwardFrame(ctx context.Context, frame []byte, lastSeq *int64, out chan<- RecordBlock, onForward func(), faults *streamFaults) (seq int64, done bool, err error) {
 	ev, err := events.Decode(frame)
 	if err != nil {
-		return false, err
+		return -1, false, err
 	}
-	if s := events.Seq(ev); s >= 0 {
+	s := events.Seq(ev)
+	fault, faulted := faults.lookup(s)
+	if faulted {
+		switch fault.Action {
+		case FaultDrop:
+			// Vanishes before the dedup/gap bookkeeping: lastSeq stays
+			// put, so the next delivered frame trips the gap detector.
+			return s, false, nil
+		case FaultStall:
+			time.Sleep(fault.Stall)
+		}
+	}
+	if s >= 0 {
 		if s <= *lastSeq {
-			return false, nil
+			return s, false, nil
 		}
 		if *lastSeq > 0 && s > *lastSeq+1 {
-			return false, fmt.Errorf("core: stream lost %d frames (seq %d → %d): consumer outpaced by sequencer fan-out", s-*lastSeq-1, *lastSeq, s)
+			return s, false, &StreamGapError{Lost: s - *lastSeq - 1, From: *lastSeq, To: s}
 		}
 		*lastSeq = s
 	}
 	block, eof, err := DecodeStreamEvent(ev)
 	if err != nil {
-		return false, err
+		return s, false, err
 	}
 	if eof {
-		return true, nil
+		return s, true, nil
 	}
 	if block == nil {
-		return false, nil
+		return s, false, nil
 	}
 	select {
 	case out <- *block:
 		onForward()
-		return false, nil
 	case <-ctx.Done():
-		return true, nil
+		return s, true, nil
 	}
+	if faulted && fault.Action == FaultDuplicate {
+		// Replay the frame once, unfaulted: the re-decoded copy lands
+		// in the s <= lastSeq dedup branch above, exercising the same
+		// path a reconnecting relay's backfill overlap takes.
+		return forwardFrame(ctx, frame, lastSeq, out, onForward, nil)
+	}
+	return s, false, nil
 }

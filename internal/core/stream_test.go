@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -195,18 +196,27 @@ func TestForwardFrameGapDetection(t *testing.T) {
 	ctx := context.Background()
 	var lastSeq int64
 	// Joining at seq 5 is fine (mid-retention start).
-	if _, err := forwardFrame(ctx, frame(5), &lastSeq, out, func() {}); err != nil {
+	if _, _, err := forwardFrame(ctx, frame(5), &lastSeq, out, func() {}, nil); err != nil {
 		t.Fatalf("initial gap rejected: %v", err)
 	}
 	// 5 → 6 consecutive: fine. 6 → 9: frames 7–8 were dropped.
-	if _, err := forwardFrame(ctx, frame(6), &lastSeq, out, func() {}); err != nil {
+	if _, _, err := forwardFrame(ctx, frame(6), &lastSeq, out, func() {}, nil); err != nil {
 		t.Fatalf("consecutive frame rejected: %v", err)
 	}
-	if _, err := forwardFrame(ctx, frame(9), &lastSeq, out, func() {}); err == nil {
+	_, _, err := forwardFrame(ctx, frame(9), &lastSeq, out, func() {}, nil)
+	if err == nil {
 		t.Fatal("mid-stream gap not detected")
 	}
+	// The failure is typed so scenario assertions can dispatch on it.
+	var gap *StreamGapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("gap error %v is not a *StreamGapError", err)
+	}
+	if gap.Lost != 2 || gap.From != 6 || gap.To != 9 {
+		t.Fatalf("gap = %+v, want Lost 2, From 6, To 9", gap)
+	}
 	// Duplicates (backfill overlap) stay silently skipped.
-	if _, err := forwardFrame(ctx, frame(6), &lastSeq, out, func() {}); err != nil {
+	if _, _, err := forwardFrame(ctx, frame(6), &lastSeq, out, func() {}, nil); err != nil {
 		t.Fatalf("duplicate rejected: %v", err)
 	}
 }

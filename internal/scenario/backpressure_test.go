@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueskies/internal/analysis"
+	"blueskies/internal/core"
+	"blueskies/internal/events"
+	"blueskies/internal/synth"
+)
+
+// TestBackpressureBoundedByConsumerLag extends the DrainSequencers/
+// TrimTo guarantee from PR 2 to a flow-controlled fast replay. The
+// producer replays unpaced — the whole eight-week measurement window
+// in well under a second, orders of magnitude past the ≥8× real-time
+// bar — but refuses to run more than lagWindow frames ahead of the
+// consumer. The run can only finish if TrimTo actually releases
+// retention as the consumer progresses: a tap that buffered a second
+// corpus (SequencerStream semantics) would pin the backlog above the
+// window and starve the producer forever. The backlog high-water is
+// then provably bounded by consumer lag, and the output must still be
+// byte-identical to the batch golden.
+func TestBackpressureBoundedByConsumerLag(t *testing.T) {
+	const (
+		lagWindow = 32
+		blockSize = 128
+	)
+	ds := synth.Generate(synth.Config{Scale: defaultScale, Seed: defaultSeed})
+	golden := analysis.RunAll(ds, 4)
+	fireFrames, labelFrames := synth.ReplayFrames(ds, blockSize)
+	if total := fireFrames + labelFrames; total < 4*lagWindow {
+		t.Fatalf("corpus replays in %d frames; need ≥ %d for the lag window to bind", total, 4*lagWindow)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fire := events.NewSequencer(0, 0)
+	labeler := events.NewSequencer(0, 0)
+	blocks, errs := core.DrainSequencers(ctx, fire, labeler)
+
+	var high, stalls int
+	var timedOut atomic.Bool
+	deadline := time.Now().Add(30 * time.Second)
+	hooks := synth.ReplayHooks{BlockSize: blockSize, OnEmit: func(int, int64) {
+		if n := fire.BacklogLen() + labeler.BacklogLen(); n > high {
+			high = n
+		}
+		waited := false
+		for fire.BacklogLen()+labeler.BacklogLen() > lagWindow {
+			if time.Now().After(deadline) {
+				// The consumer never released the backlog — fail loudly
+				// but let the replay finish so the run can unwind.
+				timedOut.Store(true)
+				return
+			}
+			waited = true
+			time.Sleep(100 * time.Microsecond)
+		}
+		if waited {
+			stalls++
+		}
+	}}
+	replayErr := make(chan error, 1)
+	go func() { replayErr <- synth.ReplayWithHooks(ds, fire, labeler, hooks) }()
+
+	reports, runErr := analysis.NewFullEngine().Workers(4).RunSource(&analysis.StreamSource{Blocks: blocks})
+	if err := <-replayErr; err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if timedOut.Load() {
+		t.Fatalf("producer starved: backlog stayed above %d frames for 30s — the drain tap is not trimming", lagWindow)
+	}
+	// OnEmit samples right after an emit the flow control admitted, so
+	// the bound is the lag window plus the frame just emitted.
+	if high > lagWindow+1 {
+		t.Fatalf("backlog high-water %d frames exceeds the consumer-lag bound %d", high, lagWindow+1)
+	}
+	if stalls == 0 {
+		t.Fatalf("flow control never engaged (high-water %d of %d frames): the corpus is too small to probe backpressure", high, fireFrames+labelFrames)
+	}
+	if final := fire.BacklogLen() + labeler.BacklogLen(); final > 1 {
+		t.Fatalf("sequencers retain %d frames after the drain", final)
+	}
+	if analysis.RenderText(analysis.Canonicalize(reports)) != analysis.RenderText(golden) {
+		t.Fatal("fast replay under backpressure diverges from the batch golden")
+	}
+}

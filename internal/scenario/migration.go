@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blueskies/internal/core"
+)
+
+// MigrationConfig is the one seeded configuration shared by the
+// migration-wave scenario and the examples/migration walkthrough, so
+// the documented single-account migration and the registry's mass
+// wave cannot drift apart.
+type MigrationConfig struct {
+	// Seed seeds both the example's simulated network and the
+	// migration-wave scenario's corpus.
+	Seed int64
+	// PDSCount is how many simulated PDSes the example provisions;
+	// the wave rotates movers across the same count.
+	PDSCount int
+	// MoverHandle is the example's migrating account.
+	MoverHandle string
+	// WaveSize is how many accounts the migration-wave scenario moves.
+	WaveSize int
+	// HandleDomain is the domain migrated handles land under.
+	HandleDomain string
+}
+
+// MigrationSpec returns the shared migration configuration.
+func MigrationSpec() MigrationConfig {
+	return MigrationConfig{
+		Seed:         defaultSeed,
+		PDSCount:     2,
+		MoverHandle:  "mover.bsky.social",
+		WaveSize:     160,
+		HandleDomain: "migrated.example",
+	}
+}
+
+// migrationWave moves WaveSize accounts to new PDSes and appends the
+// handle updates their PLC operations would emit — the mass version of
+// the examples/migration walkthrough. Appended updates come last in
+// index order, so they deterministically win the "final handle" fold
+// in S5 even for users that already updated during generation.
+func migrationWave(ds *core.Dataset, rng *rand.Rand) {
+	spec := MigrationSpec()
+	for w := 0; w < spec.WaveSize; w++ {
+		i := rng.Intn(len(ds.Users))
+		u := &ds.Users[i]
+		u.PDS = fmt.Sprintf("migration-pds-%d", rng.Intn(spec.PDSCount))
+		ds.HandleUpdates = append(ds.HandleUpdates, core.HandleUpdate{
+			DID:       u.DID,
+			NewHandle: fmt.Sprintf("mover%04d.%s", w, spec.HandleDomain),
+			Time:      u.CreatedAt.Add(24 * time.Hour),
+		})
+	}
+}

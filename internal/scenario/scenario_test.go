@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"blueskies/internal/analysis"
+	"blueskies/internal/core"
+)
+
+// TestRegistrySuite pins the registry contract: at least six named
+// scenarios, each with a valid class and an assertion, retrievable by
+// name, with Names() sorted.
+func TestRegistrySuite(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("registry holds %d scenarios, want ≥ 6: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	classes := map[Class]bool{GoldenParity: true, TypedFailure: true, TableShift: true}
+	seen := map[Class]bool{}
+	for _, n := range names {
+		s, ok := Get(n)
+		if !ok || s.Name != n {
+			t.Fatalf("Get(%q) = %v, %v", n, s, ok)
+		}
+		if !classes[s.Class] {
+			t.Fatalf("scenario %s has unknown class %q", n, s.Class)
+		}
+		if s.Assert == nil {
+			t.Fatalf("scenario %s has no assertion", n)
+		}
+		if s.Description == "" {
+			t.Fatalf("scenario %s has no description", n)
+		}
+		seen[s.Class] = true
+	}
+	for c := range classes {
+		if !seen[c] {
+			t.Errorf("no registered scenario exercises class %q", c)
+		}
+	}
+	if len(All()) != len(names) {
+		t.Fatalf("All() returned %d scenarios, want %d", len(All()), len(names))
+	}
+}
+
+// TestScenarioSuite is the table-driven heart of the harness: every
+// registered scenario runs under workers ∈ {1, 4}; its assertion must
+// pass at both counts, and all three report sets (baseline, golden
+// batch, faulted stream) must be byte-identical across worker counts —
+// the same-seed ⇒ byte-identical determinism contract on both the
+// batch and stream paths.
+func TestScenarioSuite(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			var prev *Result
+			var prevWorkers int
+			for _, workers := range []int{1, 4} {
+				r, err := Run(s, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if err := s.Assert(r); err != nil {
+					t.Fatalf("workers=%d: assertion failed: %v", workers, err)
+				}
+				if prev != nil {
+					for _, cmp := range []struct {
+						which     string
+						got, want []*analysis.Report
+					}{
+						{"baseline", r.Baseline, prev.Baseline},
+						{"batch", r.Batch, prev.Batch},
+						{"stream", r.Stream, prev.Stream},
+					} {
+						if g, w := analysis.RenderText(cmp.got), analysis.RenderText(cmp.want); g != w {
+							t.Fatalf("%s reports differ between workers=%d and workers=%d", cmp.which, prevWorkers, workers)
+						}
+					}
+					if (r.StreamErr == nil) != (prev.StreamErr == nil) {
+						t.Fatalf("stream outcome differs between workers=%d (%v) and workers=%d (%v)",
+							prevWorkers, prev.StreamErr, workers, r.StreamErr)
+					}
+				}
+				prev, prevWorkers = r, workers
+			}
+		})
+	}
+}
+
+// TestScenarioRerunDeterminism reruns one transformed + faulted
+// scenario at a fixed worker count and demands byte-identical output —
+// same seed, same bytes, even with the fault schedule active.
+func TestScenarioRerunDeterminism(t *testing.T) {
+	s, ok := Get("spam-flood")
+	if !ok {
+		t.Fatal("spam-flood not registered")
+	}
+	a, err := Run(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.RenderText(a.Batch) != analysis.RenderText(b.Batch) {
+		t.Fatal("batch reports differ across reruns of the same seed")
+	}
+	if analysis.RenderText(a.Stream) != analysis.RenderText(b.Stream) {
+		t.Fatal("stream reports differ across reruns of the same seed")
+	}
+}
+
+// TestTypedGapFailureShape digs into the seq-gap-storm failure: the
+// error must be a *core.StreamGapError whose fields name the actual
+// gap, and no stream tables may be rendered.
+func TestTypedGapFailureShape(t *testing.T) {
+	s, ok := Get("seq-gap-storm")
+	if !ok {
+		t.Fatal("seq-gap-storm not registered")
+	}
+	r, err := Run(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stream != nil {
+		t.Fatal("faulted stream rendered tables despite dropped frames")
+	}
+	var gap *core.StreamGapError
+	if !errors.As(r.StreamErr, &gap) {
+		t.Fatalf("stream error %v is not a *core.StreamGapError", r.StreamErr)
+	}
+	if gap.Lost != gap.To-gap.From-1 {
+		t.Fatalf("inconsistent gap arithmetic: %+v", gap)
+	}
+	if !strings.Contains(gap.Error(), "stream lost") {
+		t.Fatalf("gap error lost its message: %q", gap.Error())
+	}
+}
+
+// TestSpillRoundTrip writes a scenario's transformed corpus to disk
+// and evaluates it out-of-core: the spilled partition store must
+// render byte-identically to the in-memory batch run — the bridge the
+// elastic-scheduler chaos tests and bskysim -scenario -spill rely on.
+func TestSpillRoundTrip(t *testing.T) {
+	s, ok := Get("celebrity-skew")
+	if !ok {
+		t.Fatal("celebrity-skew not registered")
+	}
+	dir := t.TempDir()
+	m, err := s.Spill(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != s.Config.Seed {
+		t.Fatalf("manifest seed = %d, want %d", m.Seed, s.Config.Seed)
+	}
+	c, err := core.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := analysis.RunAllDisk(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.RunAll(s.Dataset(), 2)
+	if analysis.RenderText(got) != analysis.RenderText(want) {
+		t.Fatal("spilled scenario corpus diverges from the in-memory evaluation")
+	}
+}
+
+// TestMigrationSpecShared pins the no-drift satellite: the
+// migration-wave scenario must be seeded from the same MigrationSpec
+// the examples/migration walkthrough reads.
+func TestMigrationSpecShared(t *testing.T) {
+	spec := MigrationSpec()
+	if spec.PDSCount < 2 {
+		t.Fatalf("spec.PDSCount = %d: the walkthrough needs a source and a destination", spec.PDSCount)
+	}
+	if spec.MoverHandle == "" || spec.HandleDomain == "" || spec.WaveSize < 1 {
+		t.Fatalf("degenerate spec %+v", spec)
+	}
+	s, ok := Get("migration-wave")
+	if !ok {
+		t.Fatal("migration-wave not registered")
+	}
+	if s.Config.Seed != spec.Seed {
+		t.Fatalf("migration-wave seed %d drifted from MigrationSpec seed %d", s.Config.Seed, spec.Seed)
+	}
+	ds := s.Dataset()
+	base := s.Config
+	var waved int
+	for _, hu := range ds.HandleUpdates {
+		if strings.HasSuffix(hu.NewHandle, "."+spec.HandleDomain) {
+			waved++
+		}
+	}
+	if waved != spec.WaveSize {
+		t.Fatalf("dataset carries %d wave handle updates, want %d (config %+v)", waved, spec.WaveSize, base)
+	}
+}

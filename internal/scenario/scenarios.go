@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"blueskies/internal/analysis"
+	"blueskies/internal/core"
+	"blueskies/internal/synth"
+)
+
+// The built-in scenario suite. Every scenario here is sized for CI:
+// the default config generates in well under a second and the three
+// evaluations (baseline, golden batch, faulted stream) dominate the
+// runtime. Fault positions are derived from the replay frame counts,
+// never hard-coded, so resizing a config cannot silently move a fault
+// outside the stream.
+
+const (
+	defaultScale = 2000
+	defaultSeed  = 424242
+
+	// spamFloodLabels outnumbers the largest generated community
+	// labeler (≈6.8k applied labels at the label divisor cap), so the
+	// flood labeler must take rank 1 of Table 3.
+	spamFloodLabels = 12000
+
+	// spamLabelerDID / spamLabelerName identify the flood labeler the
+	// spam-flood transform announces.
+	spamLabelerDID  = "did:plc:scenariospamflood0"
+	spamLabelerName = "Spam Sweeper"
+)
+
+func defaultConfig() synth.Config {
+	return synth.Config{Scale: defaultScale, Seed: defaultSeed}
+}
+
+// assertUnchangedGolden is the assertion for fault-only scenarios (no
+// transform): the stream survives byte-identically, and the golden
+// batch run trivially equals the untransformed baseline — pinning that
+// fault schedules never leak into generation.
+func assertUnchangedGolden(r *Result) error {
+	if err := AssertStreamMatchesBatch(r); err != nil {
+		return err
+	}
+	if diff := analysis.DiffReports(r.Batch, r.Baseline); len(diff) > 0 {
+		return fmt.Errorf("scenario %s: fault-only scenario shifted tables %v vs the baseline", r.Scenario.Name, diff)
+	}
+	return nil
+}
+
+func init() {
+	Register(&Scenario{
+		Name:        "labeler-outage",
+		Description: "labeler stream stalls mid-corpus and recovers; the drained backlog absorbs the outage and tables stay byte-identical",
+		Class:       GoldenParity,
+		Config:      defaultConfig(),
+		Partitions:  4,
+		Faults: func(fire, labeler int64) *core.FaultSchedule {
+			// Two outages: one a quarter in, one halfway. The stall
+			// pauses the labeler consumer while the replay keeps
+			// emitting — recovery is the backlog drain that follows.
+			return core.NewFaultSchedule(
+				core.StreamFault{Stream: synth.StreamLabeler, Seq: max64(2, labeler/4), Action: core.FaultStall, Stall: 15 * time.Millisecond},
+				core.StreamFault{Stream: synth.StreamLabeler, Seq: max64(3, labeler/2), Action: core.FaultStall, Stall: 15 * time.Millisecond},
+			)
+		},
+		Assert: assertUnchangedGolden,
+	})
+
+	Register(&Scenario{
+		Name:        "relay-reconnect",
+		Description: "relay reconnects re-serve backfill windows: duplicated firehose frames must dedup to byte-identical tables",
+		Class:       GoldenParity,
+		Config:      defaultConfig(),
+		Partitions:  4,
+		Faults: func(fire, labeler int64) *core.FaultSchedule {
+			// Three reconnects across the stream; each re-delivers its
+			// frame once, exercising the s <= lastSeq dedup branch.
+			return core.NewFaultSchedule(
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(2, fire/4), Action: core.FaultDuplicate},
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(3, fire/2), Action: core.FaultDuplicate},
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(4, 3*fire/4), Action: core.FaultDuplicate},
+				core.StreamFault{Stream: synth.StreamLabeler, Seq: max64(2, labeler/2), Action: core.FaultDuplicate},
+			)
+		},
+		Assert: assertUnchangedGolden,
+	})
+
+	Register(&Scenario{
+		Name:        "seq-gap-storm",
+		Description: "a storm of dropped firehose frames mid-stream: the run must fail loudly with a typed *core.StreamGapError, never render thinned tables",
+		Class:       TypedFailure,
+		Config:      defaultConfig(),
+		Partitions:  4,
+		Faults: func(fire, labeler int64) *core.FaultSchedule {
+			// Interior drops only: seq 1 slips under the gap detector
+			// (no delivered predecessor) and the final marker must
+			// survive so the consumer cannot wait forever.
+			var faults []core.StreamFault
+			for _, s := range []int64{fire / 3, fire/3 + 1, fire / 2, 2 * fire / 3} {
+				faults = append(faults, core.StreamFault{
+					Stream: synth.StreamFirehose, Seq: clamp64(s, 2, fire-1), Action: core.FaultDrop,
+				})
+			}
+			return core.NewFaultSchedule(faults...)
+		},
+		Assert: AssertTypedGapFailure,
+	})
+
+	Register(&Scenario{
+		Name:        "spam-flood",
+		Description: "a bot-hunting community labeler floods spam labels; Table 3's top community labeler shifts as §5 moderation volume predicts",
+		Class:       TableShift,
+		Config:      defaultConfig(),
+		Partitions:  4,
+		Transform:   spamFlood,
+		Assert: func(r *Result) error {
+			if err := AssertStreamMatchesBatch(r); err != nil {
+				return err
+			}
+			if got, want := r.Counts.Labels, r.BaselineCounts.Labels+spamFloodLabels; got != want {
+				return fmt.Errorf("scenario %s: labels = %d, want %d (baseline + flood)", r.Scenario.Name, got, want)
+			}
+			base, got := analysis.ReportByID(r.Baseline, "T3"), analysis.ReportByID(r.Batch, "T3")
+			if base == nil || got == nil {
+				return fmt.Errorf("scenario %s: T3 missing from reports", r.Scenario.Name)
+			}
+			if strings.Contains(base.String(), spamLabelerName) {
+				return fmt.Errorf("scenario %s: baseline T3 already lists %q", r.Scenario.Name, spamLabelerName)
+			}
+			rows := got.Rows
+			if len(rows) == 0 || !strings.Contains(strings.Join(rows[0], " "), spamLabelerName) {
+				return fmt.Errorf("scenario %s: %q did not take Table 3 rank 1:\n%s", r.Scenario.Name, spamLabelerName, got)
+			}
+			return nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "migration-wave",
+		Description: "a mass PDS migration wave (seeded from examples/migration): handle updates surge and §5's identity table shifts accordingly",
+		Class:       TableShift,
+		Config:      synth.Config{Scale: defaultScale, Seed: MigrationSpec().Seed},
+		Partitions:  4,
+		Transform:   migrationWave,
+		Assert: func(r *Result) error {
+			if err := AssertStreamMatchesBatch(r); err != nil {
+				return err
+			}
+			spec := MigrationSpec()
+			if got, want := r.Counts.HandleUpdates, r.BaselineCounts.HandleUpdates+spec.WaveSize; got != want {
+				return fmt.Errorf("scenario %s: handle updates = %d, want %d (baseline + wave)", r.Scenario.Name, got, want)
+			}
+			diff := analysis.DiffReports(r.Batch, r.Baseline)
+			if !contains(diff, "S5") {
+				return fmt.Errorf("scenario %s: S5 identity table did not shift (diff %v)", r.Scenario.Name, diff)
+			}
+			s5 := analysis.ReportByID(r.Batch, "S5")
+			if s5 == nil || !strings.Contains(s5.String(), fmt.Sprint(r.Counts.HandleUpdates)) {
+				return fmt.Errorf("scenario %s: S5 does not report the surged handle-update count %d:\n%s", r.Scenario.Name, r.Counts.HandleUpdates, s5)
+			}
+			return nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "celebrity-skew",
+		Description: "one DID holds half the follow graph; the engine must stay byte-identical across batch and stream despite the pathological skew",
+		Class:       GoldenParity,
+		Config:      defaultConfig(),
+		Partitions:  8,
+		Transform:   celebritySkew,
+		Faults: func(fire, labeler int64) *core.FaultSchedule {
+			return core.NewFaultSchedule(
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(2, fire/2), Action: core.FaultStall, Stall: 10 * time.Millisecond},
+			)
+		},
+		Assert: func(r *Result) error {
+			if err := AssertStreamMatchesBatch(r); err != nil {
+				return err
+			}
+			if r.Counts != r.BaselineCounts {
+				return fmt.Errorf("scenario %s: skew changed record counts: %+v vs %+v", r.Scenario.Name, r.Counts, r.BaselineCounts)
+			}
+			if diff := analysis.DiffReports(r.Batch, r.Baseline); len(diff) == 0 {
+				return fmt.Errorf("scenario %s: skew did not reach any table", r.Scenario.Name)
+			}
+			return nil
+		},
+	})
+
+	Register(&Scenario{
+		Name:        "pds-churn",
+		Description: "a third of accounts churn across PDSes while the stream suffers mixed duplicate+stall storms; tables stay byte-identical",
+		Class:       GoldenParity,
+		Config:      defaultConfig(),
+		Partitions:  4,
+		Transform:   pdsChurn,
+		Faults: func(fire, labeler int64) *core.FaultSchedule {
+			return core.NewFaultSchedule(
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(2, fire/5), Action: core.FaultDuplicate},
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(3, 2*fire/5), Action: core.FaultStall, Stall: 10 * time.Millisecond},
+				core.StreamFault{Stream: synth.StreamFirehose, Seq: max64(4, 4*fire/5), Action: core.FaultDuplicate},
+				core.StreamFault{Stream: synth.StreamLabeler, Seq: max64(2, labeler/3), Action: core.FaultStall, Stall: 10 * time.Millisecond},
+			)
+		},
+		Assert: AssertStreamMatchesBatch,
+	})
+
+	Register(&Scenario{
+		Name:        "fast-replay",
+		Description: "unpaced replay (>>1× real time) over small frames with consumer stalls: the drain tap must trim as it goes, never buffer a second corpus",
+		Class:       GoldenParity,
+		Config:      defaultConfig(),
+		Partitions:  4,
+		BlockSize:   256,
+		Faults: func(fire, labeler int64) *core.FaultSchedule {
+			// Periodic consumer pauses force the producer ahead; the
+			// assertion checks the backlog was released afterwards.
+			var faults []core.StreamFault
+			for i := int64(1); i <= 4; i++ {
+				faults = append(faults, core.StreamFault{
+					Stream: synth.StreamFirehose, Seq: clamp64(i*fire/5, 2, fire-1),
+					Action: core.FaultStall, Stall: 5 * time.Millisecond,
+				})
+			}
+			return core.NewFaultSchedule(faults...)
+		},
+		Assert: func(r *Result) error {
+			if err := assertUnchangedGolden(r); err != nil {
+				return err
+			}
+			if r.FinalBacklog > 2 {
+				return fmt.Errorf("scenario %s: sequencers retain %d frames after the drain (want ≤ 2): the tap buffered instead of trimming", r.Scenario.Name, r.FinalBacklog)
+			}
+			return nil
+		},
+	})
+}
+
+// spamFlood announces a bot-hunting community labeler and floods
+// applied "spam" labels onto random posts — the §5-style moderation
+// shock that must surface as Table 3's new top community labeler.
+func spamFlood(ds *core.Dataset, rng *rand.Rand) {
+	ds.Labelers = append(ds.Labelers, core.Labeler{
+		DID:        spamLabelerDID,
+		Name:       spamLabelerName,
+		Values:     []string{"spam", "!warn"},
+		Announced:  synth.LabelersOpen,
+		Functional: true,
+		Active:     true,
+		Hosting:    "cloud",
+		Automated:  true,
+		Operator:   "scenario harness",
+		About:      "bot-flood stress labeler",
+	})
+	for i := 0; i < spamFloodLabels; i++ {
+		p := &ds.Posts[rng.Intn(len(ds.Posts))]
+		l := core.Label{
+			Src:            spamLabelerDID,
+			URI:            p.URI,
+			Val:            "spam",
+			Kind:           core.SubjectPost,
+			SubjectCreated: p.CreatedAt,
+			FreshSubject:   true,
+		}
+		// Automated sweeps react within seconds to minutes.
+		l.Applied = p.CreatedAt.Add(time.Duration(1+rng.Intn(300)) * time.Second)
+		if l.Applied.Before(synth.LabelersOpen) {
+			l.Applied = synth.LabelersOpen.Add(time.Duration(1+rng.Intn(300)) * time.Second)
+		}
+		ds.Labels = append(ds.Labels, l)
+	}
+}
+
+// celebritySkew hands user 0 as many followers as the rest of the
+// graph combined — one DID holding half the follow mass.
+func celebritySkew(ds *core.Dataset, _ *rand.Rand) {
+	var total int64
+	for i := range ds.Users {
+		total += int64(ds.Users[i].Followers)
+	}
+	ds.Users[0].Followers = int(total)
+}
+
+// pdsChurn rehomes roughly a third of accounts onto rotated PDS
+// labels — migration churn without identity changes.
+func pdsChurn(ds *core.Dataset, rng *rand.Rand) {
+	for i := range ds.Users {
+		if rng.Float64() < 1.0/3 {
+			ds.Users[i].PDS = fmt.Sprintf("churn-pds-%d", rng.Intn(8))
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -10,6 +10,28 @@ import (
 // ReplayBlockSize is the default number of records per replayed frame.
 const ReplayBlockSize = 2048
 
+// Stream indices of the two replay destinations, as seen by consumers
+// that address streams positionally (core.DrainSequencersFaulted,
+// ReplayHooks.OnEmit). When labeler == fire everything multiplexes
+// onto StreamFirehose.
+const (
+	StreamFirehose = 0
+	StreamLabeler  = 1
+)
+
+// ReplayHooks instruments a replay without changing what it emits.
+type ReplayHooks struct {
+	// BlockSize overrides the records-per-frame chunking
+	// (<= 0 means ReplayBlockSize).
+	BlockSize int
+	// OnEmit, when non-nil, fires after every emitted frame with the
+	// destination stream (StreamFirehose/StreamLabeler) and the
+	// sequence number the sequencer assigned. It runs on the replay
+	// goroutine — scenario harnesses use it to sample sequencer
+	// backlogs and pace storms; keep it cheap.
+	OnEmit func(stream int, seq int64)
+}
+
 // Replay plays a generated dataset through event sequencers the way
 // the live network delivers it: the corpus header, the labeler
 // population, and the non-label record collections go to the firehose
@@ -23,11 +45,37 @@ const ReplayBlockSize = 2048
 // reconstructs exactly the state of a one-worker batch traversal —
 // the deterministic-replay contract the stream/batch parity tests pin.
 func Replay(ds *core.Dataset, fire, labeler *events.Sequencer, blockSize int) error {
+	return ReplayWithHooks(ds, fire, labeler, ReplayHooks{BlockSize: blockSize})
+}
+
+// ReplayFrames reports how many frames a Replay of ds emits on each
+// stream (header + per-collection record blocks + end-of-stream
+// marker), so fault schedules can target meaningful sequence numbers
+// without replaying first. With labeler == fire the streams multiplex
+// and the firehose carries fire+labeler frames minus one marker.
+func ReplayFrames(ds *core.Dataset, blockSize int) (fire, labeler int64) {
 	if blockSize <= 0 {
 		blockSize = ReplayBlockSize
 	}
-	emit := func(seq *events.Sequencer, ev any) error {
-		_, err := seq.Emit(func(s int64) any {
+	nb := func(n int) int64 {
+		return int64((n + blockSize - 1) / blockSize)
+	}
+	fire = 1 + // header + labeler announcements
+		nb(len(ds.Users)) + nb(len(ds.Posts)) + nb(len(ds.Daily)) +
+		nb(len(ds.FeedGens)) + nb(len(ds.Domains)) + nb(len(ds.HandleUpdates)) +
+		1 // end-of-stream marker
+	labeler = nb(len(ds.Labels)) + 1
+	return fire, labeler
+}
+
+// ReplayWithHooks is Replay with scenario instrumentation attached.
+func ReplayWithHooks(ds *core.Dataset, fire, labeler *events.Sequencer, h ReplayHooks) error {
+	blockSize := h.BlockSize
+	if blockSize <= 0 {
+		blockSize = ReplayBlockSize
+	}
+	emitTo := func(seq *events.Sequencer, stream int, ev any) error {
+		s, err := seq.Emit(func(s int64) any {
 			switch e := ev.(type) {
 			case *events.Sim:
 				e.Seq = s
@@ -36,7 +84,17 @@ func Replay(ds *core.Dataset, fire, labeler *events.Sequencer, blockSize int) er
 			}
 			return ev
 		})
+		if err == nil && h.OnEmit != nil {
+			h.OnEmit(stream, s)
+		}
 		return err
+	}
+	emit := func(seq *events.Sequencer, ev any) error {
+		stream := StreamFirehose
+		if seq == labeler && labeler != fire {
+			stream = StreamLabeler
+		}
+		return emitTo(seq, stream, ev)
 	}
 	emitBlock := func(b *core.RecordBlock) error {
 		ev, err := core.BlockEvent(b)

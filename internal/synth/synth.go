@@ -97,6 +97,26 @@ func stageRNG(seed int64, stage uint64) *rand.Rand {
 	return rand.New(rand.NewSource(int64(uint64(seed) ^ stage*0x9E3779B97F4A7C15)))
 }
 
+// ScenarioRNG derives the deterministic RNG stream a named scenario
+// transform (internal/scenario) draws from. The stage id is the
+// FNV-1a hash of the name offset far above every generation stage id,
+// so scenario randomness is disjoint both from generation and from
+// other scenarios — mutating a corpus never re-rolls the base
+// population.
+func ScenarioRNG(seed int64, name string) *rand.Rand {
+	const (
+		fnvOffset64    = 0xcbf29ce484222325
+		fnvPrime64     = 0x100000001b3
+		stageScenario0 = uint64(1) << 32
+	)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	return stageRNG(seed, stageScenario0+h)
+}
+
 // SeededClock returns a deterministic record clock for seeding
 // simulated deployments (bskysim's network mode): readings start at a
 // seed-derived offset inside the paper's collection window and
