@@ -86,6 +86,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per measure (best time wins)")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	scenarios := flag.String("scenario", "", "comma-separated stress scenarios to measure instead of the disk/wire suite ('all' = every registered scenario)")
+	baseline := flag.String("baseline", "", "prior trajectory FILE to gate against: exit nonzero if any shared decode/ingest throughput regresses >20%")
 	flag.Parse()
 
 	var results []Result
@@ -149,6 +150,58 @@ func main() {
 		fmt.Println(line)
 	}
 	log.Printf("wrote %s", path)
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, results); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// checkBaseline gates the run against a prior trajectory file: every
+// decode/ingest throughput present in both runs must be at least 80%
+// of the baseline's. The trajectory point is already written when the
+// gate fires, so CI still uploads the regressed measurement. Measures
+// only one side has (new formats, renamed points) are skipped — the
+// gate compares history, it does not pin the suite's shape.
+func checkBaseline(path string, results []Result) error {
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Trajectory
+	if err := json.Unmarshal(enc, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	prior := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		prior[r.Name] = r
+	}
+	const floor = 0.8
+	var regressed []string
+	check := func(name, metric string, cur, was float64) {
+		if cur <= 0 || was <= 0 {
+			return
+		}
+		verdict := "ok"
+		if cur < was*floor {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s %s %.0f -> %.0f (%.0f%%)", name, metric, was, cur, 100*cur/was))
+		}
+		log.Printf("baseline %-14s %-13s %12.0f -> %12.0f  %s", name, metric, was, cur, verdict)
+	}
+	for _, r := range results {
+		p, ok := prior[r.Name]
+		if !ok {
+			continue
+		}
+		check(r.Name, "mb_per_s", r.MBPerS, p.MBPerS)
+		check(r.Name, "records_per_s", r.RecordsPerS, p.RecordsPerS)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("throughput regressed >%.0f%% vs %s:\n  %s",
+			100*(1-floor), path, strings.Join(regressed, "\n  "))
+	}
+	return nil
 }
 
 // defaultMeasures runs the disk and wire suite — decode, ingest,
@@ -167,7 +220,7 @@ func defaultMeasures(scaleN int, seedN int64, repsN int) []Result {
 	defer os.RemoveAll(tmp)
 
 	var results []Result
-	for _, version := range []int{1, core.DiskFormatVersion} {
+	for version := 1; version <= core.DiskFormatVersion; version++ {
 		dir := filepath.Join(tmp, fmt.Sprintf("v%d", version))
 		if err := core.WriteCorpusVersion(dir, parts, m, version); err != nil {
 			log.Fatal(err)
@@ -196,11 +249,16 @@ func defaultMeasures(scaleN int, seedN int64, repsN int) []Result {
 			PeakHeapMB:  peak,
 		})
 
-		// The partition file is the shipped form (sched.ReadPartitionBlocks
-		// sends it verbatim), so its size is the per-partition wire cost.
+		// The shipped form is the partition file after the scheduler's
+		// ship-time compression pass — a no-op below v3, per-frame LZ
+		// above — so its size is the per-partition wire cost.
+		shipped, err := core.CompressPartitionBlocks(data)
+		if err != nil {
+			log.Fatal(err)
+		}
 		results = append(results, Result{
 			Name:  fmt.Sprintf("ship-bytes/v%d", version),
-			Bytes: len(data),
+			Bytes: len(shipped),
 		})
 	}
 

@@ -89,7 +89,7 @@ func (src *ReaderSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*Wo
 		clip = core.NewRowClipper(*src.Clip)
 	}
 	for {
-		b, err := pr.Next()
+		b, db, err := pr.NextDict()
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -98,9 +98,13 @@ func (src *ReaderSource) Run(accs []Accumulator, workers int, _ RenderFunc) (*Wo
 			return nil, nil, nil, fmt.Errorf("analysis: %s: %w", src.Name, err)
 		}
 		if clip != nil {
+			// The dictionary id columns are parallel to the *unclipped*
+			// label rows; after clipping they no longer line up, so the
+			// sub-range falls back to the per-record intern path.
 			b = clip.Clip(b)
+			db = nil
 		}
-		si.apply(*b)
+		si.applyColumnar(*b, db)
 	}
 	si.finish()
 	if src.Records != nil {

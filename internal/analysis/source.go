@@ -313,3 +313,62 @@ func buildLabelMeta(labelers []core.Labeler, ls []core.Label, meta []LabelMeta, 
 	}
 	return meta
 }
+
+// buildLabelMetaFused is buildLabelMeta for blocks decoded with a
+// dictionary view: the label Src/Val/Kind columns arrive as ids into
+// db.Dict, so each distinct string is hashed into the intern tables
+// once per block (at its first referencing row) instead of once per
+// record. Because intern ids are assigned in first-occurrence order
+// and interning is idempotent, the resulting tables and metadata are
+// byte-identical to the per-record path. URIs are not
+// dictionary-interned (they are nearly all distinct) and stay
+// per-record.
+//
+// db's id columns must be parallel to ls — the caller checks.
+func buildLabelMetaFused(labelers []core.Labeler, ls []core.Label, db *core.DictBlock, meta []LabelMeta, t *LabelTables, didIdx map[string]int32) []LabelMeta {
+	// Per-dict-id memos, filled lazily so table growth happens in
+	// exactly the order the per-record path would produce. valIDs uses
+	// -1 as "unseen" (interned val ids are ≥ 0); src ids can be
+	// negative (extra-src space), so srcSeen carries that bit.
+	valIDs := make([]int32, len(db.Dict))
+	for i := range valIDs {
+		valIDs[i] = -1
+	}
+	srcSeen := make([]bool, len(db.Dict))
+	srcIdx := make([]int32, len(db.Dict))
+	official := make([]bool, len(db.Dict))
+	kindPost := make([]bool, len(db.Dict))
+	for i, s := range db.Dict {
+		kindPost[i] = s == string(core.SubjectPost)
+	}
+	for i := range ls {
+		l := &ls[i]
+		m := LabelMeta{
+			URIID:    t.internURI(l.URI),
+			MonthIdx: int32(l.Applied.Year())*12 + int32(l.Applied.Month()) - 1,
+		}
+		v := db.LabelVal[i]
+		if valIDs[v] < 0 {
+			valIDs[v] = t.internVal(db.Dict[v])
+		}
+		m.ValID = valIDs[v]
+		s := db.LabelSrc[i]
+		if !srcSeen[s] {
+			srcSeen[s] = true
+			if idx, ok := didIdx[db.Dict[s]]; ok {
+				srcIdx[s] = idx
+				official[s] = labelers[idx].Official
+			} else {
+				srcIdx[s] = t.internExtraSrc(db.Dict[s])
+			}
+		}
+		m.LabelerIdx = srcIdx[s]
+		m.Official = official[s]
+		if !l.Neg && l.FreshSubject && kindPost[db.LabelKind[i]] {
+			m.FreshPost = true
+			m.RTSec = l.ReactionTime().Seconds()
+		}
+		meta = append(meta, m)
+	}
+	return meta
+}

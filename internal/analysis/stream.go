@@ -163,7 +163,16 @@ func (si *streamIngest) flush() {
 }
 
 // apply ingests one record block and returns its record count.
-func (si *streamIngest) apply(b core.RecordBlock) int {
+func (si *streamIngest) apply(b core.RecordBlock) int { return si.applyColumnar(b, nil) }
+
+// applyColumnar ingests one record block together with its decoded
+// dictionary view, when the block codec produced one. The view lets
+// label metadata fold into the intern tables one hash per *distinct*
+// string per block (buildLabelMetaFused) instead of one per record —
+// the zero-rehash ingest path. A nil or non-parallel view falls back
+// to the per-record path; the resulting tables and metadata are
+// byte-identical either way.
+func (si *streamIngest) applyColumnar(b core.RecordBlock, db *core.DictBlock) int {
 	world, need := si.world, si.need
 	// Corpus facts first: shard allocation and label enrichment both
 	// read the world, and labeler announcements must precede the
@@ -228,7 +237,11 @@ func (si *streamIngest) apply(b core.RecordBlock) int {
 			// read-only. Unlike the batch path the Meta buffer is
 			// per-block, since groups consume asynchronously.
 			chunk := &LabelChunk{Labels: ls, Base: base}
-			chunk.Meta = buildLabelMeta(world.Labelers, ls, nil, si.tables, si.didIdx)
+			if db != nil && len(db.LabelSrc) == len(ls) {
+				chunk.Meta = buildLabelMetaFused(world.Labelers, ls, db, nil, si.tables, si.didIdx)
+			} else {
+				chunk.Meta = buildLabelMeta(world.Labelers, ls, nil, si.tables, si.didIdx)
+			}
 			chunk.NumURIs = len(si.tables.URIs)
 			chunk.NumVals = len(si.tables.Vals)
 			si.dispatch(ColLabels, func(s Shard) { s.Labels(chunk) })

@@ -285,20 +285,25 @@ func (e *colEnc) days(ds []DayActivity) {
 		e.sv(int64(ds[i].Blocks))
 	}
 	for i := range ds {
-		m := ds[i].ActiveByLang
-		e.uv(uint64(len(m)))
-		if len(m) == 0 {
-			continue
-		}
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			e.dictStr(k)
-			e.sv(int64(m[k]))
-		}
+		e.langMap(ds[i].ActiveByLang)
+	}
+}
+
+// langMap writes an ActiveByLang map column entry: count, then
+// key-sorted (dict id, svarint) pairs — shared by the v2 and v3 layouts.
+func (e *colEnc) langMap(m map[string]int) {
+	e.uv(uint64(len(m)))
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.dictStr(k)
+		e.sv(int64(m[k]))
 	}
 }
 
@@ -425,6 +430,7 @@ type colDec struct {
 	data []byte
 	pos  int
 	dict []string
+	db   *DictBlock // optional dictionary-view capture (NextDict path)
 	err  error
 }
 
@@ -508,6 +514,37 @@ func (d *colDec) dictStr() string {
 	return d.dict[id]
 }
 
+// dictIDs reads an n-row dictionary-id column, range-checking every id.
+// Keeping the raw ids around (not just the resolved strings) is what
+// lets NextDict hand analysis a DictBlock view for intern-table fusion.
+func (d *colDec) dictIDs(n int) []uint32 {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		id := d.uv()
+		if d.err != nil {
+			return nil
+		}
+		if id >= uint64(len(d.dict)) {
+			d.fail("dictionary id %d out of range (%d entries)", id, len(d.dict))
+			return nil
+		}
+		ids[i] = uint32(id)
+	}
+	return ids
+}
+
+// dictAt resolves ids[i] against the dictionary; safe after a decode
+// failure (dictIDs returns nil then).
+func (d *colDec) dictAt(ids []uint32, i int) string {
+	if ids == nil {
+		return ""
+	}
+	return d.dict[ids[i]]
+}
+
 func (d *colDec) f64() float64 {
 	b := d.take(8)
 	if d.err != nil {
@@ -532,9 +569,10 @@ func (d *colDec) bits(n int) bitset {
 }
 
 // decodeColumnarBlock decodes a v2 columnar payload (tag byte already
-// stripped) into a RecordBlock.
-func decodeColumnarBlock(data []byte) (*RecordBlock, error) {
-	d := &colDec{data: data}
+// stripped) into a RecordBlock. When db is non-nil the dictionary view
+// is captured into it for intern-table fusion.
+func decodeColumnarBlock(data []byte, db *DictBlock) (*RecordBlock, error) {
+	d := &colDec{data: data, db: db}
 	if n := d.count(minDictEntry); n > 0 {
 		d.dict = make([]string, n)
 		for i := range d.dict {
@@ -555,9 +593,16 @@ func decodeColumnarBlock(data []byte) (*RecordBlock, error) {
 		return nil, d.err
 	}
 	if d.pos != len(d.data) {
-		return nil, fmt.Errorf("core: columnar block: %d trailing bytes", len(d.data)-d.pos)
+		return nil, errTrailing(len(d.data) - d.pos)
+	}
+	if db != nil {
+		db.Dict = d.dict
 	}
 	return b, nil
+}
+
+func errTrailing(n int) error {
+	return fmt.Errorf("core: columnar block: %d trailing bytes", n)
 }
 
 func (d *colDec) header() *StreamHeader {
@@ -760,21 +805,30 @@ func (d *colDec) daysCol() []DayActivity {
 		ds[i].Blocks = int(d.sv())
 	}
 	for i := range ds {
-		cnt := d.count(minMapEntry)
-		if cnt == 0 {
-			continue
-		}
-		m := make(map[string]int, cnt)
-		for j := 0; j < cnt; j++ {
-			k := d.dictStr()
-			m[k] = int(d.sv())
-		}
+		ds[i].ActiveByLang = d.langMap()
 		if d.err != nil {
 			return nil
 		}
-		ds[i].ActiveByLang = m
 	}
 	return ds
+}
+
+// langMap reads back one ActiveByLang map column entry — shared by the
+// v2 and v3 layouts.
+func (d *colDec) langMap() map[string]int {
+	cnt := d.count(minMapEntry)
+	if cnt == 0 {
+		return nil
+	}
+	m := make(map[string]int, cnt)
+	for j := 0; j < cnt; j++ {
+		k := d.dictStr()
+		m[k] = int(d.sv())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return m
 }
 
 func (d *colDec) labelsCol() []Label {
@@ -783,21 +837,24 @@ func (d *colDec) labelsCol() []Label {
 		return nil
 	}
 	ls := make([]Label, n)
+	src := d.dictIDs(n)
 	for i := range ls {
-		ls[i].Src = d.dictStr()
+		ls[i].Src = d.dictAt(src, i)
 	}
 	for i := range ls {
 		ls[i].URI = d.str()
 	}
+	val := d.dictIDs(n)
 	for i := range ls {
-		ls[i].Val = d.dictStr()
+		ls[i].Val = d.dictAt(val, i)
 	}
 	bs := d.bits(n)
 	for i := range ls {
 		ls[i].Neg = bs.get(i)
 	}
+	kind := d.dictIDs(n)
 	for i := range ls {
-		ls[i].Kind = SubjectKind(d.dictStr())
+		ls[i].Kind = SubjectKind(d.dictAt(kind, i))
 	}
 	var prev int64
 	for i := range ls {
@@ -812,6 +869,11 @@ func (d *colDec) labelsCol() []Label {
 	bs = d.bits(n)
 	for i := range ls {
 		ls[i].FreshSubject = bs.get(i)
+	}
+	if d.db != nil && d.err == nil {
+		d.db.LabelSrc = src
+		d.db.LabelVal = val
+		d.db.LabelKind = kind
 	}
 	return ls
 }

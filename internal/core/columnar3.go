@@ -1,0 +1,798 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// This file implements the v3 columnar block encoding (DESIGN.md §11).
+// It keeps v2's column order and dictionary discipline exactly, and
+// changes three things, all aimed at the decode→accumulator hot path:
+//
+//   - string columns (DIDs, URIs, handles, …) are block-coded: one
+//     uvarint total, the per-row lengths, then all bytes concatenated.
+//     The decoder performs ONE string conversion per column and slices
+//     row values out of it — v2 pays one allocation per row, and that
+//     allocation is the single largest decode cost;
+//   - timestamp and index columns (CreatedAt, Applied, AuthorIdx,
+//     CreatorIdx, …) are fixed-width: 8-byte little-endian deltas
+//     against the previous row, bulk-loaded with encoding/binary
+//     instead of per-row varint branching. The deltas are small and
+//     byte-aligned, which also makes them highly compressible;
+//   - the dictionary itself uses the same one-conversion layout.
+//
+// The payload layout behind the blockCodecColumnar3 tag:
+//
+//	uvarint dictionary entry count
+//	uvarint dictionary total bytes, per-entry uvarint lengths, bytes
+//	byte    header presence (0 or 1), then the header scalars
+//	per collection: uvarint row count, then whole columns in
+//	    struct-field order (same order as v2)
+//
+// A v3 frame may additionally carry the blockCodecLZ bit (see lz.go
+// and diskstore.go): tag|0x40, uvarint raw length, LZ stream. The bit
+// is part of format v3 — v2 stores never contain it, so format
+// negotiation in sched covers compression for free.
+//
+// Decode can also surface the block's dictionary view (DictBlock) so
+// analysis can fold the dictionary into its intern tables once per
+// block instead of re-hashing every row — see PartitionReader.NextDict
+// and streamIngest.applyColumnar.
+
+// DictBlock is the dictionary view of a decoded columnar block: the
+// first-use-ordered string dictionary plus, for the collections that
+// feed the engine's intern tables, the raw per-row dictionary ids.
+// Ids index Dict and are only meaningful alongside the RecordBlock
+// decoded from the same frame (columns are parallel to its slices).
+// v1 frames have no dictionary; their view is nil.
+//
+//wire:v2 fields=4
+type DictBlock struct {
+	Dict []string
+
+	// Per-label dictionary ids, parallel to RecordBlock.Labels.
+	LabelSrc  []uint32
+	LabelVal  []uint32
+	LabelKind []uint32
+}
+
+// colEnc3 layers the v3 fixed-width and block-string column writers on
+// the shared v2 encoder state.
+type colEnc3 struct {
+	colEnc
+}
+
+// strs writes a block-coded string column: total, lengths, bytes.
+func (e *colEnc3) strs(n int, at func(int) string) {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(at(i))
+	}
+	e.uv(uint64(total))
+	for i := 0; i < n; i++ {
+		e.uv(uint64(len(at(i))))
+	}
+	for i := 0; i < n; i++ {
+		e.body = append(e.body, at(i)...)
+	}
+}
+
+// fixed writes an int64 column as 8-byte little-endian deltas.
+func (e *colEnc3) fixed(n int, at func(int) int64) {
+	var prev int64
+	for i := 0; i < n; i++ {
+		v := at(i)
+		e.body = binary.LittleEndian.AppendUint64(e.body, uint64(v-prev))
+		prev = v
+	}
+}
+
+func (e *colEnc3) ftimes(n int, at func(int) time.Time) {
+	e.fixed(n, func(i int) int64 { return nsOf(at(i)) })
+}
+
+// encodeColumnarBlockV3 encodes b as a tagged v3 columnar payload.
+func encodeColumnarBlockV3(b *RecordBlock) []byte {
+	e := &colEnc3{colEnc{ids: make(map[string]uint64, 64)}}
+	e.header(b.Header)
+	e.labelers3(b.Labelers)
+	e.users3(b.Users)
+	e.posts3(b.Posts)
+	e.days3(b.Days)
+	e.labels3(b.Labels)
+	e.feedGens3(b.FeedGens)
+	e.domains3(b.Domains)
+	e.handleUpdates3(b.HandleUpdates)
+
+	dictBytes := 0
+	for _, s := range e.dict {
+		dictBytes += binary.MaxVarintLen64 + len(s)
+	}
+	out := make([]byte, 0, 1+2*binary.MaxVarintLen64+dictBytes+len(e.body))
+	out = append(out, blockCodecColumnar3)
+	out = binary.AppendUvarint(out, uint64(len(e.dict)))
+	if len(e.dict) > 0 {
+		total := 0
+		for _, s := range e.dict {
+			total += len(s)
+		}
+		out = binary.AppendUvarint(out, uint64(total))
+		for _, s := range e.dict {
+			out = binary.AppendUvarint(out, uint64(len(s)))
+		}
+		for _, s := range e.dict {
+			out = append(out, s...)
+		}
+	}
+	return append(out, e.body...)
+}
+
+func (e *colEnc3) labelers3(ls []Labeler) {
+	e.uv(uint64(len(ls)))
+	if len(ls) == 0 {
+		return
+	}
+	n := len(ls)
+	e.strs(n, func(i int) string { return ls[i].DID })
+	e.strs(n, func(i int) string { return ls[i].Name })
+	e.bits(n, func(i int) bool { return ls[i].Official })
+	for i := range ls {
+		e.uv(uint64(len(ls[i].Values)))
+		for _, v := range ls[i].Values {
+			e.dictStr(v)
+		}
+	}
+	e.ftimes(n, func(i int) time.Time { return ls[i].Announced })
+	e.bits(n, func(i int) bool { return ls[i].Functional })
+	e.bits(n, func(i int) bool { return ls[i].Active })
+	for i := range ls {
+		e.dictStr(ls[i].Hosting)
+	}
+	e.bits(n, func(i int) bool { return ls[i].Automated })
+	for i := range ls {
+		e.sv(int64(ls[i].Likes))
+	}
+	e.strs(n, func(i int) string { return ls[i].Operator })
+	e.strs(n, func(i int) string { return ls[i].About })
+}
+
+func (e *colEnc3) users3(us []User) {
+	e.uv(uint64(len(us)))
+	if len(us) == 0 {
+		return
+	}
+	n := len(us)
+	e.strs(n, func(i int) string { return us[i].DID })
+	e.strs(n, func(i int) string { return us[i].Handle })
+	for i := range us {
+		e.dictStr(us[i].DIDMethod)
+	}
+	for i := range us {
+		e.dictStr(us[i].PDS)
+	}
+	for i := range us {
+		e.dictStr(string(us[i].Proof))
+	}
+	e.ftimes(n, func(i int) time.Time { return us[i].CreatedAt })
+	for i := range us {
+		e.dictStr(us[i].Lang)
+	}
+	for i := range us {
+		e.sv(int64(us[i].Followers))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Following))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Posts))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Likes))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Reposts))
+	}
+	for i := range us {
+		e.sv(int64(us[i].Blocks))
+	}
+	e.bits(n, func(i int) bool { return us[i].Deleted })
+}
+
+func (e *colEnc3) posts3(ps []Post) {
+	e.uv(uint64(len(ps)))
+	if len(ps) == 0 {
+		return
+	}
+	n := len(ps)
+	e.strs(n, func(i int) string { return ps[i].URI })
+	e.fixed(n, func(i int) int64 { return int64(ps[i].AuthorIdx) })
+	for i := range ps {
+		e.dictStr(ps[i].Lang)
+	}
+	e.ftimes(n, func(i int) time.Time { return ps[i].CreatedAt })
+	for i := range ps {
+		e.sv(int64(ps[i].Likes))
+	}
+	for i := range ps {
+		e.sv(int64(ps[i].Reposts))
+	}
+	e.bits(n, func(i int) bool { return ps[i].HasMedia })
+	e.bits(n, func(i int) bool { return ps[i].AltText })
+}
+
+func (e *colEnc3) days3(ds []DayActivity) {
+	e.uv(uint64(len(ds)))
+	if len(ds) == 0 {
+		return
+	}
+	n := len(ds)
+	e.ftimes(n, func(i int) time.Time { return ds[i].Date })
+	for i := range ds {
+		e.sv(int64(ds[i].ActiveUsers))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Posts))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Likes))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Reposts))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Follows))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Blocks))
+	}
+	for i := range ds {
+		e.langMap(ds[i].ActiveByLang)
+	}
+}
+
+func (e *colEnc3) labels3(ls []Label) {
+	e.uv(uint64(len(ls)))
+	if len(ls) == 0 {
+		return
+	}
+	n := len(ls)
+	for i := range ls {
+		e.dictStr(ls[i].Src)
+	}
+	e.strs(n, func(i int) string { return ls[i].URI })
+	for i := range ls {
+		e.dictStr(ls[i].Val)
+	}
+	e.bits(n, func(i int) bool { return ls[i].Neg })
+	for i := range ls {
+		e.dictStr(string(ls[i].Kind))
+	}
+	e.ftimes(n, func(i int) time.Time { return ls[i].Applied })
+	e.ftimes(n, func(i int) time.Time { return ls[i].SubjectCreated })
+	e.bits(n, func(i int) bool { return ls[i].FreshSubject })
+}
+
+func (e *colEnc3) feedGens3(fs []FeedGen) {
+	e.uv(uint64(len(fs)))
+	if len(fs) == 0 {
+		return
+	}
+	n := len(fs)
+	e.strs(n, func(i int) string { return fs[i].URI })
+	e.fixed(n, func(i int) int64 { return int64(fs[i].CreatorIdx) })
+	for i := range fs {
+		e.dictStr(fs[i].Platform)
+	}
+	e.strs(n, func(i int) string { return fs[i].DisplayName })
+	e.strs(n, func(i int) string { return fs[i].Description })
+	for i := range fs {
+		e.dictStr(fs[i].Lang)
+	}
+	e.ftimes(n, func(i int) time.Time { return fs[i].CreatedAt })
+	for i := range fs {
+		e.sv(int64(fs[i].Likes))
+	}
+	for i := range fs {
+		e.sv(int64(fs[i].Posts))
+	}
+	e.ftimes(n, func(i int) time.Time { return fs[i].LastPost })
+	e.bits(n, func(i int) bool { return fs[i].Reachable })
+	e.bits(n, func(i int) bool { return fs[i].Personalized })
+	for i := range fs {
+		e.f64(fs[i].LabeledShare)
+	}
+	for i := range fs {
+		e.dictStr(fs[i].TopLabel)
+	}
+}
+
+func (e *colEnc3) domains3(ds []Domain) {
+	e.uv(uint64(len(ds)))
+	if len(ds) == 0 {
+		return
+	}
+	n := len(ds)
+	e.strs(n, func(i int) string { return ds[i].Name })
+	for i := range ds {
+		e.sv(int64(ds[i].IANAID))
+	}
+	for i := range ds {
+		e.dictStr(ds[i].RegistrarName)
+	}
+	e.bits(n, func(i int) bool { return ds[i].CCTLD })
+	for i := range ds {
+		e.sv(int64(ds[i].TrancoRank))
+	}
+	for i := range ds {
+		e.sv(int64(ds[i].Subdomains))
+	}
+}
+
+func (e *colEnc3) handleUpdates3(hs []HandleUpdate) {
+	e.uv(uint64(len(hs)))
+	if len(hs) == 0 {
+		return
+	}
+	n := len(hs)
+	e.strs(n, func(i int) string { return hs[i].DID })
+	e.strs(n, func(i int) string { return hs[i].NewHandle })
+	e.ftimes(n, func(i int) time.Time { return hs[i].Time })
+}
+
+// colDec3 decodes a v3 payload. It reuses the sticky-error v2 decoder
+// state and adds the block-string and fixed-width readers.
+type colDec3 struct {
+	colDec
+	lens []uint32 // scratch for strs, reused across columns
+}
+
+// strs decodes a block-coded string column with one string conversion;
+// row values are substrings of that single backing allocation.
+func (d *colDec3) strs(n int) []string {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	total := d.uv()
+	if d.err != nil {
+		return nil
+	}
+	if total > uint64(d.remaining()) {
+		d.fail("string column of %d bytes exceeds the %d remaining", total, d.remaining())
+		return nil
+	}
+	if cap(d.lens) < n {
+		d.lens = make([]uint32, n)
+	}
+	lens := d.lens[:n]
+	var sum uint64
+	for i := range lens {
+		l := d.uv()
+		if d.err != nil {
+			return nil
+		}
+		if l > total-sum {
+			d.fail("string column lengths exceed declared %d bytes", total)
+			return nil
+		}
+		lens[i] = uint32(l)
+		sum += l
+	}
+	if sum != total {
+		d.fail("string column lengths sum to %d, declared %d", sum, total)
+		return nil
+	}
+	raw := string(d.take(int(total)))
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	off := 0
+	for i := range out {
+		end := off + int(lens[i])
+		out[i] = raw[off:end]
+		off = end
+	}
+	return out
+}
+
+// fixed returns the raw bytes of an n-row fixed-width delta column;
+// nil after a decode failure. Callers prefix-sum inline.
+func (d *colDec3) fixed(n int) []byte {
+	if n > (maxBlockBytes-8)/8 {
+		d.fail("fixed column of %d rows out of range", n)
+		return nil
+	}
+	return d.take(8 * n)
+}
+
+// decodeColumnarBlockV3 decodes a v3 columnar payload (tag byte already
+// stripped). When db is non-nil the dictionary view is captured into it.
+func decodeColumnarBlockV3(data []byte, db *DictBlock) (*RecordBlock, error) {
+	d := &colDec3{colDec: colDec{data: data, db: db}}
+	if n := d.count(minDictEntry); n > 0 {
+		d.dict = d.strs(n)
+	}
+	b := &RecordBlock{}
+	b.Header = d.header()
+	b.Labelers = d.labelersCol3()
+	b.Users = d.usersCol3()
+	b.Posts = d.postsCol3()
+	b.Days = d.daysCol3()
+	b.Labels = d.labelsCol3()
+	b.FeedGens = d.feedGensCol3()
+	b.Domains = d.domainsCol3()
+	b.HandleUpdates = d.handleUpdatesCol3()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, errTrailing(len(d.data) - d.pos)
+	}
+	if db != nil {
+		db.Dict = d.dict
+	}
+	return b, nil
+}
+
+func (d *colDec3) labelersCol3() []Labeler {
+	n := d.count(minRowLabeler)
+	if n == 0 {
+		return nil
+	}
+	ls := make([]Labeler, n)
+	for i, s := range d.strs(n) {
+		ls[i].DID = s
+	}
+	for i, s := range d.strs(n) {
+		ls[i].Name = s
+	}
+	bs := d.bits(n)
+	for i := range ls {
+		ls[i].Official = bs.get(i)
+	}
+	for i := range ls {
+		if vn := d.count(1); vn > 0 {
+			ls[i].Values = make([]string, vn)
+			for j := range ls[i].Values {
+				ls[i].Values[j] = d.dictStr()
+			}
+		}
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range ls {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			ls[i].Announced = timeOf(prev)
+		}
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].Functional = bs.get(i)
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].Active = bs.get(i)
+	}
+	for i := range ls {
+		ls[i].Hosting = d.dictStr()
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].Automated = bs.get(i)
+	}
+	for i := range ls {
+		ls[i].Likes = int(d.sv())
+	}
+	for i, s := range d.strs(n) {
+		ls[i].Operator = s
+	}
+	for i, s := range d.strs(n) {
+		ls[i].About = s
+	}
+	return ls
+}
+
+func (d *colDec3) usersCol3() []User {
+	n := d.count(minRowUser)
+	if n == 0 {
+		return nil
+	}
+	us := make([]User, n)
+	for i, s := range d.strs(n) {
+		us[i].DID = s
+	}
+	for i, s := range d.strs(n) {
+		us[i].Handle = s
+	}
+	for i := range us {
+		us[i].DIDMethod = d.dictStr()
+	}
+	for i := range us {
+		us[i].PDS = d.dictStr()
+	}
+	for i := range us {
+		us[i].Proof = ProofMethod(d.dictStr())
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range us {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			us[i].CreatedAt = timeOf(prev)
+		}
+	}
+	for i := range us {
+		us[i].Lang = d.dictStr()
+	}
+	for i := range us {
+		us[i].Followers = int(d.sv())
+	}
+	for i := range us {
+		us[i].Following = int(d.sv())
+	}
+	for i := range us {
+		us[i].Posts = int(d.sv())
+	}
+	for i := range us {
+		us[i].Likes = int(d.sv())
+	}
+	for i := range us {
+		us[i].Reposts = int(d.sv())
+	}
+	for i := range us {
+		us[i].Blocks = int(d.sv())
+	}
+	bs := d.bits(n)
+	for i := range us {
+		us[i].Deleted = bs.get(i)
+	}
+	return us
+}
+
+func (d *colDec3) postsCol3() []Post {
+	n := d.count(minRowPost)
+	if n == 0 {
+		return nil
+	}
+	ps := make([]Post, n)
+	for i, s := range d.strs(n) {
+		ps[i].URI = s
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range ps {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			ps[i].AuthorIdx = int(prev)
+		}
+	}
+	for i := range ps {
+		ps[i].Lang = d.dictStr()
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range ps {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			ps[i].CreatedAt = timeOf(prev)
+		}
+	}
+	for i := range ps {
+		ps[i].Likes = int(d.sv())
+	}
+	for i := range ps {
+		ps[i].Reposts = int(d.sv())
+	}
+	bs := d.bits(n)
+	for i := range ps {
+		ps[i].HasMedia = bs.get(i)
+	}
+	bs = d.bits(n)
+	for i := range ps {
+		ps[i].AltText = bs.get(i)
+	}
+	return ps
+}
+
+func (d *colDec3) daysCol3() []DayActivity {
+	n := d.count(minRowDay)
+	if n == 0 {
+		return nil
+	}
+	ds := make([]DayActivity, n)
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range ds {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			ds[i].Date = timeOf(prev)
+		}
+	}
+	for i := range ds {
+		ds[i].ActiveUsers = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Posts = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Likes = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Reposts = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Follows = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Blocks = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].ActiveByLang = d.langMap()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ds
+}
+
+func (d *colDec3) labelsCol3() []Label {
+	n := d.count(minRowLabel)
+	if n == 0 {
+		return nil
+	}
+	ls := make([]Label, n)
+	src := d.dictIDs(n)
+	for i := range ls {
+		ls[i].Src = d.dictAt(src, i)
+	}
+	for i, s := range d.strs(n) {
+		ls[i].URI = s
+	}
+	val := d.dictIDs(n)
+	for i := range ls {
+		ls[i].Val = d.dictAt(val, i)
+	}
+	bs := d.bits(n)
+	for i := range ls {
+		ls[i].Neg = bs.get(i)
+	}
+	kind := d.dictIDs(n)
+	for i := range ls {
+		ls[i].Kind = SubjectKind(d.dictAt(kind, i))
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range ls {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			ls[i].Applied = timeOf(prev)
+		}
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range ls {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			ls[i].SubjectCreated = timeOf(prev)
+		}
+	}
+	bs = d.bits(n)
+	for i := range ls {
+		ls[i].FreshSubject = bs.get(i)
+	}
+	if d.db != nil && d.err == nil {
+		d.db.LabelSrc = src
+		d.db.LabelVal = val
+		d.db.LabelKind = kind
+	}
+	return ls
+}
+
+func (d *colDec3) feedGensCol3() []FeedGen {
+	n := d.count(minRowFeedGen)
+	if n == 0 {
+		return nil
+	}
+	fs := make([]FeedGen, n)
+	for i, s := range d.strs(n) {
+		fs[i].URI = s
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range fs {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			fs[i].CreatorIdx = int(prev)
+		}
+	}
+	for i := range fs {
+		fs[i].Platform = d.dictStr()
+	}
+	for i, s := range d.strs(n) {
+		fs[i].DisplayName = s
+	}
+	for i, s := range d.strs(n) {
+		fs[i].Description = s
+	}
+	for i := range fs {
+		fs[i].Lang = d.dictStr()
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range fs {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			fs[i].CreatedAt = timeOf(prev)
+		}
+	}
+	for i := range fs {
+		fs[i].Likes = int(d.sv())
+	}
+	for i := range fs {
+		fs[i].Posts = int(d.sv())
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range fs {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			fs[i].LastPost = timeOf(prev)
+		}
+	}
+	bs := d.bits(n)
+	for i := range fs {
+		fs[i].Reachable = bs.get(i)
+	}
+	bs = d.bits(n)
+	for i := range fs {
+		fs[i].Personalized = bs.get(i)
+	}
+	for i := range fs {
+		fs[i].LabeledShare = d.f64()
+	}
+	for i := range fs {
+		fs[i].TopLabel = d.dictStr()
+	}
+	return fs
+}
+
+func (d *colDec3) domainsCol3() []Domain {
+	n := d.count(minRowDomain)
+	if n == 0 {
+		return nil
+	}
+	ds := make([]Domain, n)
+	for i, s := range d.strs(n) {
+		ds[i].Name = s
+	}
+	for i := range ds {
+		ds[i].IANAID = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].RegistrarName = d.dictStr()
+	}
+	bs := d.bits(n)
+	for i := range ds {
+		ds[i].CCTLD = bs.get(i)
+	}
+	for i := range ds {
+		ds[i].TrancoRank = int(d.sv())
+	}
+	for i := range ds {
+		ds[i].Subdomains = int(d.sv())
+	}
+	return ds
+}
+
+func (d *colDec3) handleUpdatesCol3() []HandleUpdate {
+	n := d.count(minRowHandleUpdate)
+	if n == 0 {
+		return nil
+	}
+	hs := make([]HandleUpdate, n)
+	for i, s := range d.strs(n) {
+		hs[i].DID = s
+	}
+	for i, s := range d.strs(n) {
+		hs[i].NewHandle = s
+	}
+	if fb := d.fixed(n); fb != nil {
+		var prev int64
+		for i := range hs {
+			prev += int64(binary.LittleEndian.Uint64(fb[8*i:]))
+			hs[i].Time = timeOf(prev)
+		}
+	}
+	return hs
+}

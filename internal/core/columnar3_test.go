@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestColumnarV3RoundTrip pins the lossless contract of the v3
+// fixed-width codec at the single-block level, including the
+// degenerate blocks the disk writer emits.
+func TestColumnarV3RoundTrip(t *testing.T) {
+	full := columnarTestBlock()
+	blocks := []*RecordBlock{
+		full,
+		{},
+		{Header: full.Header, Labelers: full.Labelers},
+		{Users: full.Users},
+		{Posts: full.Posts},
+		{Days: full.Days},
+		{Labels: full.Labels},
+		{FeedGens: full.FeedGens},
+		{Domains: full.Domains},
+		{HandleUpdates: full.HandleUpdates},
+	}
+	for i, b := range blocks {
+		enc, err := MarshalBlockVersion(b, 3)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		got, err := UnmarshalBlock(enc)
+		if err != nil {
+			t.Fatalf("block %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Errorf("block %d drifted through the v3 codec:\n got %+v\nwant %+v", i, got, b)
+		}
+	}
+}
+
+// TestColumnarV3Determinism pins byte-identical v3 encoding across
+// calls — content-hash cache keys and spill goldens stand on it.
+func TestColumnarV3Determinism(t *testing.T) {
+	b := columnarTestBlock()
+	first := encodeColumnarBlockV3(b)
+	for i := 0; i < 8; i++ {
+		if !bytes.Equal(first, encodeColumnarBlockV3(b)) {
+			t.Fatalf("v3 encoding of the same block drifted on call %d", i)
+		}
+	}
+}
+
+// TestColumnarV3DictView pins the DictBlock contract: the captured
+// label id columns resolve through the captured dictionary to exactly
+// the decoded label strings, for both the v2 and v3 codecs.
+func TestColumnarV3DictView(t *testing.T) {
+	src := columnarTestBlock()
+	for _, version := range []int{2, 3} {
+		enc, err := MarshalBlockVersion(src, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, db, err := UnmarshalBlockDict(enc, true)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if db == nil || len(db.Dict) == 0 {
+			t.Fatalf("v%d: no dictionary view", version)
+		}
+		if len(db.LabelSrc) != len(b.Labels) || len(db.LabelVal) != len(b.Labels) || len(db.LabelKind) != len(b.Labels) {
+			t.Fatalf("v%d: label id columns not parallel to labels (%d/%d/%d ids, %d labels)",
+				version, len(db.LabelSrc), len(db.LabelVal), len(db.LabelKind), len(b.Labels))
+		}
+		for i := range b.Labels {
+			if db.Dict[db.LabelSrc[i]] != b.Labels[i].Src {
+				t.Fatalf("v%d: label %d src id %d resolves to %q, want %q", version, i, db.LabelSrc[i], db.Dict[db.LabelSrc[i]], b.Labels[i].Src)
+			}
+			if db.Dict[db.LabelVal[i]] != b.Labels[i].Val {
+				t.Fatalf("v%d: label %d val id mismatch", version, i)
+			}
+			if db.Dict[db.LabelKind[i]] != string(b.Labels[i].Kind) {
+				t.Fatalf("v%d: label %d kind id mismatch", version, i)
+			}
+		}
+	}
+}
+
+// TestColumnarV3HostileBytes fuzzes the v3 decoder with truncations,
+// bit flips, and garbage — every outcome must be an error or a decoded
+// block, never a panic or a runaway allocation.
+func TestColumnarV3HostileBytes(t *testing.T) {
+	valid := encodeColumnarBlockV3(columnarTestBlock())[1:]
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		var mut []byte
+		switch i % 3 {
+		case 0:
+			mut = append([]byte(nil), valid...)
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1:
+			mut = valid[:rng.Intn(len(valid))]
+		case 2:
+			mut = make([]byte, rng.Intn(256))
+			rng.Read(mut)
+		}
+		_, _ = decodeColumnarBlockV3(mut, nil)
+	}
+}
+
+// TestLZRoundTrip pins the LZ codec: compressible input round-trips
+// exactly, incompressible input is declined, and compression is
+// deterministic.
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := [][]byte{
+		bytes.Repeat([]byte("abcd"), 1000),
+		bytes.Repeat([]byte{0}, 500),
+		[]byte("at://did:plc:aaaa/app.bsky.feed.post/1at://did:plc:aaaa/app.bsky.feed.post/2"),
+		encodeColumnarBlockV3(columnarTestBlock()),
+	}
+	long := make([]byte, 200000)
+	for i := range long {
+		long[i] = byte(rng.Intn(4)) // low-entropy, long matches
+	}
+	cases = append(cases, long)
+	for i, src := range cases {
+		comp := lzCompress(src)
+		if comp == nil {
+			t.Fatalf("case %d: compressible input declined", i)
+		}
+		if len(comp) >= len(src) {
+			t.Fatalf("case %d: output %d not smaller than input %d", i, len(comp), len(src))
+		}
+		if again := lzCompress(src); !bytes.Equal(comp, again) {
+			t.Fatalf("case %d: compression not deterministic", i)
+		}
+		got, err := lzDecompress(comp, len(src))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: round trip drifted", i)
+		}
+	}
+	// Random bytes do not compress; the encoder must say so rather
+	// than inflate.
+	noise := make([]byte, 4096)
+	rng.Read(noise)
+	if comp := lzCompress(noise); comp != nil {
+		t.Fatalf("incompressible input accepted (%d -> %d bytes)", len(noise), len(comp))
+	}
+}
+
+// TestLZHostileBytes fuzzes the LZ decoder: corrupt streams, lying raw
+// lengths, and garbage must all fail cleanly.
+func TestLZHostileBytes(t *testing.T) {
+	src := encodeColumnarBlockV3(columnarTestBlock())
+	comp := lzCompress(src)
+	if comp == nil {
+		t.Fatal("test payload did not compress")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 4000; i++ {
+		mut := append([]byte(nil), comp...)
+		switch i % 4 {
+		case 0:
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1:
+			mut = mut[:rng.Intn(len(mut))]
+		case 2:
+			mut = make([]byte, rng.Intn(256))
+			rng.Read(mut)
+		case 3:
+			// keep the stream, lie about the raw length below
+		}
+		declared := len(src)
+		if i%4 == 3 {
+			declared = rng.Intn(4 * len(src))
+		}
+		out, err := lzDecompress(mut, declared)
+		if err == nil && len(out) != declared {
+			t.Fatalf("iteration %d: decoder returned %d bytes without error, declared %d", i, len(out), declared)
+		}
+	}
+	// A lying raw length far beyond what the stream could produce is
+	// rejected before allocation.
+	if _, err := lzDecompress([]byte{0x80, 1, 0}, maxBlockBytes); err == nil {
+		t.Fatal("absurd raw length accepted")
+	}
+}

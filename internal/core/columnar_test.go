@@ -175,7 +175,7 @@ func TestUnmarshalBlockDispatch(t *testing.T) {
 	if _, err := UnmarshalBlock([]byte{0x7f, 0x00}); err == nil {
 		t.Error("unknown codec tag accepted")
 	}
-	if _, err := MarshalBlockVersion(b, 3); err == nil {
+	if _, err := MarshalBlockVersion(b, DiskFormatVersion+1); err == nil {
 		t.Error("future block format version accepted by the writer")
 	}
 }
@@ -196,9 +196,9 @@ func TestSimulatedV1ReaderRejectsV2(t *testing.T) {
 	}
 	_, err = newPartitionReaderMax(bytes.NewReader(data), 1)
 	if err == nil {
-		t.Fatal("a v1-era reader accepted a v2 block file")
+		t.Fatal("a v1-era reader accepted a current-format block file")
 	}
-	if !strings.Contains(err.Error(), "version 2") {
+	if !strings.Contains(err.Error(), fmt.Sprintf("version %d", DiskFormatVersion)) {
 		t.Errorf("rejection does not name the offending version: %v", err)
 	}
 	// The same bytes open fine with the current gate.
@@ -241,19 +241,19 @@ func TestTranscodePartitionBlocks(t *testing.T) {
 			blocks = append(blocks, b)
 		}
 	}
-	want := readAll(v2, 2)
+	want := readAll(v2, DiskFormatVersion)
 	got := readAll(v1, 1)
 	if !reflect.DeepEqual(got, want) {
-		t.Errorf("v1 transcode drifted from the v2 original")
+		t.Errorf("v1 transcode drifted from the current-format original")
 	}
-	back, err := TranscodePartitionBlocks(v1, 2)
+	back, err := TranscodePartitionBlocks(v1, DiskFormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(back, v2) {
-		t.Errorf("v1→v2 transcode is not byte-identical to the original v2 file")
+		t.Errorf("v1→v%d transcode is not byte-identical to the original file", DiskFormatVersion)
 	}
-	same, err := TranscodePartitionBlocks(v2, 2)
+	same, err := TranscodePartitionBlocks(v2, DiskFormatVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,6 +356,6 @@ func TestColumnarHostileBytes(t *testing.T) {
 			mut = make([]byte, rng.Intn(256))
 			rng.Read(mut)
 		}
-		_, _ = decodeColumnarBlock(mut)
+		_, _ = decodeColumnarBlock(mut, nil)
 	}
 }

@@ -19,6 +19,8 @@ const (
 )
 
 // User is one account in the Identifier + DID Document datasets.
+//
+//wire:v1 fields=14
 type User struct {
 	DID       string
 	Handle    string
@@ -39,6 +41,8 @@ type User struct {
 }
 
 // Post is one post from the Repositories dataset.
+//
+//wire:v1 fields=8
 type Post struct {
 	URI       string
 	AuthorIdx int // index into Dataset.Users
@@ -51,6 +55,8 @@ type Post struct {
 }
 
 // DayActivity is one day of platform activity (Figure 1 / Figure 2).
+//
+//wire:v1 fields=8
 type DayActivity struct {
 	Date        time.Time
 	ActiveUsers int
@@ -64,6 +70,8 @@ type DayActivity struct {
 }
 
 // EventCounts aggregates Firehose event types (Table 1).
+//
+//wire:v1 fields=4
 type EventCounts struct {
 	Commits   int64
 	Identity  int64
@@ -86,6 +94,8 @@ const (
 )
 
 // Label is one labeling interaction from the Labeling Services dataset.
+//
+//wire:v1 fields=8
 type Label struct {
 	Src     string // labeler DID
 	URI     string // subject
@@ -105,6 +115,8 @@ type Label struct {
 func (l Label) ReactionTime() time.Duration { return l.Applied.Sub(l.SubjectCreated) }
 
 // Labeler is one labeling service (§6.1).
+//
+//wire:v1 fields=12
 type Labeler struct {
 	DID      string
 	Name     string
@@ -126,6 +138,8 @@ type Labeler struct {
 }
 
 // FeedGen is one feed generator (§7).
+//
+//wire:v1 fields=14
 type FeedGen struct {
 	URI         string
 	CreatorIdx  int    // index into Dataset.Users
@@ -150,6 +164,8 @@ type FeedGen struct {
 }
 
 // HandleUpdate is one #handle event (§5, User Handles Updates).
+//
+//wire:v1 fields=3
 type HandleUpdate struct {
 	DID       string
 	NewHandle string
@@ -157,6 +173,8 @@ type HandleUpdate struct {
 }
 
 // Domain is one registered domain from the WHOIS scan (Table 2).
+//
+//wire:v1 fields=6
 type Domain struct {
 	Name string
 	// IANAID is 0 when WHOIS omitted it (ccTLD policy).

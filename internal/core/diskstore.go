@@ -3,10 +3,14 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"os"
@@ -36,12 +40,16 @@ import (
 //	end frame   length 0, checksum 0
 //
 // Version 1 frames carry a bare row-oriented DAG-CBOR wireBlock map.
-// Version 2 frames start with a one-byte codec tag followed by the
-// payload — blockCodecColumnar for the columnar encoding
-// (columnar.go), blockCodecCBOR for a tagged CBOR wireBlock — so a
-// reader dispatches per frame and a future v3 can mix codecs within
-// one file. The tag space can never collide with bare CBOR: a CBOR
-// map's first byte is ≥ 0xa0.
+// Version ≥ 2 frames start with a one-byte codec tag followed by the
+// payload — blockCodecColumnar for the v2 columnar encoding
+// (columnar.go), blockCodecColumnar3 for the fixed-width v3 encoding
+// (columnar3.go), blockCodecCBOR for a tagged CBOR wireBlock — so a
+// reader dispatches per frame and versions can mix codecs within one
+// file. A v3 frame's tag may additionally carry the blockCodecLZ bit:
+// the rest of the payload is then a uvarint raw length plus an LZ
+// stream (lz.go) that decompresses to the untagged inner payload. The
+// tag space can never collide with bare CBOR: a CBOR map's first byte
+// is ≥ 0xa0, and every tag (0x41–0x43 with the LZ bit) stays below it.
 //
 // The explicit end frame makes truncation detectable even when a file
 // is cut exactly at a frame boundary; the per-frame checksum catches
@@ -50,14 +58,21 @@ import (
 // out-of-core evaluation its O(one block) residency per partition.
 
 // DiskFormatVersion is the current partition block-file format.
-// Version 2 adds the per-frame codec tag and the columnar block
-// encoding; writers default to it, readers accept every version ≤ it.
-const DiskFormatVersion = 2
+// Version 2 added the per-frame codec tag and the columnar block
+// encoding; version 3 adds the fixed-width columnar layout and the
+// optional per-frame LZ compression bit. Writers default to the
+// current version, readers accept every version ≤ it.
+const DiskFormatVersion = 3
 
 // Per-frame codec tags (format version ≥ 2).
 const (
-	blockCodecCBOR     = 0x01 // tagged row-oriented CBOR wireBlock
-	blockCodecColumnar = 0x02 // columnar encoding (columnar.go)
+	blockCodecCBOR      = 0x01 // tagged row-oriented CBOR wireBlock
+	blockCodecColumnar  = 0x02 // v2 columnar encoding (columnar.go)
+	blockCodecColumnar3 = 0x03 // v3 fixed-width columnar encoding (columnar3.go)
+	// blockCodecLZ is OR'd onto a codec tag (format version ≥ 3): the
+	// payload after the tag is `uvarint raw length | LZ stream` and
+	// decompresses to the inner codec's untagged payload.
+	blockCodecLZ = 0x40
 )
 
 // DiskBlockRecords is the default number of records per on-disk block.
@@ -146,9 +161,12 @@ func ReadManifestVersion(dir string) (*Manifest, int, error) {
 
 // PartitionWriter streams framed record blocks to one partition file
 // (or any byte sink), encoding each block at the writer's format
-// version.
+// version. Every byte written is also folded into a content hash —
+// the per-partition content address the scheduler keys worker block
+// caches by (ContentHash).
 type PartitionWriter struct {
 	w       *bufio.Writer
+	h       hash.Hash
 	closer  io.Closer
 	version int
 	err     error
@@ -183,7 +201,8 @@ func NewPartitionWriter(w io.Writer, version int) (*PartitionWriter, error) {
 	if version < 1 || version > DiskFormatVersion {
 		return nil, fmt.Errorf("core: cannot write partition format v%d (writer supports 1–%d)", version, DiskFormatVersion)
 	}
-	pw := &PartitionWriter{w: bufio.NewWriterSize(w, 1<<16), version: version}
+	h := sha256.New()
+	pw := &PartitionWriter{w: bufio.NewWriterSize(io.MultiWriter(w, h), 1<<16), h: h, version: version}
 	if _, err := pw.w.WriteString(partitionMagic); err != nil {
 		pw.fail(err)
 	}
@@ -200,6 +219,26 @@ func NewPartitionWriter(w io.Writer, version int) (*PartitionWriter, error) {
 
 // Version returns the format version the writer encodes at.
 func (pw *PartitionWriter) Version() int { return pw.version }
+
+// contentHashLen truncates partition content hashes: 96 bits is far
+// beyond collision range for any store while keeping manifests and
+// cache keys short.
+const contentHashLen = 24
+
+// ContentHash returns the hex content hash of every byte written so
+// far; call it after Close for the whole file's address. It is a pure
+// function of the file bytes, so identical partition files — however
+// their corpora were split or named — share an address.
+func (pw *PartitionWriter) ContentHash() string {
+	return hex.EncodeToString(pw.h.Sum(nil))[:contentHashLen]
+}
+
+// PartitionContentHash addresses an in-memory partition block file the
+// way PartitionWriter does while writing one.
+func PartitionContentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:contentHashLen]
+}
 
 func (pw *PartitionWriter) fail(err error) {
 	if pw.err == nil {
@@ -227,12 +266,27 @@ func (pw *PartitionWriter) WriteBlock(b *RecordBlock) error {
 	return pw.err
 }
 
-func (pw *PartitionWriter) writeFrame(payload []byte) {
+// castagnoli is the CRC-32C polynomial table. Format v3 frames
+// checksum with it because amd64/arm64 compute CRC-32C in hardware;
+// FNV-1a (v1/v2 frames, kept for compatibility) walks the payload a
+// byte at a time and dominated v3 decode profiles (~40% of wall).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameChecksum computes a frame payload's checksum under the given
+// file format version.
+func frameChecksum(version int, payload []byte) uint32 {
+	if version >= 3 {
+		return crc32.Checksum(payload, castagnoli)
+	}
 	h := fnv.New32a()
 	h.Write(payload)
+	return h.Sum32()
+}
+
+func (pw *PartitionWriter) writeFrame(payload []byte) {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:], h.Sum32())
+	binary.BigEndian.PutUint32(hdr[4:], frameChecksum(pw.version, payload))
 	if _, err := pw.w.Write(hdr[:]); err != nil {
 		pw.fail(err)
 		return
@@ -276,15 +330,27 @@ func WritePartition(path string, ds *Dataset, blockRecords int) error {
 // WritePartitionVersion is WritePartition at an explicit format
 // version.
 func WritePartitionVersion(path string, ds *Dataset, blockRecords, version int) error {
+	_, err := WritePartitionContent(path, ds, blockRecords, version)
+	return err
+}
+
+// WritePartitionContent is WritePartitionVersion returning the written
+// file's content hash — what spill paths record as
+// PartitionInfo.ContentHash so schedulers can address worker caches by
+// partition content.
+func WritePartitionContent(path string, ds *Dataset, blockRecords, version int) (string, error) {
 	pw, err := CreatePartitionVersion(path, version)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if err := writeDatasetBlocks(pw, ds, blockRecords); err != nil {
 		pw.Close()
-		return err
+		return "", err
 	}
-	return pw.Close()
+	if err := pw.Close(); err != nil {
+		return "", err
+	}
+	return pw.ContentHash(), nil
 }
 
 func writeDatasetBlocks(pw *PartitionWriter, ds *Dataset, blockRecords int) error {
@@ -399,71 +465,115 @@ func noEOF(err error) error {
 // surfaces io.ErrUnexpectedEOF (truncation); a checksum mismatch or an
 // undecodable payload surfaces as an error, never a panic.
 func (pr *PartitionReader) Next() (*RecordBlock, error) {
+	b, _, err := pr.next(false)
+	return b, err
+}
+
+// NextDict is Next surfacing the frame's dictionary view alongside the
+// block — the zero-rehash ingest fast path's input: analysis folds the
+// dictionary into its intern tables once per block instead of
+// re-hashing every row (streamIngest.applyColumnar). The view is nil
+// for v1 and tagged-CBOR frames, which carry no dictionary.
+func (pr *PartitionReader) NextDict() (*RecordBlock, *DictBlock, error) {
+	return pr.next(true)
+}
+
+func (pr *PartitionReader) next(wantDict bool) (*RecordBlock, *DictBlock, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("core: partition frame header: %w", noEOF(err))
+		return nil, nil, fmt.Errorf("core: partition frame header: %w", noEOF(err))
 	}
 	length := binary.BigEndian.Uint32(hdr[:4])
 	sum := binary.BigEndian.Uint32(hdr[4:])
 	if length == 0 {
 		if sum != 0 {
-			return nil, fmt.Errorf("core: corrupt end-of-partition frame (checksum %#x)", sum)
+			return nil, nil, fmt.Errorf("core: corrupt end-of-partition frame (checksum %#x)", sum)
 		}
 		// Clean end. Anything after it is not ours to consume: a valid
 		// writer stops here, so trailing bytes mean a mangled file.
 		if _, err := pr.r.ReadByte(); err == nil {
-			return nil, fmt.Errorf("core: trailing data after end-of-partition frame")
+			return nil, nil, fmt.Errorf("core: trailing data after end-of-partition frame")
 		}
-		return nil, io.EOF
+		return nil, nil, io.EOF
 	}
 	if length > maxBlockBytes {
-		return nil, fmt.Errorf("core: frame declares %d bytes (bound %d): corrupt length", length, maxBlockBytes)
+		return nil, nil, fmt.Errorf("core: frame declares %d bytes (bound %d): corrupt length", length, maxBlockBytes)
 	}
 	// Copy via a growing buffer rather than pre-allocating `length`
 	// bytes: a corrupt length then fails on missing data, not on a
 	// giant allocation.
 	payload, err := readFull(pr.r, int(length))
 	if err != nil {
-		return nil, fmt.Errorf("core: partition frame payload: %w", err)
+		return nil, nil, fmt.Errorf("core: partition frame payload: %w", err)
 	}
-	h := fnv.New32a()
-	h.Write(payload)
-	if h.Sum32() != sum {
-		return nil, fmt.Errorf("core: block checksum mismatch (frame %#x, payload %#x): corrupt block", sum, h.Sum32())
+	if got := frameChecksum(pr.version, payload); got != sum {
+		return nil, nil, fmt.Errorf("core: block checksum mismatch (frame %#x, payload %#x): corrupt block", sum, got)
 	}
-	return pr.decodeFrame(payload)
+	return pr.decodeFrame(payload, wantDict)
 }
 
 // decodeFrame decodes one checksummed frame payload per the file's
-// format version: v1 payloads are bare CBOR wireBlocks, v2 payloads
-// start with a codec tag.
-func (pr *PartitionReader) decodeFrame(payload []byte) (*RecordBlock, error) {
+// format version: v1 payloads are bare CBOR wireBlocks, v≥2 payloads
+// start with a codec tag, v3 tags may carry the LZ compression bit.
+// When wantDict is set the columnar dictionary view is captured too.
+func (pr *PartitionReader) decodeFrame(payload []byte, wantDict bool) (*RecordBlock, *DictBlock, error) {
 	if pr.version < 2 {
 		var wb wireBlock
 		if err := cbor.Unmarshal(payload, &wb); err != nil {
-			return nil, fmt.Errorf("core: decode disk block: %w", err)
+			return nil, nil, fmt.Errorf("core: decode disk block: %w", err)
 		}
-		return blockFromWire(&wb), nil
+		return blockFromWire(&wb), nil, nil
 	}
 	if len(payload) == 0 {
-		return nil, fmt.Errorf("core: empty v2 frame payload")
+		return nil, nil, fmt.Errorf("core: empty v%d frame payload", pr.version)
 	}
-	switch payload[0] {
-	case blockCodecColumnar:
-		b, err := decodeColumnarBlock(payload[1:])
+	tag, body := payload[0], payload[1:]
+	if tag&blockCodecLZ != 0 {
+		if pr.version < 3 {
+			return nil, nil, fmt.Errorf("core: v%d frame carries unknown block codec %#x", pr.version, tag)
+		}
+		inner, err := expandLZPayload(body)
 		if err != nil {
-			return nil, fmt.Errorf("core: decode disk block: %w", err)
+			return nil, nil, err
 		}
-		return b, nil
-	case blockCodecCBOR:
-		var wb wireBlock
-		if err := cbor.Unmarshal(payload[1:], &wb); err != nil {
-			return nil, fmt.Errorf("core: decode disk block: %w", err)
-		}
-		return blockFromWire(&wb), nil
-	default:
-		return nil, fmt.Errorf("core: v2 frame carries unknown block codec %#x", payload[0])
+		tag, body = tag&^byte(blockCodecLZ), inner
 	}
+	var db *DictBlock
+	if wantDict {
+		db = &DictBlock{}
+	}
+	switch {
+	case tag == blockCodecColumnar:
+		b, err := decodeColumnarBlock(body, db)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decode disk block: %w", err)
+		}
+		return b, db, nil
+	case tag == blockCodecColumnar3 && pr.version >= 3:
+		b, err := decodeColumnarBlockV3(body, db)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decode disk block: %w", err)
+		}
+		return b, db, nil
+	case tag == blockCodecCBOR:
+		var wb wireBlock
+		if err := cbor.Unmarshal(body, &wb); err != nil {
+			return nil, nil, fmt.Errorf("core: decode disk block: %w", err)
+		}
+		return blockFromWire(&wb), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("core: v%d frame carries unknown block codec %#x", pr.version, tag)
+	}
+}
+
+// expandLZPayload decompresses the bytes after an LZ-bit codec tag:
+// a uvarint raw length followed by the LZ stream.
+func expandLZPayload(body []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(body)
+	if n <= 0 || rawLen > maxBlockBytes {
+		return nil, fmt.Errorf("core: lz frame: bad raw-length prefix")
+	}
+	return lzDecompress(body[n:], int(rawLen))
 }
 
 // readFull reads exactly n bytes, growing the buffer chunk by chunk so
@@ -545,9 +655,11 @@ func WriteCorpusVersion(dir string, parts []*Dataset, m *Manifest, version int) 
 		return err
 	}
 	for k, p := range parts {
-		if err := WritePartitionVersion(filepath.Join(dir, PartitionFileName(k)), p, 0, version); err != nil {
+		hash, err := WritePartitionContent(filepath.Join(dir, PartitionFileName(k)), p, 0, version)
+		if err != nil {
 			return fmt.Errorf("core: write partition %d: %w", k, err)
 		}
+		m.Partitions[k].ContentHash = hash
 	}
 	return WriteManifestVersion(dir, m, version)
 }
@@ -655,6 +767,141 @@ func TranscodePartitionBlocks(data []byte, version int) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// ClipPartitionBlocks re-frames an in-memory partition block file
+// restricted to one row sub-range, encoded at the target format
+// version — how the scheduler ships a split unit's slice instead of
+// the whole parent payload. The stream is exactly what a worker-side
+// RowClipper over the full file would feed the engine (headers and
+// labeler announcements pass through, facts are zeroed for non-facts
+// ranges, rows outside the range are dropped), so evaluating the
+// clipped payload without a Range stays byte-identical to evaluating
+// the parent payload with one. Blocks clipped empty are elided.
+func ClipPartitionBlocks(data []byte, rng RowRange, version int) ([]byte, error) {
+	pr, err := NewPartitionReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	pw, err := NewPartitionWriter(&buf, version)
+	if err != nil {
+		return nil, err
+	}
+	clip := NewRowClipper(rng)
+	for {
+		b, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cb := clip.Clip(b)
+		if cb.Header == nil && len(cb.Labelers) == 0 && cb.Events == (EventCounts{}) &&
+			len(cb.Users)+len(cb.Posts)+len(cb.Days)+len(cb.Labels)+
+				len(cb.FeedGens)+len(cb.Domains)+len(cb.HandleUpdates) == 0 {
+			continue
+		}
+		if err := pw.WriteBlock(cb); err != nil {
+			return nil, err
+		}
+	}
+	if err := pw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// CompressPartitionBlocks rewrites an in-memory partition block file
+// with every frame payload LZ-compressed where that makes it smaller —
+// the scheduler's ship form for v3-capable workers. Store versions < 3
+// predate the LZ bit, so their bytes are returned unchanged; frames
+// that do not shrink (or are already compressed) are kept as-is, which
+// makes the call idempotent.
+func CompressPartitionBlocks(data []byte) ([]byte, error) {
+	version, err := blockFileVersion(data)
+	if err != nil {
+		return nil, err
+	}
+	if version < 3 {
+		return data, nil
+	}
+	return mapRawFrames(data, func(payload []byte) ([]byte, error) {
+		if len(payload) == 0 || payload[0]&blockCodecLZ != 0 {
+			return payload, nil
+		}
+		comp := lzCompress(payload[1:])
+		if comp == nil {
+			return payload, nil
+		}
+		out := make([]byte, 0, 1+binary.MaxVarintLen64+len(comp))
+		out = append(out, payload[0]|blockCodecLZ)
+		out = binary.AppendUvarint(out, uint64(len(payload)-1))
+		out = append(out, comp...)
+		if len(out) >= len(payload) {
+			return payload, nil
+		}
+		return out, nil
+	})
+}
+
+// blockFileVersion reads the format version from an in-memory block
+// file's 12-byte header.
+func blockFileVersion(data []byte) (int, error) {
+	if len(data) < len(partitionMagic)+4 || string(data[:len(partitionMagic)]) != partitionMagic {
+		return 0, fmt.Errorf("core: not a partition block file")
+	}
+	return int(binary.BigEndian.Uint32(data[len(partitionMagic):])), nil
+}
+
+// mapRawFrames rebuilds a block file with each frame payload passed
+// through fn, re-checksumming as it goes. Payloads are transformed
+// raw — no block decode — so the traversal is pure byte work.
+func mapRawFrames(data []byte, fn func(payload []byte) ([]byte, error)) ([]byte, error) {
+	hdrLen := len(partitionMagic) + 4
+	version, err := blockFileVersion(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(data))
+	out = append(out, data[:hdrLen]...)
+	pos := hdrLen
+	for {
+		if len(data)-pos < 8 {
+			return nil, fmt.Errorf("core: partition frame header: %w", io.ErrUnexpectedEOF)
+		}
+		length := binary.BigEndian.Uint32(data[pos : pos+4])
+		sum := binary.BigEndian.Uint32(data[pos+4 : pos+8])
+		pos += 8
+		if length == 0 {
+			if sum != 0 {
+				return nil, fmt.Errorf("core: corrupt end-of-partition frame (checksum %#x)", sum)
+			}
+			if pos != len(data) {
+				return nil, fmt.Errorf("core: trailing data after end-of-partition frame")
+			}
+			var end [8]byte
+			return append(out, end[:]...), nil
+		}
+		if length > maxBlockBytes || int(length) > len(data)-pos {
+			return nil, fmt.Errorf("core: frame declares %d bytes: corrupt length", length)
+		}
+		payload := data[pos : pos+int(length)]
+		pos += int(length)
+		if got := frameChecksum(version, payload); got != sum {
+			return nil, fmt.Errorf("core: block checksum mismatch (frame %#x, payload %#x): corrupt block", sum, got)
+		}
+		np, err := fn(payload)
+		if err != nil {
+			return nil, err
+		}
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(np)))
+		binary.BigEndian.PutUint32(hdr[4:], frameChecksum(version, np))
+		out = append(out, hdr[:]...)
+		out = append(out, np...)
+	}
 }
 
 // ReadPartition materializes partition k as a Dataset — the convenience

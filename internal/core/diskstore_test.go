@@ -370,7 +370,7 @@ func drainPartition(pr *PartitionReader) error {
 // a valid partition file, plus pure noise, must all produce errors or
 // clean EOFs — never a panic and never a runaway allocation.
 func TestPartitionReaderHostileBytes(t *testing.T) {
-	for _, version := range []int{1, DiskFormatVersion} {
+	for _, version := range []int{1, 2, DiskFormatVersion} {
 		path := filepath.Join(t.TempDir(), "part.cbor")
 		if err := WritePartitionVersion(path, diskTestDataset(), 2, version); err != nil {
 			t.Fatal(err)
@@ -378,6 +378,15 @@ func TestPartitionReaderHostileBytes(t *testing.T) {
 		valid, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if version == DiskFormatVersion {
+			// Mutate the compressed form too: corrupt LZ frames must
+			// fail as cleanly as corrupt plain frames.
+			comp, err := CompressPartitionBlocks(valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			valid = comp
 		}
 		versionHeader := append([]byte(partitionMagic), 0, 0, 0, byte(version))
 		rng := rand.New(rand.NewSource(20240501))
@@ -414,7 +423,7 @@ func TestPartitionReaderHostileBytes(t *testing.T) {
 // must always return (blocks, error) — never panic, never spin — for
 // any input, seeded with a valid partition file and its mutations.
 func FuzzPartitionReader(f *testing.F) {
-	for _, version := range []int{1, DiskFormatVersion} {
+	for _, version := range []int{1, 2, DiskFormatVersion} {
 		path := filepath.Join(f.TempDir(), "part.cbor")
 		if err := WritePartitionVersion(path, diskTestDataset(), 2, version); err != nil {
 			f.Fatal(err)
@@ -425,6 +434,14 @@ func FuzzPartitionReader(f *testing.F) {
 		}
 		f.Add(valid)
 		f.Add(valid[:len(valid)/2])
+		if version == DiskFormatVersion {
+			comp, err := CompressPartitionBlocks(valid)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(comp)
+			f.Add(comp[:len(comp)/2])
+		}
 	}
 	f.Add([]byte(partitionMagic + "\x00\x00\x00\x01"))
 	f.Add([]byte(partitionMagic + "\x00\x00\x00\x02"))

@@ -1,0 +1,174 @@
+package core
+
+import "fmt"
+
+// This file implements the dependency-free LZ frame compression used by
+// the v3 block codec (DESIGN.md §11). The shipped-bytes hot path — the
+// elastic scheduler pushing whole partition payloads to workers — moves
+// the same dictionary and URI entropy over and over; a byte-oriented
+// LZ77 with a 64KB window removes most of it without pulling in any
+// external compressor.
+//
+// Stream layout (after the frame codec tag and the uvarint raw length):
+// a sequence of ops, each introduced by one control byte c:
+//
+//	c < 0x80: literal run — the next c+1 bytes (1..128) are copied
+//	          to the output verbatim;
+//	c ≥ 0x80: match — copy (c&0x7f)+lzMinMatch bytes (4..131) from
+//	          `offset` bytes back in the output, where offset is the
+//	          following little-endian uint16 (1..65535). offset < length
+//	          overlaps and replays already-written bytes (offset 1 is a
+//	          byte RLE).
+//
+// The encoder is greedy over a fixed-size hash table of 4-byte
+// sequences, so compression is a pure function of the input — the same
+// block always compresses to the same bytes, which the content-hash
+// cache keys and spill goldens rely on. Incompressible input is
+// detected (output would not be smaller) and reported by returning nil;
+// callers then keep the raw form.
+
+const (
+	lzMinMatch  = 4
+	lzMaxMatch  = lzMinMatch + 0x7f // 131: longest single copy op
+	lzMaxOffset = 1 << 16           // uint16 offsets, 0 is invalid
+	lzTableBits = 14
+
+	// lzMaxExpansion bounds how much larger decompressed output can be
+	// than its compressed form: a 3-byte copy op emits at most
+	// lzMaxMatch bytes (~44×). A declared raw length beyond this is a
+	// lie, rejected before any allocation mirrors it.
+	lzMaxExpansion = lzMaxMatch
+)
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzTableBits)
+}
+
+func lzLoad32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// lzCompress compresses src, returning nil when the result would not be
+// strictly smaller (or src is too short to bother).
+func lzCompress(src []byte) []byte {
+	if len(src) < 16 {
+		return nil
+	}
+	// table holds position+1 of the last occurrence of each hashed
+	// 4-byte sequence; 0 means empty.
+	table := make([]int32, 1<<lzTableBits)
+	dst := make([]byte, 0, len(src))
+	litStart := 0
+	i := 0
+	limit := len(src) - lzMinMatch
+	for i <= limit {
+		h := lzHash(lzLoad32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand >= lzMaxOffset || lzLoad32(src, cand) != lzLoad32(src, i) {
+			i++
+			continue
+		}
+		// Extend the match as far as it goes.
+		mlen := lzMinMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		dst = lzEmitLiterals(dst, src[litStart:i])
+		dst = lzEmitMatch(dst, i-cand, mlen)
+		if len(dst) >= len(src) {
+			return nil
+		}
+		i += mlen
+		litStart = i
+	}
+	dst = lzEmitLiterals(dst, src[litStart:])
+	if len(dst) >= len(src) {
+		return nil
+	}
+	return dst
+}
+
+func lzEmitLiterals(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > 128 {
+			n = 128
+		}
+		dst = append(dst, byte(n-1))
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+func lzEmitMatch(dst []byte, offset, length int) []byte {
+	for length >= lzMinMatch {
+		n := length
+		if n > lzMaxMatch {
+			n = lzMaxMatch
+			// Never strand a tail shorter than a copy op can express.
+			if length-n < lzMinMatch {
+				n = length - lzMinMatch
+			}
+		}
+		dst = append(dst, 0x80|byte(n-lzMinMatch), byte(offset), byte(offset>>8))
+		length -= n
+	}
+	return dst
+}
+
+// lzDecompress expands src into exactly rawLen bytes. Every offset is
+// validated against the bytes already produced and the declared length
+// is bounded by what a well-formed stream could express, so hostile
+// input fails loudly instead of over-allocating or panicking.
+func lzDecompress(src []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 || rawLen > maxBlockBytes {
+		return nil, fmt.Errorf("core: lz frame: raw length %d out of range", rawLen)
+	}
+	if rawLen > len(src)*lzMaxExpansion+1 {
+		return nil, fmt.Errorf("core: lz frame: raw length %d impossible for %d compressed bytes", rawLen, len(src))
+	}
+	out := make([]byte, 0, rawLen)
+	pos := 0
+	for pos < len(src) {
+		c := src[pos]
+		pos++
+		if c < 0x80 {
+			n := int(c) + 1
+			if pos+n > len(src) {
+				return nil, fmt.Errorf("core: lz frame: literal run of %d overruns input at offset %d", n, pos)
+			}
+			if len(out)+n > rawLen {
+				return nil, fmt.Errorf("core: lz frame: output exceeds declared length %d", rawLen)
+			}
+			out = append(out, src[pos:pos+n]...)
+			pos += n
+			continue
+		}
+		n := int(c&0x7f) + lzMinMatch
+		if pos+2 > len(src) {
+			return nil, fmt.Errorf("core: lz frame: truncated match offset at %d", pos)
+		}
+		off := int(src[pos]) | int(src[pos+1])<<8
+		pos += 2
+		if off == 0 || off > len(out) {
+			return nil, fmt.Errorf("core: lz frame: match offset %d outside %d produced bytes", off, len(out))
+		}
+		if len(out)+n > rawLen {
+			return nil, fmt.Errorf("core: lz frame: output exceeds declared length %d", rawLen)
+		}
+		start := len(out) - off
+		if off >= n {
+			out = append(out, out[start:start+n]...)
+		} else {
+			for j := 0; j < n; j++ {
+				out = append(out, out[start+j])
+			}
+		}
+	}
+	if len(out) != rawLen {
+		return nil, fmt.Errorf("core: lz frame: produced %d bytes, declared %d", len(out), rawLen)
+	}
+	return out, nil
+}

@@ -74,6 +74,14 @@ type PartitionInfo struct {
 	WindowStart, WindowEnd time.Time
 	Base                   CollectionCounts
 	Records                CollectionCounts
+	// ContentHash addresses the partition's block-file bytes
+	// (PartitionWriter.ContentHash), recorded by disk spill paths.
+	// Schedulers key worker block caches by it so corpora with
+	// identical partition bytes share warm cache entries regardless of
+	// manifest identity; empty for manifests that never touched disk.
+	// Deliberately excluded from Manifest.Fingerprint, which hashes
+	// generation identity, not store bytes.
+	ContentHash string `json:",omitempty"`
 }
 
 // Manifest describes a partitioned corpus: the corpus-level facts a

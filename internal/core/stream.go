@@ -21,6 +21,8 @@ import (
 // RecordBlock is one bounded batch of measurement records, the unit a
 // streaming analysis consumes. Any subset of the fields may be set;
 // records of each collection arrive in their canonical dataset order.
+//
+//wire:v1 fields=10
 type RecordBlock struct {
 	// Header carries the corpus-level facts; producers send it before
 	// any records.
@@ -52,6 +54,8 @@ func (b *RecordBlock) Len() int {
 
 // StreamHeader is the corpus-level metadata of a record stream — the
 // scalar facts a batch run reads off the materialized Dataset.
+//
+//wire:v1 fields=5
 type StreamHeader struct {
 	Scale                  int
 	WindowStart, WindowEnd time.Time
@@ -332,47 +336,77 @@ func MarshalBlock(b *RecordBlock) ([]byte, error) {
 
 // MarshalBlockVersion encodes a RecordBlock at an explicit block
 // format version: 1 is the bare row-oriented CBOR wireBlock (what
-// every pre-v2 peer decodes), 2 the codec-tagged columnar encoding.
+// every pre-v2 peer decodes), 2 the codec-tagged columnar encoding,
+// 3 the fixed-width columnar encoding (columnar3.go).
 func MarshalBlockVersion(b *RecordBlock, version int) ([]byte, error) {
 	switch version {
 	case 1:
 		return cbor.Marshal(blockToWire(b))
 	case 2:
 		return encodeColumnarBlock(b), nil
+	case 3:
+		return encodeColumnarBlockV3(b), nil
 	default:
 		return nil, fmt.Errorf("core: cannot encode block format v%d (writer supports 1–%d)", version, DiskFormatVersion)
 	}
 }
 
 // UnmarshalBlock decodes MarshalBlock's wire bytes at any supported
-// version, dispatching on the leading byte: a v2 payload starts with
-// its codec tag, while a bare v1 CBOR map's first byte is ≥ 0xa0
-// (major type 5), so the spaces cannot collide.
+// version, dispatching on the leading byte: a v≥2 payload starts with
+// its codec tag (possibly carrying the LZ compression bit), while a
+// bare v1 CBOR map's first byte is ≥ 0xa0 (major type 5), so the
+// spaces cannot collide.
 func UnmarshalBlock(data []byte) (*RecordBlock, error) {
+	b, _, err := UnmarshalBlockDict(data, false)
+	return b, err
+}
+
+// UnmarshalBlockDict is UnmarshalBlock optionally surfacing the
+// columnar dictionary view for intern-table fusion (nil for v1/CBOR
+// payloads, which carry no dictionary).
+func UnmarshalBlockDict(data []byte, wantDict bool) (*RecordBlock, *DictBlock, error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("core: empty record block")
+		return nil, nil, fmt.Errorf("core: empty record block")
+	}
+	tag, body := data[0], data[1:]
+	if tag>>5 != 5 && tag&blockCodecLZ != 0 {
+		inner, err := expandLZPayload(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		tag, body = tag&^byte(blockCodecLZ), inner
+	}
+	var db *DictBlock
+	if wantDict {
+		db = &DictBlock{}
 	}
 	switch {
-	case data[0] == blockCodecColumnar:
-		b, err := decodeColumnarBlock(data[1:])
+	case tag == blockCodecColumnar:
+		b, err := decodeColumnarBlock(body, db)
 		if err != nil {
-			return nil, fmt.Errorf("core: decode record block: %w", err)
+			return nil, nil, fmt.Errorf("core: decode record block: %w", err)
 		}
-		return b, nil
-	case data[0] == blockCodecCBOR:
+		return b, db, nil
+	case tag == blockCodecColumnar3:
+		b, err := decodeColumnarBlockV3(body, db)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decode record block: %w", err)
+		}
+		return b, db, nil
+	case tag == blockCodecCBOR:
 		var wb wireBlock
-		if err := cbor.Unmarshal(data[1:], &wb); err != nil {
-			return nil, fmt.Errorf("core: decode record block: %w", err)
+		if err := cbor.Unmarshal(body, &wb); err != nil {
+			return nil, nil, fmt.Errorf("core: decode record block: %w", err)
 		}
-		return blockFromWire(&wb), nil
-	case data[0]>>5 == 5: // bare CBOR map: the legacy v1 encoding
+		return blockFromWire(&wb), nil, nil
+	case tag>>5 == 5: // bare CBOR map: the legacy v1 encoding
 		var wb wireBlock
 		if err := cbor.Unmarshal(data, &wb); err != nil {
-			return nil, fmt.Errorf("core: decode record block: %w", err)
+			return nil, nil, fmt.Errorf("core: decode record block: %w", err)
 		}
-		return blockFromWire(&wb), nil
+		return blockFromWire(&wb), nil, nil
 	default:
-		return nil, fmt.Errorf("core: record block carries unknown codec tag %#x", data[0])
+		return nil, nil, fmt.Errorf("core: record block carries unknown codec tag %#x", data[0])
 	}
 }
 

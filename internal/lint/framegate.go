@@ -15,17 +15,23 @@ import (
 // internal/core): there, every `wire*` struct must carry a
 // `//wire:v<N> fields=<M>` directive in its doc comment, where N is
 // the first block format that encodes the struct (1 ≤ N ≤
-// DiskFormatVersion) and M is the struct's field count. Adding a wire
-// struct without the directive, tagging it with a format the package
-// doesn't declare yet, or changing a struct's shape without touching
-// its directive all trip the analyzer — so a wire change cannot land
-// without the author (and the reviewer) confronting the format
-// version that gates it and the decode dispatch that must learn it.
+// DiskFormatVersion) and M is the struct's field count. Structs
+// without the `wire` name prefix opt into the same gate by carrying a
+// directive — the columnar codecs serialize the record structs (User,
+// Post, Label, …) field-by-field without a wire* mirror, so those
+// declare directives too. Adding a wire struct without the directive,
+// tagging it with a format the package doesn't declare yet, or
+// changing a struct's shape without touching its directive all trip
+// the analyzer — so a wire change cannot land without the author (and
+// the reviewer) confronting the format version that gates it and the
+// decode dispatch that must learn it.
 var FrameGate = &Analyzer{
 	Name: "framegate",
 	Doc: "flag wire structs in block-format packages (those declaring DiskFormatVersion) that lack " +
-		"a current //wire:v<N> fields=<M> directive; wire-shape changes must update the directive " +
-		"and, when the encoding changes, the format version and its decode dispatch arm",
+		"a current //wire:v<N> fields=<M> directive; any directive-tagged struct is held to the same " +
+		"gate regardless of name (the columnar codecs serialize record structs without wire* mirrors); " +
+		"wire-shape changes must update the directive and, when the encoding changes, the format " +
+		"version and its decode dispatch arm",
 	Run: runFrameGate,
 }
 
@@ -45,11 +51,17 @@ func runFrameGate(pass *Pass) error {
 			}
 			for _, spec := range gd.Specs {
 				ts, ok := spec.(*ast.TypeSpec)
-				if !ok || !strings.HasPrefix(ts.Name.Name, "wire") {
+				if !ok {
 					continue
 				}
 				st, ok := ts.Type.(*ast.StructType)
 				if !ok {
+					continue
+				}
+				// wire*-named structs are always in scope; anything else
+				// opts in by carrying a directive (the columnar codecs
+				// serialize record structs without a wire* mirror).
+				if _, _, tagged := wireDirective(gd, ts); !tagged && !strings.HasPrefix(ts.Name.Name, "wire") {
 					continue
 				}
 				if pass.testFile(ts.Pos()) || pass.Suppressed(ts.Pos(), "framegate") {

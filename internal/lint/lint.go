@@ -26,9 +26,17 @@
 //	             codec round-trip golden test folds through.
 //	framegate  — every wire struct in a block-format package (one
 //	             declaring DiskFormatVersion) carries a current
-//	             //wire:v<N> fields=<M> directive, so wire-shape
-//	             changes can't land without confronting the format
-//	             version and decode dispatch that gate them (§11).
+//	             //wire:v<N> fields=<M> directive — wire*-named
+//	             structs and any struct tagged with a directive (the
+//	             columnar codecs serialize record structs without
+//	             wire* mirrors) — so wire-shape changes can't land
+//	             without confronting the format version and decode
+//	             dispatch that gate them (§11).
+//	internescape — no store may retain a *LabelChunk or alias its
+//	             Meta/Labels slices past the Shard.Labels call: the
+//	             buffers are reused per block and their interned ids
+//	             are only valid until MergeCtx remaps them into the
+//	             global id space. Copy elements; ids are plain ints.
 //
 // Suppression: a site the team has audited carries a
 // `//lint:<name> <justification>` comment on its own line or the line
@@ -82,7 +90,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Analyzers returns the full blueskies analyzer suite in stable
 // order. cmd/bskylint registers exactly this set.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallTime, CBORWire, ShardCodec, FrameGate}
+	return []*Analyzer{MapOrder, WallTime, CBORWire, ShardCodec, FrameGate, InternEscape}
 }
 
 // criticalPackages are the packages whose output must be byte-

@@ -17,6 +17,8 @@ func TestShardCodecFixture(t *testing.T) { runFixture(t, ShardCodec, "blueskies/
 
 func TestFrameGateFixture(t *testing.T) { runFixture(t, FrameGate, "framegate") }
 
+func TestInternEscapeFixture(t *testing.T) { runFixture(t, InternEscape, "internescape") }
+
 // TestNonCriticalPackageClean pins the scoping rule: the same
 // patterns the analyzers flag in determinism-critical packages are
 // legal everywhere else.

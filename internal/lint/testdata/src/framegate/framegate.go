@@ -60,9 +60,34 @@ type wireAudited struct {
 	A string
 }
 
-// notWire is out of scope: only wire* structs are gated.
+// notWire is out of scope: no wire name prefix, no directive.
 type notWire struct {
 	M map[int]int
+}
+
+// Record opts into the gate by directive despite its name — the
+// columnar codecs serialize record structs field-by-field without a
+// wire* mirror.
+//
+//wire:v1 fields=2
+type Record struct {
+	A string
+	B int64
+}
+
+// StaleRecord is a directive-tagged record struct whose shape drifted.
+//
+//wire:v1 fields=1
+type StaleRecord struct { // want "declares fields=1 but has 2 fields"
+	A string
+	B int64
+}
+
+// FutureRecord opted in with a format the package doesn't declare.
+//
+//wire:v9 fields=1
+type FutureRecord struct { // want "tagged //wire:v9 but the package declares DiskFormatVersion = 2"
+	A string
 }
 
 // wireAlias is not a struct, so the gate doesn't apply.

@@ -1,0 +1,90 @@
+// Fixture for the internescape analyzer: a miniature of
+// internal/analysis — the LabelChunk block unit, its per-record
+// metadata, and accumulator shards that copy (clean) or alias (flag)
+// the chunk's buffers.
+package internescape
+
+// Label is a stand-in for core.Label.
+type Label struct {
+	Val string
+	Neg bool
+}
+
+// LabelMeta is the shared per-record metadata.
+type LabelMeta struct {
+	ValID int32
+	RTSec float64
+}
+
+// LabelChunk arms the analyzer: package-scope struct with Meta and
+// Labels fields.
+type LabelChunk struct {
+	Labels []Label
+	Meta   []LabelMeta
+	Base   int
+}
+
+// goodShard copies the elements it keeps: clean.
+type goodShard struct {
+	ids []int32
+	rts []float64
+}
+
+func (s *goodShard) Labels(c *LabelChunk) {
+	for i := range c.Labels {
+		m := &c.Meta[i] // element pointer used within the call: fine
+		s.ids = append(s.ids, m.ValID)
+		s.rts = append(s.rts, m.RTSec)
+	}
+	local := c.Meta // local alias dies with the call: fine
+	_ = local
+	base := c.Base // scalar field copy: fine
+	_ = base
+	spread := make([]LabelMeta, 0, len(c.Meta))
+	spread = append(spread, c.Meta...) // spread append copies elements: fine
+	_ = spread
+}
+
+// hoardShard retains the chunk and its buffers.
+type hoardShard struct {
+	chunk *LabelChunk
+	meta  []LabelMeta
+	rows  []Label
+	tail  []LabelMeta
+	byID  map[int][]LabelMeta
+}
+
+func (s *hoardShard) Labels(c *LabelChunk) {
+	s.chunk = c             // want "storing c aliases a per-block label chunk"
+	s.meta = c.Meta         // want "storing c.Meta aliases a per-block label chunk"
+	s.rows = c.Labels       // want "storing c.Labels aliases a per-block label chunk"
+	s.tail = c.Meta[1:]     // want "storing c.Meta aliases a per-block label chunk"
+	s.byID[c.Base] = c.Meta // want "storing c.Meta aliases a per-block label chunk"
+}
+
+// copyShard stores a chunk value copy — its slices still alias.
+type copyShard struct {
+	snap LabelChunk
+	held LabelChunk
+}
+
+func (s *copyShard) Labels(c *LabelChunk) {
+	s.snap = *c                       // want "storing \*c aliases a per-block label chunk"
+	fresh := LabelChunk{Meta: c.Meta} // want "storing c.Meta aliases a per-block label chunk"
+	_ = fresh
+	owned := LabelChunk{Meta: append([]LabelMeta(nil), c.Meta...)} // copied elements: fine
+	// Storing any existing chunk-typed reference is flagged — the
+	// analyzer is a direct-store check, not an escape analysis, so it
+	// cannot prove `owned` never aliased the caller's buffers.
+	s.held = owned // want "storing owned aliases a per-block label chunk"
+}
+
+// auditedShard is the audited engine-side owner of the buffer.
+type auditedShard struct {
+	meta []LabelMeta
+}
+
+func (s *auditedShard) Labels(c *LabelChunk) {
+	//lint:internescape engine-owned buffer recycled between blocks
+	s.meta = c.Meta
+}

@@ -16,12 +16,16 @@ import (
 )
 
 // BlockCache is the worker-side content-addressed store for shipped
-// partition block payloads. Keys are CacheKey values — manifest
-// fingerprint + partition index + block format — so a payload cached
-// during one run satisfies any later run over the same corpus at the
-// same format: the scheduler learns the worker's cached keys from
-// describe and sends a key reference instead of the bytes, turning a
-// warm re-run's per-partition ship cost into a few hundred bytes.
+// partition block payloads. Keys are opaque to the cache; schedulers
+// key by the partition's content hash when the manifest records one
+// ("c/<hash>/v<format>", elasticRun.unitKey) — so a payload cached
+// during one run satisfies any later run over *any* corpus containing
+// the same partition bytes at the same format, not just the corpus
+// that shipped it — and fall back to the fingerprint-scoped CacheKey
+// for older manifests. Either way the scheduler learns the worker's
+// cached keys from describe and sends a key reference instead of the
+// bytes, turning a warm re-run's per-partition ship cost into a few
+// hundred bytes.
 //
 // Entries live on disk under Dir (one file per key, named by the
 // key's hash) with an FNV-1a checksum over the payload; Get verifies

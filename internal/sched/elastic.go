@@ -100,6 +100,7 @@ type unit struct {
 	id   unitID
 	info core.PartitionInfo // corpus-global base + records of this range
 	rng  *core.RowRange     // nil = whole partition
+	nsub int                // sibling count when split (cache key suffix)
 	home int                // (part+sub) % workers — steal accounting only
 
 	queued   bool
@@ -241,6 +242,7 @@ func (r *elasticRun) registerLocked(part int) *partWait {
 			u.info = subs[j]
 			rng := core.SubRowRange(info, subs[j], j == 0)
 			u.rng = &rng
+			u.nsub = nsub
 		}
 		r.units[u.id] = u
 		r.order = insertByID(r.order, u)
@@ -535,7 +537,7 @@ func (r *elasticRun) claim(wi, wf int) (u *unit, spec bool, wait time.Duration, 
 		// Warm affinity: a unit this worker holds cached costs zero ship
 		// bytes here but a full payload anywhere else — claim it first.
 		for _, cand := range r.queue {
-			if !cand.failedOn[wi] && r.cached[wi][CacheKey(r.fp, cand.id.part, wf)] {
+			if !cand.failedOn[wi] && r.cached[wi][r.unitKey(cand, wf)] {
 				pick = cand
 				break
 			}
@@ -663,7 +665,7 @@ func (r *elasticRun) cachedElsewhereLocked(u *unit, wi int) bool {
 		if wfj <= 0 {
 			continue
 		}
-		if r.cached[wj][CacheKey(r.fp, u.id.part, wfj)] {
+		if r.cached[wj][r.unitKey(u, wfj)] {
 			return true
 		}
 	}
@@ -732,18 +734,52 @@ func (r *elasticRun) baseRequest(u *unit) *EvalRequest {
 	}
 }
 
-// shipBlocks reads (and, for a downgraded worker, transcodes) the
-// partition's framed block payload at format wf.
-func (r *elasticRun) shipBlocks(part, wf int) ([]byte, error) {
-	blocks, err := ReadPartitionBlocks(r.s.Corpus, part)
+// unitKey addresses the exact payload unit u ships at format wf. A
+// manifest that records per-partition content hashes keys by them —
+// the same partition bytes in any corpus hit the same worker cache
+// entry, so re-sharded or re-spilled corpora warm-start across runs.
+// Hashless (pre-hash) manifests fall back to the fingerprint-scoped
+// CacheKey. Split sub-units ship sliced payloads, so their keys carry
+// the sub-range coordinates: a sub-unit's entry is never the parent's.
+func (r *elasticRun) unitKey(u *unit, wf int) string {
+	prefix := fmt.Sprintf("%s/%d", r.fp, u.id.part)
+	if h := r.s.Corpus.Manifest.Partitions[u.id.part].ContentHash; h != "" {
+		prefix = "c/" + h
+	}
+	if u.rng != nil {
+		return fmt.Sprintf("%s/s%d.%d/v%d", prefix, u.id.sub, u.nsub, wf)
+	}
+	return fmt.Sprintf("%s/v%d", prefix, wf)
+}
+
+// shipUnitBlocks builds the framed block payload unit u ships at
+// format wf: the partition's blocks, sliced to the unit's sub-range
+// when it is one leg of a split (shipping a whole parent payload per
+// sub-unit re-sent the same megabytes nsub times), transcoded down for
+// an older worker, and LZ-compressed per frame when the format carries
+// the codec bit (v3+; CompressPartitionBlocks is a no-op below that,
+// so negotiation rides the formats exchange — a worker that advertises
+// v3 accepts compressed frames by definition).
+func (r *elasticRun) shipUnitBlocks(u *unit, wf int) ([]byte, error) {
+	blocks, err := ReadPartitionBlocks(r.s.Corpus, u.id.part)
 	if err != nil {
-		return nil, fmt.Errorf("sched: read partition %d blocks: %w", part, err)
+		return nil, fmt.Errorf("sched: read partition %d blocks: %w", u.id.part, err)
+	}
+	if u.rng != nil {
+		blocks, err = core.ClipPartitionBlocks(blocks, *u.rng, r.s.storeFormat())
+		if err != nil {
+			return nil, fmt.Errorf("sched: slice partition %d blocks to sub-range %s: %w", u.id.part, u.id, err)
+		}
 	}
 	if wf < r.s.storeFormat() {
 		blocks, err = core.TranscodePartitionBlocks(blocks, wf)
 		if err != nil {
-			return nil, fmt.Errorf("sched: transcode partition %d blocks to format v%d: %w", part, wf, err)
+			return nil, fmt.Errorf("sched: transcode partition %d blocks to format v%d: %w", u.id.part, wf, err)
 		}
+	}
+	blocks, err = core.CompressPartitionBlocks(blocks)
+	if err != nil {
+		return nil, fmt.Errorf("sched: compress partition %d blocks: %w", u.id.part, err)
 	}
 	return blocks, nil
 }
@@ -766,7 +802,7 @@ func (r *elasticRun) execute(ctx context.Context, wi int, u *unit, wf int, spec 
 	if err != nil {
 		if xe, ok := isCacheMiss(err); ok {
 			r.s.Stats.CacheMisses.Add(1)
-			key := CacheKey(r.fp, u.id.part, wf)
+			key := r.unitKey(u, wf)
 			r.mu.Lock()
 			delete(r.cached[wi], key)
 			r.mu.Unlock()
@@ -834,20 +870,24 @@ func (r *elasticRun) attempt(ctx context.Context, wi int, u *unit, wf int, force
 		var key string
 		r.mu.Lock()
 		if r.cacheOK[wi] {
-			key = CacheKey(r.fp, u.id.part, wf)
+			key = r.unitKey(u, wf)
 			keyOnly = !forceInline && r.cached[wi][key]
 		}
 		r.mu.Unlock()
 		req.CacheKey = key
 		if !keyOnly {
-			blocks, err := r.shipBlocks(u.id.part, wf)
+			blocks, err := r.shipUnitBlocks(u, wf)
 			if err != nil {
-				r.failRun(err) // local read/transcode failure: the run is wrong, not the worker
+				r.failRun(err) // local read/slice/transcode failure: the run is wrong, not the worker
 				return nil, err
 			}
 			req.Blocks = blocks
 			shipped = len(blocks)
 		}
+		// Shipped (and cached) payloads are pre-sliced to the unit's
+		// sub-range, so the worker must not clip them again; only the
+		// store path sends the row range for worker-side clipping.
+		req.Range = nil
 	} else {
 		req.Store = r.s.Corpus.Dir
 		req.Partition = u.id.part
@@ -937,7 +977,7 @@ func (r *elasticRun) prefetch(ctx context.Context, wi, wf int) {
 			if u.failedOn[wi] {
 				continue
 			}
-			k := CacheKey(r.fp, u.id.part, wf)
+			k := r.unitKey(u, wf)
 			if r.cached[wi][k] || r.prefTried[wi][k] {
 				continue
 			}
@@ -957,7 +997,7 @@ func (r *elasticRun) prefetch(ctx context.Context, wi, wf int) {
 	if target == nil {
 		return
 	}
-	blocks, err := r.shipBlocks(target.id.part, wf)
+	blocks, err := r.shipUnitBlocks(target, wf)
 	if err != nil || len(blocks) > budget || len(blocks) > r.s.maxShip() {
 		return
 	}

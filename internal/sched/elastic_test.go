@@ -621,3 +621,108 @@ func TestSubPartitionInfosContiguity(t *testing.T) {
 		}
 	}
 }
+
+// ---- elastic scheduler: content-hash cache keys ----
+
+// TestElasticCrossCorpusCacheSharing pins the content-hash cache
+// addressing: a *different* corpus (new manifest identity, so a new
+// fingerprint) whose partition bytes are identical must warm-hit the
+// worker caches filled by the first corpus — the keys address the
+// partition content, not the corpus that shipped it.
+func TestElasticCrossCorpusCacheSharing(t *testing.T) {
+	cache, _ := NewBlockCache("", 1<<30)
+	w := &Loopback{Server: &Server{Cache: cache}, Label: "w0"}
+
+	a := spillN(t, 4)
+	cold := New(a, w)
+	cold.ShipBlocks = true
+	cold.Logf = t.Logf
+	got, err := cold.RunAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareToGolden(t, "cross-corpus-cold", got)
+	if cold.Stats.ShippedBytes.Load() == 0 {
+		t.Fatal("cold run shipped nothing")
+	}
+
+	// Corpus B: byte-identical partition files under a manifest with a
+	// different seed — a re-registered copy of the same data. Its
+	// fingerprint differs, so fingerprint-scoped keys could never hit.
+	dirB := t.TempDir()
+	for k := range a.Manifest.Partitions {
+		data, err := os.ReadFile(filepath.Join(a.Dir, core.PartitionFileName(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dirB, core.PartitionFileName(k)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2 := *a.Manifest
+	m2.Partitions = append([]core.PartitionInfo(nil), a.Manifest.Partitions...)
+	m2.Seed = a.Manifest.Seed + 1
+	if err := core.WriteManifestVersion(dirB, &m2, a.Version); err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.OpenCorpus(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Fingerprint() == a.Manifest.Fingerprint() {
+		t.Fatal("corpus B has corpus A's fingerprint; the test would prove nothing")
+	}
+
+	warm := New(b, w)
+	warm.ShipBlocks = true
+	warm.SpeculateAfter = 5 * time.Second
+	warm.Logf = t.Logf
+	got, err = warm.RunAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareToGolden(t, "cross-corpus-warm", got)
+	if hits := warm.Stats.CacheHits.Load(); hits < 4 {
+		t.Fatalf("cross-corpus warm run served %d cache hits, want ≥ 4 (one per partition)", hits)
+	}
+	if shipped := warm.Stats.ShippedBytes.Load(); shipped != 0 {
+		t.Fatalf("cross-corpus warm run shipped %d bytes; content-hash keys should serve every unit", shipped)
+	}
+}
+
+// TestElasticSplitShipSliced pins the sliced-ship satellite: a run
+// that splits every partition must ship *slices* — total payload bytes
+// strictly below the whole corpus (the old code re-shipped the whole
+// parent payload once per sub-unit, i.e. ≥ 2× corpus here) — and stay
+// byte-identical to the golden.
+func TestElasticSplitShipSliced(t *testing.T) {
+	c := spillN(t, 4)
+	var full int64
+	for k := range c.Manifest.Partitions {
+		blocks, err := ReadPartitionBlocks(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full += int64(len(blocks))
+	}
+	s := New(c,
+		&Loopback{Server: &Server{}, Label: "w0"},
+		&Loopback{Server: &Server{}, Label: "w1"},
+	)
+	s.ShipBlocks = true
+	s.SplitFactor = 0.5
+	s.SpeculateAfter = 5 * time.Second
+	s.Logf = t.Logf
+	got, err := s.RunAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareToGolden(t, "elastic-split-sliced", got)
+	if n := s.Stats.Splits.Load(); n != 4 {
+		t.Fatalf("%d partitions split, want all 4", n)
+	}
+	shipped := s.Stats.ShippedBytes.Load()
+	if shipped == 0 || shipped >= full {
+		t.Fatalf("split run shipped %d bytes against a %d-byte corpus; sub-units must ship compressed slices, not parent payloads", shipped, full)
+	}
+}

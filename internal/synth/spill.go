@@ -78,7 +78,9 @@ func GeneratePartitionedTo(cfg Config, n int, dir string, workers int) (*core.Ma
 					ds.NonBskyEvents = shared.NonBskyEvents
 				}
 				snaps[k] = snapshot{ds.PartitionInfo(k), ds.WindowStart, ds.WindowEnd}
-				errs[k] = core.WritePartition(filepath.Join(dir, core.PartitionFileName(k)), ds, 0)
+				var hash string
+				hash, errs[k] = core.WritePartitionContent(filepath.Join(dir, core.PartitionFileName(k)), ds, 0, core.DiskFormatVersion)
+				snaps[k].info.ContentHash = hash
 			}
 		}()
 	}

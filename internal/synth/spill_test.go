@@ -15,14 +15,33 @@ func TestSpillMatchesInMemory(t *testing.T) {
 	cfg := Config{Scale: 2000, Seed: 5}
 	const n = 3
 	parts, m := GeneratePartitioned(cfg, n)
+	var hashes []string
 	for _, workers := range []int{1, 2, n + 2} {
 		dir := t.TempDir()
 		dm, err := GeneratePartitionedTo(cfg, n, dir, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		if !reflect.DeepEqual(dm, m) {
-			t.Errorf("workers=%d: spilled manifest drifted:\n got %+v\nwant %+v", workers, dm, m)
+		// Content hashes only exist on the spilled manifest (they
+		// address block-file bytes, which the in-memory path never
+		// produces); they must be present and identical at every worker
+		// count, and the manifest must otherwise match exactly.
+		stripped := *dm
+		stripped.Partitions = append([]core.PartitionInfo(nil), dm.Partitions...)
+		for k := range stripped.Partitions {
+			h := stripped.Partitions[k].ContentHash
+			if h == "" {
+				t.Fatalf("workers=%d partition %d: no content hash", workers, k)
+			}
+			if len(hashes) <= k {
+				hashes = append(hashes, h)
+			} else if hashes[k] != h {
+				t.Errorf("workers=%d partition %d: content hash drifted: %s != %s", workers, k, h, hashes[k])
+			}
+			stripped.Partitions[k].ContentHash = ""
+		}
+		if !reflect.DeepEqual(&stripped, m) {
+			t.Errorf("workers=%d: spilled manifest drifted:\n got %+v\nwant %+v", workers, &stripped, m)
 		}
 		c, err := core.OpenCorpus(dir)
 		if err != nil {
